@@ -1,0 +1,304 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every experiment table (E1-E11, A1-A3) — the
+   paper's "evaluation" is its theorems, so each table reports a claim
+   and the measurements backing it (see DESIGN.md's experiment index and
+   EXPERIMENTS.md for the paper-vs-measured record).
+
+   Part 2 times the representative kernels with bechamel: one Test.make
+   per experiment, plus substrate micro-benchmarks. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------- part 1 *)
+
+let print_experiment_tables () =
+  Format.printf "==================================================@.";
+  Format.printf "Part 1: experiment tables (one per paper claim)@.";
+  Format.printf "==================================================@.@.";
+  let outcomes = Wfde.Experiments.all () in
+  List.iter (fun o -> Format.printf "%a@." Wfde.Experiments.pp o) outcomes;
+  let failed = List.filter (fun o -> not o.Wfde.Experiments.ok) outcomes in
+  if failed = [] then
+    Format.printf "summary: all %d experiment claims hold@.@."
+      (List.length outcomes)
+  else
+    Format.printf "summary: FAILED claims: %s@.@."
+      (String.concat ", " (List.map (fun o -> o.Wfde.Experiments.id) failed))
+
+(* ------------------------------------------------------------- part 2 *)
+
+let fig1_world seed =
+  Wfde.Harness.random_world ~seed ~n_plus_1:4 ~max_faulty:3 ()
+
+let bench_fig1 () =
+  let seed = ref 0 in
+  Test.make ~name:"e1/fig1-upsilon-sa (n+1=4)"
+    (Staged.stage (fun () ->
+         incr seed;
+         ignore (Wfde.Harness.run_fig1 (fig1_world !seed))))
+
+let bench_fig2 () =
+  let seed = ref 0 in
+  Test.make ~name:"e2/fig2-upsilon-f-sa (n+1=4, f=2)"
+    (Staged.stage (fun () ->
+         incr seed;
+         let world =
+           Wfde.Harness.random_world ~seed:!seed ~n_plus_1:4 ~max_faulty:2 ()
+         in
+         ignore (Wfde.Harness.run_fig2 ~f:2 world)))
+
+let bench_adversary () =
+  Test.make ~name:"e3-e4/adversary (5 phases)"
+    (Staged.stage (fun () ->
+         ignore
+           (Wfde.Adversary.run Wfde.Adversary.Candidates.top_movers ~n_plus_1:3
+              ~f:2 ~max_phases:5 ~phase_budget:4000)))
+
+let bench_extraction () =
+  let seed = ref 0 in
+  Test.make ~name:"e5/fig3-extraction (from omega)"
+    (Staged.stage (fun () ->
+         incr seed;
+         let world =
+           Wfde.Harness.random_world ~seed:!seed ~n_plus_1:3 ~max_faulty:2
+             ~latest:100 ()
+         in
+         ignore
+           (Wfde.Harness.run_extraction_of ~horizon:40_000 ~tail:8_000 ~f:2
+              ~source:`Omega world)))
+
+let bench_pairwise () =
+  let seed = ref 0 in
+  Test.make ~name:"e6/upsilon1->omega (timestamps)"
+    (Staged.stage (fun () ->
+         incr seed;
+         let rng = Wfde.Rng.create !seed in
+         let pattern =
+           Wfde.Failure_pattern.random rng ~n_plus_1:3 ~max_faulty:1 ~latest:60
+         in
+         let d = Wfde.Upsilon_f.make ~rng ~pattern ~f:1 ~stab_time:40 () in
+         let red =
+           Wfde.Pairwise.Omega_from_upsilon1.create ~name:"o1" ~n_plus_1:3
+             ~upsilon1:(Wfde.Detector.source d)
+         in
+         ignore
+           (Wfde.Run.exec ~pattern
+              ~policy:(Wfde.Policy.random (Wfde.Rng.split rng))
+              ~horizon:30_000
+              ~procs:(fun pid ->
+                Wfde.Pairwise.Omega_from_upsilon1.fibers red ~me:pid)
+              ())))
+
+let bench_omega_n_baseline () =
+  let seed = ref 0 in
+  Test.make ~name:"e7/omega-n baseline (n+1=4)"
+    (Staged.stage (fun () ->
+         incr seed;
+         ignore
+           (Wfde.Harness.run_omega_k_baseline ~k:3 (fig1_world (!seed + 5000)))))
+
+let bench_booster () =
+  let seed = ref 0 in
+  Test.make ~name:"e9/booster consensus (n+1=4)"
+    (Staged.stage (fun () ->
+         incr seed;
+         let rng = Wfde.Rng.create !seed in
+         let pattern =
+           Wfde.Failure_pattern.random rng ~n_plus_1:4 ~max_faulty:3
+             ~latest:200
+         in
+         let omega_n = Wfde.Omega_k.make ~rng ~pattern ~k:3 () in
+         let proto =
+           Wfde.Agreement.Booster_consensus.create ~name:"b" ~n_plus_1:4
+             ~omega_n:(Wfde.Detector.source omega_n)
+         in
+         ignore
+           (Wfde.Run.exec ~pattern ~policy:(Wfde.Policy.random rng)
+              ~horizon:500_000
+              ~procs:(fun pid ->
+                [
+                  Wfde.Agreement.Booster_consensus.proposer proto ~me:pid
+                    ~input:pid;
+                ])
+              ())))
+
+let bench_fig2_snapshot impl =
+  let seed = ref 0 in
+  Test.make
+    ~name:
+      (Printf.sprintf "a3/fig2 on %s snapshots"
+         (Wfde.Memory.Snap.impl_name impl))
+    (Staged.stage (fun () ->
+         incr seed;
+         let world =
+           Wfde.Harness.random_world ~seed:!seed ~n_plus_1:4 ~max_faulty:2 ()
+         in
+         ignore (Wfde.Harness.run_fig2 ~snapshot_impl:impl ~f:2 world)))
+
+let bench_msg_consensus () =
+  let seed = ref 0 in
+  Test.make ~name:"e11/msg consensus over ABD (n+1=3)"
+    (Staged.stage (fun () ->
+         incr seed;
+         let rng = Wfde.Rng.create !seed in
+         let pattern =
+           Wfde.Failure_pattern.random rng ~n_plus_1:3 ~max_faulty:1
+             ~latest:200
+         in
+         let omega = Wfde.Omega.make ~rng ~pattern () in
+         let proto =
+           Wfde.Agreement.Msg_consensus.create ~name:"mc" ~n_plus_1:3
+             ~omega:(Wfde.Detector.source omega)
+         in
+         ignore
+           (Wfde.Run.exec ~pattern ~policy:(Wfde.Policy.random rng)
+              ~horizon:2_000_000
+              ~procs:(fun pid ->
+                Wfde.Agreement.Msg_consensus.fibers proto ~me:pid ~input:pid)
+              ())))
+
+let bench_async_lockstep () =
+  Test.make ~name:"e8/async lockstep to horizon 20k"
+    (Staged.stage (fun () ->
+         let world =
+           {
+             Wfde.Harness.pattern = Wfde.Failure_pattern.no_failures ~n_plus_1:3;
+             policy = Wfde.Policy.round_robin ();
+             world_rng = Wfde.Rng.create 1;
+           }
+         in
+         ignore (Wfde.Harness.run_async_attempt ~horizon:20_000 world)))
+
+let bench_snapshot impl =
+  let name, runner =
+    match impl with
+    | `Registers ->
+        ( "a1/snapshot-afek (n+1=4, 10 ops)",
+          fun () ->
+            let snap =
+              Wfde.Snapshot.create ~name:"b" ~size:4 ~init:(fun _ -> 0)
+            in
+            let body pid () =
+              for i = 1 to 10 do
+                Wfde.Snapshot.update snap ~me:pid i;
+                ignore (Wfde.Snapshot.scan snap)
+              done
+            in
+            ignore
+              (Wfde.Run.exec
+                 ~pattern:(Wfde.Failure_pattern.no_failures ~n_plus_1:4)
+                 ~policy:(Wfde.Policy.random (Wfde.Rng.create 3))
+                 ~horizon:1_000_000
+                 ~procs:(fun pid -> [ body pid ])
+                 ()) )
+    | `Native ->
+        ( "a1/snapshot-native (n+1=4, 10 ops)",
+          fun () ->
+            let snap =
+              Wfde.Memory.Native_snapshot.create ~name:"b" ~size:4
+                ~init:(fun _ -> 0)
+            in
+            let body pid () =
+              for i = 1 to 10 do
+                Wfde.Memory.Native_snapshot.update snap ~me:pid i;
+                ignore (Wfde.Memory.Native_snapshot.scan snap)
+              done
+            in
+            ignore
+              (Wfde.Run.exec
+                 ~pattern:(Wfde.Failure_pattern.no_failures ~n_plus_1:4)
+                 ~policy:(Wfde.Policy.random (Wfde.Rng.create 3))
+                 ~horizon:1_000_000
+                 ~procs:(fun pid -> [ body pid ])
+                 ()) )
+  in
+  Test.make ~name (Staged.stage runner)
+
+let bench_converge () =
+  let seed = ref 0 in
+  Test.make ~name:"substrate/k-converge (n+1=4, k=2)"
+    (Staged.stage (fun () ->
+         incr seed;
+         let inst =
+           Wfde.Converge.create ~name:"b" ~k:2 ~size:4
+             ~compare:Int.compare
+         in
+         let body pid () =
+           ignore (Wfde.Converge.run inst ~me:pid (pid mod 3))
+         in
+         ignore
+           (Wfde.Run.exec
+              ~pattern:(Wfde.Failure_pattern.no_failures ~n_plus_1:4)
+              ~policy:(Wfde.Policy.random (Wfde.Rng.create !seed))
+              ~horizon:1_000_000
+              ~procs:(fun pid -> [ body pid ])
+              ())))
+
+let bench_scheduler () =
+  Test.make ~name:"substrate/scheduler 10k nop steps"
+    (Staged.stage (fun () ->
+         let body () =
+           for _ = 1 to 2_500 do
+             Wfde.Sim.yield ()
+           done
+         in
+         ignore
+           (Wfde.Run.exec
+              ~pattern:(Wfde.Failure_pattern.no_failures ~n_plus_1:4)
+              ~policy:(Wfde.Policy.round_robin ())
+              ~horizon:20_000
+              ~procs:(fun _ -> [ body ])
+              ())))
+
+let all_tests () =
+  [
+    bench_scheduler ();
+    bench_snapshot `Registers;
+    bench_snapshot `Native;
+    bench_converge ();
+    bench_fig1 ();
+    bench_fig2 ();
+    bench_adversary ();
+    bench_extraction ();
+    bench_pairwise ();
+    bench_omega_n_baseline ();
+    bench_async_lockstep ();
+    bench_booster ();
+    bench_msg_consensus ();
+    bench_fig2_snapshot Wfde.Memory.Snap.Registers;
+    bench_fig2_snapshot Wfde.Memory.Snap.Native;
+  ]
+
+let run_benchmarks () =
+  Format.printf "==================================================@.";
+  Format.printf "Part 2: bechamel timings (monotonic clock, ns/run)@.";
+  Format.printf "==================================================@.@.";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let nanos =
+            match Analyze.OLS.estimates ols_result with
+            | Some (t :: _) -> t
+            | Some [] | None -> nan
+          in
+          Format.printf "%-42s %12.0f ns/run  (%6.2f ms)@." name nanos
+            (nanos /. 1e6))
+        analysis)
+    (all_tests ());
+  Format.printf "@."
+
+let () =
+  print_experiment_tables ();
+  run_benchmarks ()

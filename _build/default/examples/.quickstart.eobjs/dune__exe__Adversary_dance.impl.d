@@ -1,0 +1,1 @@
+examples/adversary_dance.ml: Format List Wfde

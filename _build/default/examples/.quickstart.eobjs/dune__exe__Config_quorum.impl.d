@@ -1,0 +1,1 @@
+examples/config_quorum.ml: Format Int List Printf String Wfde

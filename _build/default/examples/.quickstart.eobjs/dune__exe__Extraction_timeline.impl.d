@@ -1,0 +1,1 @@
+examples/extraction_timeline.ml: Format List Wfde

@@ -1,0 +1,1 @@
+examples/gladiators.ml: Format List String Wfde

@@ -1,0 +1,58 @@
+(* The Theorem-1 adversary, move by move.
+
+     dune exec examples/adversary_dance.exe
+
+   Theorem 1 says no algorithm can turn Υ into Ωₙ. The proof is a dance:
+   pin Υ to the constant set {p1,…,pn} (legal in any failure-free run),
+   wait until the candidate extraction algorithm shows some committee L,
+   let everyone take one step, then freeze L's members — for the running
+   processes this is indistinguishable from L having crashed, where the
+   pinned Υ output is still legal, so a correct extractor must move off
+   L... at which point the adversary freezes the new committee instead.
+
+   We watch the dance against the "top-movers" heuristic (output the f
+   most recently active processes) and against the naive complement
+   candidate, which refuses to dance and gets killed off-stage. *)
+
+let show_verdict cand ~n_plus_1 ~f =
+  Format.printf "--- candidate: %s ---@." cand.Wfde.Adversary.cand_name;
+  let verdict =
+    Wfde.Adversary.run cand ~n_plus_1 ~f ~max_phases:10 ~phase_budget:6_000
+  in
+  (match verdict with
+  | Wfde.Adversary.Never_stabilizes { flips; history } ->
+      List.iter
+        (fun { Wfde.Adversary.index; output; at_time } ->
+          Format.printf "  phase %2d: output %-16s (t=%d) -> freeze it@." index
+            (Wfde.Pid.Set.to_string output)
+            at_time)
+        history;
+      Format.printf "  ... and so on forever: %d flips forced, never stable@."
+        flips
+  | Wfde.Adversary.Stuck { on; phase; history } ->
+      List.iter
+        (fun { Wfde.Adversary.index; output; at_time } ->
+          Format.printf "  phase %2d: output %-16s (t=%d)@." index
+            (Wfde.Pid.Set.to_string output)
+            at_time)
+        history;
+      Format.printf
+        "  stuck on %s at phase %d while only its complement ran:@."
+        (Wfde.Pid.Set.to_string on)
+        phase;
+      Format.printf
+        "  crashing %s extends this run legally, and then the stable output@."
+        (Wfde.Pid.Set.to_string on);
+      Format.printf "  contains no correct process - not an Omega_n output@.");
+  Format.printf "@."
+
+let () =
+  let n_plus_1 = 3 in
+  let f = n_plus_1 - 1 in
+  Format.printf
+    "Theorem 1 adversary, n+1 = %d: upsilon pinned to {p1, p2}; every@."
+    n_plus_1;
+  Format.printf "candidate extractor of Omega_%d loses one of two ways.@.@." f;
+  show_verdict Wfde.Adversary.Candidates.top_movers ~n_plus_1 ~f;
+  show_verdict Wfde.Adversary.Candidates.complement_pad ~n_plus_1 ~f;
+  show_verdict Wfde.Adversary.Candidates.rotation ~n_plus_1 ~f

@@ -1,0 +1,1 @@
+lib/agreement/async_attempt.ml: Converge Int Kernel List Memory Pid Printf Register Sim

@@ -1,0 +1,1 @@
+lib/agreement/async_attempt.mli: Kernel Pid

@@ -1,0 +1,1 @@
+lib/agreement/booster_consensus.ml: Consensus_obj Converge Hashtbl Int Kernel List Memory Pid Printf Register Sim

@@ -1,0 +1,1 @@
+lib/agreement/booster_consensus.mli: Kernel Pid Sim

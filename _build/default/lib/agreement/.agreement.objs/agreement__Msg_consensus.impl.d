@@ -1,0 +1,1 @@
+lib/agreement/msg_consensus.ml: Abd Fun Kernel List Memory Pid Printf Sim

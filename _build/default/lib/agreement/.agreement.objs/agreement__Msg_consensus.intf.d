@@ -1,0 +1,1 @@
+lib/agreement/msg_consensus.mli: Kernel Pid Sim

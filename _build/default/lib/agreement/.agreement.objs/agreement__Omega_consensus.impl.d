@@ -1,0 +1,1 @@
+lib/agreement/omega_consensus.ml: Kernel Omega_k_sa Pid Sim

@@ -1,0 +1,1 @@
+lib/agreement/omega_consensus.mli: Kernel Pid Sim

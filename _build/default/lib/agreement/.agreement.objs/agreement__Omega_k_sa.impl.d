@@ -1,0 +1,1 @@
+lib/agreement/omega_k_sa.ml: Converge Hashtbl Int Kernel List Memory Pid Printf Register Sim

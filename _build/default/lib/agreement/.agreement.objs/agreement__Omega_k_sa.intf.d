@@ -1,0 +1,1 @@
+lib/agreement/omega_k_sa.mli: Kernel Pid Sim

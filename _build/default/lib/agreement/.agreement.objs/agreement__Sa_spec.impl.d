@@ -1,0 +1,1 @@
+lib/agreement/sa_spec.ml: Failure_pattern Format Int Kernel List Pid

@@ -1,0 +1,1 @@
+lib/agreement/sa_spec.mli: Failure_pattern Format Kernel Pid

@@ -1,0 +1,1 @@
+lib/agreement/upsilon_f_sa.ml: Array Converge Hashtbl Int Kernel List Memory Pid Printf Register Sim Snap

@@ -1,0 +1,1 @@
+lib/agreement/upsilon_f_sa.mli: Kernel Memory Pid Sim

@@ -1,0 +1,1 @@
+lib/agreement/upsilon_sa.ml: Converge Hashtbl Int Kernel List Memory Pid Printf Register Sim

@@ -1,0 +1,1 @@
+lib/agreement/upsilon_sa.mli: Kernel Pid Sim

@@ -1,0 +1,19 @@
+(** The detector-free skeleton: rounds of n-converge with no oracle to
+    break symmetry — what remains of Fig 1 when Υ is removed.
+
+    Safety (Agreement, Validity) still holds on every run, but the
+    wait-free set-agreement impossibility [2,14,20] guarantees
+    non-terminating runs exist; the lock-step round-robin schedule
+    realizes one whenever all n+1 inputs are distinct (every phase-1 scan
+    sees all values, nobody ever commits). E8 exhibits this while the
+    same schedule with Υ terminates — the simulator's rendering of the
+    impossibility the paper circumvents. *)
+
+open Kernel
+
+type t
+
+val create : name:string -> n_plus_1:int -> t
+val proposer : t -> me:Pid.t -> input:int -> unit -> unit
+val decisions : t -> (Pid.t * int) list
+val rounds_entered : t -> int

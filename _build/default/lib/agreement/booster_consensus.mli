@@ -1,0 +1,36 @@
+(** Consensus among n+1 processes from n-process consensus objects and
+    Ωₙ — the left-hand side of Corollary 4 (after [13, 21]).
+
+    Ωₙ was shown necessary and sufficient to "boost" n-process consensus
+    objects to n+1-process consensus; Corollary 4 contrasts this with
+    n-set agreement from registers, which the strictly weaker Υ already
+    solves. This module implements the booster so the contrast is
+    runnable (experiment E9).
+
+    Round structure: commit–adopt from registers guards safety; the
+    current Ωₙ committee [L] funnels proposals through a {e port-limited}
+    n-process consensus object chosen by the pair (round, L) — a process
+    touches the object only if it believes itself in [L], and |L| = n, so
+    no object ever sees more than its n ports even while Ωₙ is still
+    spewing garbage. Once Ωₙ stabilizes on a committee with a correct
+    member, that object funnels everyone to a single value, and the next
+    round's commit–adopt commits it. *)
+
+open Kernel
+
+type t
+
+val create :
+  name:string -> n_plus_1:int -> omega_n:Pid.Set.t Sim.source -> t
+
+val proposer : t -> me:Pid.t -> input:int -> unit -> unit
+val decisions : t -> (Pid.t * int) list
+val decision_rounds : t -> (Pid.t * int) list
+
+val max_ports_used : t -> int
+(** The largest number of distinct processes that touched any single
+    consensus object — must never exceed n (the objects would refuse). *)
+
+val objects_allocated : t -> int
+(** How many (round, committee) consensus objects were created; garbage
+    committees pre-stabilization show up here. *)

@@ -1,0 +1,101 @@
+open Kernel
+open Memory
+
+(* Register contents: phase-1 values, phase-2 proposals (Some v = "all I
+   saw was v", None = conflict), leader announcements, the decision. *)
+type slot =
+  | Empty
+  | Value of int
+  | Proposal of int option
+
+type t = {
+  n_plus_1 : int;
+  omega : Pid.t Sim.source;
+  store : slot Abd.t;
+  mutable decided : (Pid.t * int) list;
+  mutable decided_rounds : (Pid.t * int) list;
+}
+
+let create ~name ~n_plus_1 ~omega =
+  if n_plus_1 < 2 then invalid_arg "Msg_consensus.create: need >= 2 processes";
+  {
+    n_plus_1;
+    omega;
+    store = Abd.create ~name ~n_plus_1 ~init:Empty;
+    decided = [];
+    decided_rounds = [];
+  }
+
+let key fmt = Printf.sprintf fmt
+
+let decide t ~me ~round v =
+  t.decided <- (me, v) :: t.decided;
+  t.decided_rounds <- (me, round) :: t.decided_rounds;
+  Sim.output ~label:"decide" ~value:(string_of_int v)
+
+(* Commit-adopt over ABD registers (Gafni's two-phase collect version):
+   returns (picked, committed). *)
+let commit_adopt t ~me ~round v =
+  Abd.write t.store ~me ~key:(key "a1/%d/%d" round me) (Value v);
+  let seen =
+    List.filter_map
+      (fun j ->
+        match Abd.read t.store ~me ~key:(key "a1/%d/%d" round j) with
+        | Value w -> Some w
+        | Empty | Proposal _ -> None)
+      (Pid.all ~n_plus_1:t.n_plus_1)
+  in
+  let all_equal = List.for_all (fun w -> w = v) seen in
+  let proposal = if all_equal then Some v else None in
+  Abd.write t.store ~me ~key:(key "a2/%d/%d" round me) (Proposal proposal);
+  let proposals =
+    List.filter_map
+      (fun j ->
+        match Abd.read t.store ~me ~key:(key "a2/%d/%d" round j) with
+        | Proposal p -> Some p
+        | Empty | Value _ -> None)
+      (Pid.all ~n_plus_1:t.n_plus_1)
+  in
+  let commits = List.filter_map Fun.id proposals in
+  let saw_conflict = List.exists (fun p -> p = None) proposals in
+  match commits with
+  | w :: _ when not saw_conflict -> (w, true)
+  | w :: _ -> (w, false)
+  | [] -> (v, false)
+
+let proposer t ~me ~input () =
+  Sim.input ~label:"propose" ~value:(string_of_int input);
+  let rec round r v =
+    match Abd.read t.store ~me ~key:"dec" with
+    | Value w -> decide t ~me ~round:r w
+    | Empty | Proposal _ ->
+        let v, committed = commit_adopt t ~me ~round:r v in
+        if committed then begin
+          Abd.write t.store ~me ~key:"dec" (Value v);
+          decide t ~me ~round:r v
+        end
+        else begin
+          let leader = Sim.query t.omega in
+          if Pid.equal leader me then
+            Abd.write t.store ~me ~key:(key "lead/%d" r) (Value v);
+          follow r v leader
+        end
+  and follow r v leader =
+    match Abd.read t.store ~me ~key:"dec" with
+    | Value w -> decide t ~me ~round:r w
+    | Empty | Proposal _ -> (
+        match Abd.read t.store ~me ~key:(key "lead/%d" r) with
+        | Value w -> round (r + 1) w
+        | Empty | Proposal _ ->
+            let leader' = Sim.query t.omega in
+            if Pid.equal leader' leader then follow r v leader'
+            else round (r + 1) v)
+  in
+  round 1 input
+
+let fibers t ~me ~input =
+  [ Abd.server t.store ~me; proposer t ~me ~input ]
+
+let decisions t = List.rev t.decided
+let decision_rounds t = List.rev t.decided_rounds
+let check_memory t = Abd.check_atomicity t.store

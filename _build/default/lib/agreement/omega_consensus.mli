@@ -1,0 +1,14 @@
+(** Baseline: Ω-based consensus — [Omega_k_sa] at [k = 1], under the name
+    the literature gives it. In a 2-process system this is the setting
+    where Ω and Υ coincide (paper §4), which E6 exercises. *)
+
+open Kernel
+
+type t
+
+val create : name:string -> n_plus_1:int -> omega:Pid.t Sim.source -> t
+(** Wraps the leader oracle as a singleton-committee Ω₁. *)
+
+val proposer : t -> me:Pid.t -> input:int -> unit -> unit
+val decisions : t -> (Pid.t * int) list
+val decision_rounds : t -> (Pid.t * int) list

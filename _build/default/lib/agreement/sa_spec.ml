@@ -1,0 +1,38 @@
+open Kernel
+
+type verdict = {
+  termination : bool;
+  agreement : bool;
+  validity : bool;
+  distinct_decided : int;
+  undecided_correct : Pid.Set.t;
+}
+
+let check ~k ~pattern ~proposals ~decisions ?participants () =
+  let participants =
+    match participants with
+    | Some s -> s
+    | None -> Pid.Set.full ~n_plus_1:(Failure_pattern.n_plus_1 pattern)
+  in
+  let proposed_values = List.map snd proposals in
+  let decided_values = List.sort_uniq Int.compare (List.map snd decisions) in
+  let deciders = Pid.Set.of_list (List.map fst decisions) in
+  let correct_participants =
+    Pid.Set.inter (Failure_pattern.correct pattern) participants
+  in
+  let undecided_correct = Pid.Set.diff correct_participants deciders in
+  {
+    termination = Pid.Set.is_empty undecided_correct;
+    agreement = List.length decided_values <= k;
+    validity = List.for_all (fun v -> List.mem v proposed_values) decided_values;
+    distinct_decided = List.length decided_values;
+    undecided_correct;
+  }
+
+let all_ok v = v.termination && v.agreement && v.validity
+
+let pp ppf v =
+  Format.fprintf ppf
+    "termination=%b agreement=%b validity=%b distinct=%d undecided=%a"
+    v.termination v.agreement v.validity v.distinct_decided Pid.Set.pp
+    v.undecided_correct

@@ -1,0 +1,34 @@
+(** The k-set-agreement problem spec (paper §5.1), as a trace oracle.
+
+    Every run of a k-set-agreement algorithm must satisfy:
+    - {b Termination}: every correct process eventually decides;
+    - {b Agreement}: at most [k] values are decided on;
+    - {b Validity}: any value decided is a value proposed.
+
+    On bounded runs, Termination is checked as "decided within the
+    horizon" — the caller is responsible for a generous horizon. *)
+
+open Kernel
+
+type verdict = {
+  termination : bool;
+  agreement : bool;
+  validity : bool;
+  distinct_decided : int;
+  undecided_correct : Pid.Set.t;
+}
+
+val check :
+  k:int ->
+  pattern:Failure_pattern.t ->
+  proposals:(Pid.t * int) list ->
+  decisions:(Pid.t * int) list ->
+  ?participants:Pid.Set.t ->
+  unit ->
+  verdict
+(** [participants] defaults to all of Π; Termination then binds only
+    correct participants (the paper's Remark after Theorem 2 covers runs
+    where not every correct process proposes). *)
+
+val all_ok : verdict -> bool
+val pp : Format.formatter -> verdict -> unit

@@ -1,0 +1,34 @@
+(** Fig. 2: the Υᶠ-based f-resilient f-set-agreement protocol
+    (paper §5.3, Theorem 6).
+
+    Follows Fig 1's round structure with [f]-converge at the top, plus
+    the atomic-snapshot mechanism: in sub-round (r, k) each gladiator
+    publishes its value in snapshot object [A\[r\]\[k\]], spins until a
+    scan shows at least [n+1−f] non-⊥ entries (or an escape condition
+    fires), adopts the minimum of its latest scan, and then runs
+    (|U|+f−n−1)-converge. Because concurrent scans are
+    containment-related and each carries between [n+1−f] and [|U|−1]
+    non-⊥ values once a gladiator is missing, at most [|U|+f−n−1]
+    distinct minima can be adopted, so the converge commits — together
+    with at most [n+1−|U|] citizen values, at most [f] values survive a
+    round. *)
+
+open Kernel
+
+type t
+
+val create :
+  ?snapshot_impl:Memory.Snap.impl ->
+  name:string ->
+  n_plus_1:int ->
+  f:int ->
+  upsilon_f:Pid.Set.t Sim.source ->
+  unit ->
+  t
+(** [snapshot_impl] defaults to [Registers], the paper-faithful Afek et
+    al. construction; [Native] exists for the A3 ablation only. *)
+
+val proposer : t -> me:Pid.t -> input:int -> unit -> unit
+val decisions : t -> (Pid.t * int) list
+val decision_rounds : t -> (Pid.t * int) list
+val rounds_entered : t -> int

@@ -1,0 +1,103 @@
+open Memory
+
+type 'a proposal = Unwritten | Small of 'a list | Large
+
+type 'a instance = {
+  k : int;
+  compare : 'a -> 'a -> int;
+  phase1 : 'a option Snapshot.t;
+  phase2 : 'a proposal Snapshot.t;
+}
+
+let create ~name ~k ~size ~compare =
+  if k < 0 then invalid_arg "Converge.create: negative k";
+  if size <= 0 then invalid_arg "Converge.create: non-positive size";
+  {
+    k;
+    compare;
+    phase1 = Snapshot.create ~name:(name ^ ".a1") ~size ~init:(fun _ -> None);
+    phase2 =
+      Snapshot.create ~name:(name ^ ".a2") ~size ~init:(fun _ -> Unwritten);
+  }
+
+let k_of t = t.k
+
+let distinct_sorted compare values =
+  List.sort_uniq compare values
+
+let run t ~me v =
+  if t.k = 0 then (v, false)
+  else begin
+    Snapshot.update t.phase1 ~me (Some v);
+    let seen1 = Snapshot.scan t.phase1 in
+    let v1 =
+      Array.to_list seen1 |> List.filter_map Fun.id
+      |> distinct_sorted t.compare
+    in
+    let small = List.length v1 <= t.k in
+    let proposal = if small then Small v1 else Large in
+    Snapshot.update t.phase2 ~me proposal;
+    let seen2 = Snapshot.scan t.phase2 in
+    let smalls, saw_large =
+      Array.fold_left
+        (fun (smalls, large) -> function
+          | Unwritten -> (smalls, large)
+          | Small vals -> (vals :: smalls, large)
+          | Large -> (smalls, true))
+        ([], false) seen2
+    in
+    let min_of = function
+      | [] -> assert false (* small proposals are never empty: V₁ ∋ own v *)
+      | first :: _ -> first (* lists are sorted ascending *)
+    in
+    if small && not saw_large then (min_of v1, true)
+    else
+      (* Adopt the most informed (largest) visible small proposal; they
+         form a containment chain, so "largest" is well defined. *)
+      match
+        List.fold_left
+          (fun best vals ->
+            match best with
+            | None -> Some vals
+            | Some b -> if List.length vals > List.length b then Some vals else best)
+          None smalls
+      with
+      | Some vals -> (min_of vals, false)
+      | None -> (v, false)
+  end
+
+let make_instance = create
+
+module Arena = struct
+  type 'a t = {
+    arena_name : string;
+    size : int;
+    arena_compare : 'a -> 'a -> int;
+    table : (string, 'a instance) Hashtbl.t;
+  }
+
+  let create ~name ~size ~compare =
+    { arena_name = name; size; arena_compare = compare; table = Hashtbl.create 64 }
+
+  let instance t ~k ~tag =
+    let key = Printf.sprintf "k%d/%s" k tag in
+    match Hashtbl.find_opt t.table key with
+    | Some inst ->
+        if inst.k <> k then invalid_arg "Converge.Arena.instance: k mismatch";
+        inst
+    | None ->
+        let inst =
+          make_instance
+            ~name:(Printf.sprintf "%s.%s" t.arena_name key)
+            ~k ~size:t.size ~compare:t.arena_compare
+        in
+        Hashtbl.add t.table key inst;
+        inst
+end
+
+module Commit_adopt = struct
+  type 'a t = 'a instance
+
+  let create ~name ~size ~compare = make_instance ~name ~k:1 ~size ~compare
+  let run t ~me v = run t ~me v
+end

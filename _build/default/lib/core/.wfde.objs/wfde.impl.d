@@ -1,0 +1,1 @@
+lib/core/wfde.ml: Agreement Converge Detectors Experiments Harness Kernel Memory Reduction Report Stats

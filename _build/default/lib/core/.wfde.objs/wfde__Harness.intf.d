@@ -1,0 +1,1 @@
+lib/core/harness.mli: Agreement Failure_pattern Kernel Memory Pid Policy Rng Sa_spec Scheduler Upsilon_sa

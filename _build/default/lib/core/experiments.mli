@@ -1,0 +1,76 @@
+(** The experiment drivers: one per claim of the paper (see DESIGN.md's
+    experiment index). Each returns a rendered table plus an [ok] flag
+    meaning "the paper's claim held on every run we made". Defaults are
+    sized to finish in seconds; the CLI and benches can scale them up. *)
+
+type outcome = {
+  id : string;
+  claim : string;  (** the paper artifact and what must hold *)
+  table : Report.table;
+  ok : bool;
+}
+
+val e1_fig1_set_agreement : ?seeds:int -> ?sizes:int list -> unit -> outcome
+(** Fig 1 / Theorem 2: Υ + registers solve n-set-agreement wait-free. *)
+
+val e2_fig2_f_resilient : ?seeds:int -> ?sizes:int list -> unit -> outcome
+(** Fig 2 / Theorem 6: Υᶠ + registers solve f-resilient f-set-agreement,
+    swept over every f for each system size. *)
+
+val e3_theorem1_adversary : ?max_phases:int -> unit -> outcome
+(** Theorem 1: the adversary defeats every candidate Υ → Ωₙ extractor. *)
+
+val e4_theorem5_adversary : ?max_phases:int -> unit -> outcome
+(** Theorem 5: same at 2 ≤ f < n against Ωᶠ. *)
+
+val e5_fig3_extraction : ?seeds:int -> unit -> outcome
+(** Fig 3 / Theorem 10: Υᶠ is extracted from every stable source. *)
+
+val e6_pairwise_reductions : ?seeds:int -> unit -> outcome
+(** §4 / §5.3: the direct reductions between detectors. *)
+
+val e7_upsilon_vs_omega_n : ?seeds:int -> ?stab_times:int list -> unit -> outcome
+(** Corollaries 3–4 context: Υ-based vs Ωₙ-based set agreement, cost as a
+    function of the detector's stabilization time. *)
+
+val e8_impossibility : ?horizons:int list -> unit -> outcome
+(** The impossibility backdrop: the detector-free skeleton starves under
+    lock-step forever; the same schedule with Υ decides. *)
+
+val e9_booster_consensus : ?seeds:int -> ?sizes:int list -> unit -> outcome
+(** Corollary 4 context: Ωₙ boosts n-process consensus objects to
+    n+1-process consensus; port discipline of the committee-indexed
+    objects is verified. *)
+
+val e10_abd_emulation : ?seeds:int -> ?sizes:int list -> unit -> outcome
+(** Substrate bridge: ABD emulation of atomic registers over
+    asynchronous messages; linearizability and liveness with a correct
+    majority. *)
+
+val e11_msg_consensus : ?seeds:int -> ?sizes:int list -> unit -> outcome
+(** End-to-end lowering: Ω-based consensus over ABD registers in message
+    passing, memory linearizability checked per run. *)
+
+val a1_snapshot_ablation : ?sizes:int list -> unit -> outcome
+(** Register-built Afek snapshot vs native snapshot: steps per
+    operation. *)
+
+val a2_escape_ablation : ?seeds:int -> unit -> outcome
+(** Fig 1's escape conditions: which are load-bearing for Termination. *)
+
+val a3_fig2_snapshot_cost : ?seeds:int -> unit -> outcome
+(** Fig 2 on register-built vs native snapshots: same correctness, the
+    faithful construction's Θ(n) step cost shows inside the protocol. *)
+
+val all : unit -> outcome list
+(** Every experiment with default parameters, in order. *)
+
+val catalog : (string * string) list
+(** [(id, one-line description)] for every experiment, without running
+    anything. *)
+
+val by_id : string -> (?scale:int -> unit -> outcome) option
+(** Look up an experiment by id ("e1" … "e8", "a1", "a2"); [scale]
+    multiplies the default seed counts. *)
+
+val pp : Format.formatter -> outcome -> unit

@@ -1,0 +1,180 @@
+open Kernel
+open Detectors
+open Agreement
+open Reduction
+
+type measurements = {
+  verdict : Sa_spec.verdict;
+  last_decision_time : int;
+  first_decision_time : int;
+  total_steps : int;
+  rounds : int;
+  outcome : Scheduler.outcome;
+  query_violations : int;
+      (* run-condition (2) breaches: recorded query values that disagree
+         with the detector history; always 0 for a sound simulator *)
+}
+
+let ok m = Sa_spec.all_ok m.verdict && m.query_violations = 0
+
+type world = {
+  pattern : Failure_pattern.t;
+  policy : Policy.t;
+  world_rng : Rng.t;
+}
+
+let random_world ~seed ~n_plus_1 ~max_faulty ?(latest = 300) () =
+  let rng = Rng.create seed in
+  let pattern = Failure_pattern.random rng ~n_plus_1 ~max_faulty ~latest in
+  { pattern; policy = Policy.random (Rng.split rng); world_rng = rng }
+
+let decision_time_bounds trace =
+  match Oracle.decision_times trace with
+  | [] -> (0, 0)
+  | times ->
+      let ts = List.map snd times in
+      (List.fold_left min max_int ts, List.fold_left max 0 ts)
+
+let measure ?source ~k ~pattern ~proposals ~decisions ~rounds
+    (result : Run.result) =
+  let first, last = decision_time_bounds result.trace in
+  let query_violations =
+    match source with
+    | Some src -> List.length (Oracle.check_query_values src result.trace)
+    | None -> 0
+  in
+  {
+    verdict = Sa_spec.check ~k ~pattern ~proposals ~decisions ();
+    last_decision_time = last;
+    first_decision_time = first;
+    total_steps = result.steps;
+    rounds;
+    outcome = result.outcome;
+    query_violations;
+  }
+
+let default_horizon = 2_000_000
+
+let run_fig1 ?(horizon = default_horizon) ?stab_time ?escapes world =
+  let n_plus_1 = Failure_pattern.n_plus_1 world.pattern in
+  let upsilon =
+    Upsilon.make ~rng:world.world_rng ~pattern:world.pattern ?stab_time ()
+  in
+  let source = Detector.source upsilon in
+  let proto = Upsilon_sa.create ?escapes ~name:"sa" ~n_plus_1 ~upsilon:source () in
+  let result =
+    Run.exec ~pattern:world.pattern ~policy:world.policy ~horizon
+      ~procs:(fun pid -> [ Upsilon_sa.proposer proto ~me:pid ~input:(100 + pid) ])
+      ()
+  in
+  let proposals = List.map (fun p -> (p, 100 + p)) (Pid.all ~n_plus_1) in
+  measure ~source ~k:(n_plus_1 - 1) ~pattern:world.pattern ~proposals
+    ~decisions:(Upsilon_sa.decisions proto)
+    ~rounds:(Upsilon_sa.rounds_entered proto)
+    result
+
+let run_fig2 ?(horizon = default_horizon) ?stab_time ?snapshot_impl ~f world =
+  let n_plus_1 = Failure_pattern.n_plus_1 world.pattern in
+  let upsilon_f =
+    Upsilon_f.make ~rng:world.world_rng ~pattern:world.pattern ~f ?stab_time ()
+  in
+  let source = Detector.source upsilon_f in
+  let proto =
+    Upsilon_f_sa.create ?snapshot_impl ~name:"fsa" ~n_plus_1 ~f
+      ~upsilon_f:source ()
+  in
+  let result =
+    Run.exec ~pattern:world.pattern ~policy:world.policy ~horizon
+      ~procs:(fun pid ->
+        [ Upsilon_f_sa.proposer proto ~me:pid ~input:(200 + pid) ])
+      ()
+  in
+  let proposals = List.map (fun p -> (p, 200 + p)) (Pid.all ~n_plus_1) in
+  measure ~source ~k:f ~pattern:world.pattern ~proposals
+    ~decisions:(Upsilon_f_sa.decisions proto)
+    ~rounds:(Upsilon_f_sa.rounds_entered proto)
+    result
+
+let run_omega_k_baseline ?(horizon = default_horizon) ?stab_time ~k world =
+  let n_plus_1 = Failure_pattern.n_plus_1 world.pattern in
+  let omega_k =
+    Omega_k.make ~rng:world.world_rng ~pattern:world.pattern ~k ?stab_time ()
+  in
+  let source = Detector.source omega_k in
+  let proto = Omega_k_sa.create ~name:"oksa" ~n_plus_1 ~k ~omega_k:source in
+  let result =
+    Run.exec ~pattern:world.pattern ~policy:world.policy ~horizon
+      ~procs:(fun pid -> [ Omega_k_sa.proposer proto ~me:pid ~input:(300 + pid) ])
+      ()
+  in
+  let proposals = List.map (fun p -> (p, 300 + p)) (Pid.all ~n_plus_1) in
+  measure ~source ~k ~pattern:world.pattern ~proposals
+    ~decisions:(Omega_k_sa.decisions proto)
+    ~rounds:(Omega_k_sa.rounds_entered proto)
+    result
+
+let run_async_attempt ?(horizon = 200_000) ?(lockstep = true) world =
+  let n_plus_1 = Failure_pattern.n_plus_1 world.pattern in
+  let proto = Async_attempt.create ~name:"async" ~n_plus_1 in
+  let policy = if lockstep then Policy.round_robin () else world.policy in
+  let result =
+    Run.exec ~pattern:world.pattern ~policy ~horizon
+      ~procs:(fun pid ->
+        [ Async_attempt.proposer proto ~me:pid ~input:(500 + pid) ])
+      ()
+  in
+  let proposals = List.map (fun p -> (p, 500 + p)) (Pid.all ~n_plus_1) in
+  measure ~k:(n_plus_1 - 1) ~pattern:world.pattern ~proposals
+    ~decisions:(Async_attempt.decisions proto)
+    ~rounds:(Async_attempt.rounds_entered proto)
+    result
+
+let run_extraction_of ?(horizon = 150_000) ?(tail = 25_000) ~f ~source world =
+  let n_plus_1 = Failure_pattern.n_plus_1 world.pattern in
+  let rng = world.world_rng in
+  let pattern = world.pattern in
+  let stab_time = 120 in
+  (* Existentially package the detector with its phi map and equality. *)
+  let run (type v) (detector : v Detector.t) (equal : v -> v -> bool)
+      (phi : v Phi.map) =
+    let ex =
+      Extract_upsilon.create ~name:"ex" ~n_plus_1 ~f
+        ~detector:(Detector.source detector) ~equal ~phi
+    in
+    let result =
+      Run.exec ~pattern ~policy:world.policy ~horizon
+        ~procs:(fun pid -> Extract_upsilon.fibers ex ~me:pid)
+        ()
+    in
+    let last_time = Trace.last_time result.trace in
+    let correct = Failure_pattern.correct pattern in
+    let stabilized_at =
+      List.fold_left
+        (fun acc (pid, time, _) ->
+          if Pid.Set.mem pid correct then max acc time else acc)
+        0
+        (Extract_upsilon.change_log ex)
+    in
+    (Extract_upsilon.check ex ~pattern ~last_time ~tail, stabilized_at)
+  in
+  match source with
+  | `Omega ->
+      run (Omega.make ~rng ~pattern ~stab_time ()) Pid.equal
+        (Phi.omega ~n_plus_1 ~f)
+  | `Omega_k k ->
+      run (Omega_k.make ~rng ~pattern ~k ~stab_time ()) Pid.Set.equal
+        (Phi.omega_k ~n_plus_1 ~f ~k)
+  | `Ev_perfect ->
+      run (Ev_perfect.make ~rng ~pattern ~stab_time ()) Pid.Set.equal
+        (Phi.suspicion ~n_plus_1 ~f)
+  | `Perfect ->
+      run (Perfect.make ~pattern) Pid.Set.equal (Phi.suspicion ~n_plus_1 ~f)
+  | `Upsilon_f ->
+      run (Upsilon_f.make ~rng ~pattern ~f ~stab_time ()) Pid.Set.equal
+        (Phi.upsilon_f ~n_plus_1 ~f)
+  | `Vitality watched ->
+      run (Vitality.make ~rng ~pattern ~watched ~stab_time ()) Bool.equal
+        (Phi.vitality ~n_plus_1 ~f ~watched)
+  | `Omega_batched w ->
+      run (Omega.make ~rng ~pattern ~stab_time ()) Pid.equal
+        (Phi.with_batches w (Phi.omega ~n_plus_1 ~f))

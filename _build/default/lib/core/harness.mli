@@ -1,0 +1,79 @@
+(** One-call drivers for whole protocol runs: build a world (pattern,
+    detector, schedule), run a protocol to completion or horizon, and
+    return the measurements the experiments aggregate. *)
+
+open Kernel
+open Agreement
+
+type measurements = {
+  verdict : Sa_spec.verdict;
+  last_decision_time : int;  (** time of the latest decision, 0 if none *)
+  first_decision_time : int;  (** 0 if none *)
+  total_steps : int;
+  rounds : int;  (** highest protocol round entered *)
+  outcome : Scheduler.outcome;
+  query_violations : int;
+      (** run-condition (2) breaches found on the trace (always 0 for a
+          sound simulator — checked on every harness run) *)
+}
+
+val ok : measurements -> bool
+(** Spec verdict all green and no query violations. *)
+
+type world = {
+  pattern : Failure_pattern.t;
+  policy : Policy.t;
+  world_rng : Rng.t;  (** generator to derive detector randomness from *)
+}
+
+val random_world :
+  seed:int -> n_plus_1:int -> max_faulty:int -> ?latest:int -> unit -> world
+(** A random failure pattern with at most [max_faulty] crashes and a
+    seeded random scheduler, both derived deterministically from
+    [seed]. *)
+
+val run_fig1 :
+  ?horizon:int ->
+  ?stab_time:int ->
+  ?escapes:Upsilon_sa.escapes ->
+  world ->
+  measurements
+(** Fig 1 with a fresh Υ history over the world's pattern; inputs are
+    distinct per process. *)
+
+val run_fig2 :
+  ?horizon:int ->
+  ?stab_time:int ->
+  ?snapshot_impl:Memory.Snap.impl ->
+  f:int ->
+  world ->
+  measurements
+
+val run_omega_k_baseline :
+  ?horizon:int -> ?stab_time:int -> k:int -> world -> measurements
+(** The Ωₖ-based baseline under the same conventions. *)
+
+val run_async_attempt :
+  ?horizon:int -> ?lockstep:bool -> world -> measurements
+(** The detector-free skeleton; [lockstep] (default true) replaces the
+    world's policy with round-robin, the adversarial schedule. *)
+
+val run_extraction_of :
+  ?horizon:int ->
+  ?tail:int ->
+  f:int ->
+  source:
+    [ `Omega
+    | `Omega_k of int
+    | `Ev_perfect
+    | `Perfect
+    | `Upsilon_f
+    | `Vitality of Pid.t
+    | `Omega_batched of int ]
+  ->
+  world ->
+  (unit, string) result * int
+(** Run the Fig-3 extraction from the given stable source; returns the
+    Υᶠ-spec verdict on the extracted variable and the time of the last
+    extracted-output change among correct processes (stabilization
+    time). *)

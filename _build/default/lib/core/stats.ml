@@ -1,0 +1,42 @@
+type summary = {
+  count : int;
+  mean : float;
+  median : float;
+  p95 : float;
+  min : int;
+  max : int;
+}
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let mean_int l = mean (List.map float_of_int l)
+
+let percentile q xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q out of range";
+  let sorted = Array.of_list (List.sort Int.compare xs) in
+  let n = Array.length sorted in
+  let rank = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then float_of_int sorted.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    ((1.0 -. w) *. float_of_int sorted.(lo)) +. (w *. float_of_int sorted.(hi))
+
+let summarize xs =
+  if xs = [] then invalid_arg "Stats.summarize: empty";
+  {
+    count = List.length xs;
+    mean = mean_int xs;
+    median = percentile 0.5 xs;
+    p95 = percentile 0.95 xs;
+    min = List.fold_left min max_int xs;
+    max = List.fold_left max min_int xs;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf "n=%d mean=%.1f median=%.1f p95=%.1f min=%d max=%d"
+    s.count s.mean s.median s.p95 s.min s.max

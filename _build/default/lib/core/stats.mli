@@ -1,0 +1,24 @@
+(** Descriptive statistics for experiment aggregation. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  median : float;
+  p95 : float;
+  min : int;
+  max : int;
+}
+
+val summarize : int list -> summary
+(** Raises on the empty list. *)
+
+val mean : float list -> float
+(** 0 on the empty list. *)
+
+val mean_int : int list -> float
+
+val percentile : float -> int list -> float
+(** [percentile q xs] with q in [0,1], nearest-rank with linear
+    interpolation; raises on the empty list. *)
+
+val pp : Format.formatter -> summary -> unit

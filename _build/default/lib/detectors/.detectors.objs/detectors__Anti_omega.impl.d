@@ -1,0 +1,1 @@
+lib/detectors/anti_omega.ml: Array Detector Failure_pattern Hashtbl Kernel List Pid Printf Rng

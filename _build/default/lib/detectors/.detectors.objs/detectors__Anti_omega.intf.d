@@ -1,0 +1,1 @@
+lib/detectors/anti_omega.mli: Detector Failure_pattern Kernel Pid Rng

@@ -1,0 +1,1 @@
+lib/detectors/detector.ml: Array Failure_pattern Format Kernel List Pid Rng Sim

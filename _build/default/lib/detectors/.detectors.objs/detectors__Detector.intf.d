@@ -1,0 +1,1 @@
+lib/detectors/detector.mli: Failure_pattern Format Kernel Pid Rng Sim

@@ -1,0 +1,1 @@
+lib/detectors/dummy.ml: Detector

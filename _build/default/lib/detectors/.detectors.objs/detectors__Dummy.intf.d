@@ -1,0 +1,1 @@
+lib/detectors/dummy.mli: Detector Format

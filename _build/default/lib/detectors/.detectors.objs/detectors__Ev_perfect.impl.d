@@ -1,0 +1,1 @@
+lib/detectors/ev_perfect.ml: Detector Failure_pattern Format Kernel List Pid Rng

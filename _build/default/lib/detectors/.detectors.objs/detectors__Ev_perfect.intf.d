@@ -1,0 +1,1 @@
+lib/detectors/ev_perfect.mli: Detector Failure_pattern Kernel Pid Rng

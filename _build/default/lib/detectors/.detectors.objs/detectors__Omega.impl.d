@@ -1,0 +1,1 @@
+lib/detectors/omega.ml: Detector Failure_pattern Format Kernel Pid Printf Rng

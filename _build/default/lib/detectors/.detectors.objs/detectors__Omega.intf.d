@@ -1,0 +1,1 @@
+lib/detectors/omega.mli: Detector Failure_pattern Kernel Pid Rng

@@ -1,0 +1,1 @@
+lib/detectors/omega_k.ml: Array Detector Failure_pattern Format Kernel List Pid Printf Rng

@@ -1,0 +1,1 @@
+lib/detectors/omega_k.mli: Detector Failure_pattern Kernel Pid Rng

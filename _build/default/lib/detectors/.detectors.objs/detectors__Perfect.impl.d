@@ -1,0 +1,1 @@
+lib/detectors/perfect.ml: Detector Failure_pattern Format Kernel List Pid

@@ -1,0 +1,1 @@
+lib/detectors/perfect.mli: Detector Failure_pattern Kernel Pid

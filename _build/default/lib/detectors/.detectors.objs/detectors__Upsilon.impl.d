@@ -1,0 +1,1 @@
+lib/detectors/upsilon.ml: Failure_pattern Kernel Upsilon_f

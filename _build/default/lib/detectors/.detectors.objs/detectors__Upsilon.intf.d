@@ -1,0 +1,1 @@
+lib/detectors/upsilon.mli: Detector Failure_pattern Kernel Pid Rng

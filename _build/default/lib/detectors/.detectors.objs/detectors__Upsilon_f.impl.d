@@ -1,0 +1,1 @@
+lib/detectors/upsilon_f.ml: Detector Failure_pattern Format Hashtbl Kernel List Pid Printf Rng

@@ -1,0 +1,1 @@
+lib/detectors/upsilon_f.mli: Detector Failure_pattern Kernel Pid Rng

@@ -1,0 +1,1 @@
+lib/detectors/vitality.ml: Bool Detector Failure_pattern Format Kernel Pid Printf Rng

@@ -1,0 +1,1 @@
+lib/detectors/vitality.mli: Detector Failure_pattern Kernel Pid Rng

@@ -1,0 +1,33 @@
+(** The anti-Ω failure detector of Zielinski (paper §2, [22,23]).
+
+    Outputs a single process id per query; the guarantee is that some
+    correct process is output only finitely often at correct processes.
+    anti-Ω is {e unstable} — its output never needs to stabilize — which
+    is exactly why the paper's minimality result (restricted to stable
+    detectors) does not apply to it, and why Zielinski could prove it
+    strictly weaker than Υ. We implement it to mark the boundary of the
+    stable class in tests; the Υ→anti-Ω and anti-Ω-based set-agreement
+    constructions of [23] are out of scope (see DESIGN.md). *)
+
+open Kernel
+
+val make :
+  ?name:string ->
+  rng:Rng.t ->
+  pattern:Failure_pattern.t ->
+  ?spared:Pid.t ->
+  ?stab_time:int ->
+  unit ->
+  Pid.t Detector.t
+(** After [stab_time], cycles deterministically through Π − {spared},
+    where [spared] is a correct process (default: random correct); before
+    that, outputs chaos. *)
+
+val check :
+  Pid.t Detector.t ->
+  pattern:Failure_pattern.t ->
+  stab_by:int ->
+  horizon:int ->
+  (unit, string) result
+(** Checks some correct process is never output at correct processes in
+    [\[stab_by, horizon\]] — the bounded rendering of "finitely often". *)

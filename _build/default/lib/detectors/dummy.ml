@@ -1,0 +1,3 @@
+let make ?name ~value ~pp ~equal () =
+  let name = match name with Some n -> n | None -> "dummy" in
+  { Detector.name; history = (fun _ _ -> value); pp; equal }

@@ -1,0 +1,23 @@
+(** The leader oracle Ω of Chandra–Hadzilacos–Toueg, the weakest failure
+    detector for consensus (paper §2). Outputs a process id; eventually
+    the same correct leader is permanently output at all correct
+    processes. In a 2-process system Ω and Υ are equivalent (§4). *)
+
+open Kernel
+
+val make :
+  ?name:string ->
+  rng:Rng.t ->
+  pattern:Failure_pattern.t ->
+  ?leader:Pid.t ->
+  ?stab_time:int ->
+  unit ->
+  Pid.t Detector.t
+(** [leader] defaults to a random correct process; must be correct. *)
+
+val check :
+  Pid.t Detector.t ->
+  pattern:Failure_pattern.t ->
+  stab_by:int ->
+  horizon:int ->
+  (unit, string) result

@@ -1,0 +1,29 @@
+(** The failure detector Ωₖ of Neiger (paper §2, [18]).
+
+    Outputs a set of exactly [k] processes; eventually the same set,
+    containing at least one correct process, is permanently output at all
+    correct processes. [Ω₁ = Ω]. The paper writes Ωₙ for the wait-free
+    case and Ωᶠ in the f-resilient case — both are [make ~k:_]. Theorem 1
+    (resp. 5) shows Υ (resp. Υᶠ) is strictly weaker. *)
+
+open Kernel
+
+val make :
+  ?name:string ->
+  rng:Rng.t ->
+  pattern:Failure_pattern.t ->
+  k:int ->
+  ?stable_set:Pid.Set.t ->
+  ?stab_time:int ->
+  unit ->
+  Pid.Set.t Detector.t
+(** [stable_set] must have exactly [k] members, at least one correct;
+    defaults to a random such set. *)
+
+val check :
+  Pid.Set.t Detector.t ->
+  pattern:Failure_pattern.t ->
+  k:int ->
+  stab_by:int ->
+  horizon:int ->
+  (unit, string) result

@@ -1,0 +1,16 @@
+(** The perfect failure detector P: at every time, every process is shown
+    exactly the set of processes that have crashed so far — strong
+    completeness and strong accuracy with no detection delay. Not in the
+    paper's results; serves as the top of the detector lattice in tests
+    and as the strongest stable input to the Fig-3 extraction. *)
+
+open Kernel
+
+val make : pattern:Failure_pattern.t -> Pid.Set.t Detector.t
+(** H(p, t) = F(t). *)
+
+val check :
+  Pid.Set.t Detector.t ->
+  pattern:Failure_pattern.t ->
+  horizon:int ->
+  (unit, string) result

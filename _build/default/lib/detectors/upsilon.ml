@@ -1,0 +1,13 @@
+open Kernel
+
+let wait_free_f pattern = Failure_pattern.n_plus_1 pattern - 1
+
+let make ?name ~rng ~pattern ?stable_set ?stab_time () =
+  Upsilon_f.make ?name ~rng ~pattern ~f:(wait_free_f pattern) ?stable_set
+    ?stab_time ()
+
+let legal_stable_sets ~pattern =
+  Upsilon_f.legal_stable_sets ~pattern ~f:(wait_free_f pattern)
+
+let check d ~pattern ~stab_by ~horizon =
+  Upsilon_f.check d ~pattern ~f:(wait_free_f pattern) ~stab_by ~horizon

@@ -1,0 +1,26 @@
+(** The failure detector Υ (paper §4): the wait-free instance Υ = Υⁿ.
+
+    Outputs a non-empty set of processes; eventually the same set [U] is
+    permanently output at all correct processes, and [U] is not the set
+    of correct processes. *)
+
+open Kernel
+
+val make :
+  ?name:string ->
+  rng:Rng.t ->
+  pattern:Failure_pattern.t ->
+  ?stable_set:Pid.Set.t ->
+  ?stab_time:int ->
+  unit ->
+  Pid.Set.t Detector.t
+(** [Upsilon_f.make] with [f = n]. *)
+
+val legal_stable_sets : pattern:Failure_pattern.t -> Pid.Set.t list
+
+val check :
+  Pid.Set.t Detector.t ->
+  pattern:Failure_pattern.t ->
+  stab_by:int ->
+  horizon:int ->
+  (unit, string) result

@@ -1,0 +1,28 @@
+(** A synthetic stable detector: eventually reports whether a designated
+    process is correct.
+
+    Range {true, false}; eventually all correct processes permanently see
+    [true] iff the watched process is correct. For a 2-process system
+    watching p1 this is exactly Ω in disguise, so it is non-trivial; its
+    point here is to be a {e minimal-looking} stable detector whose Fig-3
+    ϕ-map is easy to derive by hand, exercising the extraction (E5) on
+    something other than the classical oracles. *)
+
+open Kernel
+
+val make :
+  ?name:string ->
+  rng:Rng.t ->
+  pattern:Failure_pattern.t ->
+  watched:Pid.t ->
+  ?stab_time:int ->
+  unit ->
+  bool Detector.t
+
+val check :
+  bool Detector.t ->
+  pattern:Failure_pattern.t ->
+  watched:Pid.t ->
+  stab_by:int ->
+  horizon:int ->
+  (unit, string) result

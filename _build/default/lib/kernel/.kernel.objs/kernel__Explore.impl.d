@@ -1,0 +1,1 @@
+lib/kernel/explore.ml: Array List Pid Policy Run

@@ -1,0 +1,1 @@
+lib/kernel/explore.mli: Failure_pattern Pid Trace

@@ -1,0 +1,1 @@
+lib/kernel/failure_pattern.ml: Array Format List Pid Rng String

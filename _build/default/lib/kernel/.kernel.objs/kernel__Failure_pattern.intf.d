@@ -1,0 +1,1 @@
+lib/kernel/failure_pattern.mli: Format Pid Rng

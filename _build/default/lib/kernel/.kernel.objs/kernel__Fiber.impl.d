@@ -1,0 +1,1 @@
+lib/kernel/fiber.ml: Effect Pid Sim

@@ -1,0 +1,1 @@
+lib/kernel/network.ml: Array List Pid Printf Queue Sim

@@ -1,0 +1,1 @@
+lib/kernel/network.mli: Pid

@@ -1,0 +1,1 @@
+lib/kernel/oracle.ml: Failure_pattern Format Hashtbl List Pid Sim String Trace

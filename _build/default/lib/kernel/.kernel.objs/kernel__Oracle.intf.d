@@ -1,0 +1,1 @@
+lib/kernel/oracle.mli: Failure_pattern Format Pid Sim Trace

@@ -1,0 +1,1 @@
+lib/kernel/pid.ml: Array Format Fun Int List Map Set

@@ -1,0 +1,1 @@
+lib/kernel/policy.ml: List Pid Rng

@@ -1,0 +1,1 @@
+lib/kernel/policy.mli: Pid Rng

@@ -1,0 +1,1 @@
+lib/kernel/run.ml: Failure_pattern Fiber Format List Pid Scheduler Trace

@@ -1,0 +1,1 @@
+lib/kernel/run.mli: Failure_pattern Pid Policy Scheduler Trace

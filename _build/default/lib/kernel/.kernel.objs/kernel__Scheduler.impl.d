@@ -1,0 +1,1 @@
+lib/kernel/scheduler.ml: Array Failure_pattern Fiber List Pid Policy Sim Trace

@@ -1,0 +1,1 @@
+lib/kernel/scheduler.mli: Failure_pattern Fiber Pid Policy Trace

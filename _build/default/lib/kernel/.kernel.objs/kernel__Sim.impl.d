@@ -1,0 +1,1 @@
+lib/kernel/sim.ml: Effect Format Pid

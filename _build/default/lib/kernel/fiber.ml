@@ -1,0 +1,65 @@
+open Effect.Deep
+
+type status = Runnable | Done | Killed
+
+type state =
+  | Ready of (unit -> unit)
+  | Pending : Sim.kind * (Sim.ctx -> 'a) * ('a, unit) continuation -> state
+  | Finished
+  | Dead
+
+type t = { fiber_pid : Pid.t; fiber_name : string; mutable state : state }
+
+let create ~pid ~name body = { fiber_pid = pid; fiber_name = name; state = Ready body }
+let pid t = t.fiber_pid
+let name t = t.fiber_name
+
+let status t =
+  match t.state with
+  | Ready _ -> invalid_arg "Fiber.status: fiber not started"
+  | Pending _ -> Runnable
+  | Finished -> Done
+  | Dead -> Killed
+
+(* The handler re-captures the fiber at every suspension point; [retc]
+   fires when the body returns. Effects other than [Sim.Atomic] are left
+   to outer handlers (there are none in practice, so they escape loudly). *)
+let handler t =
+  {
+    retc = (fun () -> t.state <- Finished);
+    exnc = (fun e -> t.state <- Finished; raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Sim.Atomic (kind, f) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                t.state <- Pending (kind, f, k))
+        | _ -> None);
+  }
+
+let start t =
+  match t.state with
+  | Ready body -> match_with body () (handler t)
+  | Pending _ | Finished | Dead -> invalid_arg "Fiber.start: already started"
+
+let pending_kind t =
+  match t.state with
+  | Pending (kind, _, _) -> kind
+  | Ready _ | Finished | Dead -> invalid_arg "Fiber.pending_kind: not runnable"
+
+let step t ctx =
+  match t.state with
+  | Pending (_, f, k) -> (
+      (* An exception from the atomic action belongs to the process, not
+         the scheduler: deliver it at the suspension point so protocol
+         code can catch it (e.g. Consensus_obj.Port_exhausted). *)
+      match f ctx with
+      | result -> continue k result
+      | exception e -> discontinue k e)
+  | Ready _ | Finished | Dead -> invalid_arg "Fiber.step: not runnable"
+
+let kill t =
+  match t.state with
+  | Pending _ | Ready _ -> t.state <- Dead
+  | Finished | Dead -> ()

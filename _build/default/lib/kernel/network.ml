@@ -1,0 +1,26 @@
+type 'm t = { net_name : string; mailboxes : (Pid.t * 'm) Queue.t array }
+
+let create ~name ~n_plus_1 =
+  { net_name = name; mailboxes = Array.init n_plus_1 (fun _ -> Queue.create ()) }
+
+let send t ~to_ m =
+  Sim.atomic
+    (Sim.Write { obj = Printf.sprintf "%s->%s" t.net_name (Pid.to_string to_) })
+    (fun ctx -> Queue.push (ctx.Sim.pid, m) t.mailboxes.(to_))
+
+let broadcast t m =
+  Array.iteri (fun to_ _ -> send t ~to_ m) t.mailboxes
+
+let poll t =
+  Sim.atomic
+    (Sim.Read { obj = t.net_name ^ "<-" })
+    (fun ctx ->
+      let q = t.mailboxes.(ctx.Sim.pid) in
+      let rec drain acc =
+        match Queue.take_opt q with
+        | Some m -> drain (m :: acc)
+        | None -> List.rev acc
+      in
+      drain [])
+
+let pending t pid = Queue.length t.mailboxes.(pid)

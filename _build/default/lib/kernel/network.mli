@@ -1,0 +1,30 @@
+(** Reliable asynchronous point-to-point messaging.
+
+    Not part of the paper's model (processes there share registers); this
+    is the substrate for the ABD emulation showing that model is
+    implementable over message passing (experiment E10). Channels are
+    reliable and unordered-across-senders; asynchrony comes entirely from
+    scheduling — a message becomes receivable the instant its send step
+    executes, but the receiver learns of it only when it takes a poll
+    step, which the scheduler may delay arbitrarily (and forever, for
+    crashed receivers).
+
+    [send] and [poll] are each one atomic step, so the model's
+    cost/interleaving accounting carries over unchanged. *)
+
+type 'm t
+
+val create : name:string -> n_plus_1:int -> 'm t
+
+val send : 'm t -> to_:Pid.t -> 'm -> unit
+(** One step: enqueue the message (tagged with the sender) at the
+    destination mailbox. *)
+
+val broadcast : 'm t -> 'm -> unit
+(** [n_plus_1] send steps, destinations in pid order (includes self). *)
+
+val poll : 'm t -> (Pid.t * 'm) list
+(** One step: drain the caller's mailbox, oldest first, with senders. *)
+
+val pending : 'm t -> Pid.t -> int
+(** Oracle access: queued messages at a mailbox, no step. *)

@@ -1,0 +1,56 @@
+type t = int
+
+let of_index i =
+  if i < 0 then invalid_arg "Pid.of_index: negative index";
+  i
+
+let to_int t = t
+let compare = Int.compare
+let equal = Int.equal
+let pp ppf t = Format.fprintf ppf "p%d" (t + 1)
+let to_string t = Format.asprintf "%a" pp t
+
+let all ~n_plus_1 =
+  if n_plus_1 <= 0 then invalid_arg "Pid.all: need at least one process";
+  List.init n_plus_1 (fun i -> i)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = struct
+  include Set.Make (Ord)
+
+  let of_indices indices = of_list (List.map of_index indices)
+
+  let pp ppf s =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp)
+      (elements s)
+
+  let to_string s = Format.asprintf "%a" pp s
+  let full ~n_plus_1 = of_list (all ~n_plus_1)
+  let complement ~n_plus_1 s = diff (full ~n_plus_1) s
+
+  let subsets ~n_plus_1 =
+    let pids = Array.of_list (all ~n_plus_1) in
+    let n = Array.length pids in
+    if n > 20 then invalid_arg "Pid.Set.subsets: system too large";
+    let rec build mask =
+      if mask > (1 lsl n) - 1 then []
+      else
+        let s =
+          List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n Fun.id)
+          |> List.map (fun i -> pids.(i))
+          |> of_list
+        in
+        s :: build (mask + 1)
+    in
+    build 1
+end
+
+module Map = Map.Make (Ord)

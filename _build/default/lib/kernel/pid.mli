@@ -1,0 +1,42 @@
+(** Process identifiers.
+
+    The system has [n + 1] processes [p1 ... p(n+1)] (paper §3.1). A pid is
+    a 0-based index; [p1] is pid [0]. We keep the representation transparent
+    so pids can index arrays of per-process state directly. *)
+
+type t = int
+
+val of_index : int -> t
+(** [of_index i] is the pid of the [i+1]-th process; fails on negatives. *)
+
+val to_int : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints in the paper's notation, e.g. [p3]. *)
+
+val to_string : t -> string
+
+val all : n_plus_1:int -> t list
+(** [all ~n_plus_1] is [[p1; ...; p(n+1)]] as pids [0 .. n]. *)
+
+module Set : sig
+  include Set.S with type elt = t
+
+  val of_indices : int list -> t
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+
+  val full : n_plus_1:int -> t
+  (** The whole system Π. *)
+
+  val complement : n_plus_1:int -> t -> t
+  (** [complement ~n_plus_1 s] is Π − s. *)
+
+  val subsets : n_plus_1:int -> t list
+  (** All non-empty subsets of Π (for small systems; exponential). *)
+end
+
+module Map : Map.S with type key = t

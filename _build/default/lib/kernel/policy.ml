@@ -1,0 +1,68 @@
+type t = now:int -> enabled:Pid.t list -> Pid.t option
+
+let round_robin () =
+  let cursor = ref 0 in
+  fun ~now:_ ~enabled ->
+    match enabled with
+    | [] -> None
+    | _ ->
+        (* Pick the first enabled pid at or after the cursor, wrapping. *)
+        let ge, lt = List.partition (fun p -> Pid.to_int p >= !cursor) enabled in
+        let chosen =
+          match (ge, lt) with
+          | p :: _, _ -> p
+          | [], p :: _ -> p
+          | [], [] -> assert false
+        in
+        cursor := Pid.to_int chosen + 1;
+        Some chosen
+
+let random rng =
+ fun ~now:_ ~enabled ->
+  match enabled with [] -> None | l -> Some (Rng.pick rng l)
+
+let weighted rng ~weights =
+  let weight p =
+    match List.assoc_opt p weights with
+    | Some w when w > 0 -> w
+    | Some _ -> invalid_arg "Policy.weighted: non-positive weight"
+    | None -> 1
+  in
+  fun ~now:_ ~enabled ->
+    match enabled with
+    | [] -> None
+    | l ->
+        let total = List.fold_left (fun acc p -> acc + weight p) 0 l in
+        let roll = Rng.int rng total in
+        let rec pick acc = function
+          | [] -> assert false
+          | p :: rest ->
+              let acc = acc + weight p in
+              if roll < acc then p else pick acc rest
+        in
+        Some (pick 0 l)
+
+let solo pid =
+ fun ~now:_ ~enabled -> if List.mem pid enabled then Some pid else None
+
+let script pids ~then_ =
+  let remaining = ref pids in
+  fun ~now ~enabled ->
+    let rec next () =
+      match !remaining with
+      | [] -> then_ ~now ~enabled
+      | p :: rest ->
+          remaining := rest;
+          if List.mem p enabled then Some p else next ()
+    in
+    next ()
+
+let stop_after limit inner =
+  let taken = ref 0 in
+  fun ~now ~enabled ->
+    if !taken >= limit then None
+    else (
+      incr taken;
+      inner ~now ~enabled)
+
+let custom f = f

@@ -1,0 +1,34 @@
+(** Scheduling policies: who takes the next step.
+
+    A policy is consulted once per step with the set of enabled processes
+    (alive and having a runnable fiber) and the time the step would get.
+    Returning [None] ends the run; returning a non-enabled pid is a
+    programming error the scheduler rejects. Policies may be stateful
+    closures — the Theorem 1/5 adversary builds its schedule on the fly
+    by observing the run through shared references. *)
+
+type t = now:int -> enabled:Pid.t list -> Pid.t option
+
+val round_robin : unit -> t
+(** Cycles over pids fairly, skipping disabled ones. *)
+
+val random : Rng.t -> t
+(** Uniform among enabled processes; fair with probability 1. *)
+
+val weighted : Rng.t -> weights:(Pid.t * int) list -> t
+(** Random, biased by positive integer weights (default weight 1).
+    Models asymmetric process speeds while remaining fair. *)
+
+val solo : Pid.t -> t
+(** Only the given process runs (others starve — legal in the model as
+    long as starved correct processes would run in the unbounded
+    continuation; used for the adversary's partial-run constructions). *)
+
+val script : Pid.t list -> then_:t -> t
+(** Follow an explicit pid sequence (skipping entries that are not
+    enabled), then fall back to [then_]. *)
+
+val stop_after : int -> t -> t
+(** Let the inner policy schedule only that many steps, then end the run. *)
+
+val custom : (now:int -> enabled:Pid.t list -> Pid.t option) -> t

@@ -1,0 +1,15 @@
+type result = { outcome : Scheduler.outcome; trace : Trace.t; steps : int }
+
+let exec ~pattern ~policy ?(horizon = 100_000) ~procs () =
+  let fibers =
+    Pid.all ~n_plus_1:(Failure_pattern.n_plus_1 pattern)
+    |> List.concat_map (fun pid ->
+           List.mapi
+             (fun j body ->
+               let name = Format.asprintf "%a/t%d" Pid.pp pid j in
+               Fiber.create ~pid ~name body)
+             (procs pid))
+  in
+  let sched = Scheduler.create ~pattern ~policy ~fibers in
+  let outcome = Scheduler.run sched ~max_steps:horizon in
+  { outcome; trace = Scheduler.trace sched; steps = Scheduler.now sched }

@@ -1,0 +1,18 @@
+(** One-shot run harness: assemble fibers, schedule to an outcome. *)
+
+type result = {
+  outcome : Scheduler.outcome;
+  trace : Trace.t;
+  steps : int;  (** total steps executed *)
+}
+
+val exec :
+  pattern:Failure_pattern.t ->
+  policy:Policy.t ->
+  ?horizon:int ->
+  procs:(Pid.t -> (unit -> unit) list) ->
+  unit ->
+  result
+(** Builds one fiber per thunk returned by [procs pid] (named
+    ["p<i>/t<j>"]) and runs up to [horizon] steps (default 100_000).
+    Protocol state (registers, decision tables) lives in the closures. *)

@@ -1,0 +1,108 @@
+type outcome = Horizon | Quiescent | Policy_stop
+
+type t = {
+  sched_pattern : Failure_pattern.t;
+  policy : Policy.t;
+  by_pid : Fiber.t array array;
+  cursor : int array; (* per-pid rotation among its fibers *)
+  crash_recorded : bool array;
+  mutable clock : int;
+  events : Trace.builder;
+}
+
+let create ~pattern ~policy ~fibers =
+  let n = Failure_pattern.n_plus_1 pattern in
+  List.iter
+    (fun f ->
+      if Fiber.pid f < 0 || Fiber.pid f >= n then
+        invalid_arg "Scheduler.create: fiber pid out of range")
+    fibers;
+  let by_pid =
+    Array.init n (fun p ->
+        Array.of_list (List.filter (fun f -> Pid.to_int (Fiber.pid f) = p) fibers))
+  in
+  List.iter Fiber.start fibers;
+  let t =
+    {
+      sched_pattern = pattern;
+      policy;
+      by_pid;
+      cursor = Array.make n 0;
+      crash_recorded = Array.make n false;
+      clock = 0;
+      events = Trace.builder ();
+    }
+  in
+  t
+
+let now t = t.clock
+let pattern t = t.sched_pattern
+
+(* Record crash events and kill fibers for processes whose crash time has
+   been reached by the prospective step time. *)
+let process_crashes t step_time =
+  Array.iteri
+    (fun p recorded ->
+      if not recorded then
+        let c = Failure_pattern.crash_time t.sched_pattern p in
+        if c <= step_time then begin
+          t.crash_recorded.(p) <- true;
+          Trace.record t.events (Trace.Crash { pid = p; time = c });
+          Array.iter Fiber.kill t.by_pid.(p)
+        end)
+    t.crash_recorded
+
+let runnable_fibers t pid =
+  Array.to_list t.by_pid.(pid)
+  |> List.filter (fun f -> Fiber.status f = Fiber.Runnable)
+
+let enabled_pids t =
+  Pid.all ~n_plus_1:(Failure_pattern.n_plus_1 t.sched_pattern)
+  |> List.filter (fun p -> runnable_fibers t p <> [])
+
+let next_fiber t pid =
+  let fibers = t.by_pid.(pid) in
+  let k = Array.length fibers in
+  let rec search i tried =
+    if tried >= k then invalid_arg "Scheduler.next_fiber: no runnable fiber"
+    else
+      let f = fibers.(i mod k) in
+      if Fiber.status f = Fiber.Runnable then begin
+        t.cursor.(pid) <- (i + 1) mod k;
+        f
+      end
+      else search (i + 1) (tried + 1)
+  in
+  search t.cursor.(pid) 0
+
+let step t =
+  let step_time = t.clock + 1 in
+  process_crashes t step_time;
+  match enabled_pids t with
+  | [] -> `Stopped Quiescent
+  | enabled -> (
+      match t.policy ~now:step_time ~enabled with
+      | None -> `Stopped Policy_stop
+      | Some pid ->
+          if not (List.mem pid enabled) then
+            invalid_arg "Scheduler.step: policy chose a disabled process";
+          t.clock <- step_time;
+          let fiber = next_fiber t pid in
+          let kind = Fiber.pending_kind fiber in
+          let ctx = { Sim.pid; now = step_time; note = None } in
+          Fiber.step fiber ctx;
+          Trace.record t.events
+            (Trace.Step { pid; time = step_time; kind; note = ctx.Sim.note });
+          `Stepped pid)
+
+let run t ~max_steps =
+  let rec loop remaining =
+    if remaining = 0 then Horizon
+    else
+      match step t with
+      | `Stepped _ -> loop (remaining - 1)
+      | `Stopped outcome -> outcome
+  in
+  loop max_steps
+
+let trace t = Trace.finish t.events

@@ -1,0 +1,36 @@
+(** The discrete-event scheduler: serializes fibers into a run.
+
+    One scheduled step = one atomic shared-object operation or detector
+    query = one tick of global time, matching runs as defined in §3.3.
+    Crashes come from the failure pattern: a process whose crash time is
+    [t] takes no step at any time ≥ [t], and its fibers are killed when
+    the clock first reaches [t]. *)
+
+type t
+
+type outcome =
+  | Horizon      (** step budget exhausted *)
+  | Quiescent    (** every fiber is done or killed *)
+  | Policy_stop  (** the policy returned [None] *)
+
+val create :
+  pattern:Failure_pattern.t ->
+  policy:Policy.t ->
+  fibers:Fiber.t list ->
+  t
+(** Fibers must not be started yet; [create] starts them (cost-free local
+    prefix). Fibers of processes crashed at time 0 are killed
+    immediately. *)
+
+val now : t -> int
+val pattern : t -> Failure_pattern.t
+
+val step : t -> [ `Stepped of Pid.t | `Stopped of outcome ]
+(** Advance the run by one step. *)
+
+val run : t -> max_steps:int -> outcome
+(** Step until an outcome is reached or [max_steps] steps execute. Can be
+    called repeatedly to extend the run. *)
+
+val trace : t -> Trace.t
+(** Trace of everything executed so far. *)

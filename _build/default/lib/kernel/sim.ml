@@ -1,0 +1,39 @@
+type ctx = { pid : Pid.t; now : int; mutable note : string option }
+
+type kind =
+  | Read of { obj : string }
+  | Write of { obj : string }
+  | Query of { detector : string }
+  | Output of { label : string; value : string }
+  | Input of { label : string; value : string }
+  | Nop
+
+type _ Effect.t += Atomic : kind * (ctx -> 'a) -> 'a Effect.t
+
+let atomic kind f = Effect.perform (Atomic (kind, f))
+let yield () = atomic Nop (fun _ -> ())
+let now () = atomic Nop (fun ctx -> ctx.now)
+let output ~label ~value = atomic (Output { label; value }) (fun _ -> ())
+let input ~label ~value = atomic (Input { label; value }) (fun _ -> ())
+
+type 'v source = {
+  name : string;
+  sample : Pid.t -> int -> 'v;
+  render : 'v -> string;
+}
+
+let query src =
+  atomic
+    (Query { detector = src.name })
+    (fun ctx ->
+      let v = src.sample ctx.pid ctx.now in
+      ctx.note <- Some (src.render v);
+      v)
+
+let kind_pp ppf = function
+  | Read { obj } -> Format.fprintf ppf "read(%s)" obj
+  | Write { obj } -> Format.fprintf ppf "write(%s)" obj
+  | Query { detector } -> Format.fprintf ppf "query(%s)" detector
+  | Output { label; value } -> Format.fprintf ppf "output(%s=%s)" label value
+  | Input { label; value } -> Format.fprintf ppf "input(%s=%s)" label value
+  | Nop -> Format.fprintf ppf "nop"

@@ -1,0 +1,62 @@
+(** The process-facing simulation API.
+
+    Protocol code runs inside a fiber and interacts with the world only
+    through {!atomic}, which performs exactly one step of the model
+    (paper §3.3): the supplied closure executes atomically at the instant
+    the scheduler grants the step, and the fiber resumes with its result.
+    Everything a protocol computes between two [atomic] calls is local
+    computation, which the model does not charge for.
+
+    The substrate libraries wrap [atomic] into typed operations:
+    register read/write ({!Memory.Register}), detector queries ({!query}),
+    and input/output events. *)
+
+type ctx = { pid : Pid.t; now : int; mutable note : string option }
+(** Identity of the stepping process and the global time of the step,
+    available to the atomic closure. Setting [note] attaches a rendered
+    payload to the step's trace event (queries record the value the
+    oracle returned, so run-condition (2) is checkable from the
+    trace). *)
+
+(** How a step is labelled in the trace. *)
+type kind =
+  | Read of { obj : string }
+  | Write of { obj : string }
+  | Query of { detector : string }
+  | Output of { label : string; value : string }
+  | Input of { label : string; value : string }
+  | Nop
+
+type _ Effect.t +=
+  | Atomic : kind * (ctx -> 'a) -> 'a Effect.t
+        (** The single effect fibers perform; handled by the scheduler. *)
+
+val atomic : kind -> (ctx -> 'a) -> 'a
+(** Perform one atomic step. Only call from inside a fiber. *)
+
+val yield : unit -> unit
+(** Take a step that does nothing (schedules fairness without touching
+    shared state). *)
+
+val now : unit -> int
+(** Current global time; consumes a step, as any observation must. *)
+
+val output : label:string -> value:string -> unit
+(** Record an application output in the trace (consumes a step). *)
+
+val input : label:string -> value:string -> unit
+(** Record an application input in the trace (consumes a step). *)
+
+type 'v source = {
+  name : string;
+  sample : Pid.t -> int -> 'v;
+  render : 'v -> string;
+}
+(** A failure-detector module: [sample p t] is H(p, t), the value the
+    oracle shows process [p] at time [t] (paper §3.2); [render] is used
+    to record queried values in the trace. *)
+
+val query : 'v source -> 'v
+(** Query the local failure-detector module; one step. *)
+
+val kind_pp : Format.formatter -> kind -> unit

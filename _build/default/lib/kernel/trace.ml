@@ -1,0 +1,83 @@
+type event =
+  | Step of { pid : Pid.t; time : int; kind : Sim.kind; note : string option }
+  | Crash of { pid : Pid.t; time : int }
+
+type t = event list
+type builder = { mutable rev_events : event list }
+
+let builder () = { rev_events = [] }
+let record b e = b.rev_events <- e :: b.rev_events
+let finish b = List.rev b.rev_events
+
+let steps_of t pid =
+  List.length
+    (List.filter
+       (function Step s -> Pid.equal s.pid pid | Crash _ -> false)
+       t)
+
+let events_of t pid =
+  List.filter
+    (function
+      | Step s -> Pid.equal s.pid pid
+      | Crash c -> Pid.equal c.pid pid)
+    t
+
+let outputs ?label t =
+  List.filter_map
+    (function
+      | Step { pid; time; kind = Sim.Output { label = l; value }; _ } ->
+          if match label with Some want -> String.equal want l | None -> true
+          then Some (pid, time, l, value)
+          else None
+      | Step _ | Crash _ -> None)
+    t
+
+let inputs ?label t =
+  List.filter_map
+    (function
+      | Step { pid; time; kind = Sim.Input { label = l; value }; _ } ->
+          if match label with Some want -> String.equal want l | None -> true
+          then Some (pid, time, l, value)
+          else None
+      | Step _ | Crash _ -> None)
+    t
+
+let schedule t =
+  List.filter_map
+    (function Step { pid; _ } -> Some pid | Crash _ -> None)
+    t
+
+let last_time t =
+  List.fold_left
+    (fun acc -> function Step { time; _ } | Crash { time; _ } -> max acc time)
+    0 t
+
+let queries t ~detector =
+  List.filter_map
+    (function
+      | Step { pid; time; kind = Sim.Query { detector = d }; _ }
+        when String.equal d detector ->
+          Some (pid, time)
+      | Step _ | Crash _ -> None)
+    t
+
+let query_values t ~detector =
+  List.filter_map
+    (function
+      | Step { pid; time; kind = Sim.Query { detector = d }; note = Some v }
+        when String.equal d detector ->
+          Some (pid, time, v)
+      | Step _ | Crash _ -> None)
+    t
+
+let pp_event ppf = function
+  | Step { pid; time; kind; note } ->
+      Format.fprintf ppf "%6d %a %a%s" time Pid.pp pid Sim.kind_pp kind
+        (match note with Some n -> " = " ^ n | None -> "")
+  | Crash { pid; time } ->
+      Format.fprintf ppf "%6d %a CRASH" time Pid.pp pid
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_newline ppf ())
+    pp_event ppf t

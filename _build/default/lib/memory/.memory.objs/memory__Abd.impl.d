@@ -1,0 +1,1 @@
+lib/memory/abd.ml: Array Format Hashtbl Int Kernel List Network Pid Sim String

@@ -1,0 +1,1 @@
+lib/memory/abd.mli: Kernel Pid

@@ -1,0 +1,1 @@
+lib/memory/consensus_obj.ml: Kernel Pid Printf Sim

@@ -1,0 +1,1 @@
+lib/memory/consensus_obj.mli: Kernel Pid

@@ -1,0 +1,1 @@
+lib/memory/native_snapshot.ml: Array Kernel Sim

@@ -1,0 +1,1 @@
+lib/memory/register.ml: Array Kernel Printf Sim

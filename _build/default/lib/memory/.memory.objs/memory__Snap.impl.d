@@ -1,0 +1,1 @@
+lib/memory/snap.ml: Native_snapshot Snapshot

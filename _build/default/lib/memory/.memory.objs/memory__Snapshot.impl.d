@@ -1,0 +1,1 @@
+lib/memory/snapshot.ml: Array Printf Register

@@ -1,0 +1,12 @@
+open Kernel
+
+type 'a t = { nat_name : string; arr : 'a array }
+
+let create ~name ~size ~init = { nat_name = name; arr = Array.init size init }
+let size t = Array.length t.arr
+
+let update t ~me v =
+  Sim.atomic (Sim.Write { obj = t.nat_name }) (fun _ -> t.arr.(me) <- v)
+
+let scan t = Sim.atomic (Sim.Read { obj = t.nat_name }) (fun _ -> Array.copy t.arr)
+let peek t = Array.copy t.arr

@@ -1,0 +1,35 @@
+open Kernel
+
+type 'a t = { reg_name : string; mutable cell : 'a }
+
+let create ~name init = { reg_name = name; cell = init }
+let name t = t.reg_name
+let read t = Sim.atomic (Sim.Read { obj = t.reg_name }) (fun _ -> t.cell)
+
+let write t v =
+  Sim.atomic (Sim.Write { obj = t.reg_name }) (fun _ -> t.cell <- v)
+
+let peek t = t.cell
+let poke t v = t.cell <- v
+
+let array ~name ~size ~init =
+  Array.init size (fun i ->
+      create ~name:(Printf.sprintf "%s[%d]" name i) (init i))
+
+let read_at arr i = read arr.(i)
+let write_at arr i v = write arr.(i) v
+let collect arr = Array.map read arr
+
+module Counter = struct
+  type nonrec t = int t
+
+  let create ~name = create ~name 0
+
+  let incr t =
+    (* Single-writer: the read-modify-write is safe to fuse into one
+       atomic step because only the owner ever writes. *)
+    Sim.atomic (Sim.Write { obj = name t }) (fun _ -> t.cell <- t.cell + 1)
+
+  let get t = read t
+  let peek t = peek t
+end

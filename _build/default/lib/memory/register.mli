@@ -1,0 +1,58 @@
+(** Atomic multi-writer multi-reader read/write registers.
+
+    The base object type of the paper's algorithms (§3.1): every shared
+    word the protocols use is one of these, and every [read]/[write] is
+    exactly one step of the model. Atomicity is by construction — the
+    scheduler serializes atomic closures, so each operation takes effect
+    at one indivisible instant. *)
+
+type 'a t
+
+val create : name:string -> 'a -> 'a t
+(** A fresh register holding the given initial value. The name labels
+    steps in the trace. *)
+
+val name : 'a t -> string
+
+val read : 'a t -> 'a
+(** One step. Only call from inside a fiber. *)
+
+val write : 'a t -> 'a -> unit
+(** One step. Only call from inside a fiber. *)
+
+val peek : 'a t -> 'a
+(** Observe the current value without taking a step — for test oracles
+    and harness code only, never for protocol code. *)
+
+val poke : 'a t -> 'a -> unit
+(** Set the value without taking a step — for harness initialization
+    only. *)
+
+val array : name:string -> size:int -> init:(int -> 'a) -> 'a t array
+(** [array ~name ~size ~init] is [size] registers named ["name[i]"]. *)
+
+val read_at : 'a t array -> int -> 'a
+val write_at : 'a t array -> int -> 'a -> unit
+
+val collect : 'a t array -> 'a array
+(** Read every register in index order — [size] steps, {e not} atomic as
+    a whole (that is the point: an atomic view requires the snapshot
+    construction). *)
+
+module Counter : sig
+  (** A single-writer unbounded counter register, used for the
+      ever-growing timestamps of §5.3 and Fig 3. *)
+
+  type t
+
+  val create : name:string -> t
+
+  val incr : t -> unit
+  (** One step. *)
+
+  val get : t -> int
+  (** One step. *)
+
+  val peek : t -> int
+  (** Oracle access, no step. *)
+end

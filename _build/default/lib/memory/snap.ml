@@ -1,0 +1,22 @@
+type 'a t = { do_update : me:int -> 'a -> unit; do_scan : unit -> 'a array }
+
+type impl = Registers | Native
+
+let make ~impl ~name ~size ~init =
+  match impl with
+  | Registers ->
+      let s = Snapshot.create ~name ~size ~init in
+      {
+        do_update = (fun ~me v -> Snapshot.update s ~me v);
+        do_scan = (fun () -> Snapshot.scan s);
+      }
+  | Native ->
+      let s = Native_snapshot.create ~name ~size ~init in
+      {
+        do_update = (fun ~me v -> Native_snapshot.update s ~me v);
+        do_scan = (fun () -> Native_snapshot.scan s);
+      }
+
+let update t ~me v = t.do_update ~me v
+let scan t = t.do_scan ()
+let impl_name = function Registers -> "registers" | Native -> "native"

@@ -1,0 +1,15 @@
+(** First-class snapshot objects: the register-built Afek et al.
+    construction and the native single-step object behind one interface,
+    so protocols can be run on either (the A3 ablation measures what the
+    faithful construction costs inside Fig 2). *)
+
+type 'a t
+
+type impl = Registers | Native
+
+val make : impl:impl -> name:string -> size:int -> init:(int -> 'a) -> 'a t
+(** [Registers] is the default, paper-faithful choice. *)
+
+val update : 'a t -> me:int -> 'a -> unit
+val scan : 'a t -> 'a array
+val impl_name : impl -> string

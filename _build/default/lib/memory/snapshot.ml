@@ -1,0 +1,53 @@
+type 'a entry = { data : 'a; version : int; view : ('a * int) array }
+
+type 'a t = { cells : 'a entry Register.t array }
+
+let create ~name ~size ~init =
+  let initial_view = Array.init size (fun j -> (init j, 0)) in
+  let cells =
+    Array.init size (fun i ->
+        Register.create
+          ~name:(Printf.sprintf "%s[%d]" name i)
+          { data = init i; version = 0; view = initial_view })
+  in
+  { cells }
+
+let size t = Array.length t.cells
+
+let collect t = Array.map Register.read t.cells
+
+(* One collect per iteration; a position whose version changed between two
+   successive collects "moved". A position seen moving twice performed a
+   complete update inside our scan interval, so its embedded view is a
+   valid snapshot of that interval (Afek et al., Lemma 4.2). *)
+let scan_entries t =
+  let n = size t in
+  let moved = Array.make n 0 in
+  let rec attempt c1 =
+    let c2 = collect t in
+    let any_change = ref false in
+    let borrowed = ref None in
+    for j = 0 to n - 1 do
+      if c1.(j).version <> c2.(j).version then begin
+        any_change := true;
+        moved.(j) <- moved.(j) + 1;
+        if moved.(j) >= 2 && !borrowed = None then borrowed := Some c2.(j)
+      end
+    done;
+    if not !any_change then Array.map (fun e -> (e.data, e.version)) c2
+    else
+      match !borrowed with
+      | Some e -> Array.copy e.view
+      | None -> attempt c2
+  in
+  attempt (collect t)
+
+let scan_versioned t = scan_entries t
+let scan t = Array.map fst (scan_entries t)
+
+let update t ~me v =
+  let view = scan_entries t in
+  let old = Register.read t.cells.(me) in
+  Register.write t.cells.(me) { data = v; version = old.version + 1; view }
+
+let peek t = Array.map (fun cell -> (Register.peek cell).data) t.cells

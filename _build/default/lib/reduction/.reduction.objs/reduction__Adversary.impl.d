@@ -1,0 +1,1 @@
+lib/reduction/adversary.ml: Array Failure_pattern Fiber Format Int Kernel List Memory Pid Policy Printf Register Scheduler Sim

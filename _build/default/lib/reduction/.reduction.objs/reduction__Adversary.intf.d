@@ -1,0 +1,1 @@
+lib/reduction/adversary.mli: Format Kernel Pid Sim

@@ -1,0 +1,1 @@
+lib/reduction/extract_upsilon.ml: Array Failure_pattern Format Kernel List Memory Phi Pid Register Sim

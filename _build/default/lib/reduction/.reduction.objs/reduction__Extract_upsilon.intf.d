@@ -1,0 +1,1 @@
+lib/reduction/extract_upsilon.mli: Failure_pattern Kernel Phi Pid Sim

@@ -1,0 +1,1 @@
+lib/reduction/pairwise.ml: Array Detector Detectors Failure_pattern Format Fun Int Kernel List Memory Option Pid Register Sim

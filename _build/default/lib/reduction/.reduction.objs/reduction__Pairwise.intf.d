@@ -1,0 +1,1 @@
+lib/reduction/pairwise.mli: Detector Detectors Failure_pattern Kernel Pid Sim

@@ -1,0 +1,1 @@
+lib/reduction/phi.ml: Format Kernel List Pid

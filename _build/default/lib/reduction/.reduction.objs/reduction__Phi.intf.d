@@ -1,0 +1,1 @@
+lib/reduction/phi.mli: Format Kernel Pid

@@ -1,0 +1,91 @@
+(** The adversary of Theorems 1 and 5: Υᶠ cannot be transformed into Ωᶠ
+    (2 ≤ f ≤ n; Theorem 1 is the f = n case against Ωₙ).
+
+    A simulator cannot quantify over all candidate reduction algorithms,
+    but it can realize the proof's construction against any concrete
+    candidate: pin the Υᶠ history to the constant set
+    [U = {p1,…,pn}] (legal in every failure-free run), then build the
+    schedule phase by phase —
+
+    + run until some process's extracted output is a set [L₁];
+    + let every process take exactly one step, then run only [Π − L₁];
+      this is indistinguishable, for the running processes, from a run
+      where every member of [L₁] has crashed, in which [U] is still a
+      legal output — so a correct candidate must eventually output some
+      [L₂ ≠ L₁] (else its stable [L₁] contains no correct process in the
+      indistinguishable extension);
+    + repeat from [L₂].
+
+    Every candidate loses one way or the other: either its output flips
+    in every phase (never stabilizes — not a valid Ωᶠ output), or it
+    sticks and the harness reports the crash extension under which the
+    stuck set contains no correct process. *)
+
+open Kernel
+
+type instance = {
+  fibers : Pid.t -> (unit -> unit) list;
+  read_output : Pid.t -> Pid.Set.t option;
+      (** the candidate's current extracted Ωᶠ output at a process *)
+}
+
+type candidate = {
+  cand_name : string;
+  make : n_plus_1:int -> f:int -> upsilon:Pid.Set.t Sim.source -> instance;
+}
+
+type phase = { index : int; output : Pid.Set.t; at_time : int }
+
+type verdict =
+  | Never_stabilizes of { flips : int; history : phase list }
+      (** the output changed in every phase the budget allowed *)
+  | Stuck of { on : Pid.Set.t; phase : int; history : phase list }
+      (** the output stabilized on [on] while only [Π − on] was
+          scheduled: crashing [on] extends this to a legal run of Υᶠ in
+          which the candidate's stable output contains no correct
+          process — an Ωᶠ violation *)
+
+val pinned_upsilon : n_plus_1:int -> Pid.Set.t Sim.source
+(** The constant history [U = {p1,…,pn}] used throughout the proof. *)
+
+val run :
+  candidate ->
+  n_plus_1:int ->
+  f:int ->
+  max_phases:int ->
+  phase_budget:int ->
+  verdict
+(** Drive the construction for up to [max_phases] phases, giving the
+    candidate [phase_budget] steps per phase to react. *)
+
+val flips : verdict -> int
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** Natural candidate extractors, each defeated differently. *)
+module Candidates : sig
+  val complement_pad : candidate
+  (** Ωᶠ-output := Π − Υᶠ-output, padded to size f with the smallest
+      ids. The natural dual of the Ωᶠ → Υᶠ reduction — it gets stuck. *)
+
+  val static : candidate
+  (** Ωᶠ-output := [{p1,…,pf}] forever; the degenerate baseline. *)
+
+  val top_movers : candidate
+  (** Ωᶠ-output := the f processes with the highest published
+      timestamps (the "recently alive" heuristic) — the adversary makes
+      it flip forever. *)
+
+  val rotation : candidate
+  (** Ωᶠ-output rotates through f-subsets as the process takes steps —
+      never stabilizes even without an adversary. *)
+
+  val complement_rotate : candidate
+  (** Complement padded with step-count-rotating filler — hedging the
+      padding does not help. *)
+
+  val slow_complement : candidate
+  (** Complement-pad that refreshes only every 50 own steps — reacting
+      slowly does not help either. *)
+
+  val all : candidate list
+end

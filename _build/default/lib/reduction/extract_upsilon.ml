@@ -1,0 +1,143 @@
+open Kernel
+open Memory
+
+type 'v t = {
+  n_plus_1 : int;
+  f : int;
+  detector : 'v Sim.source;
+  equal : 'v -> 'v -> bool;
+  phi : 'v Phi.map;
+  regs : ('v option * int) Register.t array; (* R[i] = (last value, stamp) *)
+  outputs : Pid.Set.t option array;
+  mutable log : (Pid.t * int * Pid.Set.t) list; (* reversed change log *)
+}
+
+let create ~name ~n_plus_1 ~f ~detector ~equal ~phi =
+  if f < 1 || f > n_plus_1 - 1 then invalid_arg "Extract_upsilon.create: bad f";
+  {
+    n_plus_1;
+    f;
+    detector;
+    equal;
+    phi;
+    regs = Register.array ~name:(name ^ ".R") ~size:n_plus_1 ~init:(fun _ -> (None, 0));
+    outputs = Array.make n_plus_1 None;
+    log = [];
+  }
+
+let set_output t ~me s =
+  let changed =
+    match t.outputs.(me) with Some cur -> not (Pid.Set.equal cur s) | None -> true
+  in
+  if changed then
+    Sim.atomic
+      (Sim.Output { label = "upsilon-out"; value = Pid.Set.to_string s })
+      (fun ctx ->
+        t.outputs.(me) <- Some s;
+        t.log <- (me, ctx.Sim.now, s) :: t.log)
+
+(* Task 1: sample D forever, publishing timestamped values. *)
+let sampler t ~me () =
+  let stamp = ref 0 in
+  while true do
+    let d = Sim.query t.detector in
+    incr stamp;
+    Register.write t.regs.(me) (Some d, !stamp)
+  done
+
+(* Task 2: the extraction rounds.
+
+   A round restarts only when some process *freshly reports* (a write
+   with a higher timestamp) a value different from d — stale register
+   contents, e.g. a pre-stabilization value left behind by a crashed
+   process, must not restart anything. This is precisely why Task 1
+   equips samples with ever-increasing timestamps. *)
+let extractor t ~me () =
+  let full = Pid.Set.full ~n_plus_1:t.n_plus_1 in
+  (* highest timestamp consumed so far, per process; persists across
+     rounds so old reports are never re-examined *)
+  let consumed = Array.make t.n_plus_1 0 in
+  (* One collect sweep: consume all fresh reports. [`Foreign] if any
+     fresh report differs from d; otherwise the current stamp vector. *)
+  let sweep d =
+    let snap = Register.collect t.regs in
+    let foreign = ref false in
+    Array.iteri
+      (fun j (v, stamp) ->
+        if stamp > consumed.(j) then begin
+          consumed.(j) <- stamp;
+          match v with
+          | Some x when not (t.equal x d) -> foreign := true
+          | Some _ | None -> ()
+        end)
+      snap;
+    if !foreign then `Foreign else `Stamps (Array.map snd snap)
+  in
+  let rec next_round () =
+    set_output t ~me full;
+    let d = Sim.query t.detector in
+    let { Phi.set; batches } = t.phi d in
+    if Pid.Set.equal set full then wait_for_change d
+    else
+      match sweep d with
+      | `Foreign -> next_round ()
+      | `Stamps base -> observe_batches d set ~want:batches ~seen:0 ~base
+  (* A batch completes once every process has published at least two
+     more timestamped reports; any foreign report restarts the round, so
+     completing a batch certifies a full sweep of d-queries by Π. *)
+  and observe_batches d set ~want ~seen ~base =
+    if seen >= want then begin
+      set_output t ~me set;
+      wait_for_change d
+    end
+    else
+      match sweep d with
+      | `Foreign -> next_round ()
+      | `Stamps now ->
+          if Array.for_all2 (fun s b -> s >= b + 2) now base then
+            observe_batches d set ~want ~seen:(seen + 1) ~base:now
+          else observe_batches d set ~want ~seen ~base
+  and wait_for_change d =
+    match sweep d with `Foreign -> next_round () | `Stamps _ -> wait_for_change d
+  in
+  next_round ()
+
+let fibers t ~me = [ sampler t ~me; extractor t ~me ]
+let current_output t pid = t.outputs.(pid)
+let change_log t = List.rev t.log
+
+let check t ~pattern ~last_time ~tail =
+  let correct = Failure_pattern.correct pattern in
+  let cutoff = last_time - tail in
+  let late_changes =
+    List.filter
+      (fun (pid, time, _) -> time > cutoff && Pid.Set.mem pid correct)
+      (change_log t)
+  in
+  if late_changes <> [] then
+    Error
+      (Format.asprintf "output still changing after %d (%d changes in tail)"
+         cutoff (List.length late_changes))
+  else
+    let finals =
+      Pid.Set.elements correct |> List.map (fun p -> t.outputs.(p))
+    in
+    match finals with
+    | [] -> Error "no correct process"
+    | None :: _ -> Error "a correct process never produced an output"
+    | Some first :: rest ->
+        if
+          not
+            (List.for_all
+               (function Some s -> Pid.Set.equal s first | None -> false)
+               rest)
+        then Error "correct processes disagree on the extracted output"
+        else if Pid.Set.cardinal first < t.n_plus_1 - t.f then
+          Error
+            (Format.asprintf "extracted set %a below range size" Pid.Set.pp
+               first)
+        else if Pid.Set.equal first correct then
+          Error
+            (Format.asprintf "extracted set %a equals the correct set"
+               Pid.Set.pp first)
+        else Ok ()

@@ -1,0 +1,58 @@
+(** Fig. 3: transforming any stable f-non-trivial failure detector [D]
+    into Υᶠ (paper §6.3, Theorem 10).
+
+    Every process runs two tasks (two fibers sharing its crash fate):
+
+    - {b Task 1} periodically queries its module of [D] and publishes the
+      value with an ever-increasing timestamp in register [R\[i\]].
+    - {b Task 2} proceeds in rounds. It sets the extracted output to Π,
+      reads its current value [d] of [D], and computes
+      [(S, w) = ϕ_D(d)]. If [S = Π] it simply waits for some process to
+      report a value other than [d]. Otherwise it waits until it has
+      observed [w] {e batches} — in each batch every process is seen to
+      increase its timestamp at least twice while reporting [d] (between
+      two such writes the process must have queried [D] and obtained
+      [d]) — and then sets the extracted output to [S]; any foreign
+      value restarts the round.
+
+    Correctness mirrors the paper's argument: if the output sticks at Π,
+    some process stopped sampling, so Π ≠ correct(F); if it sticks at
+    [S], the observed batches certify that σ's prefix happened under the
+    current pattern, so [S = correct(F)] would make σ an f-resilient
+    sample — contradicting the choice of ϕ_D. Either way the stable
+    output is a set of ≥ n+1−f processes different from the correct set:
+    the output of Υᶠ. *)
+
+open Kernel
+
+type 'v t
+
+val create :
+  name:string ->
+  n_plus_1:int ->
+  f:int ->
+  detector:'v Sim.source ->
+  equal:('v -> 'v -> bool) ->
+  phi:'v Phi.map ->
+  'v t
+
+val fibers : 'v t -> me:Pid.t -> (unit -> unit) list
+(** The two task fibers for process [me]; both run forever (the
+    extraction never quiesces — stop at a horizon). *)
+
+val current_output : 'v t -> Pid.t -> Pid.Set.t option
+(** The process's extracted Υᶠ-output (None before the first write). *)
+
+val change_log : 'v t -> (Pid.t * int * Pid.Set.t) list
+(** Every change of any process's extracted output, in time order. *)
+
+val check :
+  'v t ->
+  pattern:Failure_pattern.t ->
+  last_time:int ->
+  tail:int ->
+  (unit, string) result
+(** Verify the extracted variable satisfies Υᶠ on this bounded run: no
+    correct-process change in the final [tail] time units, a common final
+    value at all correct processes, of size ≥ n+1−f, different from the
+    correct set. *)

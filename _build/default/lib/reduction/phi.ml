@@ -1,0 +1,88 @@
+open Kernel
+
+type t = { set : Pid.Set.t; batches : int }
+type 'v map = 'v -> t
+
+let pp ppf t =
+  Format.fprintf ppf "(%a, w=%d)" Pid.Set.pp t.set t.batches
+
+let target_size ~n_plus_1 ~f =
+  if f < 1 || f > n_plus_1 - 1 then invalid_arg "Phi: bad f";
+  n_plus_1 - f
+
+(* The first [size] pids, in order, drawn from Π minus [avoiding]. *)
+let first_avoiding ~n_plus_1 ~size ~avoiding =
+  let chosen =
+    Pid.all ~n_plus_1
+    |> List.filter (fun p -> not (Pid.Set.mem p avoiding))
+    |> List.filteri (fun i _ -> i < size)
+  in
+  if List.length chosen < size then
+    invalid_arg "Phi.first_avoiding: not enough processes outside the set";
+  Pid.Set.of_list chosen
+
+(* The first [size] pids containing [including]. *)
+let first_including ~n_plus_1 ~size ~including =
+  let rest =
+    Pid.all ~n_plus_1 |> List.filter (fun p -> not (Pid.equal p including))
+  in
+  let chosen = including :: List.filteri (fun i _ -> i < size - 1) rest in
+  Pid.Set.of_list chosen
+
+let omega ~n_plus_1 ~f =
+  let size = target_size ~n_plus_1 ~f in
+  fun leader ->
+    {
+      set = first_avoiding ~n_plus_1 ~size ~avoiding:(Pid.Set.singleton leader);
+      batches = 0;
+    }
+
+let omega_k ~n_plus_1 ~f ~k =
+  if k > f then invalid_arg "Phi.omega_k: needs k <= f";
+  let size = target_size ~n_plus_1 ~f in
+  fun committee ->
+    { set = first_avoiding ~n_plus_1 ~size ~avoiding:committee; batches = 0 }
+
+let suspicion ~n_plus_1 ~f =
+  let size = target_size ~n_plus_1 ~f in
+  fun suspected ->
+    let forbidden = Pid.Set.complement ~n_plus_1 suspected in
+    (* any size-(n+1-f) set other than Π − suspected *)
+    let candidate = first_avoiding ~n_plus_1 ~size ~avoiding:Pid.Set.empty in
+    let set =
+      if Pid.Set.equal candidate forbidden then
+        (* shift by one: drop the smallest, add the smallest not in it *)
+        let without_min = Pid.Set.remove (Pid.Set.min_elt candidate) candidate in
+        let extra =
+          List.find
+            (fun p -> not (Pid.Set.mem p candidate))
+            (Pid.all ~n_plus_1)
+        in
+        Pid.Set.add extra without_min
+      else candidate
+    in
+    { set; batches = 0 }
+
+let upsilon_f ~n_plus_1 ~f =
+  let size = target_size ~n_plus_1 ~f in
+  fun u ->
+    if Pid.Set.cardinal u < size then
+      invalid_arg "Phi.upsilon_f: value below range size";
+    { set = u; batches = 0 }
+
+let vitality ~n_plus_1 ~f ~watched =
+  let size = target_size ~n_plus_1 ~f in
+  fun verdict ->
+    if verdict then
+      {
+        set =
+          first_avoiding ~n_plus_1 ~size ~avoiding:(Pid.Set.singleton watched);
+        batches = 0;
+      }
+    else { set = first_including ~n_plus_1 ~size ~including:watched; batches = 0 }
+
+let with_batches w inner =
+  if w < 0 then invalid_arg "Phi.with_batches: negative";
+  fun d ->
+    let t = inner d in
+    { t with batches = max t.batches w }

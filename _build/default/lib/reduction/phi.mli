@@ -1,0 +1,57 @@
+(** The maps ϕ_D of Corollary 9, derived by hand for concrete detectors.
+
+    For an f-non-trivial detector [D] with range [R], ϕ_D carries each
+    value [d ∈ R] to [(correct(σ), w(σ))] for some sequence
+    [σ ∈ (Π × {d})*] that is {e not} an f-resilient sample of [D]: no
+    failure pattern whose correct set equals [correct(σ)] admits a
+    history of [D] showing [d] at unboundedly many steps of [correct(σ)].
+    The paper proves such a map exists for every f-non-trivial detector
+    but cannot construct it in general (Lemma 8 is non-constructive); for
+    each detector shipped in {!Detectors} the derivation is elementary
+    and recorded here:
+
+    - {b Ω}, value [p]: any [C] of size n+1−f avoiding [p] — a constant
+      leader must eventually be correct, so "forever [p]" with [p ∉ C]
+      has no witness. (Needs f ≥ 1.)
+    - {b Ωₖ} (k ≤ f), value [L]: any [C ⊆ Π − L] of size n+1−f — the
+      stable committee must intersect the correct set.
+    - {b P/◇P}, value [S]: any [C ≠ Π − S] of size n+1−f — suspicions
+      must converge to exactly the faulty set.
+    - {b Υᶠ} itself, value [U]: [C = U] — Υᶠ may never stabilize on the
+      correct set itself. (The extraction is the identity on Υᶠ.)
+    - {b Vitality(q)}, value [true]: any [C] of size n+1−f avoiding [q];
+      value [false]: any such [C] containing [q].
+
+    [batches] is [w(σ)]: the length of the shortest prefix of σ
+    containing all steps of the finitely-appearing processes. All the σ
+    above can be chosen with only [correct(σ)]-processes appearing, so
+    [batches = 0]; {!with_batches} prepends full sweeps of Π to σ —
+    still not a sample (the tail is what is impossible) — to exercise
+    the Fig-3 batch-observation machinery. *)
+
+open Kernel
+
+type t = { set : Pid.Set.t; batches : int }
+(** (correct(σ), w(σ)). *)
+
+type 'v map = 'v -> t
+
+val pp : Format.formatter -> t -> unit
+
+val target_size : n_plus_1:int -> f:int -> int
+(** [n + 1 − f], the required |correct(σ)|. *)
+
+val omega : n_plus_1:int -> f:int -> Pid.t map
+val omega_k : n_plus_1:int -> f:int -> k:int -> Pid.Set.t map
+(** Requires [k ≤ f]. *)
+
+val suspicion : n_plus_1:int -> f:int -> Pid.Set.t map
+(** For P and ◇P (any detector converging to the exact faulty set). *)
+
+val upsilon_f : n_plus_1:int -> f:int -> Pid.Set.t map
+val vitality : n_plus_1:int -> f:int -> watched:Pid.t -> bool map
+
+val with_batches : int -> 'v map -> 'v map
+(** Override [w(σ)] upward: σ gains a prefix of that many full sweeps of
+    Π, so the extraction must observe that many query batches before
+    committing to the set. *)

@@ -1,0 +1,1 @@
+test/test_abd.ml: Abd Alcotest Failure_pattern Kernel List Memory Pid Policy Rng Run Scheduler Sim

@@ -1,0 +1,1 @@
+test/test_converge.ml: Alcotest Arena Array Commit_adopt Converge Failure_pattern Int Kernel List Pid Policy QCheck QCheck_alcotest Rng Run Scheduler Test

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Converge Explore Failure_pattern Int Kernel List Memory Pid Printf Register String

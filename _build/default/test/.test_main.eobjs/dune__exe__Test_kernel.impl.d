@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Failure_pattern Format Kernel List Oracle Pid Policy QCheck QCheck_alcotest Rng Run Scheduler Sim Test Trace

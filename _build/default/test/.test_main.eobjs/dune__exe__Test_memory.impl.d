@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array Consensus_obj Failure_pattern Kernel List Memory Native_snapshot Pid Policy QCheck QCheck_alcotest Register Rng Run Scheduler Snapshot Test

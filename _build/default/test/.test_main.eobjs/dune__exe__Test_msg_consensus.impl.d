@@ -1,0 +1,1 @@
+test/test_msg_consensus.ml: Agreement Alcotest Detector Detectors Failure_pattern Int Kernel List Msg_consensus Omega Pid Policy Rng Run Sa_spec

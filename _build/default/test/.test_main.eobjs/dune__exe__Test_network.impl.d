@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Failure_pattern Fun Kernel List Network Pid Policy QCheck QCheck_alcotest Rng Run Scheduler Test

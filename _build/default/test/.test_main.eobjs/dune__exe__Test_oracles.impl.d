@@ -1,0 +1,1 @@
+test/test_oracles.ml: Agreement Alcotest Detector Detectors Failure_pattern Format Kernel List Omega Oracle Perfect Phi Pid Policy Reduction Rng Run Sa_spec Sim Trace Upsilon Upsilon_f Upsilon_sa

@@ -1,0 +1,1 @@
+test/test_wfde.ml: Agreement Alcotest Detectors Failure_pattern Format Int Kernel List Pid Policy Rng Run String Wfde

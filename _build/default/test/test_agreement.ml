@@ -1,0 +1,480 @@
+(* Tests for the set-agreement protocols: Fig 1 (Theorem 2), Fig 2
+   (Theorem 6), the Omega_k baseline, Omega-consensus, and the
+   detector-free impossibility skeleton. Safety is checked on every run;
+   termination within generous horizons. *)
+
+open Kernel
+open Detectors
+open Agreement
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let horizon = 2_000_000
+
+(* Run Fig 1 under the given pattern/policy/detector; return the spec
+   verdict and protocol object. *)
+let run_fig1 ?(inputs = fun pid -> 100 + pid) ?participants ~pattern ~policy
+    ~upsilon () =
+  let n_plus_1 = Failure_pattern.n_plus_1 pattern in
+  let proto =
+    Upsilon_sa.create ~name:"sa" ~n_plus_1 ~upsilon:(Detector.source upsilon) ()
+  in
+  let participating pid =
+    match participants with None -> true | Some s -> Pid.Set.mem pid s
+  in
+  let result =
+    Run.exec ~pattern ~policy ~horizon
+      ~procs:(fun pid ->
+        if participating pid then
+          [ Upsilon_sa.proposer proto ~me:pid ~input:(inputs pid) ]
+        else [])
+      ()
+  in
+  let proposals =
+    List.filter_map
+      (fun pid -> if participating pid then Some (pid, inputs pid) else None)
+      (Pid.all ~n_plus_1)
+  in
+  let verdict =
+    Sa_spec.check ~k:(n_plus_1 - 1) ~pattern ~proposals
+      ~decisions:(Upsilon_sa.decisions proto)
+      ?participants ()
+  in
+  (verdict, proto, result)
+
+let expect_ok label verdict =
+  if not (Sa_spec.all_ok verdict) then
+    Alcotest.failf "%s: %a" label Sa_spec.pp verdict
+
+(* -- Fig 1 ------------------------------------------------------------------ *)
+
+let test_fig1_failure_free_round_robin () =
+  let pattern = Failure_pattern.no_failures ~n_plus_1:3 in
+  let rng = Rng.create 1 in
+  let upsilon = Upsilon.make ~rng ~pattern ~stab_time:0 () in
+  let verdict, _, _ =
+    run_fig1 ~pattern ~policy:(Policy.round_robin ()) ~upsilon ()
+  in
+  expect_ok "fig1 failure-free" verdict
+
+let test_fig1_random_schedules_and_crashes () =
+  for seed = 1 to 60 do
+    let rng = Rng.create seed in
+    let n_plus_1 = 2 + (seed mod 4) in
+    let pattern =
+      Failure_pattern.random rng ~n_plus_1 ~max_faulty:(n_plus_1 - 1)
+        ~latest:300
+    in
+    let upsilon = Upsilon.make ~rng ~pattern () in
+    let verdict, _, result =
+      run_fig1 ~pattern ~policy:(Policy.random rng) ~upsilon ()
+    in
+    if not (Sa_spec.all_ok verdict) then
+      Alcotest.failf "seed %d (pattern %a, outcome %s): %a" seed
+        Failure_pattern.pp pattern
+        (match result.outcome with
+        | Scheduler.Horizon -> "horizon"
+        | Scheduler.Quiescent -> "quiescent"
+        | Scheduler.Policy_stop -> "policy-stop")
+        Sa_spec.pp verdict
+  done
+
+let test_fig1_late_stabilization () =
+  (* Υ spews garbage for a long prefix; the protocol must still decide. *)
+  let pattern = Failure_pattern.make ~n_plus_1:4 ~crashes:[ (0, 50) ] in
+  let rng = Rng.create 77 in
+  let upsilon = Upsilon.make ~rng ~pattern ~stab_time:5_000 () in
+  let verdict, _, _ =
+    run_fig1 ~pattern ~policy:(Policy.random (Rng.create 78)) ~upsilon ()
+  in
+  expect_ok "fig1 late stabilization" verdict
+
+let test_fig1_all_legal_stable_sets () =
+  (* Theorem 2 holds whatever legal set Υ stabilizes to: sweep them all
+     for a fixed pattern. *)
+  let pattern = Failure_pattern.make ~n_plus_1:3 ~crashes:[ (0, 40) ] in
+  List.iter
+    (fun stable_set ->
+      let rng = Rng.create 5 in
+      let upsilon = Upsilon.make ~rng ~pattern ~stable_set ~stab_time:100 () in
+      let verdict, _, _ =
+        run_fig1 ~pattern ~policy:(Policy.random (Rng.create 6)) ~upsilon ()
+      in
+      if not (Sa_spec.all_ok verdict) then
+        Alcotest.failf "stable set %s: %a"
+          (Pid.Set.to_string stable_set)
+          Sa_spec.pp verdict)
+    (Upsilon.legal_stable_sets ~pattern)
+
+let test_fig1_identical_inputs_decide_it () =
+  let pattern = Failure_pattern.no_failures ~n_plus_1:4 in
+  let rng = Rng.create 10 in
+  let upsilon = Upsilon.make ~rng ~pattern ~stab_time:0 () in
+  let verdict, proto, _ =
+    run_fig1
+      ~inputs:(fun _ -> 55)
+      ~pattern
+      ~policy:(Policy.random (Rng.create 11))
+      ~upsilon ()
+  in
+  expect_ok "fig1 identical inputs" verdict;
+  List.iter
+    (fun (_, v) -> checki "decided the only input" 55 v)
+    (Upsilon_sa.decisions proto)
+
+let test_fig1_nonparticipation_remark () =
+  (* Remark after Theorem 2: with a non-participant, round 1's n-converge
+     sees at most n values and every correct participant decides in
+     round 1. *)
+  let n_plus_1 = 4 in
+  let pattern = Failure_pattern.no_failures ~n_plus_1 in
+  let rng = Rng.create 21 in
+  let upsilon = Upsilon.make ~rng ~pattern ~stab_time:10 () in
+  let participants = Pid.Set.of_indices [ 0; 1; 2 ] in
+  let verdict, proto, _ =
+    run_fig1 ~participants ~pattern
+      ~policy:(Policy.random (Rng.create 22))
+      ~upsilon ()
+  in
+  expect_ok "fig1 non-participation" verdict;
+  List.iter
+    (fun (_, r) -> checki "decided in round 1" 1 r)
+    (Upsilon_sa.decision_rounds proto)
+
+let test_fig1_lockstep_with_distinct_inputs () =
+  (* The schedule that starves the detector-free skeleton forever is
+     broken by Υ once it stabilizes. *)
+  let pattern = Failure_pattern.no_failures ~n_plus_1:3 in
+  let rng = Rng.create 31 in
+  let upsilon = Upsilon.make ~rng ~pattern ~stab_time:0 () in
+  let verdict, _, _ =
+    run_fig1 ~pattern ~policy:(Policy.round_robin ()) ~upsilon ()
+  in
+  expect_ok "fig1 lockstep" verdict
+
+let test_fig1_two_processes_is_consensus () =
+  (* n = 1: 1-set agreement = consensus, solved with Υ (≡ Ω here). *)
+  for seed = 1 to 20 do
+    let rng = Rng.create (seed * 3) in
+    let pattern =
+      Failure_pattern.random rng ~n_plus_1:2 ~max_faulty:1 ~latest:100
+    in
+    let upsilon = Upsilon.make ~rng ~pattern () in
+    let verdict, proto, _ =
+      run_fig1 ~pattern ~policy:(Policy.random rng) ~upsilon ()
+    in
+    expect_ok "fig1 consensus" verdict;
+    let decided = List.sort_uniq Int.compare (List.map snd (Upsilon_sa.decisions proto)) in
+    checkb "single value" true (List.length decided <= 1)
+  done
+
+(* -- Fig 2 ------------------------------------------------------------------ *)
+
+let run_fig2 ?(inputs = fun pid -> 200 + pid) ~pattern ~policy ~f ~upsilon_f ()
+    =
+  let n_plus_1 = Failure_pattern.n_plus_1 pattern in
+  let proto =
+    Upsilon_f_sa.create ~name:"fsa" ~n_plus_1 ~f
+      ~upsilon_f:(Detector.source upsilon_f) ()
+  in
+  let result =
+    Run.exec ~pattern ~policy ~horizon
+      ~procs:(fun pid ->
+        [ Upsilon_f_sa.proposer proto ~me:pid ~input:(inputs pid) ])
+      ()
+  in
+  let proposals = List.map (fun pid -> (pid, inputs pid)) (Pid.all ~n_plus_1) in
+  let verdict =
+    Sa_spec.check ~k:f ~pattern ~proposals
+      ~decisions:(Upsilon_f_sa.decisions proto)
+      ()
+  in
+  (verdict, proto, result)
+
+let test_fig2_failure_free () =
+  let pattern = Failure_pattern.no_failures ~n_plus_1:4 in
+  let rng = Rng.create 41 in
+  let f = 2 in
+  let upsilon_f = Upsilon_f.make ~rng ~pattern ~f ~stab_time:0 () in
+  let verdict, _, _ =
+    run_fig2 ~pattern ~policy:(Policy.round_robin ()) ~f ~upsilon_f ()
+  in
+  expect_ok "fig2 failure-free" verdict
+
+let test_fig2_sweep_f_and_crashes () =
+  for seed = 1 to 50 do
+    let rng = Rng.create (seed * 7) in
+    let n_plus_1 = 3 + (seed mod 3) in
+    let f = 1 + (seed mod (n_plus_1 - 1)) in
+    let pattern =
+      Failure_pattern.random rng ~n_plus_1 ~max_faulty:f ~latest:300
+    in
+    let upsilon_f = Upsilon_f.make ~rng ~pattern ~f () in
+    let verdict, _, _ =
+      run_fig2 ~pattern ~policy:(Policy.random rng) ~f ~upsilon_f ()
+    in
+    if not (Sa_spec.all_ok verdict) then
+      Alcotest.failf "seed %d (n+1=%d, f=%d, %a): %a" seed n_plus_1 f
+        Failure_pattern.pp pattern Sa_spec.pp verdict
+  done
+
+let test_fig2_gladiator_only_case () =
+  (* Υᶠ stabilizes to a strict superset of the correct set: all correct
+     processes are gladiators and must converge through the snapshot
+     mechanism alone (case D[r]=⊥ forever of the Theorem 6 proof). *)
+  let n_plus_1 = 4 in
+  let f = 2 in
+  let pattern = Failure_pattern.make ~n_plus_1 ~crashes:[ (3, 60) ] in
+  (* correct = {p1,p2,p3}; choose U = Π (≠ correct, |U| ≥ n+1−f) *)
+  let rng = Rng.create 51 in
+  let upsilon_f =
+    Upsilon_f.make ~rng ~pattern ~f
+      ~stable_set:(Pid.Set.full ~n_plus_1)
+      ~stab_time:0 ()
+  in
+  let verdict, _, _ =
+    run_fig2 ~pattern ~policy:(Policy.random (Rng.create 52)) ~f ~upsilon_f ()
+  in
+  expect_ok "fig2 gladiators only" verdict
+
+let test_fig2_citizen_only_escape () =
+  (* Υᶠ stabilizes to a set disjoint from some correct citizen: the
+     citizen's D[r] write must unblock gladiators. *)
+  let n_plus_1 = 4 in
+  let f = 2 in
+  let pattern = Failure_pattern.no_failures ~n_plus_1 in
+  let rng = Rng.create 61 in
+  let upsilon_f =
+    Upsilon_f.make ~rng ~pattern ~f
+      ~stable_set:(Pid.Set.of_indices [ 0; 1 ])
+      ~stab_time:0 ()
+  in
+  let verdict, _, _ =
+    run_fig2 ~pattern ~policy:(Policy.random (Rng.create 62)) ~f ~upsilon_f ()
+  in
+  expect_ok "fig2 citizen escape" verdict
+
+let test_fig2_f_equals_n_matches_fig1 () =
+  (* Υⁿ = Υ: at f = n, Fig 2 solves the same problem as Fig 1. *)
+  let pattern = Failure_pattern.make ~n_plus_1:3 ~crashes:[ (1, 30) ] in
+  let rng = Rng.create 71 in
+  let f = 2 in
+  let upsilon_f = Upsilon_f.make ~rng ~pattern ~f () in
+  let verdict, _, _ =
+    run_fig2 ~pattern ~policy:(Policy.random (Rng.create 72)) ~f ~upsilon_f ()
+  in
+  expect_ok "fig2 at f=n" verdict
+
+(* -- Ωₖ baseline -------------------------------------------------------------- *)
+
+let run_omega_k ?(inputs = fun pid -> 300 + pid) ~pattern ~policy ~k ~omega_k
+    () =
+  let n_plus_1 = Failure_pattern.n_plus_1 pattern in
+  let proto =
+    Omega_k_sa.create ~name:"oksa" ~n_plus_1 ~k
+      ~omega_k:(Detector.source omega_k)
+  in
+  let result =
+    Run.exec ~pattern ~policy ~horizon
+      ~procs:(fun pid ->
+        [ Omega_k_sa.proposer proto ~me:pid ~input:(inputs pid) ])
+      ()
+  in
+  let proposals = List.map (fun pid -> (pid, inputs pid)) (Pid.all ~n_plus_1) in
+  let verdict =
+    Sa_spec.check ~k ~pattern ~proposals
+      ~decisions:(Omega_k_sa.decisions proto)
+      ()
+  in
+  (verdict, proto, result)
+
+let test_omega_k_baseline () =
+  for seed = 1 to 40 do
+    let rng = Rng.create (seed * 11) in
+    let n_plus_1 = 3 + (seed mod 3) in
+    let k = 1 + (seed mod (n_plus_1 - 1)) in
+    let pattern =
+      Failure_pattern.random rng ~n_plus_1 ~max_faulty:(n_plus_1 - 1)
+        ~latest:200
+    in
+    let omega_k = Omega_k.make ~rng ~pattern ~k () in
+    let verdict, _, _ =
+      run_omega_k ~pattern ~policy:(Policy.random rng) ~k ~omega_k ()
+    in
+    if not (Sa_spec.all_ok verdict) then
+      Alcotest.failf "seed %d: %a" seed Sa_spec.pp verdict
+  done
+
+let test_omega_consensus () =
+  for seed = 1 to 30 do
+    let rng = Rng.create (seed * 13) in
+    let n_plus_1 = 2 + (seed mod 3) in
+    let pattern =
+      Failure_pattern.random rng ~n_plus_1 ~max_faulty:(n_plus_1 - 1)
+        ~latest:150
+    in
+    let omega = Omega.make ~rng ~pattern () in
+    let proto =
+      Omega_consensus.create ~name:"cons" ~n_plus_1
+        ~omega:(Detector.source omega)
+    in
+    let _ =
+      Run.exec ~pattern ~policy:(Policy.random rng) ~horizon
+        ~procs:(fun pid ->
+          [ Omega_consensus.proposer proto ~me:pid ~input:(400 + pid) ])
+        ()
+    in
+    let proposals = List.map (fun pid -> (pid, 400 + pid)) (Pid.all ~n_plus_1) in
+    let verdict =
+      Sa_spec.check ~k:1 ~pattern ~proposals
+        ~decisions:(Omega_consensus.decisions proto)
+        ()
+    in
+    if not (Sa_spec.all_ok verdict) then
+      Alcotest.failf "seed %d: %a" seed Sa_spec.pp verdict
+  done
+
+(* -- Impossibility skeleton ----------------------------------------------------- *)
+
+let test_async_attempt_starves_under_lockstep () =
+  (* Distinct inputs + lock-step round-robin: nobody ever decides (the
+     impossibility's bad run), yet safety holds vacuously. *)
+  let n_plus_1 = 3 in
+  let pattern = Failure_pattern.no_failures ~n_plus_1 in
+  let proto = Async_attempt.create ~name:"async" ~n_plus_1 in
+  let result =
+    Run.exec ~pattern
+      ~policy:(Policy.round_robin ())
+      ~horizon:100_000
+      ~procs:(fun pid ->
+        [ Async_attempt.proposer proto ~me:pid ~input:(500 + pid) ])
+      ()
+  in
+  checkb "ran to horizon" true (result.outcome = Scheduler.Horizon);
+  checki "nobody decided" 0 (List.length (Async_attempt.decisions proto));
+  checkb "many rounds burned" true (Async_attempt.rounds_entered proto > 10)
+
+let test_async_attempt_safety_always () =
+  (* Under random schedules the skeleton may decide — but never more than
+     n values, and only proposed ones. *)
+  for seed = 1 to 40 do
+    let rng = Rng.create (seed * 17) in
+    let n_plus_1 = 3 in
+    let pattern = Failure_pattern.no_failures ~n_plus_1 in
+    let proto = Async_attempt.create ~name:"async" ~n_plus_1 in
+    let _ =
+      Run.exec ~pattern ~policy:(Policy.random rng) ~horizon:200_000
+        ~procs:(fun pid ->
+          [ Async_attempt.proposer proto ~me:pid ~input:(600 + pid) ])
+        ()
+    in
+    let decided =
+      List.sort_uniq Int.compare (List.map snd (Async_attempt.decisions proto))
+    in
+    checkb "agreement" true (List.length decided <= n_plus_1 - 1);
+    checkb "validity" true
+      (List.for_all (fun v -> v >= 600 && v < 600 + n_plus_1) decided)
+  done
+
+let test_async_attempt_identical_inputs_decides () =
+  (* With a single input value, even the detector-free skeleton commits
+     in round 1 — the impossibility needs input diversity. *)
+  let n_plus_1 = 3 in
+  let pattern = Failure_pattern.no_failures ~n_plus_1 in
+  let proto = Async_attempt.create ~name:"async" ~n_plus_1 in
+  let result =
+    Run.exec ~pattern
+      ~policy:(Policy.round_robin ())
+      ~horizon:100_000
+      ~procs:(fun pid -> [ Async_attempt.proposer proto ~me:pid ~input:7 ])
+      ()
+  in
+  checkb "quiescent" true (result.outcome = Scheduler.Quiescent);
+  checki "all decided" n_plus_1 (List.length (Async_attempt.decisions proto))
+
+(* -- property tests -------------------------------------------------------------- *)
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~count:60 ~name:"fig1: safety+termination over random worlds"
+      small_nat
+      (fun seed ->
+        let rng = Rng.create ((seed * 41) + 3) in
+        let n_plus_1 = 2 + (seed mod 4) in
+        let pattern =
+          Failure_pattern.random rng ~n_plus_1 ~max_faulty:(n_plus_1 - 1)
+            ~latest:250
+        in
+        let upsilon = Upsilon.make ~rng ~pattern () in
+        let verdict, _, _ =
+          run_fig1 ~pattern ~policy:(Policy.random rng) ~upsilon ()
+        in
+        Sa_spec.all_ok verdict);
+    Test.make ~count:50 ~name:"fig2: safety+termination over random worlds"
+      small_nat
+      (fun seed ->
+        let rng = Rng.create ((seed * 43) + 5) in
+        let n_plus_1 = 3 + (seed mod 3) in
+        let f = 1 + (seed mod (n_plus_1 - 1)) in
+        let pattern =
+          Failure_pattern.random rng ~n_plus_1 ~max_faulty:f ~latest:250
+        in
+        let upsilon_f = Upsilon_f.make ~rng ~pattern ~f () in
+        let verdict, _, _ =
+          run_fig2 ~pattern ~policy:(Policy.random rng) ~f ~upsilon_f ()
+        in
+        Sa_spec.all_ok verdict);
+    Test.make ~count:40
+      ~name:"fig1 under weighted (asymmetric-speed) schedulers" small_nat
+      (fun seed ->
+        let rng = Rng.create ((seed * 47) + 7) in
+        let n_plus_1 = 3 in
+        let pattern =
+          Failure_pattern.random rng ~n_plus_1 ~max_faulty:2 ~latest:150
+        in
+        let upsilon = Upsilon.make ~rng ~pattern () in
+        let weights = [ (0, 10); (1, 1); (2, 3) ] in
+        let verdict, _, _ =
+          run_fig1 ~pattern ~policy:(Policy.weighted rng ~weights) ~upsilon ()
+        in
+        Sa_spec.all_ok verdict);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "fig1 failure-free round-robin" `Quick
+      test_fig1_failure_free_round_robin;
+    Alcotest.test_case "fig1 random schedules+crashes" `Quick
+      test_fig1_random_schedules_and_crashes;
+    Alcotest.test_case "fig1 late stabilization" `Quick
+      test_fig1_late_stabilization;
+    Alcotest.test_case "fig1 all legal stable sets" `Quick
+      test_fig1_all_legal_stable_sets;
+    Alcotest.test_case "fig1 identical inputs" `Quick
+      test_fig1_identical_inputs_decide_it;
+    Alcotest.test_case "fig1 non-participation remark" `Quick
+      test_fig1_nonparticipation_remark;
+    Alcotest.test_case "fig1 lockstep distinct inputs" `Quick
+      test_fig1_lockstep_with_distinct_inputs;
+    Alcotest.test_case "fig1 two-process consensus" `Quick
+      test_fig1_two_processes_is_consensus;
+    Alcotest.test_case "fig2 failure-free" `Quick test_fig2_failure_free;
+    Alcotest.test_case "fig2 sweep f and crashes" `Quick
+      test_fig2_sweep_f_and_crashes;
+    Alcotest.test_case "fig2 gladiators only" `Quick
+      test_fig2_gladiator_only_case;
+    Alcotest.test_case "fig2 citizen escape" `Quick
+      test_fig2_citizen_only_escape;
+    Alcotest.test_case "fig2 f=n" `Quick test_fig2_f_equals_n_matches_fig1;
+    Alcotest.test_case "omega_k baseline" `Quick test_omega_k_baseline;
+    Alcotest.test_case "omega consensus" `Quick test_omega_consensus;
+    Alcotest.test_case "async skeleton starves (lockstep)" `Quick
+      test_async_attempt_starves_under_lockstep;
+    Alcotest.test_case "async skeleton safety" `Quick
+      test_async_attempt_safety_always;
+    Alcotest.test_case "async skeleton, one input" `Quick
+      test_async_attempt_identical_inputs_decides;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_cases

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "wfde"
+    [
+      ("kernel", Test_kernel.suite);
+      ("memory", Test_memory.suite);
+      ("detectors", Test_detectors.suite);
+      ("converge", Test_converge.suite);
+      ("agreement", Test_agreement.suite);
+      ("reduction", Test_reduction.suite);
+      ("wfde", Test_wfde.suite);
+      ("faults", Test_faults.suite);
+      ("explore", Test_explore.suite);
+      ("oracles", Test_oracles.suite);
+      ("network", Test_network.suite);
+      ("abd", Test_abd.suite);
+      ("msg-consensus", Test_msg_consensus.suite);
+    ]

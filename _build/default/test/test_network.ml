@@ -1,0 +1,134 @@
+(* Tests for the message layer: reliability (every sent message is
+   eventually polled by a correct receiver under fair scheduling), FIFO
+   per sender-receiver pair, crash semantics (messages to the dead are
+   never consumed), and step accounting. *)
+
+open Kernel
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let test_send_poll_roundtrip () =
+  let net = Network.create ~name:"n" ~n_plus_1:2 in
+  let got = ref [] in
+  let sender () =
+    Network.send net ~to_:1 "hello";
+    Network.send net ~to_:1 "world"
+  in
+  let receiver () =
+    let rec loop () =
+      got := !got @ Network.poll net;
+      if List.length !got < 2 then loop ()
+    in
+    loop ()
+  in
+  let result =
+    Run.exec
+      ~pattern:(Failure_pattern.no_failures ~n_plus_1:2)
+      ~policy:(Policy.round_robin ())
+      ~procs:(fun pid -> [ (if pid = 0 then sender else receiver) ])
+      ()
+  in
+  checkb "quiescent" true (result.outcome = Scheduler.Quiescent);
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "messages in order with sender" [ (0, "hello"); (0, "world") ] !got
+
+let test_send_and_poll_are_single_steps () =
+  let net = Network.create ~name:"n" ~n_plus_1:1 in
+  let body () =
+    Network.send net ~to_:0 1;
+    ignore (Network.poll net)
+  in
+  let result =
+    Run.exec
+      ~pattern:(Failure_pattern.no_failures ~n_plus_1:1)
+      ~policy:(Policy.round_robin ())
+      ~procs:(fun _ -> [ body ])
+      ()
+  in
+  checki "two steps" 2 result.steps
+
+let test_broadcast_reaches_everyone () =
+  let n_plus_1 = 4 in
+  let net = Network.create ~name:"n" ~n_plus_1 in
+  let received = Array.make n_plus_1 false in
+  let body pid () =
+    if pid = 0 then Network.broadcast net "ping";
+    let rec loop () =
+      if List.exists (fun (_, m) -> m = "ping") (Network.poll net) then
+        received.(pid) <- true
+      else loop ()
+    in
+    loop ()
+  in
+  let result =
+    Run.exec
+      ~pattern:(Failure_pattern.no_failures ~n_plus_1)
+      ~policy:(Policy.random (Rng.create 3))
+      ~horizon:10_000
+      ~procs:(fun pid -> [ body pid ])
+      ()
+  in
+  checkb "all received (incl. self)" true (Array.for_all Fun.id received);
+  checkb "quiescent" true (result.outcome = Scheduler.Quiescent)
+
+let test_messages_to_crashed_never_consumed () =
+  let net = Network.create ~name:"n" ~n_plus_1:2 in
+  let pattern = Failure_pattern.make ~n_plus_1:2 ~crashes:[ (1, 0) ] in
+  let body pid () = if pid = 0 then Network.send net ~to_:1 "dead letter" in
+  let _ =
+    Run.exec ~pattern
+      ~policy:(Policy.round_robin ())
+      ~procs:(fun pid -> [ body pid ])
+      ()
+  in
+  checki "still queued at the dead mailbox" 1 (Network.pending net 1)
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~count:40
+      ~name:"network: fair schedules deliver every message to correct procs"
+      small_nat
+      (fun seed ->
+        let n_plus_1 = 3 in
+        let rng = Rng.create (seed + 1) in
+        let net = Network.create ~name:"n" ~n_plus_1 in
+        let sent_per_receiver = 4 in
+        let received = Array.make n_plus_1 0 in
+        let body pid () =
+          (* everyone sends to everyone, then drains forever *)
+          List.iter
+            (fun to_ ->
+              for i = 1 to sent_per_receiver do
+                Network.send net ~to_ ((pid * 100) + i)
+              done)
+            (Pid.all ~n_plus_1);
+          while true do
+            received.(pid) <-
+              received.(pid) + List.length (Network.poll net)
+          done
+        in
+        let _ =
+          Run.exec
+            ~pattern:(Failure_pattern.no_failures ~n_plus_1)
+            ~policy:(Policy.random rng) ~horizon:20_000
+            ~procs:(fun pid -> [ body pid ])
+            ()
+        in
+        Array.for_all (fun c -> c = n_plus_1 * sent_per_receiver) received);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "send/poll roundtrip, FIFO" `Quick
+      test_send_poll_roundtrip;
+    Alcotest.test_case "send and poll are single steps" `Quick
+      test_send_and_poll_are_single_steps;
+    Alcotest.test_case "broadcast reaches everyone" `Quick
+      test_broadcast_reaches_everyone;
+    Alcotest.test_case "dead letters stay queued" `Quick
+      test_messages_to_crashed_never_consumed;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_cases

@@ -1,0 +1,177 @@
+(* End-to-end tests: the experiment drivers (with small parameters), the
+   harness, report rendering, and the booster-consensus extension. *)
+
+open Kernel
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* -- report ------------------------------------------------------------- *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec probe i = i + nn <= nh && (String.sub haystack i nn = needle || probe (i + 1)) in
+  nn = 0 || probe 0
+
+let test_report_alignment () =
+  let t =
+    {
+      Wfde.Report.title = "demo";
+      headers = [ "a"; "long-header"; "c" ];
+      rows = [ [ "xxxxx"; "1"; "2" ]; [ "y"; "22"; "333" ] ];
+    }
+  in
+  let s = Wfde.Report.to_string t in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | _title :: header :: rule :: _ ->
+      checki "rule width matches header width" (String.length header)
+        (String.length rule)
+  | _ -> Alcotest.fail "too few lines");
+  checkb "contains all cells" true
+    (List.for_all (contains s) [ "xxxxx"; "long-header"; "333" ])
+
+(* -- harness ------------------------------------------------------------- *)
+
+let test_harness_world_determinism () =
+  let w1 = Wfde.Harness.random_world ~seed:7 ~n_plus_1:4 ~max_faulty:2 () in
+  let w2 = Wfde.Harness.random_world ~seed:7 ~n_plus_1:4 ~max_faulty:2 () in
+  Alcotest.check Alcotest.string "same pattern"
+    (Format.asprintf "%a" Failure_pattern.pp w1.Wfde.Harness.pattern)
+    (Format.asprintf "%a" Failure_pattern.pp w2.Wfde.Harness.pattern)
+
+let test_harness_fig1_measures () =
+  let w = Wfde.Harness.random_world ~seed:3 ~n_plus_1:3 ~max_faulty:2 () in
+  let m = Wfde.Harness.run_fig1 w in
+  checkb "ok" true (Wfde.Harness.ok m);
+  checkb "decision times ordered" true
+    (m.Wfde.Harness.first_decision_time <= m.Wfde.Harness.last_decision_time);
+  checkb "rounds positive" true (m.Wfde.Harness.rounds >= 1)
+
+(* -- experiments (small parameters) ---------------------------------------- *)
+
+let test_experiments_hold_small () =
+  let outcomes =
+    [
+      Wfde.Experiments.e1_fig1_set_agreement ~seeds:4 ~sizes:[ 2; 3 ] ();
+      Wfde.Experiments.e2_fig2_f_resilient ~seeds:3 ~sizes:[ 3; 4 ] ();
+      Wfde.Experiments.e3_theorem1_adversary ~max_phases:6 ();
+      Wfde.Experiments.e4_theorem5_adversary ~max_phases:6 ();
+      Wfde.Experiments.e5_fig3_extraction ~seeds:2 ();
+      Wfde.Experiments.e6_pairwise_reductions ~seeds:4 ();
+      Wfde.Experiments.e7_upsilon_vs_omega_n ~seeds:3 ~stab_times:[ 0; 200 ] ();
+      Wfde.Experiments.e8_impossibility ~horizons:[ 10_000 ] ();
+      Wfde.Experiments.e9_booster_consensus ~seeds:4 ~sizes:[ 2; 3 ] ();
+      Wfde.Experiments.a1_snapshot_ablation ~sizes:[ 2; 4 ] ();
+      Wfde.Experiments.a2_escape_ablation ~seeds:4 ();
+    ]
+  in
+  List.iter
+    (fun o ->
+      if not o.Wfde.Experiments.ok then
+        Alcotest.failf "experiment %s failed:@.%s" o.Wfde.Experiments.id
+          (Wfde.Report.to_string o.Wfde.Experiments.table))
+    outcomes
+
+let test_experiment_lookup () =
+  List.iter
+    (fun id ->
+      match Wfde.Experiments.by_id id with
+      | Some _ -> ()
+      | None -> Alcotest.failf "experiment %s not registered" id)
+    [
+      "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
+      "a1"; "a2"; "a3";
+    ];
+  checkb "unknown rejected" true (Wfde.Experiments.by_id "e99" = None)
+
+(* -- stats ------------------------------------------------------------------ *)
+
+let test_stats_percentiles () =
+  let xs = [ 10; 20; 30; 40; 50 ] in
+  Alcotest.check (Alcotest.float 0.001) "median" 30.0 (Wfde.Stats.percentile 0.5 xs);
+  Alcotest.check (Alcotest.float 0.001) "min" 10.0 (Wfde.Stats.percentile 0.0 xs);
+  Alcotest.check (Alcotest.float 0.001) "max" 50.0 (Wfde.Stats.percentile 1.0 xs);
+  Alcotest.check (Alcotest.float 0.001) "interpolated p25" 20.0
+    (Wfde.Stats.percentile 0.25 xs);
+  let s = Wfde.Stats.summarize xs in
+  Alcotest.check (Alcotest.float 0.001) "mean" 30.0 s.Wfde.Stats.mean;
+  checki "count" 5 s.Wfde.Stats.count;
+  checki "min" 10 s.Wfde.Stats.min;
+  checki "max" 50 s.Wfde.Stats.max;
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Stats.summarize: empty") (fun () ->
+      ignore (Wfde.Stats.summarize []))
+
+(* -- booster consensus ------------------------------------------------------ *)
+
+let run_booster ~seed ~n_plus_1 =
+  let rng = Rng.create seed in
+  let pattern =
+    Failure_pattern.random rng ~n_plus_1 ~max_faulty:(n_plus_1 - 1) ~latest:200
+  in
+  let omega_n = Detectors.Omega_k.make ~rng ~pattern ~k:(n_plus_1 - 1) () in
+  let proto =
+    Agreement.Booster_consensus.create ~name:"boost" ~n_plus_1
+      ~omega_n:(Detectors.Detector.source omega_n)
+  in
+  let _result =
+    Run.exec ~pattern ~policy:(Policy.random rng) ~horizon:2_000_000
+      ~procs:(fun pid ->
+        [ Agreement.Booster_consensus.proposer proto ~me:pid ~input:(900 + pid) ])
+      ()
+  in
+  let verdict =
+    Agreement.Sa_spec.check ~k:1 ~pattern
+      ~proposals:(List.map (fun p -> (p, 900 + p)) (Pid.all ~n_plus_1))
+      ~decisions:(Agreement.Booster_consensus.decisions proto)
+      ()
+  in
+  (verdict, proto, pattern)
+
+let test_booster_solves_consensus () =
+  for seed = 1 to 30 do
+    let n_plus_1 = 2 + (seed mod 4) in
+    let verdict, _, pattern = run_booster ~seed ~n_plus_1 in
+    if not (Agreement.Sa_spec.all_ok verdict) then
+      Alcotest.failf "seed %d (%a): %a" seed Failure_pattern.pp pattern
+        Agreement.Sa_spec.pp verdict
+  done
+
+let test_booster_port_discipline () =
+  (* No consensus object may ever see more than n distinct processes,
+     even while Omega_n is still unstable. *)
+  for seed = 1 to 30 do
+    let n_plus_1 = 3 + (seed mod 3) in
+    let _, proto, _ = run_booster ~seed:(seed + 500) ~n_plus_1 in
+    checkb "ports within n" true
+      (Agreement.Booster_consensus.max_ports_used proto <= n_plus_1 - 1)
+  done
+
+let test_booster_unique_decision () =
+  for seed = 1 to 20 do
+    let _, proto, _ = run_booster ~seed:(seed + 900) ~n_plus_1:4 in
+    let decided =
+      Agreement.Booster_consensus.decisions proto
+      |> List.map snd |> List.sort_uniq Int.compare
+    in
+    checkb "exactly one value" true (List.length decided = 1)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "report alignment" `Quick test_report_alignment;
+    Alcotest.test_case "harness world determinism" `Quick
+      test_harness_world_determinism;
+    Alcotest.test_case "harness fig1 measures" `Quick test_harness_fig1_measures;
+    Alcotest.test_case "all experiments hold (small)" `Slow
+      test_experiments_hold_small;
+    Alcotest.test_case "experiment lookup" `Quick test_experiment_lookup;
+    Alcotest.test_case "stats percentiles" `Quick test_stats_percentiles;
+    Alcotest.test_case "booster solves consensus" `Quick
+      test_booster_solves_consensus;
+    Alcotest.test_case "booster port discipline" `Quick
+      test_booster_port_discipline;
+    Alcotest.test_case "booster unique decision" `Quick
+      test_booster_unique_decision;
+  ]
