@@ -6,7 +6,11 @@
    EXPERIMENTS.md for the paper-vs-measured record).
 
    Part 2 times the representative kernels with bechamel: one Test.make
-   per experiment, plus substrate micro-benchmarks. *)
+   per experiment, plus substrate micro-benchmarks.
+
+   With --json PATH, the same run also emits a machine-readable document
+   (schema "wfde-bench/1"): per-experiment verdicts and wall times, the
+   ns/run estimates, and the full telemetry-registry snapshot. *)
 
 open Bechamel
 open Toolkit
@@ -17,15 +21,29 @@ let print_experiment_tables () =
   Format.printf "==================================================@.";
   Format.printf "Part 1: experiment tables (one per paper claim)@.";
   Format.printf "==================================================@.@.";
-  let outcomes = Wfde.Experiments.all () in
-  List.iter (fun o -> Format.printf "%a@." Wfde.Experiments.pp o) outcomes;
-  let failed = List.filter (fun o -> not o.Wfde.Experiments.ok) outcomes in
+  let outcomes =
+    List.map
+      (fun (id, _) ->
+        let f = Option.get (Wfde.Experiments.by_id id) in
+        let t0 = Unix.gettimeofday () in
+        let o = f () in
+        (o, Unix.gettimeofday () -. t0))
+      Wfde.Experiments.catalog
+  in
+  List.iter
+    (fun (o, _) -> Format.printf "%a@." Wfde.Experiments.pp o)
+    outcomes;
+  let failed =
+    List.filter (fun (o, _) -> not o.Wfde.Experiments.ok) outcomes
+  in
   if failed = [] then
     Format.printf "summary: all %d experiment claims hold@.@."
       (List.length outcomes)
   else
     Format.printf "summary: FAILED claims: %s@.@."
-      (String.concat ", " (List.map (fun o -> o.Wfde.Experiments.id) failed))
+      (String.concat ", "
+         (List.map (fun (o, _) -> o.Wfde.Experiments.id) failed));
+  outcomes
 
 (* ------------------------------------------------------------- part 2 *)
 
@@ -282,6 +300,7 @@ let run_benchmarks () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -293,12 +312,67 @@ let run_benchmarks () =
             | Some (t :: _) -> t
             | Some [] | None -> nan
           in
+          estimates := (name, nanos) :: !estimates;
           Format.printf "%-42s %12.0f ns/run  (%6.2f ms)@." name nanos
             (nanos /. 1e6))
         analysis)
     (all_tests ());
-  Format.printf "@."
+  Format.printf "@.";
+  List.rev !estimates
+
+(* --------------------------------------------------------- json output *)
+
+let json_document ~outcomes ~benchmarks =
+  let module J = Wfde.Json in
+  J.Obj
+    [
+      ("schema", J.String "wfde-bench/1");
+      ( "experiments",
+        J.List
+          (List.map
+             (fun (o, wall) ->
+               J.Obj
+                 [
+                   ("id", J.String o.Wfde.Experiments.id);
+                   ("ok", J.Bool o.Wfde.Experiments.ok);
+                   ("wall_seconds", J.Float wall);
+                 ])
+             outcomes) );
+      ( "benchmarks",
+        J.List
+          (List.map
+             (fun (name, nanos) ->
+               J.Obj
+                 [ ("name", J.String name); ("ns_per_run", J.Float nanos) ])
+             benchmarks) );
+      ("metrics", Wfde.Metrics.to_json (Wfde.Metrics.snapshot ()));
+    ]
+
+let parse_args () =
+  let json = ref None in
+  let rec walk = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json := Some path;
+        walk rest
+    | "--json" :: [] -> failwith "--json requires a PATH argument"
+    | arg :: _ -> failwith (Printf.sprintf "unknown argument %S" arg)
+  in
+  walk (List.tl (Array.to_list Sys.argv));
+  !json
 
 let () =
-  print_experiment_tables ();
-  run_benchmarks ()
+  let json_path = parse_args () in
+  let outcomes = print_experiment_tables () in
+  let benchmarks = run_benchmarks () in
+  match json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc
+            (Wfde.Json.to_string (json_document ~outcomes ~benchmarks));
+          output_char oc '\n');
+      Format.printf "wrote machine-readable results to %s@." path

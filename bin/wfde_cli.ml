@@ -2,11 +2,13 @@
 
      wfde run [EXPERIMENTS...] [--scale N]   (also the default command)
      wfde list
-     wfde trace --protocol fig1 --seed 7 --n 4 [--limit 120]
+     wfde trace --protocol fig1 --seed 7 --n 4 [--limit 120] [--out F.jsonl]
+     wfde stats [EXPERIMENTS...] [--scale N] [--json PATH]
 
    Experiments are the paper-claim tables of DESIGN.md (e1..e11, a1..a3);
    trace replays one world and dumps the step-by-step run, including the
-   values every detector query returned. *)
+   values every detector query returned (or exports it as JSONL); stats
+   runs experiments and dumps the telemetry registry they populated. *)
 
 open Cmdliner
 
@@ -64,7 +66,7 @@ let list_cmd =
 
 (* ------------------------------------------------------------ trace --- *)
 
-let dump_trace protocol seed n_plus_1 f limit =
+let dump_trace protocol seed n_plus_1 f limit out =
   let world =
     Wfde.Harness.random_world ~seed ~n_plus_1 ~max_faulty:(n_plus_1 - 1) ()
   in
@@ -115,23 +117,35 @@ let dump_trace protocol seed n_plus_1 f limit =
           "detector-free skeleton under lock-step (the impossibility run)" )
     | other -> failwith (Printf.sprintf "unknown protocol %S" other)
   in
-  Format.printf "%s@.world: %a@.@." description Wfde.Failure_pattern.pp
-    (match protocol with
-    | "async" -> Wfde.Failure_pattern.no_failures ~n_plus_1
-    | _ -> world.Wfde.Harness.pattern);
   let events = run_result.Wfde.Run.trace in
-  List.iteri
-    (fun i e ->
-      if i < limit then Format.printf "%a@." Wfde.Trace.pp_event e)
-    events;
-  let total = List.length events in
-  if total > limit then Format.printf "... (%d more events)@." (total - limit);
-  Format.printf "@.decisions:@.";
-  List.iter
-    (fun (pid, t, _, v) ->
-      Format.printf "  t=%-6d %a decided %s@." t Wfde.Pid.pp pid v)
-    (Wfde.Trace.outputs ~label:"decide" events);
-  0
+  match out with
+  | Some path -> (
+      match Wfde.Trace_export.save_file path events with
+      | () ->
+          Format.printf "%s@.wrote %d events to %s@." description
+            (List.length events) path;
+          0
+      | exception Sys_error msg ->
+          Format.eprintf "cannot write trace: %s@." msg;
+          1)
+  | None ->
+      Format.printf "%s@.world: %a@.@." description Wfde.Failure_pattern.pp
+        (match protocol with
+        | "async" -> Wfde.Failure_pattern.no_failures ~n_plus_1
+        | _ -> world.Wfde.Harness.pattern);
+      List.iteri
+        (fun i e ->
+          if i < limit then Format.printf "%a@." Wfde.Trace.pp_event e)
+        events;
+      let total = List.length events in
+      if total > limit then
+        Format.printf "... (%d more events)@." (total - limit);
+      Format.printf "@.decisions:@.";
+      List.iter
+        (fun (pid, t, _, v) ->
+          Format.printf "  t=%-6d %a decided %s@." t Wfde.Pid.pp pid v)
+        (Wfde.Trace.outputs ~label:"decide" events);
+      0
 
 let trace_cmd =
   let protocol_arg =
@@ -149,17 +163,91 @@ let trace_cmd =
   let f_arg =
     Arg.(
       value & opt int 1
-      & info [ "f" ] ~docv:"F" ~doc:"Resilience (fig2 only).")
+      & info [ "f"; "faulty" ] ~docv:"F" ~doc:"Resilience (fig2 only).")
   in
   let limit_arg =
     Arg.(
       value & opt int 120
       & info [ "limit" ] ~docv:"K" ~doc:"Print at most K events.")
   in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Export the full trace as JSONL (one event per line) to $(docv) \
+             instead of printing it; reload with Trace_export.load_file.")
+  in
   let doc = "replay one world and dump its step-by-step trace" in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
-      const dump_trace $ protocol_arg $ seed_arg $ n_arg $ f_arg $ limit_arg)
+      const dump_trace $ protocol_arg $ seed_arg $ n_arg $ f_arg $ limit_arg
+      $ out_arg)
+
+(* ------------------------------------------------------------ stats --- *)
+
+let run_stats ids scale json_path =
+  Wfde.Metrics.reset ();
+  let outcomes =
+    match ids with
+    | [] -> Wfde.Experiments.all ()
+    | ids ->
+        List.map
+          (fun id ->
+            match Wfde.Experiments.by_id id with
+            | Some f -> f ?scale:(Some scale) ()
+            | None -> failwith (Printf.sprintf "unknown experiment %S" id))
+          ids
+  in
+  let failed = List.filter (fun o -> not o.Wfde.Experiments.ok) outcomes in
+  let snap = Wfde.Metrics.snapshot () in
+  let title =
+    Printf.sprintf "telemetry after %d experiment(s): %s"
+      (List.length outcomes)
+      (String.concat " "
+         (List.map (fun o -> o.Wfde.Experiments.id) outcomes))
+  in
+  Format.printf "%s@." (Wfde.Report.to_string (Wfde.Report.of_metrics ~title snap));
+  let json_failed =
+    match json_path with
+    | None -> false
+    | Some path -> (
+        match open_out path with
+        | oc ->
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc
+                  (Wfde.Json.to_string (Wfde.Metrics.to_json snap));
+                output_char oc '\n');
+            Format.printf "wrote metrics JSON to %s@." path;
+            false
+        | exception Sys_error msg ->
+            Format.eprintf "cannot write metrics JSON: %s@." msg;
+            true)
+  in
+  if json_failed then 1
+  else if failed = [] then 0
+  else begin
+    Format.printf "FAILED claims: %s@."
+      (String.concat ", " (List.map (fun o -> o.Wfde.Experiments.id) failed));
+    1
+  end
+
+let stats_cmd =
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write the metrics snapshot as a JSON document to $(docv).")
+  in
+  let doc =
+    "run experiments and dump the telemetry-registry counters they populated"
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run_stats $ ids_arg $ scale_arg $ json_arg)
 
 (* ------------------------------------------------------------ group --- *)
 
@@ -182,12 +270,14 @@ let group =
       `S Manpage.s_examples;
       `Pre
         "  wfde run e1 e5\n  wfde run --scale 4\n  wfde list\n\
-        \  wfde trace -p fig2 --seed 9 --n 4 --f 2";
+        \  wfde trace -p fig2 --seed 9 --n 4 --f 2\n\
+        \  wfde trace -p fig1 --seed 7 --out /tmp/fig1.jsonl\n\
+        \  wfde stats e1 e7 --json /tmp/metrics.json";
     ]
   in
   let default = Term.(const run_ids $ ids_arg $ scale_arg) in
   Cmd.group ~default
     (Cmd.info "wfde" ~version:"1.0.0" ~doc ~man)
-    [ run_cmd; list_cmd; trace_cmd ]
+    [ run_cmd; list_cmd; trace_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval' group)

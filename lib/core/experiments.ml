@@ -42,7 +42,7 @@ let e1_fig1_set_agreement ?(seeds = 25) ?(sizes = [ 2; 3; 4; 5; 6 ]) () =
           Report.cell_float
             (mean_int (List.map (fun m -> m.Harness.last_decision_time) runs));
           Report.cell_float
-            (Stats.percentile 0.95
+            (Stats.percentile_or ~default:0.0 0.95
                (List.map (fun m -> m.Harness.last_decision_time) runs));
           Report.cell_float (mean_int (List.map (fun m -> m.Harness.rounds) runs));
           Report.cell_int

@@ -35,6 +35,35 @@ let decision_time_bounds trace =
       let ts = List.map snd times in
       (List.fold_left min max_int ts, List.fold_left max 0 ts)
 
+let m_runs = Obs.Metrics.counter "harness.runs"
+let m_verdict_ok = Obs.Metrics.counter "harness.verdict.ok"
+let m_verdict_fail = Obs.Metrics.counter "harness.verdict.fail"
+let m_horizon = Obs.Metrics.counter "harness.outcome.horizon_exhausted"
+let m_quiescent = Obs.Metrics.counter "harness.outcome.quiescent"
+let m_policy_stop = Obs.Metrics.counter "harness.outcome.policy_stop"
+let m_query_violations = Obs.Metrics.counter "harness.query_violations"
+
+let m_decision_time =
+  Obs.Metrics.histogram
+    ~buckets:[| 50.; 100.; 250.; 500.; 1000.; 2500.; 5000.; 25000.; 100000. |]
+    "harness.last_decision_time"
+
+let count_run ~proto m =
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.incr
+    (Obs.Metrics.counter (Printf.sprintf "harness.runs{proto=%s}" proto));
+  Obs.Metrics.incr (if ok m then m_verdict_ok else m_verdict_fail);
+  Obs.Metrics.incr
+    (match m.outcome with
+    | Scheduler.Horizon -> m_horizon
+    | Scheduler.Quiescent -> m_quiescent
+    | Scheduler.Policy_stop -> m_policy_stop);
+  if m.query_violations > 0 then
+    Obs.Metrics.incr ~by:m.query_violations m_query_violations;
+  if m.last_decision_time > 0 then
+    Obs.Metrics.observe_int m_decision_time m.last_decision_time;
+  m
+
 let measure ?source ~k ~pattern ~proposals ~decisions ~rounds
     (result : Run.result) =
   let first, last = decision_time_bounds result.trace in
@@ -68,10 +97,11 @@ let run_fig1 ?(horizon = default_horizon) ?stab_time ?escapes world =
       ()
   in
   let proposals = List.map (fun p -> (p, 100 + p)) (Pid.all ~n_plus_1) in
-  measure ~source ~k:(n_plus_1 - 1) ~pattern:world.pattern ~proposals
-    ~decisions:(Upsilon_sa.decisions proto)
-    ~rounds:(Upsilon_sa.rounds_entered proto)
-    result
+  count_run ~proto:"fig1"
+    (measure ~source ~k:(n_plus_1 - 1) ~pattern:world.pattern ~proposals
+       ~decisions:(Upsilon_sa.decisions proto)
+       ~rounds:(Upsilon_sa.rounds_entered proto)
+       result)
 
 let run_fig2 ?(horizon = default_horizon) ?stab_time ?snapshot_impl ~f world =
   let n_plus_1 = Failure_pattern.n_plus_1 world.pattern in
@@ -90,10 +120,11 @@ let run_fig2 ?(horizon = default_horizon) ?stab_time ?snapshot_impl ~f world =
       ()
   in
   let proposals = List.map (fun p -> (p, 200 + p)) (Pid.all ~n_plus_1) in
-  measure ~source ~k:f ~pattern:world.pattern ~proposals
-    ~decisions:(Upsilon_f_sa.decisions proto)
-    ~rounds:(Upsilon_f_sa.rounds_entered proto)
-    result
+  count_run ~proto:"fig2"
+    (measure ~source ~k:f ~pattern:world.pattern ~proposals
+       ~decisions:(Upsilon_f_sa.decisions proto)
+       ~rounds:(Upsilon_f_sa.rounds_entered proto)
+       result)
 
 let run_omega_k_baseline ?(horizon = default_horizon) ?stab_time ~k world =
   let n_plus_1 = Failure_pattern.n_plus_1 world.pattern in
@@ -108,10 +139,11 @@ let run_omega_k_baseline ?(horizon = default_horizon) ?stab_time ~k world =
       ()
   in
   let proposals = List.map (fun p -> (p, 300 + p)) (Pid.all ~n_plus_1) in
-  measure ~source ~k ~pattern:world.pattern ~proposals
-    ~decisions:(Omega_k_sa.decisions proto)
-    ~rounds:(Omega_k_sa.rounds_entered proto)
-    result
+  count_run ~proto:"omega_k"
+    (measure ~source ~k ~pattern:world.pattern ~proposals
+       ~decisions:(Omega_k_sa.decisions proto)
+       ~rounds:(Omega_k_sa.rounds_entered proto)
+       result)
 
 let run_async_attempt ?(horizon = 200_000) ?(lockstep = true) world =
   let n_plus_1 = Failure_pattern.n_plus_1 world.pattern in
@@ -124,10 +156,11 @@ let run_async_attempt ?(horizon = 200_000) ?(lockstep = true) world =
       ()
   in
   let proposals = List.map (fun p -> (p, 500 + p)) (Pid.all ~n_plus_1) in
-  measure ~k:(n_plus_1 - 1) ~pattern:world.pattern ~proposals
-    ~decisions:(Async_attempt.decisions proto)
-    ~rounds:(Async_attempt.rounds_entered proto)
-    result
+  count_run ~proto:"async"
+    (measure ~k:(n_plus_1 - 1) ~pattern:world.pattern ~proposals
+       ~decisions:(Async_attempt.decisions proto)
+       ~rounds:(Async_attempt.rounds_entered proto)
+       result)
 
 let run_extraction_of ?(horizon = 150_000) ?(tail = 25_000) ~f ~source world =
   let n_plus_1 = Failure_pattern.n_plus_1 world.pattern in
@@ -155,7 +188,12 @@ let run_extraction_of ?(horizon = 150_000) ?(tail = 25_000) ~f ~source world =
         0
         (Extract_upsilon.change_log ex)
     in
-    (Extract_upsilon.check ex ~pattern ~last_time ~tail, stabilized_at)
+    let verdict = Extract_upsilon.check ex ~pattern ~last_time ~tail in
+    Obs.Metrics.incr m_runs;
+    Obs.Metrics.incr (Obs.Metrics.counter "harness.runs{proto=extraction}");
+    Obs.Metrics.incr
+      (match verdict with Ok () -> m_verdict_ok | Error _ -> m_verdict_fail);
+    (verdict, stabilized_at)
   in
   match source with
   | `Omega ->

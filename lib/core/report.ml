@@ -28,6 +28,13 @@ let render ppf t =
   List.iter (fun row -> Format.fprintf ppf "%s@." (render_row row)) t.rows
 
 let to_string t = Format.asprintf "%a" render t
+
+let of_metrics ?(title = "metrics snapshot") snap =
+  {
+    title;
+    headers = [ "metric"; "type"; "value" ];
+    rows = Obs.Metrics.rows snap;
+  }
 let cell_int = string_of_int
 let cell_float ?(decimals = 1) v = Printf.sprintf "%.*f" decimals v
 let cell_bool b = if b then "yes" else "no"

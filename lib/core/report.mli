@@ -12,6 +12,10 @@ val render : Format.formatter -> table -> unit
 
 val to_string : table -> string
 
+val of_metrics : ?title:string -> Obs.Metrics.snapshot -> table
+(** The metrics registry snapshot as a [name / type / value] table —
+    what [wfde_cli stats] prints. *)
+
 val cell_int : int -> string
 val cell_float : ?decimals:int -> float -> string
 val cell_bool : bool -> string

@@ -14,28 +14,37 @@ let mean = function
 let mean_int l = mean (List.map float_of_int l)
 
 let percentile q xs =
-  if xs = [] then invalid_arg "Stats.percentile: empty";
   if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q out of range";
-  let sorted = Array.of_list (List.sort Int.compare xs) in
-  let n = Array.length sorted in
-  let rank = q *. float_of_int (n - 1) in
-  let lo = int_of_float (Float.floor rank) in
-  let hi = int_of_float (Float.ceil rank) in
-  if lo = hi then float_of_int sorted.(lo)
-  else
-    let w = rank -. float_of_int lo in
-    ((1.0 -. w) *. float_of_int sorted.(lo)) +. (w *. float_of_int sorted.(hi))
+  match xs with
+  | [] -> None
+  | xs ->
+      let sorted = Array.of_list (List.sort Int.compare xs) in
+      let n = Array.length sorted in
+      let rank = q *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      Some
+        (if lo = hi then float_of_int sorted.(lo)
+         else
+           let w = rank -. float_of_int lo in
+           ((1.0 -. w) *. float_of_int sorted.(lo))
+           +. (w *. float_of_int sorted.(hi)))
 
-let summarize xs =
-  if xs = [] then invalid_arg "Stats.summarize: empty";
-  {
-    count = List.length xs;
-    mean = mean_int xs;
-    median = percentile 0.5 xs;
-    p95 = percentile 0.95 xs;
-    min = List.fold_left min max_int xs;
-    max = List.fold_left max min_int xs;
-  }
+let percentile_or ~default q xs =
+  match percentile q xs with Some v -> v | None -> default
+
+let summarize = function
+  | [] -> None
+  | xs ->
+      Some
+        {
+          count = List.length xs;
+          mean = mean_int xs;
+          median = percentile_or ~default:0.0 0.5 xs;
+          p95 = percentile_or ~default:0.0 0.95 xs;
+          min = List.fold_left min max_int xs;
+          max = List.fold_left max min_int xs;
+        }
 
 let pp ppf s =
   Format.fprintf ppf "n=%d mean=%.1f median=%.1f p95=%.1f min=%d max=%d"

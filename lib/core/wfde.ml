@@ -15,9 +15,13 @@
     - {!Reduction}: the Fig-3 extraction, the pairwise reductions, and
       the Theorem-1/5 adversary — §4, §6.
     - {!Harness} / {!Experiments} / {!Report}: run whole worlds and
-      regenerate every claim's table (E1–E8, A1–A2 in DESIGN.md). *)
+      regenerate every claim's table (E1–E8, A1–A2 in DESIGN.md).
+    - {!Obs} / {!Trace_export}: the telemetry layer — simulator-wide
+      metrics registry and JSONL trace export/replay. *)
 
 module Kernel = Kernel
+module Obs = Obs
+module Trace_export = Trace_export
 module Memory = Memory
 module Detectors = Detectors
 module Converge = Converge
@@ -29,6 +33,8 @@ module Report = Report
 module Stats = Stats
 
 (* Frequently used names, re-exported flat. *)
+module Metrics = Obs.Metrics
+module Json = Obs.Json
 module Pid = Kernel.Pid
 module Rng = Kernel.Rng
 module Failure_pattern = Kernel.Failure_pattern

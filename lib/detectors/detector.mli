@@ -17,6 +17,13 @@ type 'v t = {
   equal : 'v -> 'v -> bool;
 }
 
+val record_make : family:string -> stab_time:int -> unit
+(** Telemetry hook for detector constructors: bumps the per-family
+    creation counter and records the drawn stabilization time as a
+    gauge (last instance) and a distribution histogram. [family] must
+    come from a bounded set — use the module name, not the instance
+    name. *)
+
 val source : 'v t -> 'v Sim.source
 (** The queryable module handed to protocol fibers; each query is one
     step and reads [history p now]. *)

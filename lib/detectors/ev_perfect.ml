@@ -7,6 +7,7 @@ let make ?name ~rng ~pattern ?stab_time () =
   in
   let seed = Rng.int rng max_int in
   let name = match name with Some n -> n | None -> "ev_perfect" in
+  Detector.record_make ~family:"ev_perfect" ~stab_time;
   let history pid time =
     if time >= stab_time then
       Pid.all ~n_plus_1

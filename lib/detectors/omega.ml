@@ -16,6 +16,7 @@ let make ?name ~rng ~pattern ?leader ?stab_time () =
   in
   let seed = Rng.int rng max_int in
   let name = match name with Some n -> n | None -> "omega" in
+  Detector.record_make ~family:"omega" ~stab_time;
   let history pid time =
     if time >= stab_time then leader
     else Detector.Chaos.pid ~seed ~n_plus_1 pid time

@@ -36,6 +36,7 @@ let make ?name ~rng ~pattern ~k ?stable_set ?stab_time () =
   let name =
     match name with Some n -> n | None -> Printf.sprintf "omega_%d" k
   in
+  Detector.record_make ~family:"omega_k" ~stab_time;
   let history pid time =
     if time >= stab_time then stable_set
     else chaos_set ~seed ~n_plus_1 ~k pid time

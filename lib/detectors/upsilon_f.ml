@@ -41,6 +41,7 @@ let make ?name ~rng ~pattern ~f ?stable_set ?stab_time () =
     | None -> Printf.sprintf "upsilon_f(f=%d,t*=%d)" f stab_time
   in
   Hashtbl.replace stab_times name stab_time;
+  Detector.record_make ~family:"upsilon_f" ~stab_time;
   let history pid time =
     if time >= stab_time then stable_set
     else

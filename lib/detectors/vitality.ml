@@ -10,6 +10,7 @@ let make ?name ~rng ~pattern ~watched ?stab_time () =
     | Some n -> n
     | None -> Format.asprintf "vitality(%a)" Pid.pp watched
   in
+  Detector.record_make ~family:"vitality" ~stab_time;
   let verdict = Failure_pattern.is_correct pattern watched in
   let history pid time =
     if time >= stab_time then verdict

@@ -10,7 +10,14 @@ type state =
 
 type t = { fiber_pid : Pid.t; fiber_name : string; mutable state : state }
 
-let create ~pid ~name body = { fiber_pid = pid; fiber_name = name; state = Ready body }
+let m_spawned = Obs.Metrics.counter "kernel.fiber.spawned"
+let m_suspensions = Obs.Metrics.counter "kernel.fiber.suspensions"
+let m_completed = Obs.Metrics.counter "kernel.fiber.completed"
+let m_killed = Obs.Metrics.counter "kernel.fiber.killed"
+
+let create ~pid ~name body =
+  Obs.Metrics.incr m_spawned;
+  { fiber_pid = pid; fiber_name = name; state = Ready body }
 let pid t = t.fiber_pid
 let name t = t.fiber_name
 
@@ -26,7 +33,10 @@ let status t =
    to outer handlers (there are none in practice, so they escape loudly). *)
 let handler t =
   {
-    retc = (fun () -> t.state <- Finished);
+    retc =
+      (fun () ->
+        Obs.Metrics.incr m_completed;
+        t.state <- Finished);
     exnc = (fun e -> t.state <- Finished; raise e);
     effc =
       (fun (type a) (eff : a Effect.t) ->
@@ -34,6 +44,7 @@ let handler t =
         | Sim.Atomic (kind, f) ->
             Some
               (fun (k : (a, unit) continuation) ->
+                Obs.Metrics.incr m_suspensions;
                 t.state <- Pending (kind, f, k))
         | _ -> None);
   }
@@ -61,5 +72,7 @@ let step t ctx =
 
 let kill t =
   match t.state with
-  | Pending _ | Ready _ -> t.state <- Dead
+  | Pending _ | Ready _ ->
+      Obs.Metrics.incr m_killed;
+      t.state <- Dead
   | Finished | Dead -> ()

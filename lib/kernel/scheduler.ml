@@ -1,5 +1,41 @@
 type outcome = Horizon | Quiescent | Policy_stop
 
+(* Telemetry: totals are module-level handles (Metrics registration is
+   idempotent); per-pid counters are cached per scheduler so the hot
+   loop never builds a name. *)
+let m_steps = Obs.Metrics.counter "kernel.scheduler.steps"
+let m_crashes = Obs.Metrics.counter "kernel.scheduler.crashes"
+let m_policy_decisions = Obs.Metrics.counter "kernel.scheduler.policy_decisions"
+let m_policy_stops = Obs.Metrics.counter "kernel.scheduler.policy_stops"
+let m_quiescent = Obs.Metrics.counter "kernel.scheduler.quiescent_stops"
+let m_queries = Obs.Metrics.counter "detectors.queries"
+
+let m_kind_read = Obs.Metrics.counter "kernel.scheduler.steps{kind=read}"
+let m_kind_write = Obs.Metrics.counter "kernel.scheduler.steps{kind=write}"
+let m_kind_query = Obs.Metrics.counter "kernel.scheduler.steps{kind=query}"
+let m_kind_output = Obs.Metrics.counter "kernel.scheduler.steps{kind=output}"
+let m_kind_input = Obs.Metrics.counter "kernel.scheduler.steps{kind=input}"
+let m_kind_nop = Obs.Metrics.counter "kernel.scheduler.steps{kind=nop}"
+
+let kind_counter = function
+  | Sim.Read _ -> m_kind_read
+  | Sim.Write _ -> m_kind_write
+  | Sim.Query _ -> m_kind_query
+  | Sim.Output _ -> m_kind_output
+  | Sim.Input _ -> m_kind_input
+  | Sim.Nop -> m_kind_nop
+
+(* Detector instance names embed run parameters ("upsilon_f(f=2,t*=37)");
+   collapse to the family so the per-detector label set stays bounded. *)
+let detector_family name =
+  match String.index_opt name '(' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let query_counter detector =
+  Obs.Metrics.counter
+    ("detectors.queries{detector=" ^ detector_family detector ^ "}")
+
 type t = {
   sched_pattern : Failure_pattern.t;
   policy : Policy.t;
@@ -8,6 +44,7 @@ type t = {
   crash_recorded : bool array;
   mutable clock : int;
   events : Trace.builder;
+  steps_by_pid : Obs.Metrics.counter array;
 }
 
 let create ~pattern ~policy ~fibers =
@@ -31,6 +68,10 @@ let create ~pattern ~policy ~fibers =
       crash_recorded = Array.make n false;
       clock = 0;
       events = Trace.builder ();
+      steps_by_pid =
+        Array.init n (fun p ->
+            Obs.Metrics.counter
+              (Printf.sprintf "kernel.scheduler.steps{pid=p%d}" (p + 1)));
     }
   in
   t
@@ -47,6 +88,7 @@ let process_crashes t step_time =
         let c = Failure_pattern.crash_time t.sched_pattern p in
         if c <= step_time then begin
           t.crash_recorded.(p) <- true;
+          Obs.Metrics.incr m_crashes;
           Trace.record t.events (Trace.Crash { pid = p; time = c });
           Array.iter Fiber.kill t.by_pid.(p)
         end)
@@ -79,16 +121,29 @@ let step t =
   let step_time = t.clock + 1 in
   process_crashes t step_time;
   match enabled_pids t with
-  | [] -> `Stopped Quiescent
+  | [] ->
+      Obs.Metrics.incr m_quiescent;
+      `Stopped Quiescent
   | enabled -> (
+      Obs.Metrics.incr m_policy_decisions;
       match t.policy ~now:step_time ~enabled with
-      | None -> `Stopped Policy_stop
+      | None ->
+          Obs.Metrics.incr m_policy_stops;
+          `Stopped Policy_stop
       | Some pid ->
           if not (List.mem pid enabled) then
             invalid_arg "Scheduler.step: policy chose a disabled process";
           t.clock <- step_time;
           let fiber = next_fiber t pid in
           let kind = Fiber.pending_kind fiber in
+          Obs.Metrics.incr m_steps;
+          Obs.Metrics.incr t.steps_by_pid.(pid);
+          Obs.Metrics.incr (kind_counter kind);
+          (match kind with
+          | Sim.Query { detector } ->
+              Obs.Metrics.incr m_queries;
+              Obs.Metrics.incr (query_counter detector)
+          | _ -> ());
           let ctx = { Sim.pid; now = step_time; note = None } in
           Fiber.step fiber ctx;
           Trace.record t.events

@@ -14,6 +14,14 @@ type 'a message =
 
 type 'a reply = Tagged of tag * 'a | Acked
 
+let m_reads = Obs.Metrics.counter "memory.abd.reads"
+let m_writes = Obs.Metrics.counter "memory.abd.writes"
+let m_query_phases = Obs.Metrics.counter "memory.abd.query_phases"
+let m_update_phases = Obs.Metrics.counter "memory.abd.update_phases"
+
+(* simulated time units between invocation and response of one client op *)
+let m_latency = Obs.Metrics.histogram "memory.abd.op_latency"
+
 type 'a op = {
   kind : [ `Read | `Write ];
   pid : Pid.t;
@@ -126,6 +134,7 @@ let max_tagged replies =
 (* Phase 1: collect a majority of (tag, value) pairs. Returns the pair
    with the highest tag and the invocation time (first send step). *)
 let query_phase t ~me ~key =
+  Obs.Metrics.incr m_query_phases;
   let op = fresh_op t ~me in
   let invoked = ref 0 in
   Sim.atomic
@@ -142,6 +151,7 @@ let query_phase t ~me ~key =
 (* Phase 2: propagate (tag, value) to a majority. Returns the response
    time. *)
 let update_phase t ~me ~key ~tag ~value =
+  Obs.Metrics.incr m_update_phases;
   let op = fresh_op t ~me in
   Network.broadcast t.net (Update { op; key; tag; value });
   let _, responded = await t ~me ~op ~want:(quorum t) in
@@ -153,6 +163,8 @@ let read t ~me ~key =
   let tag, value, invoked = query_phase t ~me ~key in
   (* write-back: a later read must not see an older value *)
   let responded = update_phase t ~me ~key ~tag ~value in
+  Obs.Metrics.incr m_reads;
+  Obs.Metrics.observe_int m_latency (responded - invoked);
   log_op t { kind = `Read; pid = me; key; tag; value; invoked; responded };
   value
 
@@ -164,6 +176,8 @@ let write t ~me ~key value =
      after its invocation *)
   t.attempts <- (key, tag, invoked) :: t.attempts;
   let responded = update_phase t ~me ~key ~tag ~value in
+  Obs.Metrics.incr m_writes;
+  Obs.Metrics.observe_int m_latency (responded - invoked);
   log_op t { kind = `Write; pid = me; key; tag; value; invoked; responded };
   ()
 

@@ -2,11 +2,17 @@ open Kernel
 
 type 'a t = { nat_name : string; arr : 'a array }
 
+let m_scans = Obs.Metrics.counter "memory.native_snapshot.scans"
+let m_updates = Obs.Metrics.counter "memory.native_snapshot.updates"
+
 let create ~name ~size ~init = { nat_name = name; arr = Array.init size init }
 let size t = Array.length t.arr
 
 let update t ~me v =
+  Obs.Metrics.incr m_updates;
   Sim.atomic (Sim.Write { obj = t.nat_name }) (fun _ -> t.arr.(me) <- v)
 
-let scan t = Sim.atomic (Sim.Read { obj = t.nat_name }) (fun _ -> Array.copy t.arr)
+let scan t =
+  Obs.Metrics.incr m_scans;
+  Sim.atomic (Sim.Read { obj = t.nat_name }) (fun _ -> Array.copy t.arr)
 let peek t = Array.copy t.arr

@@ -2,11 +2,18 @@ open Kernel
 
 type 'a t = { reg_name : string; mutable cell : 'a }
 
+let m_reads = Obs.Metrics.counter "memory.register.reads"
+let m_writes = Obs.Metrics.counter "memory.register.writes"
+
 let create ~name init = { reg_name = name; cell = init }
 let name t = t.reg_name
-let read t = Sim.atomic (Sim.Read { obj = t.reg_name }) (fun _ -> t.cell)
+
+let read t =
+  Obs.Metrics.incr m_reads;
+  Sim.atomic (Sim.Read { obj = t.reg_name }) (fun _ -> t.cell)
 
 let write t v =
+  Obs.Metrics.incr m_writes;
   Sim.atomic (Sim.Write { obj = t.reg_name }) (fun _ -> t.cell <- v)
 
 let peek t = t.cell
@@ -28,6 +35,7 @@ module Counter = struct
   let incr t =
     (* Single-writer: the read-modify-write is safe to fuse into one
        atomic step because only the owner ever writes. *)
+    Obs.Metrics.incr m_writes;
     Sim.atomic (Sim.Write { obj = name t }) (fun _ -> t.cell <- t.cell + 1)
 
   let get t = read t

@@ -2,6 +2,16 @@ type 'a entry = { data : 'a; version : int; view : ('a * int) array }
 
 type 'a t = { cells : 'a entry Register.t array }
 
+let m_scans = Obs.Metrics.counter "memory.snapshot.scans"
+let m_updates = Obs.Metrics.counter "memory.snapshot.updates"
+let m_borrowed = Obs.Metrics.counter "memory.snapshot.borrowed_views"
+
+(* Double collects per scan: 1 = clean first try, more = interference. *)
+let m_scan_rounds =
+  Obs.Metrics.histogram
+    ~buckets:[| 1.; 2.; 3.; 5.; 8.; 13.; 21. |]
+    "memory.snapshot.scan_rounds"
+
 let create ~name ~size ~init =
   let initial_view = Array.init size (fun j -> (init j, 0)) in
   let cells =
@@ -23,6 +33,12 @@ let collect t = Array.map Register.read t.cells
 let scan_entries t =
   let n = size t in
   let moved = Array.make n 0 in
+  let rounds = ref 1 in
+  let finish result =
+    Obs.Metrics.incr m_scans;
+    Obs.Metrics.observe_int m_scan_rounds !rounds;
+    result
+  in
   let rec attempt c1 =
     let c2 = collect t in
     let any_change = ref false in
@@ -34,11 +50,15 @@ let scan_entries t =
         if moved.(j) >= 2 && !borrowed = None then borrowed := Some c2.(j)
       end
     done;
-    if not !any_change then Array.map (fun e -> (e.data, e.version)) c2
+    if not !any_change then finish (Array.map (fun e -> (e.data, e.version)) c2)
     else
       match !borrowed with
-      | Some e -> Array.copy e.view
-      | None -> attempt c2
+      | Some e ->
+          Obs.Metrics.incr m_borrowed;
+          finish (Array.copy e.view)
+      | None ->
+          incr rounds;
+          attempt c2
   in
   attempt (collect t)
 
@@ -46,6 +66,7 @@ let scan_versioned t = scan_entries t
 let scan t = Array.map fst (scan_entries t)
 
 let update t ~me v =
+  Obs.Metrics.incr m_updates;
   let view = scan_entries t in
   let old = Register.read t.cells.(me) in
   Register.write t.cells.(me) { data = v; version = old.version + 1; view }

@@ -1,0 +1,191 @@
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+
+type histogram = {
+  h_name : string;
+  bounds : float array; (* strictly increasing upper bounds *)
+  counts : int array; (* length = Array.length bounds + 1; last is overflow *)
+  mutable h_sum : float;
+  mutable h_events : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 97
+
+let clash name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s already registered with a different type" name)
+
+let default_buckets =
+  [| 1.; 2.; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 5000. |]
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some _ -> clash name
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.replace registry name (Counter c);
+      c
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let counter_value c = c.c_value
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> g
+  | Some _ -> clash name
+  | None ->
+      let g = { g_name = name; g_value = 0.0; g_set = false } in
+      Hashtbl.replace registry name (Gauge g);
+      g
+
+let set g v =
+  g.g_value <- v;
+  g.g_set <- true
+
+let gauge_value g = g.g_value
+
+let histogram ?(buckets = default_buckets) name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> h
+  | Some _ -> clash name
+  | None ->
+      let m = Array.length buckets in
+      if m = 0 then invalid_arg "Metrics.histogram: no buckets";
+      for i = 1 to m - 1 do
+        if buckets.(i) <= buckets.(i - 1) then
+          invalid_arg "Metrics.histogram: bucket bounds must increase"
+      done;
+      let h =
+        {
+          h_name = name;
+          bounds = Array.copy buckets;
+          counts = Array.make (m + 1) 0;
+          h_sum = 0.0;
+          h_events = 0;
+        }
+      in
+      Hashtbl.replace registry name (Histogram h);
+      h
+
+let observe h v =
+  let m = Array.length h.bounds in
+  let rec slot i = if i >= m || v <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_events <- h.h_events + 1
+
+let observe_int h v = observe h (float_of_int v)
+
+(* ---------------------------------------------------------- snapshots --- *)
+
+type hist_view = {
+  buckets : (float * int) list; (* (upper bound, count in bucket) *)
+  overflow : int;
+  sum : float;
+  events : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_view) list;
+}
+
+let hist_view h =
+  {
+    buckets =
+      List.init (Array.length h.bounds) (fun i -> (h.bounds.(i), h.counts.(i)));
+    overflow = h.counts.(Array.length h.bounds);
+    sum = h.h_sum;
+    events = h.h_events;
+  }
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  Hashtbl.iter
+    (fun name -> function
+      | Counter c -> counters := (name, c.c_value) :: !counters
+      | Gauge g -> if g.g_set then gauges := (name, g.g_value) :: !gauges
+      | Histogram h -> histograms := (name, hist_view h) :: !histograms)
+    registry;
+  {
+    counters = List.sort by_name !counters;
+    gauges = List.sort by_name !gauges;
+    histograms = List.sort by_name !histograms;
+  }
+
+let reset () =
+  Hashtbl.iter
+    (fun _ -> function
+      | Counter c -> c.c_value <- 0
+      | Gauge g ->
+          g.g_value <- 0.0;
+          g.g_set <- false
+      | Histogram h ->
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.h_sum <- 0.0;
+          h.h_events <- 0)
+    registry
+
+let find_counter snap name = List.assoc_opt name snap.counters
+let find_gauge snap name = List.assoc_opt name snap.gauges
+let find_histogram snap name = List.assoc_opt name snap.histograms
+
+(* ---------------------------------------------------------- rendering --- *)
+
+let hist_mean hv =
+  if hv.events = 0 then 0.0 else hv.sum /. float_of_int hv.events
+
+let rows snap =
+  List.concat
+    [
+      List.map
+        (fun (name, v) -> [ name; "counter"; string_of_int v ])
+        snap.counters;
+      List.map
+        (fun (name, v) -> [ name; "gauge"; Printf.sprintf "%g" v ])
+        snap.gauges;
+      List.map
+        (fun (name, hv) ->
+          [
+            name;
+            "histogram";
+            Printf.sprintf "n=%d sum=%.0f mean=%.1f" hv.events hv.sum
+              (hist_mean hv);
+          ])
+        snap.histograms;
+    ]
+  |> List.sort compare
+
+let to_json snap =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.counters) );
+      ( "gauges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) snap.gauges) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, hv) ->
+               ( k,
+                 Json.Obj
+                   [
+                     ( "buckets",
+                       Json.List
+                         (List.map
+                            (fun (ub, c) ->
+                              Json.List [ Json.Float ub; Json.Int c ])
+                            hv.buckets) );
+                     ("overflow", Json.Int hv.overflow);
+                     ("sum", Json.Float hv.sum);
+                     ("count", Json.Int hv.events);
+                   ] ))
+             snap.histograms) );
+    ]

@@ -1,0 +1,84 @@
+(** A process-global metrics registry for the simulator.
+
+    Instrumentation sites register named counters, gauges, and
+    fixed-bucket histograms; the harness, CLI, and bench read them back
+    as a {!snapshot} and render it as a table or JSON.  Registration is
+    idempotent — [counter name] returns the existing handle when [name]
+    is already registered — so hot paths can cache handles at module
+    initialization and {!reset} zeroes values in place without
+    invalidating them.
+
+    Naming convention: [layer.component.metric], with a
+    [{label=value}] suffix for bounded label sets (e.g.
+    [kernel.scheduler.steps{pid=p3}], [detectors.queries{detector=omega}]).
+    Keep label sets small: every distinct name is a registry entry for
+    the lifetime of the process. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Register (or look up) the named counter, initially 0. Raises
+    [Invalid_argument] if the name is taken by another metric type. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+(** A gauge holds the last value {!set}; it is omitted from snapshots
+    until first set. *)
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : ?buckets:float array -> string -> histogram
+(** Register (or look up) the named histogram. [buckets] (default
+    {!default_buckets}) are strictly increasing upper bounds; an extra
+    overflow bucket catches larger observations. The bucket layout is
+    fixed at first registration. *)
+
+val observe : histogram -> float -> unit
+(** Add one observation: counted in the first bucket whose upper bound
+    is >= the value, or in the overflow bucket. *)
+
+val observe_int : histogram -> int -> unit
+
+val default_buckets : float array
+(** [1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 5000] — suits
+    step/round/latency counts in simulator time units. *)
+
+(** {1 Snapshots} *)
+
+type hist_view = {
+  buckets : (float * int) list;  (** (upper bound, count), in order *)
+  overflow : int;
+  sum : float;
+  events : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  histograms : (string * hist_view) list;
+}
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every registered metric in place. Handles held by
+    instrumentation sites stay valid; gauges return to the unset
+    state. *)
+
+val find_counter : snapshot -> string -> int option
+val find_gauge : snapshot -> string -> float option
+val find_histogram : snapshot -> string -> hist_view option
+
+val hist_mean : hist_view -> float
+(** 0 when empty. *)
+
+val rows : snapshot -> string list list
+(** [[name; type; value]] rows sorted by name, ready to embed in a
+    report table. *)
+
+val to_json : snapshot -> Json.t

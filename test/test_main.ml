@@ -7,6 +7,7 @@ let () =
       ("converge", Test_converge.suite);
       ("agreement", Test_agreement.suite);
       ("reduction", Test_reduction.suite);
+      ("obs", Test_obs.suite);
       ("wfde", Test_wfde.suite);
       ("faults", Test_faults.suite);
       ("explore", Test_explore.suite);

@@ -1,0 +1,278 @@
+(* Tests for the telemetry layer: metrics-registry semantics (counters,
+   gauges, histograms, snapshot/reset), the hand-rolled JSON printer and
+   parser, and the JSONL trace export — including the round-trip law
+   [of_lines (to_lines t) = Ok t] and the replay guarantee that an
+   exported schedule reproduces the original run. *)
+
+open Kernel
+module M = Obs.Metrics
+module J = Obs.Json
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* -- counters --------------------------------------------------------- *)
+
+let test_counter () =
+  M.reset ();
+  let c = M.counter "test.obs.counter" in
+  checki "initially zero" 0 (M.counter_value c);
+  M.incr c;
+  M.incr ~by:40 c;
+  (* registration is idempotent: the same handle comes back *)
+  M.incr (M.counter "test.obs.counter");
+  checki "accumulated" 42 (M.counter_value c);
+  checkb "snapshot sees it" true
+    (M.find_counter (M.snapshot ()) "test.obs.counter" = Some 42)
+
+let test_gauge_unset_until_set () =
+  M.reset ();
+  let g = M.gauge "test.obs.gauge" in
+  checkb "unset gauge hidden from snapshot" true
+    (M.find_gauge (M.snapshot ()) "test.obs.gauge" = None);
+  M.set g 2.5;
+  checkb "set gauge visible" true
+    (M.find_gauge (M.snapshot ()) "test.obs.gauge" = Some 2.5);
+  checkf "last write wins" 2.5 (M.gauge_value g)
+
+let test_histogram_buckets () =
+  M.reset ();
+  let h = M.histogram ~buckets:[| 1.0; 10.0 |] "test.obs.hist" in
+  M.observe h 0.5;
+  (* on the bound counts in that bucket *)
+  M.observe_int h 10;
+  M.observe h 11.0;
+  match M.find_histogram (M.snapshot ()) "test.obs.hist" with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some v ->
+      checkb "bucket counts" true (v.M.buckets = [ (1.0, 1); (10.0, 1) ]);
+      checki "overflow" 1 v.M.overflow;
+      checki "events" 3 v.M.events;
+      checkf "sum" 21.5 v.M.sum;
+      checkf "mean" (21.5 /. 3.0) (M.hist_mean v)
+
+let test_reset_keeps_handles () =
+  M.reset ();
+  let c = M.counter "test.obs.reset" in
+  let g = M.gauge "test.obs.reset_gauge" in
+  let h = M.histogram "test.obs.reset_hist" in
+  M.incr ~by:7 c;
+  M.set g 1.0;
+  M.observe h 3.0;
+  M.reset ();
+  checki "counter zeroed in place" 0 (M.counter_value c);
+  checkb "gauge back to unset" true
+    (M.find_gauge (M.snapshot ()) "test.obs.reset_gauge" = None);
+  (match M.find_histogram (M.snapshot ()) "test.obs.reset_hist" with
+  | Some v -> checki "histogram emptied" 0 v.M.events
+  | None -> Alcotest.fail "histogram dropped by reset");
+  (* the old handle still feeds the same registry entry *)
+  M.incr c;
+  checkb "post-reset increment lands" true
+    (M.find_counter (M.snapshot ()) "test.obs.reset" = Some 1)
+
+let test_type_clash_rejected () =
+  M.reset ();
+  ignore (M.counter "test.obs.clash");
+  checkb "gauge on a counter name raises" true
+    (try
+       ignore (M.gauge "test.obs.clash");
+       false
+     with Invalid_argument _ -> true);
+  checkb "histogram on a counter name raises" true
+    (try
+       ignore (M.histogram "test.obs.clash");
+       false
+     with Invalid_argument _ -> true)
+
+(* -- json ------------------------------------------------------------- *)
+
+let test_json_round_trip () =
+  let doc =
+    J.Obj
+      [
+        ("s", J.String "quote \" backslash \\ newline \n tab \t");
+        ("i", J.Int (-42));
+        ("f", J.Float 0.125);
+        ("b", J.Bool true);
+        ("n", J.Null);
+        ("l", J.List [ J.Int 1; J.String "{p1, p3}"; J.Obj [] ]);
+      ]
+  in
+  checkb "print/parse round-trips" true (J.of_string (J.to_string doc) = Ok doc)
+
+let test_json_parser () =
+  (match J.of_string {|{"a": [1, 2.5, "A\n"], "b": {"c": null}}|} with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j ->
+      checkb "int member" true
+        (Option.bind (J.member "a" j) (fun l ->
+             match l with J.List (x :: _) -> J.to_int x | _ -> None)
+        = Some 1);
+      checkb "unicode escape decoded" true
+        (match J.member "a" j with
+        | Some (J.List [ _; _; J.String s ]) -> s = "A\n"
+        | _ -> false);
+      checkb "nested null" true
+        (Option.bind (J.member "b" j) (J.member "c") = Some J.Null));
+  checkb "trailing garbage rejected" true
+    (Result.is_error (J.of_string "{} extra"));
+  checkb "unterminated string rejected" true
+    (Result.is_error (J.of_string {|{"a": "oops}|}));
+  checkb "non-finite floats print as null" true
+    (J.to_string (J.Float Float.nan) = "null"
+    && J.to_string (J.Float Float.infinity) = "null")
+
+(* -- trace export ----------------------------------------------------- *)
+
+let tricky_string =
+  QCheck.Gen.(
+    oneof
+      [
+        small_string ~gen:printable;
+        oneofl
+          [
+            "";
+            "a\"b";
+            "back\\slash";
+            "new\nline";
+            "tab\there";
+            "caf\xc3\xa9";
+            "{p1, p3}";
+            "t.cv.k2/main.r1.a1[0]";
+          ];
+      ])
+
+let event_gen =
+  QCheck.Gen.(
+    let pid = map Pid.of_index (int_bound 7) in
+    let time = int_bound 100_000 in
+    let kind =
+      oneof
+        [
+          map (fun obj -> Sim.Read { obj }) tricky_string;
+          map (fun obj -> Sim.Write { obj }) tricky_string;
+          map (fun detector -> Sim.Query { detector }) tricky_string;
+          map2 (fun label value -> Sim.Output { label; value }) tricky_string
+            tricky_string;
+          map2 (fun label value -> Sim.Input { label; value }) tricky_string
+            tricky_string;
+          return Sim.Nop;
+        ]
+    in
+    frequency
+      [
+        (1, map2 (fun pid time -> Trace.Crash { pid; time }) pid time);
+        ( 6,
+          pid >>= fun pid ->
+          time >>= fun time ->
+          kind >>= fun kind ->
+          opt tricky_string >>= fun note ->
+          return (Trace.Step { pid; time; kind; note }) );
+      ])
+
+let trace_arb =
+  QCheck.make
+    ~print:(fun t -> String.concat "\n" (Trace_export.to_lines t))
+    QCheck.Gen.(list_size (int_bound 40) event_gen)
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~count:200 ~name:"trace JSONL round-trips" trace_arb (fun t ->
+        Trace_export.of_lines (Trace_export.to_lines t) = Ok t);
+    Test.make ~count:200 ~name:"json string literals round-trip" string
+      (fun s ->
+        J.of_string (J.to_string (J.String s)) = Ok (J.String s));
+  ]
+
+let test_of_lines_reports_bad_line () =
+  match Trace_export.of_lines [ {|{"time":1,"pid":0,"kind":"nop"}|}; "{oops" ]
+  with
+  | Ok _ -> Alcotest.fail "malformed line accepted"
+  | Error msg ->
+      checkb "error names the line" true
+        (String.length msg >= 7 && String.sub msg 0 7 = "line 2:")
+
+let test_save_load_file () =
+  let path = Filename.temp_file "wfde_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let trace =
+        [
+          Trace.Step
+            {
+              pid = Pid.of_index 0;
+              time = 3;
+              kind = Sim.Query { detector = "upsilon" };
+              note = Some "{p1}";
+            };
+          Trace.Crash { pid = Pid.of_index 2; time = 9 };
+        ]
+      in
+      Trace_export.save_file path trace;
+      checkb "file round-trips" true (Trace_export.load_file path = Ok trace))
+
+(* A full end-to-end replay: run Fig 1 under a random policy, export the
+   trace, reload it, drive a fresh identical world with the loaded
+   schedule — the replay must reproduce the trace (and so the
+   decisions) exactly. *)
+
+let fig1_run ~seed ~policy =
+  let world = Wfde.Harness.random_world ~seed ~n_plus_1:3 ~max_faulty:2 () in
+  let rng = Rng.create seed in
+  let upsilon = Wfde.Upsilon.make ~rng ~pattern:world.Wfde.Harness.pattern () in
+  let proto =
+    Wfde.Upsilon_sa.create ~name:"t" ~n_plus_1:3
+      ~upsilon:(Wfde.Detector.source upsilon) ()
+  in
+  Run.exec ~pattern:world.Wfde.Harness.pattern
+    ~policy:(policy world)
+    ~horizon:500_000
+    ~procs:(fun pid ->
+      [ Wfde.Upsilon_sa.proposer proto ~me:pid ~input:(100 + pid) ])
+    ()
+
+let test_exported_schedule_replays () =
+  for seed = 1 to 5 do
+    let original = fig1_run ~seed ~policy:(fun w -> w.Wfde.Harness.policy) in
+    let loaded =
+      match Trace_export.of_lines (Trace_export.to_lines original.Run.trace)
+      with
+      | Ok t -> t
+      | Error e -> Alcotest.failf "seed %d: reload failed: %s" seed e
+    in
+    checkb "reload is exact" true (loaded = original.Run.trace);
+    let replay =
+      fig1_run ~seed ~policy:(fun _ ->
+          Policy.script (Trace.schedule loaded)
+            ~then_:(Policy.custom (fun ~now:_ ~enabled:_ -> None)))
+    in
+    checks
+      (Printf.sprintf "seed %d replay reproduces the run" seed)
+      (Format.asprintf "%a" Trace.pp original.Run.trace)
+      (Format.asprintf "%a" Trace.pp replay.Run.trace);
+    checkb "same decisions" true
+      (Trace.outputs ~label:"decide" replay.Run.trace
+      = Trace.outputs ~label:"decide" original.Run.trace)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "counter semantics" `Quick test_counter;
+    Alcotest.test_case "gauge unset until set" `Quick test_gauge_unset_until_set;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
+    Alcotest.test_case "type clash rejected" `Quick test_type_clash_rejected;
+    Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+    Alcotest.test_case "json parser" `Quick test_json_parser;
+    Alcotest.test_case "of_lines error position" `Quick
+      test_of_lines_reports_bad_line;
+    Alcotest.test_case "save/load file" `Quick test_save_load_file;
+    Alcotest.test_case "exported schedule replays" `Quick
+      test_exported_schedule_replays;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_cases

@@ -89,19 +89,25 @@ let test_experiment_lookup () =
 
 let test_stats_percentiles () =
   let xs = [ 10; 20; 30; 40; 50 ] in
-  Alcotest.check (Alcotest.float 0.001) "median" 30.0 (Wfde.Stats.percentile 0.5 xs);
-  Alcotest.check (Alcotest.float 0.001) "min" 10.0 (Wfde.Stats.percentile 0.0 xs);
-  Alcotest.check (Alcotest.float 0.001) "max" 50.0 (Wfde.Stats.percentile 1.0 xs);
-  Alcotest.check (Alcotest.float 0.001) "interpolated p25" 20.0
-    (Wfde.Stats.percentile 0.25 xs);
-  let s = Wfde.Stats.summarize xs in
+  let pct q = Wfde.Stats.percentile_or ~default:Float.nan q xs in
+  Alcotest.check (Alcotest.float 0.001) "median" 30.0 (pct 0.5);
+  Alcotest.check (Alcotest.float 0.001) "min" 10.0 (pct 0.0);
+  Alcotest.check (Alcotest.float 0.001) "max" 50.0 (pct 1.0);
+  Alcotest.check (Alcotest.float 0.001) "interpolated p25" 20.0 (pct 0.25);
+  let s =
+    match Wfde.Stats.summarize xs with
+    | Some s -> s
+    | None -> Alcotest.fail "summarize of non-empty list"
+  in
   Alcotest.check (Alcotest.float 0.001) "mean" 30.0 s.Wfde.Stats.mean;
   checki "count" 5 s.Wfde.Stats.count;
   checki "min" 10 s.Wfde.Stats.min;
   checki "max" 50 s.Wfde.Stats.max;
-  Alcotest.check_raises "empty rejected"
-    (Invalid_argument "Stats.summarize: empty") (fun () ->
-      ignore (Wfde.Stats.summarize []))
+  (* totality on the empty family: no exceptions, explicit absences *)
+  checkb "empty summarize" true (Wfde.Stats.summarize [] = None);
+  checkb "empty percentile" true (Wfde.Stats.percentile 0.95 [] = None);
+  Alcotest.check (Alcotest.float 0.001) "empty percentile_or" 0.0
+    (Wfde.Stats.percentile_or ~default:0.0 0.95 [])
 
 (* -- booster consensus ------------------------------------------------------ *)
 
