@@ -270,9 +270,26 @@ let bench_scheduler () =
               ~procs:(fun _ -> [ body ])
               ())))
 
+let bench_dpor () =
+  Test.make ~name:"check/dpor register n=2 d=6 (full sweep)"
+    (Staged.stage (fun () ->
+         ignore (Wfde.Harness.check_exhaustive ~depth:6 Wfde.Scenario.Register)))
+
+let bench_dpor_vs_naive () =
+  Test.make ~name:"check/naive register n=2 d=6 (full sweep)"
+    (Staged.stage (fun () ->
+         ignore
+           (Wfde.Check.Explore.naive_prefix
+              ~pattern:(Wfde.Failure_pattern.no_failures ~n_plus_1:2)
+              ~depth:6 ~horizon:400
+              ~make:(Wfde.Scenario.make Wfde.Scenario.Register ~procs:2)
+              ())))
+
 let all_tests () =
   [
     bench_scheduler ();
+    bench_dpor ();
+    bench_dpor_vs_naive ();
     bench_snapshot `Registers;
     bench_snapshot `Native;
     bench_converge ();

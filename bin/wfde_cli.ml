@@ -249,6 +249,126 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(const run_stats $ ids_arg $ scale_arg $ json_arg)
 
+(* ------------------------------------------------------------ check --- *)
+
+let run_check obj_name procs depth horizon mutant_name json_path =
+  let fail msg =
+    Format.eprintf "%s@." msg;
+    2
+  in
+  match Wfde.Scenario.of_string obj_name with
+  | Error msg -> fail msg
+  | Ok obj -> (
+      let mutant =
+        match mutant_name with
+        | None -> Ok None
+        | Some m -> Result.map Option.some (Wfde.Mutant.of_string m)
+      in
+      match mutant with
+      | Error msg -> fail msg
+      | Ok mutant -> (
+          let outcome =
+            Wfde.Harness.check_exhaustive ?procs ~depth ~horizon ?mutant obj
+          in
+          Format.printf
+            "%s: procs=%d depth=%d patterns=%d executions=%d (naive bound %d) \
+             sleep-blocked=%d races=%d@."
+            (Wfde.Scenario.to_string obj)
+            outcome.Wfde.Harness.check_procs depth
+            outcome.Wfde.Harness.patterns_swept
+            outcome.Wfde.Harness.executions outcome.Wfde.Harness.naive_bound
+            outcome.Wfde.Harness.sleep_blocked outcome.Wfde.Harness.races;
+          (match outcome.Wfde.Harness.violation with
+          | None -> Format.printf "no violation found@."
+          | Some v ->
+              Format.printf "VIOLATION%s@.  crashes: %a@.  schedule: %s@.  %s@."
+                (if v.Wfde.Harness.shrunk then " (shrunk, replayable)"
+                 else " (shrink failed to reproduce - raw counterexample)")
+                Wfde.Failure_pattern.pp v.Wfde.Harness.cex_pattern
+                (String.concat ","
+                   (List.map
+                      (fun p -> string_of_int (Wfde.Pid.to_int p))
+                      v.Wfde.Harness.cex_prefix))
+                (String.concat "\n  "
+                   (String.split_on_char '\n' v.Wfde.Harness.cex_report)));
+          let json_failed =
+            match json_path with
+            | None -> false
+            | Some path -> (
+                match open_out path with
+                | oc ->
+                    Fun.protect
+                      ~finally:(fun () -> close_out oc)
+                      (fun () ->
+                        output_string oc
+                          (Wfde.Json.to_string
+                             (Wfde.Harness.check_outcome_json outcome));
+                        output_char oc '\n');
+                    Format.printf "wrote check outcome JSON to %s@." path;
+                    false
+                | exception Sys_error msg ->
+                    Format.eprintf "cannot write check JSON: %s@." msg;
+                    true)
+          in
+          let found = outcome.Wfde.Harness.violation <> None in
+          (* with a planted mutant the expectation inverts: finding the
+             bug is the success criterion *)
+          let expected = match mutant with Some _ -> found | None -> not found in
+          if json_failed then 1 else if expected then 0 else 1))
+
+let check_cmd =
+  let obj_arg =
+    let doc = "Object to check: register, snapshot, abd, or commit-adopt." in
+    Arg.(
+      value & opt string "register" & info [ "object"; "obj" ] ~docv:"OBJ" ~doc)
+  in
+  let procs_arg =
+    let doc =
+      "Number of processes (clamped up to the scenario's minimum; default 2)."
+    in
+    Arg.(value & opt (some int) None & info [ "procs"; "n" ] ~docv:"N+1" ~doc)
+  in
+  let depth_arg =
+    let doc = "Schedule-choice window: explore every class of the first $(docv) steps." in
+    Arg.(value & opt int 6 & info [ "depth"; "d" ] ~docv:"D" ~doc)
+  in
+  let horizon_arg =
+    let doc = "Step budget per execution (completes runs past the window)." in
+    Arg.(value & opt int 400 & info [ "horizon" ] ~docv:"H" ~doc)
+  in
+  let mutant_arg =
+    let doc =
+      "Plant a bug first: abd-skip-write-back, snapshot-single-collect, or \
+       converge-drop-phase2. Exit 0 then means 'caught'."
+    in
+    Arg.(value & opt (some string) None & info [ "mutant" ] ~docv:"M" ~doc)
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write the outcome as a JSON document to $(docv).")
+  in
+  let doc = "model-check a shared object under every schedule class" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Explores every Mazurkiewicz class of depth-bounded schedule \
+         prefixes with dynamic partial-order reduction (sleep sets), \
+         checking linearizability (Wing-Gong) or agreement on each \
+         executed run, sweeping the scenario's failure patterns. A found \
+         counterexample is ddmin-shrunk and confirmed by script replay. \
+         Without --mutant, exit 0 means no violation; with --mutant, exit \
+         0 means the planted bug was caught.";
+    ]
+  in
+  Cmd.v (Cmd.info "check" ~doc ~man)
+    Term.(
+      const run_check $ obj_arg $ procs_arg $ depth_arg $ horizon_arg
+      $ mutant_arg $ json_arg)
+
 (* ------------------------------------------------------------ group --- *)
 
 let group =
@@ -272,12 +392,15 @@ let group =
         "  wfde run e1 e5\n  wfde run --scale 4\n  wfde list\n\
         \  wfde trace -p fig2 --seed 9 --n 4 --f 2\n\
         \  wfde trace -p fig1 --seed 7 --out /tmp/fig1.jsonl\n\
-        \  wfde stats e1 e7 --json /tmp/metrics.json";
+        \  wfde stats e1 e7 --json /tmp/metrics.json\n\
+        \  wfde check --object abd --procs 3 --depth 10\n\
+        \  wfde check --object snapshot --procs 3 --depth 12 \
+         --mutant snapshot-single-collect --json /tmp/cex.json";
     ]
   in
   let default = Term.(const run_ids $ ids_arg $ scale_arg) in
   Cmd.group ~default
     (Cmd.info "wfde" ~version:"1.0.0" ~doc ~man)
-    [ run_cmd; list_cmd; trace_cmd; stats_cmd ]
+    [ run_cmd; list_cmd; trace_cmd; stats_cmd; check_cmd ]
 
 let () = exit (Cmd.eval' group)

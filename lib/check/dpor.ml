@@ -1,0 +1,400 @@
+open Kernel
+
+type stats = {
+  executions : int;
+  sleep_blocked : int;
+  races : int;
+  backtrack_points : int;
+}
+
+type 'a outcome = {
+  stats : stats;
+  counterexample : (Pid.t list * 'a) option;
+}
+
+let m_executions = Obs.Metrics.counter "check.dpor.executions"
+let m_sleep_blocked = Obs.Metrics.counter "check.dpor.sleep_blocked"
+let m_races = Obs.Metrics.counter "check.dpor.races"
+let m_backtrack_points = Obs.Metrics.counter "check.dpor.backtrack_points"
+let m_exec_steps = Obs.Metrics.histogram "check.dpor.execution_steps"
+
+(* Label-based independence of two prospective steps: see the .mli for
+   the rationale, including why queries commute with nothing. *)
+let independent (p1, k1) (p2, k2) =
+  (not (Pid.equal p1 p2))
+  &&
+  match (k1, k2) with
+  | Sim.Query _, _ | _, Sim.Query _ -> false
+  | Sim.Read _, Sim.Read _ -> true
+  | ( (Sim.Read { obj = a } | Sim.Write { obj = a }),
+      (Sim.Read { obj = b } | Sim.Write { obj = b }) ) ->
+      not (String.equal a b)
+  | (Sim.Output _ | Sim.Input _ | Sim.Nop), _
+  | _, (Sim.Output _ | Sim.Input _ | Sim.Nop) ->
+      true
+
+
+(* One position of the exploration stack. [sleep] is fixed at creation
+   (it depends only on the path above, which is stable while the node
+   is on the stack); [backtrack]/[explored] grow across executions. *)
+type node = {
+  mutable chosen : Pid.t;
+  mutable kind : Sim.kind; (* pending kind of [chosen] at this position *)
+  mutable enabled : (Pid.t * Sim.kind) list; (* before the step, pid order *)
+  mutable backtrack : Pid.Set.t;
+  mutable explored : Pid.Set.t;
+  sleep : Pid.Set.t;
+}
+
+let node_step nd = (nd.chosen, nd.kind)
+
+(* Execute one run: follow the prescribed choices in [stack.(0..len-1)],
+   extend with the first non-sleeping enabled process up to [depth]
+   (pushing new nodes), then complete with round-robin. Returns the
+   checker's verdict, the trace, the stack length after extension, and
+   whether extension hit an all-sleeping enabled set (a provably
+   redundant run). *)
+let run_once ~pattern ~horizon ~depth ~stack ~len ~make =
+  let procs, checkf = make () in
+  let sched_ref = ref None in
+  let pos = ref 0 in
+  let grown = ref len in
+  let blocked = ref false in
+  let rr = Policy.round_robin () in
+  let policy ~now ~enabled =
+    let i = !pos in
+    incr pos;
+    if i >= depth || !blocked then rr ~now ~enabled
+    else
+      let sched =
+        match !sched_ref with Some s -> s | None -> assert false
+      in
+      let pend = Scheduler.pending sched in
+      if i < len then begin
+        let nd = match stack.(i) with Some nd -> nd | None -> assert false in
+        (* deterministic worlds make this refresh a no-op; it keeps the
+           recorded data in sync with the run actually performed *)
+        nd.enabled <- pend;
+        (match List.assoc_opt nd.chosen pend with
+        | Some k -> nd.kind <- k
+        | None ->
+            invalid_arg
+              "Dpor.explore: prescribed process not enabled on replay — \
+               make () built a non-deterministic world");
+        Some nd.chosen
+      end
+      else begin
+        let sleep =
+          if i = 0 then Pid.Set.empty
+          else
+            let parent =
+              match stack.(i - 1) with Some nd -> nd | None -> assert false
+            in
+            let parent_step = node_step parent in
+            (* a sleeping process keeps sleeping while its pending step
+               commutes with the executed one; explored siblings enter
+               the child's sleep set the same way *)
+            Pid.Set.filter
+              (fun q ->
+                match List.assoc_opt q pend with
+                | Some kq -> independent (q, kq) parent_step
+                | None -> false)
+              (Pid.Set.union parent.sleep parent.explored)
+        in
+        match List.find_opt (fun (q, _) -> not (Pid.Set.mem q sleep)) pend with
+        | None ->
+            blocked := true;
+            rr ~now ~enabled
+        | Some (q, kq) ->
+            stack.(i) <-
+              Some
+                {
+                  chosen = q;
+                  kind = kq;
+                  enabled = pend;
+                  backtrack = Pid.Set.empty;
+                  explored = Pid.Set.empty;
+                  sleep;
+                };
+            grown := i + 1;
+            Some q
+      end
+  in
+  let fibers =
+    Pid.all ~n_plus_1:(Failure_pattern.n_plus_1 pattern)
+    |> List.concat_map (fun pid ->
+           List.mapi
+             (fun j body ->
+               Fiber.create ~pid
+                 ~name:(Format.asprintf "%a/t%d" Pid.pp pid j)
+                 body)
+             (procs pid))
+  in
+  let sched = Scheduler.create ~pattern ~policy ~fibers in
+  sched_ref := Some sched;
+  let (_ : Scheduler.outcome) = Scheduler.run sched ~max_steps:horizon in
+  Obs.Metrics.observe_int m_exec_steps (Scheduler.now sched);
+  let trace = Scheduler.trace sched in
+  (checkf trace, trace, !grown, !blocked)
+
+(* Race analysis (Flanagan–Godefroid) over the WHOLE executed run, not
+   just the choice window: a race whose later step sits in the
+   deterministic round-robin tail still needs a backtracking point at
+   its (controllable) earlier step, otherwise a process with a long
+   program can monopolize the window and hide every race from the
+   analysis. Backtracking alternatives can only be inserted at window
+   positions [0 .. grown-1].
+
+   Happens-before is tracked with vector clocks over an access model
+   derived from step labels: a [Read]/[Write] accesses its named
+   object; [Query] writes a pseudo-object that every step reads (so a
+   query conflicts with everything, and two queries conflict);
+   [Nop]/[Output]/[Input] only read the pseudo-object. For each step j
+   the race candidates are the per-object last conflicting accesses;
+   (i, j) is an immediate race when no intermediate k has
+   hb(i,k) && hb(k,j). Returns (races, alternatives inserted). *)
+let analyze ~stack ~grown ~trace =
+  let steps =
+    trace
+    |> List.filter_map (function
+         | Trace.Step { pid; kind; _ } -> Some (pid, kind)
+         | Trace.Crash _ -> None)
+    |> Array.of_list
+  in
+  let m = Array.length steps in
+  if m = 0 then (0, 0)
+  else begin
+    let n =
+      1 + Array.fold_left (fun acc (p, _) -> max acc (Pid.to_int p)) 0 steps
+    in
+    (* per-step: vector clock (vc.(j).(q) = how many of q's steps
+       happen-before step j, inclusive of j itself for q = pid_j) and
+       the step's own per-process index (1-based) *)
+    let vc = Array.make_matrix m n 0 in
+    let own = Array.make m 0 in
+    (* positions.(q) = global positions of q's steps, in order *)
+    let positions = Array.make n [] in
+    let proc_clock = Array.init n (fun _ -> Array.make n 0) in
+    let last_write_vc : (string, int array) Hashtbl.t = Hashtbl.create 16 in
+    let last_write_pos : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    let reads_vc : (string, int array) Hashtbl.t = Hashtbl.create 16 in
+    let last_read_pos : (string * int, int) Hashtbl.t = Hashtbl.create 16 in
+    let join dst src = Array.iteri (fun q v -> if v > dst.(q) then dst.(q) <- v) src in
+    (* pseudo-object giving queries their conflict-with-everything
+       semantics; real object names never collide with it *)
+    let q_obj = "\x00query" in
+    let accesses kind =
+      match kind with
+      | Sim.Read { obj } -> [ (obj, `R); (q_obj, `R) ]
+      | Sim.Write { obj } -> [ (obj, `W); (q_obj, `R) ]
+      | Sim.Query _ -> [ (q_obj, `W) ]
+      | Sim.Output _ | Sim.Input _ | Sim.Nop -> [ (q_obj, `R) ]
+    in
+    let hb i j =
+      (* step i happens-before step j (i < j) *)
+      vc.(j).(Pid.to_int (fst steps.(i))) >= own.(i)
+    in
+    let races = ref 0 and added = ref 0 in
+    for j = 0 to m - 1 do
+      let pj, kj = steps.(j) in
+      let p = Pid.to_int pj in
+      let accs = accesses kj in
+      (* candidates: last conflicting access per object, before joining
+         this step's clock (so they reflect strictly earlier steps) *)
+      let candidates =
+        List.concat_map
+          (fun (o, a) ->
+            let w =
+              match Hashtbl.find_opt last_write_pos o with
+              | Some i -> [ i ]
+              | None -> []
+            in
+            match a with
+            | `R -> w
+            | `W ->
+                w
+                @ List.concat
+                    (List.init n (fun q ->
+                         if q = p then []
+                         else
+                           match Hashtbl.find_opt last_read_pos (o, q) with
+                           | Some i -> [ i ]
+                           | None -> [])))
+          accs
+        |> List.filter (fun i -> not (Pid.equal (fst steps.(i)) pj))
+        |> List.sort_uniq Int.compare
+      in
+      (* compute this step's clock *)
+      let clock = vc.(j) in
+      join clock proc_clock.(p);
+      own.(j) <- clock.(p) + 1;
+      clock.(p) <- own.(j);
+      List.iter
+        (fun (o, a) ->
+          (match Hashtbl.find_opt last_write_vc o with
+          | Some w -> join clock w
+          | None -> ());
+          match a with
+          | `R -> ()
+          | `W -> (
+              match Hashtbl.find_opt reads_vc o with
+              | Some r -> join clock r
+              | None -> ()))
+        accs;
+      (* immediate races among the candidates *)
+      List.iter
+        (fun i ->
+          let mediated = ref false in
+          for k = i + 1 to j - 1 do
+            if (not !mediated) && hb i k && hb k j then mediated := true
+          done;
+          if not !mediated then begin
+            incr races;
+            if i >= grown then begin
+              (* both race steps sit in the uncontrollable round-robin
+                 tail: reversal needs pid_j inside the window first.
+                 Conservatively offer it at the deepest window node
+                 (bounded-search backtracking, cf. Coons et al.); once
+                 it runs there, normal race reversal pulls it further
+                 forward on subsequent analyses. *)
+              if grown > 0 then begin
+                let nd =
+                  match stack.(grown - 1) with
+                  | Some nd -> nd
+                  | None -> assert false
+                in
+                if
+                  List.mem_assoc pj nd.enabled
+                  && not (Pid.Set.mem pj nd.backtrack)
+                then begin
+                  nd.backtrack <- Pid.Set.add pj nd.backtrack;
+                  incr added
+                end
+              end
+            end
+            else begin
+              let nd =
+                match stack.(i) with Some nd -> nd | None -> assert false
+              in
+              let enabled_i = List.map fst nd.enabled in
+              (* E-set: processes enabled at i whose scheduling there
+                 could reverse the race — pid_j itself, or anyone with a
+                 step in (i, j) happening-before j *)
+              let e =
+                List.filter
+                  (fun q ->
+                    Pid.equal q pj
+                    ||
+                    let qi = Pid.to_int q in
+                    clock.(qi) >= 1
+                    &&
+                    match List.nth_opt positions.(qi) (clock.(qi) - 1) with
+                    | Some pos -> pos > i && pos < j
+                    | None -> false)
+                  enabled_i
+              in
+              let to_add = if e = [] then enabled_i else e in
+              List.iter
+                (fun q ->
+                  if not (Pid.Set.mem q nd.backtrack) then begin
+                    nd.backtrack <- Pid.Set.add q nd.backtrack;
+                    incr added
+                  end)
+                to_add
+            end
+          end)
+        candidates;
+      (* update the access tables with this step *)
+      List.iter
+        (fun (o, a) ->
+          match a with
+          | `R ->
+              (match Hashtbl.find_opt reads_vc o with
+              | Some r -> join r clock
+              | None -> Hashtbl.replace reads_vc o (Array.copy clock));
+              Hashtbl.replace last_read_pos (o, p) j
+          | `W ->
+              Hashtbl.replace last_write_vc o (Array.copy clock);
+              Hashtbl.replace last_write_pos o j;
+              (* a write orders all prior reads before it; clear them so
+                 later writes race with the write, not stale reads *)
+              Hashtbl.remove reads_vc o;
+              for q = 0 to n - 1 do
+                Hashtbl.remove last_read_pos (o, q)
+              done)
+        accs;
+      join proc_clock.(p) clock;
+      positions.(p) <- positions.(p) @ [ j ]
+    done;
+    (!races, !added)
+  end
+
+(* Pop to the deepest node with an unexplored, non-sleeping backtrack
+   alternative; retarget it and truncate the stack there. False when the
+   whole tree is exhausted. *)
+let rec next_candidate ~stack ~len =
+  if !len = 0 then false
+  else begin
+    let nd = match stack.(!len - 1) with Some nd -> nd | None -> assert false in
+    nd.explored <- Pid.Set.add nd.chosen nd.explored;
+    let cands =
+      Pid.Set.diff nd.backtrack (Pid.Set.union nd.explored nd.sleep)
+    in
+    match Pid.Set.min_elt_opt cands with
+    | Some q ->
+        nd.chosen <- q;
+        (match List.assoc_opt q nd.enabled with
+        | Some k -> nd.kind <- k
+        | None -> assert false);
+        true
+    | None ->
+        len := !len - 1;
+        stack.(!len) <- None;
+        next_candidate ~stack ~len
+  end
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let explore ~pattern ~depth ~horizon ~make () =
+  if depth < 0 then invalid_arg "Dpor.explore: negative depth";
+  let stack = Array.make (max depth 1) None in
+  let len = ref 0 in
+  let executions = ref 0 and blocked_runs = ref 0 in
+  let races_total = ref 0 and added_total = ref 0 in
+  let rec loop () =
+    let verdict, trace, grown, blocked =
+      run_once ~pattern ~horizon ~depth ~stack ~len:!len ~make
+    in
+    incr executions;
+    Obs.Metrics.incr m_executions;
+    if blocked then begin
+      incr blocked_runs;
+      Obs.Metrics.incr m_sleep_blocked
+    end;
+    match verdict with
+    | Error report -> Some (take depth (Trace.schedule trace), report)
+    | Ok () ->
+        if not blocked then begin
+          let races, added = analyze ~stack ~grown ~trace in
+          races_total := !races_total + races;
+          added_total := !added_total + added;
+          Obs.Metrics.incr ~by:races m_races;
+          Obs.Metrics.incr ~by:added m_backtrack_points
+        end;
+        len := grown;
+        if next_candidate ~stack ~len then loop () else None
+  in
+  let counterexample = loop () in
+  {
+    stats =
+      {
+        executions = !executions;
+        sleep_blocked = !blocked_runs;
+        races = !races_total;
+        backtrack_points = !added_total;
+      };
+    counterexample;
+  }

@@ -1,0 +1,90 @@
+(** Dynamic partial-order reduction over schedule prefixes.
+
+    Like {!Explore.naive_prefix} this enumerates the choices of "who
+    steps next" for the first [depth] steps of a run, completing every
+    prefix deterministically with round-robin up to a horizon and
+    checking the property on each completed execution. Unlike the naive
+    enumerator it prunes: two prefixes that differ only in the order of
+    {e independent} steps lead to equivalent executions (same
+    Mazurkiewicz trace), so only one representative per equivalence
+    class needs to run. The algorithm is stateless DPOR with sleep sets
+    (Flanagan–Godefroid, POPL 2005): after each execution the {e whole}
+    run — choice window and round-robin tail — is scanned for racing
+    step pairs (happens-before via vector clocks), backtracking points
+    are added at the earlier step of each race that falls inside the
+    controllable window, and sleep sets stop already-covered
+    interleavings from being re-explored. A race confined entirely to
+    the tail cannot be reversed directly; following bounded
+    partial-order reduction (Coons–Musuvathi–McKinley), the later
+    process is conservatively offered at the deepest window node, which
+    lets subsequent analyses pull the race into the window step by
+    step.
+
+    Independence is computed from step labels ({!Kernel.Sim.kind}):
+
+    - steps of the same process never commute (program order);
+    - reads commute with reads; a read and a write, or two writes,
+      commute iff they name different objects;
+    - [Nop]/[Output]/[Input] steps touch no shared object and commute
+      with everything cross-process;
+    - [Query] steps commute with nothing: a detector sample is a
+      function of the global time, so reordering {e any} pair of steps
+      across a query can change the sampled value.
+
+    Soundness caveats, both deliberate conservatisms of the label-based
+    relation: (1) an atomic closure can read the global clock
+    ([ctx.now]), and swapping two independent steps shifts both their
+    times by one — properties sensitive to the exact {e times} of
+    independent steps (rather than to the order of conflicting
+    accesses) are outside the reduction's guarantee. The memory-layer
+    history recorders timestamp operations by their shared-object
+    access steps precisely so that derived precedence is stable under
+    such swaps; ABD op boundaries (client-local marker and probe steps)
+    retain a residual sensitivity, which is why every executed run —
+    including sleep-set-blocked ones — is still checked against the
+    property as a safety net. (2) cross-process [Output] ordering is
+    considered irrelevant, so checked properties must not depend on the
+    relative trace order of outputs by different processes (values and
+    per-process order are fine). *)
+
+open Kernel
+
+type stats = {
+  executions : int;  (** completed runs, including sleep-blocked ones *)
+  sleep_blocked : int;
+      (** runs whose prefix extension hit an all-sleeping enabled set:
+          provably redundant, still executed to completion (and
+          checked) but not race-analyzed *)
+  races : int;  (** racing step pairs found across all prefixes *)
+  backtrack_points : int;  (** alternatives inserted by race analysis *)
+}
+
+type 'a outcome = {
+  stats : stats;
+  counterexample : (Pid.t list * 'a) option;
+      (** the first [depth] scheduled pids of the first violating
+          execution, and the checker's report. Replaying the prefix via
+          {!Policy.script} (falling back to round-robin) over a fresh
+          identical world reproduces the violation. *)
+}
+
+val explore :
+  pattern:Failure_pattern.t ->
+  depth:int ->
+  horizon:int ->
+  make:
+    (unit ->
+    (Pid.t -> (unit -> unit) list) * (Trace.t -> (unit, 'a) result)) ->
+  unit ->
+  'a outcome
+(** [make ()] must build a fresh, deterministic world: a fiber factory
+    plus a checker run on the completed trace ([Ok] = property held).
+    It is called once per explored schedule; two calls must yield
+    behaviourally identical worlds (this is what makes replay and
+    backtracking meaningful). Exploration stops at the first
+    counterexample.
+
+    Also updates the [check.dpor.*] metrics: [executions],
+    [sleep_blocked], [races], [backtrack_points] counters and the
+    [check.dpor.execution_steps] histogram, cumulative across calls
+    (use {!Obs.Metrics.reset} between measurements). *)

@@ -1,11 +1,21 @@
+open Kernel
+
 type 'a outcome = {
   executions : int;
   counterexample : (Pid.t list * 'a) option;
 }
 
-(* Execute one fresh world under [prefix ++ round-robin], returning the
-   checker's result and the enabled set seen at each prefix position (to
-   drive enumeration of the next sibling schedules). *)
+let exhaustive_prefix ~pattern ~depth ~horizon ~make () =
+  let result = Dpor.explore ~pattern ~depth ~horizon ~make () in
+  {
+    executions = result.Dpor.stats.Dpor.executions;
+    counterexample = result.Dpor.counterexample;
+  }
+
+(* The original unreduced enumerator, verbatim. Execute one fresh world
+   under [prefix ++ round-robin], returning the checker's result and
+   the enabled set seen at each prefix position (to drive enumeration
+   of the next sibling schedules). *)
 let run_one ~pattern ~prefix ~depth ~horizon ~make =
   let procs, check = make () in
   let enabled_at = Array.make depth [] in
@@ -31,7 +41,7 @@ let run_one ~pattern ~prefix ~depth ~horizon ~make =
   let result = Run.exec ~pattern ~policy ~horizon ~procs () in
   (check result.trace, Array.to_list enabled_at, result)
 
-let exhaustive_prefix ~pattern ~depth ~horizon ~make () =
+let naive_prefix ~pattern ~depth ~horizon ~make () =
   let executions = ref 0 in
   (* Depth-first over prefix schedules. [prefix] is the fixed choice list
      so far (grown left to right); enumeration at position i uses the
@@ -72,5 +82,13 @@ let exhaustive_prefix ~pattern ~depth ~horizon ~make () =
   { executions = !executions; counterexample }
 
 let count_schedules ~n_plus_1 ~depth =
-  let rec power acc k = if k = 0 then acc else power (acc * n_plus_1) (k - 1) in
-  power 1 depth
+  if n_plus_1 < 0 || depth < 0 then
+    invalid_arg "Explore.count_schedules: negative argument";
+  if n_plus_1 = 0 then if depth = 0 then 1 else 0
+  else
+    let rec power acc k =
+      if k = 0 then acc
+      else if acc > max_int / n_plus_1 then max_int
+      else power (acc * n_plus_1) (k - 1)
+    in
+    power 1 depth

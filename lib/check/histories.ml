@@ -1,0 +1,160 @@
+open Kernel
+
+type ('op, 'res) log = { mutable entries : ('op, 'res) Lin.event list }
+
+let log () = { entries = [] }
+let record l e = l.entries <- e :: l.entries
+let events l = List.rev l.entries
+
+(* Registers *)
+
+type reg_op = Reg_write of int | Reg_read
+type reg_res = Reg_unit | Reg_val of int
+
+let register_spec ~init =
+  {
+    Lin.init;
+    apply =
+      (fun state -> function
+        | Reg_write v -> (v, Reg_unit)
+        | Reg_read -> (state, Reg_val state));
+    equal_res = ( = );
+    show_op =
+      (function
+      | Reg_write v -> Printf.sprintf "write(%d)" v
+      | Reg_read -> "read()");
+    show_res =
+      (function Reg_unit -> "()" | Reg_val v -> string_of_int v);
+    show_state = string_of_int;
+  }
+
+let logged_read l reg ~me =
+  let time, v = Memory.Register.read_timed reg in
+  record l
+    (Lin.completed ~op:Reg_read ~result:(Reg_val v) ~invoked:time
+       ~responded:time ~pid:(Pid.to_int me));
+  v
+
+let logged_write l reg ~me v =
+  let time = Memory.Register.write_timed reg v in
+  record l
+    (Lin.completed ~op:(Reg_write v) ~result:Reg_unit ~invoked:time
+       ~responded:time ~pid:(Pid.to_int me))
+
+(* Snapshots *)
+
+type snap_op = Snap_update of { pos : int; value : int } | Snap_scan
+type snap_res = Snap_unit | Snap_view of int list
+
+let rec list_set xs pos v =
+  match xs with
+  | [] -> invalid_arg "Histories.snapshot_spec: position out of range"
+  | x :: tl -> if pos = 0 then v :: tl else x :: list_set tl (pos - 1) v
+
+let snapshot_spec ~size ~init =
+  {
+    Lin.init = List.init size init;
+    apply =
+      (fun state -> function
+        | Snap_update { pos; value } -> (list_set state pos value, Snap_unit)
+        | Snap_scan -> (state, Snap_view state));
+    equal_res = ( = );
+    show_op =
+      (function
+      | Snap_update { pos; value } -> Printf.sprintf "update(%d, %d)" pos value
+      | Snap_scan -> "scan()");
+    show_res =
+      (function
+      | Snap_unit -> "()"
+      | Snap_view vs ->
+          "[" ^ String.concat ";" (List.map string_of_int vs) ^ "]");
+    show_state =
+      (fun vs -> String.concat ";" (List.map string_of_int vs));
+  }
+
+let logged_scan l snap ~me =
+  let view, first, last = Memory.Snapshot.scan_timed snap in
+  record l
+    (Lin.completed ~op:Snap_scan
+       ~result:(Snap_view (Array.to_list view))
+       ~invoked:first ~responded:last ~pid:(Pid.to_int me));
+  view
+
+let logged_update l snap ~me v =
+  let first, last = Memory.Snapshot.update_timed snap ~me:(Pid.to_int me) v in
+  record l
+    (Lin.completed
+       ~op:(Snap_update { pos = Pid.to_int me; value = v })
+       ~result:Snap_unit ~invoked:first ~responded:last ~pid:(Pid.to_int me))
+
+(* ABD *)
+
+type abd_op =
+  | Abd_write of { key : string; value : int }
+  | Abd_read of { key : string }
+
+type abd_res = Abd_unit | Abd_val of int
+
+let abd_spec ~init =
+  {
+    Lin.init = [];
+    apply =
+      (fun state -> function
+        | Abd_write { key; value } ->
+            ((key, value) :: List.remove_assoc key state, Abd_unit)
+        | Abd_read { key } ->
+            ( state,
+              Abd_val
+                (match List.assoc_opt key state with
+                | Some v -> v
+                | None -> init) ));
+    equal_res = ( = );
+    show_op =
+      (function
+      | Abd_write { key; value } -> Printf.sprintf "write(%s, %d)" key value
+      | Abd_read { key } -> Printf.sprintf "read(%s)" key);
+    show_res =
+      (function Abd_unit -> "()" | Abd_val v -> string_of_int v);
+    show_state =
+      (fun state ->
+        List.sort compare state
+        |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+        |> String.concat ",");
+  }
+
+let abd_history t =
+  let ops = Memory.Abd.oplog t in
+  let completed =
+    List.map
+      (fun (o : int Memory.Abd.op) ->
+        match o.kind with
+        | `Read ->
+            Lin.completed
+              ~op:(Abd_read { key = o.key })
+              ~result:(Abd_val o.value) ~invoked:o.invoked
+              ~responded:o.responded ~pid:(Pid.to_int o.pid)
+        | `Write ->
+            Lin.completed
+              ~op:(Abd_write { key = o.key; value = o.value })
+              ~result:Abd_unit ~invoked:o.invoked ~responded:o.responded
+              ~pid:(Pid.to_int o.pid))
+      ops
+  in
+  let completed_write_tags =
+    List.filter_map
+      (fun (o : int Memory.Abd.op) ->
+        if o.kind = `Write then Some (o.key, o.tag) else None)
+      ops
+  in
+  let pendings =
+    Memory.Abd.attempts t
+    |> List.filter_map (fun (key, (tag : Memory.Abd.tag), value, invoked) ->
+           if List.mem (key, tag) completed_write_tags then None
+           else
+             Some
+               (Lin.pending
+                  ~op:(Abd_write { key; value })
+                  ~invoked
+                  ~pid:(Pid.to_int tag.writer)))
+  in
+  completed @ pendings

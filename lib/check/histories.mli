@@ -1,0 +1,66 @@
+(** Operation-level histories of the memory objects, for {!Lin}.
+
+    Two recording styles:
+
+    - {e inline recorders} for registers and snapshots: protocol code
+      calls the [logged_*] wrappers, which perform the normal operation
+      (via the [*_timed] primitives, so intervals come from the
+      operation's actual shared-memory accesses) and append a
+      {!Lin.event} {e after} the effect step returns. A fiber is only
+      killed while suspended between steps, so an operation is logged
+      iff its effect step executed — crashed-mid-operation register and
+      snapshot ops vanish from the history exactly when they had no
+      effect, and no pending-event guesswork is needed;
+    - {e post-hoc extraction} for ABD ({!abd_history}): completed
+      operations come from {!Memory.Abd.oplog}; write attempts whose
+      tag was broadcast but whose client never completed become
+      {!Lin.pending} events, since their effect may or may not have
+      reached a majority. *)
+
+open Kernel
+
+(** {1 Event logs} *)
+
+type ('op, 'res) log
+
+val log : unit -> ('op, 'res) log
+val events : ('op, 'res) log -> ('op, 'res) Lin.event list
+(** In recording order. *)
+
+(** {1 Atomic registers (int-valued)} *)
+
+type reg_op = Reg_write of int | Reg_read
+type reg_res = Reg_unit | Reg_val of int
+
+val register_spec : init:int -> (reg_op, reg_res, int) Lin.spec
+
+val logged_read : (reg_op, reg_res) log -> int Memory.Register.t -> me:Pid.t -> int
+(** One step, like {!Memory.Register.read}, recording the event. *)
+
+val logged_write :
+  (reg_op, reg_res) log -> int Memory.Register.t -> me:Pid.t -> int -> unit
+
+(** {1 Snapshot objects (int-valued)} *)
+
+type snap_op = Snap_update of { pos : int; value : int } | Snap_scan
+type snap_res = Snap_unit | Snap_view of int list
+
+val snapshot_spec :
+  size:int -> init:(int -> int) -> (snap_op, snap_res, int list) Lin.spec
+
+val logged_scan : (snap_op, snap_res) log -> int Memory.Snapshot.t -> me:Pid.t -> int array
+
+val logged_update :
+  (snap_op, snap_res) log -> int Memory.Snapshot.t -> me:Pid.t -> int -> unit
+
+(** {1 ABD emulated registers (int-valued)} *)
+
+type abd_op = Abd_write of { key : string; value : int } | Abd_read of { key : string }
+type abd_res = Abd_unit | Abd_val of int
+
+val abd_spec : init:int -> (abd_op, abd_res, (string * int) list) Lin.spec
+(** State: key → value association, absent keys reading as [init]. *)
+
+val abd_history : int Memory.Abd.t -> (abd_op, abd_res) Lin.event list
+(** Completed client operations plus one pending write per broadcast
+    attempt that never completed. *)

@@ -1,0 +1,105 @@
+type ('op, 'res, 'state) spec = {
+  init : 'state;
+  apply : 'state -> 'op -> 'state * 'res;
+  equal_res : 'res -> 'res -> bool;
+  show_op : 'op -> string;
+  show_res : 'res -> string;
+  show_state : 'state -> string;
+}
+
+type ('op, 'res) event = {
+  op : 'op;
+  result : 'res option;
+  invoked : int;
+  responded : int;
+  pid : int;
+}
+
+let completed ~op ~result ~invoked ~responded ~pid =
+  { op; result = Some result; invoked; responded; pid }
+
+let pending ~op ~invoked ~pid =
+  { op; result = None; invoked; responded = max_int; pid }
+
+let render_event spec e =
+  let res =
+    match e.result with
+    | Some r -> spec.show_res r
+    | None -> "? (pending)"
+  in
+  let responded =
+    match e.result with
+    | Some _ -> string_of_int e.responded
+    | None -> "inf"
+  in
+  Printf.sprintf "  p%d %s -> %s [%d,%s]" (e.pid + 1) (spec.show_op e.op) res
+    e.invoked responded
+
+let check spec events =
+  let evs = Array.of_list events in
+  let n = Array.length evs in
+  if n > 62 then invalid_arg "Lin.check: more than 62 events";
+  let full = (1 lsl n) - 1 in
+  let completed_mask = ref 0 in
+  Array.iteri
+    (fun i e -> if e.result <> None then completed_mask := !completed_mask lor (1 lsl i))
+    evs;
+  let completed_mask = !completed_mask in
+  (* Memoizes failed (remaining set, state) pairs — success exits
+     immediately, so only dead ends are stored. *)
+  let memo = Hashtbl.create 256 in
+  let rec search mask state =
+    (* pending events may simply never take effect, so the search is
+       done once every completed event is linearized *)
+    if mask land completed_mask = 0 then true
+    else
+      let key = (mask, spec.show_state state) in
+      if Hashtbl.mem memo key then false
+      else begin
+        let ok = candidates mask state in
+        if not ok then Hashtbl.add memo key ();
+        ok
+      end
+  and candidates mask state =
+    (* a remaining event is minimal when no remaining completed event
+       real-time-precedes it; only minimal events may linearize next *)
+    let minimal i =
+      let e = evs.(i) in
+      let blocked = ref false in
+      for j = 0 to n - 1 do
+        if (mask lsr j) land 1 = 1 && j <> i then
+          match evs.(j).result with
+          | Some _ when evs.(j).responded < e.invoked -> blocked := true
+          | Some _ | None -> ()
+      done;
+      not !blocked
+    in
+    let rec try_from i =
+      if i >= n then false
+      else if (mask lsr i) land 1 = 1 && minimal i then begin
+        let e = evs.(i) in
+        let mask' = mask land lnot (1 lsl i) in
+        let state', res = spec.apply state e.op in
+        let this =
+          match e.result with
+          | Some r -> spec.equal_res res r && search mask' state'
+          | None ->
+              (* pending: never took effect, or took effect here with an
+                 unconstrained result *)
+              search mask' state || search mask' state'
+        in
+        this || try_from (i + 1)
+      end
+      else try_from (i + 1)
+    in
+    try_from 0
+  in
+  if search full spec.init then Ok ()
+  else
+    let sorted =
+      List.sort (fun a b -> Int.compare a.invoked b.invoked) events
+    in
+    Error
+      (String.concat "\n"
+         ("history not linearizable:"
+         :: List.map (render_event spec) sorted))

@@ -1,0 +1,31 @@
+type t =
+  | Abd_skip_write_back
+  | Snapshot_single_collect
+  | Converge_drop_phase2
+
+let all = [ Abd_skip_write_back; Snapshot_single_collect; Converge_drop_phase2 ]
+
+let to_string = function
+  | Abd_skip_write_back -> "abd-skip-write-back"
+  | Snapshot_single_collect -> "snapshot-single-collect"
+  | Converge_drop_phase2 -> "converge-drop-phase2"
+
+let of_string s =
+  match List.find_opt (fun m -> String.equal (to_string m) s) all with
+  | Some m -> Ok m
+  | None ->
+      Error
+        (Printf.sprintf "unknown mutant %S (expected one of: %s)" s
+           (String.concat ", " (List.map to_string all)))
+
+let flag = function
+  | Abd_skip_write_back -> Memory.Abd.chaos_skip_write_back
+  | Snapshot_single_collect -> Memory.Snapshot.chaos_single_collect
+  | Converge_drop_phase2 -> Converge.chaos_drop_phase2
+
+let with_ mutant f =
+  let saved = List.map (fun m -> (m, !(flag m))) all in
+  let restore () = List.iter (fun (m, v) -> flag m := v) saved in
+  List.iter (fun m -> flag m := false) all;
+  (match mutant with Some m -> flag m := true | None -> ());
+  Fun.protect ~finally:restore f

@@ -1,0 +1,34 @@
+(** Planted bugs the model checker must be able to find.
+
+    Each mutant is a test-only flag inside a memory/agreement module
+    that disables one load-bearing mechanism of its algorithm — the
+    kind of subtle omission schedule exploration exists to catch.
+    Regression tests assert that {!Dpor} + {!Lin} finds a
+    counterexample for every mutant within a bounded budget (and none
+    without). *)
+
+type t =
+  | Abd_skip_write_back
+      (** {!Memory.Abd.read} skips the read write-back phase: reads
+          become regular, enabling new/old read inversions. *)
+  | Snapshot_single_collect
+      (** {!Memory.Snapshot} scans return their first collect without
+          double-collect validation: views can be atomically
+          inconsistent. *)
+  | Converge_drop_phase2
+      (** {!Converge.run} commits after phase 1 without the phase-2
+          visibility check: C-Agreement breaks. *)
+
+val all : t list
+
+val to_string : t -> string
+(** Stable CLI names: [abd-skip-write-back],
+    [snapshot-single-collect], [converge-drop-phase2]. *)
+
+val of_string : string -> (t, string) result
+
+val with_ : t option -> (unit -> 'a) -> 'a
+(** [with_ m f] runs [f] with the mutant's flag set (none for [None]),
+    restoring all flags afterwards even on exceptions. Use around every
+    exploration {e and} every shrink replay, so counterexamples stay
+    reproducible. *)

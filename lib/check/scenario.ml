@@ -1,0 +1,146 @@
+open Kernel
+
+type obj = Register | Snapshot | Abd | Commit_adopt
+
+let all = [ Register; Snapshot; Abd; Commit_adopt ]
+
+let to_string = function
+  | Register -> "register"
+  | Snapshot -> "snapshot"
+  | Abd -> "abd"
+  | Commit_adopt -> "commit-adopt"
+
+let of_string s =
+  match List.find_opt (fun o -> String.equal (to_string o) s) all with
+  | Some o -> Ok o
+  | None ->
+      Error
+        (Printf.sprintf "unknown object %S (expected one of: %s)" s
+           (String.concat ", " (List.map to_string all)))
+
+let min_procs = function Register -> 1 | Snapshot -> 2 | Abd -> 2 | Commit_adopt -> 2
+
+let require obj procs =
+  if procs < min_procs obj then
+    invalid_arg
+      (Printf.sprintf "Scenario.make %s: needs at least %d processes"
+         (to_string obj) (min_procs obj))
+
+(* Every process increments through one shared register: two writes and
+   two reads each, all single-step and recorded with their step time. *)
+let register ~procs () =
+  let reg = Memory.Register.create ~name:"r" 0 in
+  let l = Histories.log () in
+  let body pid () =
+    let base = 10 * (Pid.to_int pid + 1) in
+    Histories.logged_write l reg ~me:pid (base + 1);
+    ignore (Histories.logged_read l reg ~me:pid);
+    Histories.logged_write l reg ~me:pid (base + 2);
+    ignore (Histories.logged_read l reg ~me:pid)
+  in
+  ignore procs;
+  let check (_ : Trace.t) =
+    Lin.check (Histories.register_spec ~init:0) (Histories.events l)
+  in
+  ((fun pid -> [ body pid ]), check)
+
+(* procs-1 updaters (each writing its own slot once) and one scanner
+   scanning twice. *)
+let snapshot ~procs () =
+  let snap = Memory.Snapshot.create ~name:"s" ~size:procs ~init:(fun _ -> 0) in
+  let l = Histories.log () in
+  let scanner = procs - 1 in
+  let body pid () =
+    if Pid.to_int pid = scanner then begin
+      ignore (Histories.logged_scan l snap ~me:pid);
+      ignore (Histories.logged_scan l snap ~me:pid)
+    end
+    else Histories.logged_update l snap ~me:pid (10 * (Pid.to_int pid + 1))
+  in
+  let check (_ : Trace.t) =
+    Lin.check
+      (Histories.snapshot_spec ~size:procs ~init:(fun _ -> 0))
+      (Histories.events l)
+  in
+  ((fun pid -> [ body pid ]), check)
+
+(* An ABD register with a write stranded mid-update-phase before the run
+   begins: tag (1, p2) with value 1 reached only p2's replica, and the
+   corresponding attempt is on record. p1 reads twice; every process
+   runs a server. Whether the stranded value stays reachable is up to
+   the failure pattern (crashing p2 silences the only fresh replica). *)
+let abd ~procs () =
+  let t = Memory.Abd.create ~name:"abd" ~n_plus_1:procs ~init:0 in
+  let holder = 1 in
+  let tag = { Memory.Abd.seq = 1; writer = holder } in
+  Memory.Abd.unsafe_seed_replica t ~owner:holder ~key:"x" ~tag 1;
+  Memory.Abd.unsafe_attempt t ~key:"x" ~tag 1 ~invoked:0;
+  let reader () =
+    ignore (Memory.Abd.read t ~me:0 ~key:"x");
+    ignore (Memory.Abd.read t ~me:0 ~key:"x")
+  in
+  let procs_fn pid =
+    let server = Memory.Abd.server t ~me:pid in
+    if Pid.to_int pid = 0 then [ reader; server ] else [ server ]
+  in
+  let check (_ : Trace.t) =
+    Lin.check (Histories.abd_spec ~init:0) (Histories.abd_history t)
+  in
+  (procs_fn, check)
+
+(* Distinct inputs through one commit–adopt instance; results collected
+   harness-side (order-insensitive, as the reduction requires). *)
+let commit_adopt ~procs () =
+  let inst =
+    Converge.Commit_adopt.create ~name:"ca" ~size:procs ~compare:Int.compare
+  in
+  let picks = Array.make procs None in
+  let input p = 100 + p in
+  let body pid () =
+    let p = Pid.to_int pid in
+    picks.(p) <- Some (Converge.Commit_adopt.run inst ~me:p (input p))
+  in
+  let check (_ : Trace.t) =
+    let finished =
+      Array.to_list picks |> List.filter_map Fun.id
+    in
+    let inputs = List.init procs input in
+    match
+      List.find_opt (fun (v, _) -> not (List.mem v inputs)) finished
+    with
+    | Some (v, _) ->
+        Error (Printf.sprintf "C-Validity: %d was picked but never proposed" v)
+    | None -> (
+        match List.find_opt (fun (_, committed) -> committed) finished with
+        | None -> Ok ()
+        | Some (v, _) ->
+            if List.for_all (fun (v', _) -> v' = v) finished then Ok ()
+            else
+              Error
+                (Printf.sprintf
+                   "commit-adopt agreement: %d committed but picks were %s" v
+                   (String.concat ","
+                      (List.map (fun (v', _) -> string_of_int v') finished))))
+  in
+  ((fun pid -> [ body pid ]), check)
+
+let make obj ~procs =
+  require obj procs;
+  match obj with
+  | Register -> register ~procs
+  | Snapshot -> snapshot ~procs
+  | Abd -> abd ~procs
+  | Commit_adopt -> commit_adopt ~procs
+
+let patterns obj ~procs =
+  let none = Failure_pattern.no_failures ~n_plus_1:procs in
+  match obj with
+  | Abd when procs >= 3 ->
+      (* crash the replica-seeding process at a sweep of times: early
+         crashes silence the stranded value before anyone reads it, late
+         crashes let exactly one read see it *)
+      none
+      :: List.map
+           (fun t -> Failure_pattern.make ~n_plus_1:procs ~crashes:[ (1, t) ])
+           (List.init 24 (fun i -> i + 1))
+  | Register | Snapshot | Abd | Commit_adopt -> [ none ]

@@ -1,0 +1,55 @@
+(** Canonical worlds for the [wfde check] command and the harness.
+
+    Each scenario builds a small, deterministic multi-process world
+    around one shared-object implementation together with the property
+    to verify on every explored execution. The [make] thunk matches
+    {!Dpor.explore}'s [make] argument.
+
+    - [Register]: every process writes and reads one shared atomic
+      register, history checked with Wing–Gong against the sequential
+      register spec;
+    - [Snapshot]: [procs - 1] single-slot updaters plus one scanner
+      over an Afek-et-al. snapshot, checked against the sequential
+      snapshot spec. (The {!Mutant.Snapshot_single_collect} violation
+      needs [procs >= 3]: with two processes every inconsistent view is
+      still linearizable.)
+    - [Abd]: an ABD emulated register with a write stranded mid-update
+      before the run begins (its value reached only p2's replica; p2's
+      fate is left to the failure pattern) and p1 reading twice;
+      atomicity is checked with Wing–Gong, the half-applied write
+      entering the history as a pending operation;
+    - [Commit_adopt]: every process runs commit–adopt on a distinct
+      input; the trace-independent result table is checked for
+      C-Validity and the commit–adopt agreement property.
+
+    Worlds with forever-running server fibers never quiesce; explore
+    them with a horizon a few times the depth. *)
+
+open Kernel
+
+type obj = Register | Snapshot | Abd | Commit_adopt
+
+val all : obj list
+
+val to_string : obj -> string
+(** Stable CLI names: [register], [snapshot], [abd], [commit-adopt]. *)
+
+val of_string : string -> (obj, string) result
+
+val min_procs : obj -> int
+
+val make :
+  obj ->
+  procs:int ->
+  unit ->
+  (Pid.t -> (unit -> unit) list) * (Trace.t -> (unit, string) result)
+(** A fresh world builder; deterministic, as {!Dpor.explore} requires.
+    [procs] is the process count n+1. Raises [Invalid_argument] below
+    {!min_procs}. *)
+
+val patterns : obj -> procs:int -> Failure_pattern.t list
+(** The failure patterns worth sweeping for this scenario: always
+    failure-free first, plus crash patterns that matter (for [Abd]: the
+    replica-seeding process crashing at a range of times, which is what
+    can strand the seeded write's value). Exploration sweeps these in
+    order. *)

@@ -1,0 +1,99 @@
+open Kernel
+
+type 'a replay = pattern:Failure_pattern.t -> prefix:Pid.t list -> 'a option
+
+let m_replays = Obs.Metrics.counter "check.shrink.replays"
+
+(* Split [xs] into [n] contiguous chunks, the first ones one element
+   longer when the length does not divide evenly. *)
+let split_chunks xs n =
+  let len = List.length xs in
+  let base = len / n and extra = len mod n in
+  let rec go xs i =
+    if i >= n then []
+    else begin
+      let size = base + if i < extra then 1 else 0 in
+      let rec take k = function
+        | tl when k = 0 -> ([], tl)
+        | [] -> ([], [])
+        | x :: tl ->
+            let chunk, rest = take (k - 1) tl in
+            (x :: chunk, rest)
+      in
+      let chunk, rest = take size xs in
+      chunk :: go rest (i + 1)
+    end
+  in
+  go xs 0
+
+let complement_of chunks i =
+  List.concat (List.filteri (fun j _ -> j <> i) chunks)
+
+let ddmin ~test xs =
+  if test [] then []
+  else
+    let rec go xs n =
+      let len = List.length xs in
+      if len <= 1 then xs
+      else begin
+        let n = min n len in
+        let chunks = split_chunks xs n in
+        match List.find_opt test chunks with
+        | Some chunk -> go chunk 2
+        | None -> (
+            let complements = List.mapi (fun i _ -> complement_of chunks i) chunks in
+            match List.find_opt test complements with
+            | Some c -> go c (max (n - 1) 2)
+            | None -> if n < len then go xs (min len (2 * n)) else xs)
+      end
+    in
+    go xs 2
+
+let crashes_of pattern =
+  let n_plus_1 = Failure_pattern.n_plus_1 pattern in
+  Pid.all ~n_plus_1
+  |> List.filter_map (fun p ->
+         let t = Failure_pattern.crash_time pattern p in
+         if t = Failure_pattern.never then None else Some (p, t))
+
+let pattern_of ~n_plus_1 crashes = Failure_pattern.make ~n_plus_1 ~crashes
+
+(* Greedily drop crashes that are not needed for the failure, to a
+   fixpoint (1-minimal w.r.t. crash removal). *)
+let shrink_pattern ~still_fails pattern =
+  let n_plus_1 = Failure_pattern.n_plus_1 pattern in
+  let rec pass crashes =
+    let try_without i =
+      let candidate = pattern_of ~n_plus_1 (List.filteri (fun j _ -> j <> i) crashes) in
+      if still_fails candidate then Some candidate else None
+    in
+    let rec first i =
+      if i >= List.length crashes then None
+      else match try_without i with Some p -> Some p | None -> first (i + 1)
+    in
+    match first 0 with
+    | Some reduced -> pass (crashes_of reduced)
+    | None -> pattern_of ~n_plus_1 crashes
+  in
+  pass (crashes_of pattern)
+
+let minimize ~replay ~pattern ~prefix =
+  let run ~pattern ~prefix =
+    Obs.Metrics.incr m_replays;
+    replay ~pattern ~prefix
+  in
+  match run ~pattern ~prefix with
+  | None -> None
+  | Some _ ->
+      let pattern =
+        shrink_pattern pattern ~still_fails:(fun candidate ->
+            run ~pattern:candidate ~prefix <> None)
+      in
+      let prefix =
+        ddmin prefix ~test:(fun candidate ->
+            run ~pattern ~prefix:candidate <> None)
+      in
+      (* confirm and return the report of the shrunk counterexample *)
+      (match run ~pattern ~prefix with
+      | Some report -> Some (pattern, prefix, report)
+      | None -> None)

@@ -1,0 +1,36 @@
+(** Counterexample minimization by delta debugging.
+
+    A counterexample from {!Dpor.explore} is a (failure pattern,
+    schedule prefix) pair. [minimize] first drops crashes that are not
+    needed for the failure, then ddmin-shrinks the schedule prefix
+    (Zeller–Hildebrandt), replaying each candidate through the caller's
+    [replay] to confirm it still fails. Because replays re-execute a
+    fresh deterministic world under {!Kernel.Policy.script}, the result
+    is a confirmed, directly replayable minimal counterexample — the
+    final report returned comes from re-running the shrunk pair, not
+    from the original.
+
+    Prefix shrinking means {e deleting} schedule entries: the remaining
+    choices are applied in order and the run is completed round-robin,
+    so a shrunk prefix is also a valid script. 1-minimality holds with
+    respect to deletion: removing any single remaining entry (or any
+    single remaining crash) makes the failure vanish. *)
+
+open Kernel
+
+type 'a replay = pattern:Failure_pattern.t -> prefix:Pid.t list -> 'a option
+(** [Some report] when the run still violates the property. Must be
+    deterministic. *)
+
+val ddmin : test:(Pid.t list -> bool) -> Pid.t list -> Pid.t list
+(** Classic ddmin on schedule entries; assumes [test input = true].
+    Exposed for tests. *)
+
+val minimize :
+  replay:'a replay ->
+  pattern:Failure_pattern.t ->
+  prefix:Pid.t list ->
+  (Failure_pattern.t * Pid.t list * 'a) option
+(** [None] when [replay] does not reproduce the failure on the
+    un-shrunk input (a non-deterministic world — a bug worth surfacing
+    rather than masking). Updates the [check.shrink.replays] counter. *)

@@ -22,11 +22,30 @@ let create ~name ~k ~size ~compare =
 
 let k_of t = t.k
 
+(* Test-only planted mutant (Check.Mutant): when set, [run] stops after
+   phase 1 — committing whenever its own V₁ is small, without checking
+   phase-2 visibility. C-Agreement breaks: a committer no longer forces
+   others onto small proposals. Checker regression tests only. *)
+let chaos_drop_phase2 = ref false
+
 let distinct_sorted compare values =
   List.sort_uniq compare values
 
+let min_of_sorted = function
+  | [] -> assert false (* small proposals are never empty: V₁ ∋ own v *)
+  | first :: _ -> first (* lists are sorted ascending *)
+
 let run t ~me v =
   if t.k = 0 then (v, false)
+  else if !chaos_drop_phase2 then begin
+    Snapshot.update t.phase1 ~me (Some v);
+    let seen1 = Snapshot.scan t.phase1 in
+    let v1 =
+      Array.to_list seen1 |> List.filter_map Fun.id
+      |> distinct_sorted t.compare
+    in
+    if List.length v1 <= t.k then (min_of_sorted v1, true) else (v, false)
+  end
   else begin
     Snapshot.update t.phase1 ~me (Some v);
     let seen1 = Snapshot.scan t.phase1 in

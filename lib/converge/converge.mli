@@ -46,6 +46,12 @@ val run : 'a instance -> me:int -> 'a -> 'a * bool
 (** Invoke the instance. [me] is the caller's position; each position may
     be used at most once. Returns [(picked, committed)]. *)
 
+val chaos_drop_phase2 : bool ref
+(** Test-only planted mutant: when set, {!run} commits straight after
+    phase 1 whenever its own [V₁] is small, skipping the phase-2
+    visibility check that C-Agreement rests on. For checker regression
+    tests only. *)
+
 (** A lazily-allocated family of shared instances, keyed by (k, tag) —
     the protocols of Figs 1–2 address instances as
     [(|U|−1)-converge\[r\]\[k\]], where the parameter is part of the

@@ -1045,6 +1045,80 @@ let a3_fig2_snapshot_cost ?(seeds = 12) () =
     ok = !all_ok;
   }
 
+(* ------------------------------------------------- c1: model checking *)
+
+let c1_model_checking ?(depth = 6) ?(mutant_depth = 12) () =
+  let all_ok = ref true in
+  let row ?mutant ?depth:d ?procs obj ~expect_violation =
+    let depth = Option.value d ~default:depth in
+    let o = Harness.check_exhaustive ?procs ?mutant ~depth obj in
+    let found = o.Harness.violation <> None in
+    if found <> expect_violation then all_ok := false;
+    (match o.Harness.violation with
+    | Some v when not v.Harness.shrunk -> all_ok := false
+    | _ -> ());
+    [
+      Check.Scenario.to_string obj;
+      (match mutant with None -> "-" | Some m -> Check.Mutant.to_string m);
+      Report.cell_int o.Harness.check_procs;
+      Report.cell_int o.Harness.check_depth;
+      Report.cell_int o.Harness.patterns_swept;
+      Report.cell_int o.Harness.executions;
+      Report.cell_int o.Harness.naive_bound;
+      (match o.Harness.violation with
+      | None -> "none"
+      | Some v ->
+          Printf.sprintf "caught (prefix %d, crashes %d)"
+            (List.length v.Harness.cex_prefix)
+            (List.length
+               (List.filter
+                  (fun p ->
+                    Kernel.Failure_pattern.crash_time v.Harness.cex_pattern p
+                    <> Kernel.Failure_pattern.never)
+                  (Pid.all
+                     ~n_plus_1:
+                       (Kernel.Failure_pattern.n_plus_1 v.Harness.cex_pattern)))));
+    ]
+  in
+  let rows =
+    [
+      row Check.Scenario.Register ~expect_violation:false;
+      row Check.Scenario.Snapshot ~expect_violation:false;
+      row Check.Scenario.Abd ~procs:3 ~expect_violation:false;
+      row Check.Scenario.Commit_adopt ~expect_violation:false;
+      row Check.Scenario.Abd ~procs:3 ~mutant:Check.Mutant.Abd_skip_write_back
+        ~expect_violation:true;
+      row Check.Scenario.Snapshot ~procs:3 ~depth:mutant_depth
+        ~mutant:Check.Mutant.Snapshot_single_collect ~expect_violation:true;
+      row Check.Scenario.Commit_adopt ~mutant:Check.Mutant.Converge_drop_phase2
+        ~expect_violation:true;
+    ]
+  in
+  {
+    id = "c1";
+    claim =
+      "Model checking: DPOR exploration with linearizability/agreement \
+       checking passes every clean scenario and catches all three planted \
+       mutants with a shrunk, replayable counterexample";
+    table =
+      {
+        Report.title = "C1: DPOR model checking - clean objects vs mutants";
+        headers =
+          [
+            "object";
+            "mutant";
+            "procs";
+            "depth";
+            "patterns";
+            "execs";
+            "naive bound";
+            "violation";
+          ];
+        rows;
+      };
+    ok = !all_ok;
+  }
+
 (* --------------------------------------------------------------- index *)
 
 let all () =
@@ -1063,6 +1137,7 @@ let all () =
     a1_snapshot_ablation ();
     a2_escape_ablation ();
     a3_fig2_snapshot_cost ();
+    c1_model_checking ();
   ]
 
 let catalog =
@@ -1081,6 +1156,7 @@ let catalog =
     ("a1", "Ablation: register-built vs native snapshot cost");
     ("a2", "Ablation: Fig 1 escape conditions");
     ("a3", "Ablation: Fig 2 on register-built vs native snapshots");
+    ("c1", "Model checking: DPOR + linearizability on clean and mutated objects");
   ]
 
 let by_id id =
@@ -1100,6 +1176,7 @@ let by_id id =
   | "a1" -> Some (fun ?scale () -> ignore scale; a1_snapshot_ablation ())
   | "a2" -> Some (fun ?scale () -> a2_escape_ablation ~seeds:(scaled 12 scale) ())
   | "a3" -> Some (fun ?scale () -> a3_fig2_snapshot_cost ~seeds:(scaled 12 scale) ())
+  | "c1" -> Some (fun ?scale () -> ignore scale; c1_model_checking ())
   | _ -> None
 
 let pp ppf t =

@@ -62,6 +62,12 @@ val a3_fig2_snapshot_cost : ?seeds:int -> unit -> outcome
 (** Fig 2 on register-built vs native snapshots: same correctness, the
     faithful construction's Θ(n) step cost shows inside the protocol. *)
 
+val c1_model_checking : ?depth:int -> ?mutant_depth:int -> unit -> outcome
+(** The {!Check} layer end to end: every clean scenario passes DPOR
+    exploration, every planted mutant is caught with a shrunk,
+    replayable counterexample. [mutant_depth] sizes the deeper window
+    the snapshot single-collect mutant needs (3 processes, ≥ 10). *)
+
 val all : unit -> outcome list
 (** Every experiment with default parameters, in order. *)
 
@@ -70,7 +76,7 @@ val catalog : (string * string) list
     anything. *)
 
 val by_id : string -> (?scale:int -> unit -> outcome) option
-(** Look up an experiment by id ("e1" … "e8", "a1", "a2"); [scale]
-    multiplies the default seed counts. *)
+(** Look up an experiment by id ("e1" … "e11", "a1" … "a3", "c1");
+    [scale] multiplies the default seed counts. *)
 
 val pp : Format.formatter -> outcome -> unit

@@ -162,6 +162,158 @@ let run_async_attempt ?(horizon = 200_000) ?(lockstep = true) world =
        ~rounds:(Async_attempt.rounds_entered proto)
        result)
 
+(* ------------------------------------------------- model checking *)
+
+type check_violation = {
+  cex_pattern : Failure_pattern.t;
+  cex_prefix : Pid.t list;
+  cex_report : string;
+  shrunk : bool;
+}
+
+type check_outcome = {
+  check_obj : Check.Scenario.obj;
+  check_procs : int;
+  check_depth : int;
+  check_horizon : int;
+  check_mutant : Check.Mutant.t option;
+  patterns_swept : int;
+  executions : int;
+  sleep_blocked : int;
+  races : int;
+  backtrack_points : int;
+  naive_bound : int;
+  violation : check_violation option;
+}
+
+let m_check_runs = Obs.Metrics.counter "harness.check.runs"
+let m_check_violations = Obs.Metrics.counter "harness.check.violations"
+
+let check_exhaustive ?procs ?(depth = 6) ?(horizon = 400) ?patterns ?mutant obj
+    =
+  let procs =
+    let floor = Check.Scenario.min_procs obj in
+    match procs with Some p -> max p floor | None -> max 2 floor
+  in
+  let patterns =
+    match patterns with
+    | Some ps -> ps
+    | None -> Check.Scenario.patterns obj ~procs
+  in
+  let make = Check.Scenario.make obj ~procs in
+  (* every exploration and every shrink replay runs under the same
+     (possibly mutated) implementation *)
+  let guarded f = Check.Mutant.with_ mutant f in
+  let replay ~pattern ~prefix =
+    guarded (fun () ->
+        let fibers, check = make () in
+        let policy = Policy.script prefix ~then_:(Policy.round_robin ()) in
+        let result = Run.exec ~pattern ~policy ~horizon ~procs:fibers () in
+        match check result.Run.trace with
+        | Ok () -> None
+        | Error report -> Some report)
+  in
+  let executions = ref 0
+  and sleep_blocked = ref 0
+  and races = ref 0
+  and backtrack_points = ref 0
+  and swept = ref 0 in
+  let rec sweep = function
+    | [] -> None
+    | pattern :: rest -> (
+        incr swept;
+        let o =
+          guarded (fun () ->
+              Check.Dpor.explore ~pattern ~depth ~horizon ~make ())
+        in
+        let s = o.Check.Dpor.stats in
+        executions := !executions + s.Check.Dpor.executions;
+        sleep_blocked := !sleep_blocked + s.Check.Dpor.sleep_blocked;
+        races := !races + s.Check.Dpor.races;
+        backtrack_points := !backtrack_points + s.Check.Dpor.backtrack_points;
+        match o.Check.Dpor.counterexample with
+        | Some (prefix, report) -> Some (pattern, prefix, report)
+        | None -> sweep rest)
+  in
+  Obs.Metrics.incr m_check_runs;
+  let violation =
+    match sweep patterns with
+    | None -> None
+    | Some (pattern, prefix, report) ->
+        Obs.Metrics.incr m_check_violations;
+        Some
+          (match Check.Shrink.minimize ~replay ~pattern ~prefix with
+          | Some (cex_pattern, cex_prefix, cex_report) ->
+              { cex_pattern; cex_prefix; cex_report; shrunk = true }
+          | None ->
+              (* replay did not reproduce — report the raw counterexample
+                 and flag the failed shrink *)
+              {
+                cex_pattern = pattern;
+                cex_prefix = prefix;
+                cex_report = report;
+                shrunk = false;
+              })
+  in
+  {
+    check_obj = obj;
+    check_procs = procs;
+    check_depth = depth;
+    check_horizon = horizon;
+    check_mutant = mutant;
+    patterns_swept = !swept;
+    executions = !executions;
+    sleep_blocked = !sleep_blocked;
+    races = !races;
+    backtrack_points = !backtrack_points;
+    naive_bound = Check.Explore.count_schedules ~n_plus_1:procs ~depth;
+    violation;
+  }
+
+let check_outcome_json t =
+  let module J = Obs.Json in
+  let crashes p =
+    J.List
+      (Pid.all ~n_plus_1:(Failure_pattern.n_plus_1 p)
+      |> List.filter_map (fun pid ->
+             let time = Failure_pattern.crash_time p pid in
+             if time = Failure_pattern.never then None
+             else
+               Some
+                 (J.Obj
+                    [ ("pid", J.Int (Pid.to_int pid)); ("time", J.Int time) ])))
+  in
+  J.Obj
+    [
+      ("object", J.String (Check.Scenario.to_string t.check_obj));
+      ("procs", J.Int t.check_procs);
+      ("depth", J.Int t.check_depth);
+      ("horizon", J.Int t.check_horizon);
+      ( "mutant",
+        match t.check_mutant with
+        | None -> J.Null
+        | Some m -> J.String (Check.Mutant.to_string m) );
+      ("patterns_swept", J.Int t.patterns_swept);
+      ("executions", J.Int t.executions);
+      ("sleep_blocked", J.Int t.sleep_blocked);
+      ("races", J.Int t.races);
+      ("backtrack_points", J.Int t.backtrack_points);
+      ("naive_bound", J.Int t.naive_bound);
+      ( "violation",
+        match t.violation with
+        | None -> J.Null
+        | Some v ->
+            J.Obj
+              [
+                ("shrunk", J.Bool v.shrunk);
+                ("crashes", crashes v.cex_pattern);
+                ( "prefix",
+                  J.List
+                    (List.map (fun p -> J.Int (Pid.to_int p)) v.cex_prefix) );
+                ("report", J.String v.cex_report);
+              ] );
+    ]
+
 let run_extraction_of ?(horizon = 150_000) ?(tail = 25_000) ~f ~source world =
   let n_plus_1 = Failure_pattern.n_plus_1 world.pattern in
   let rng = world.world_rng in

@@ -58,6 +58,63 @@ val run_async_attempt :
 (** The detector-free skeleton; [lockstep] (default true) replaces the
     world's policy with round-robin, the adversarial schedule. *)
 
+(** {1 Model checking}
+
+    The {!Check} layer driven end to end: DPOR exploration of a
+    {!Check.Scenario} over a sweep of failure patterns, with any found
+    counterexample ddmin-shrunk and confirmed by {!Kernel.Policy.script}
+    replay. *)
+
+type check_violation = {
+  cex_pattern : Failure_pattern.t;  (** minimized failure pattern *)
+  cex_prefix : Pid.t list;
+      (** minimized schedule prefix — replaying it under
+          [Policy.script] with [cex_pattern] reproduces [cex_report] *)
+  cex_report : string;
+  shrunk : bool;
+      (** [false] when the script replay failed to reproduce the raw
+          counterexample (the fields then hold the unshrunk original) *)
+}
+
+type check_outcome = {
+  check_obj : Check.Scenario.obj;
+  check_procs : int;
+  check_depth : int;
+  check_horizon : int;
+  check_mutant : Check.Mutant.t option;
+  patterns_swept : int;
+      (** failure patterns explored before stopping (all of them, or up
+          to and including the first with a violation) *)
+  executions : int;  (** total DPOR executions across the sweep *)
+  sleep_blocked : int;
+  races : int;
+  backtrack_points : int;
+  naive_bound : int;
+      (** [procs^depth], what unreduced enumeration of one pattern could
+          cost ({!Check.Explore.count_schedules}, saturating) *)
+  violation : check_violation option;
+}
+
+val check_exhaustive :
+  ?procs:int ->
+  ?depth:int ->
+  ?horizon:int ->
+  ?patterns:Failure_pattern.t list ->
+  ?mutant:Check.Mutant.t ->
+  Check.Scenario.obj ->
+  check_outcome
+(** Explore the scenario under each pattern (default:
+    {!Check.Scenario.patterns}) until a violation is found or the sweep
+    is exhausted; [procs] is clamped up to the scenario's
+    {!Check.Scenario.min_procs}, defaults are [procs >= 2], [depth = 6],
+    [horizon = 400]. [mutant] injects the named bug for the whole run —
+    exploration {e and} shrink replays. Updates [harness.check.*] and
+    [check.dpor.*] metrics. *)
+
+val check_outcome_json : check_outcome -> Obs.Json.t
+(** Stable machine-readable rendering (the [wfde check --json]
+    payload). *)
+
 val run_extraction_of :
   ?horizon:int ->
   ?tail:int ->

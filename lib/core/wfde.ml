@@ -14,12 +14,16 @@
       baselines — §5.
     - {!Reduction}: the Fig-3 extraction, the pairwise reductions, and
       the Theorem-1/5 adversary — §4, §6.
+    - {!Check}: the model checker — DPOR schedule exploration with
+      sleep sets, a Wing–Gong linearizability checker, planted mutants,
+      and ddmin counterexample shrinking.
     - {!Harness} / {!Experiments} / {!Report}: run whole worlds and
       regenerate every claim's table (E1–E8, A1–A2 in DESIGN.md).
     - {!Obs} / {!Trace_export}: the telemetry layer — simulator-wide
       metrics registry and JSONL trace export/replay. *)
 
 module Kernel = Kernel
+module Check = Check
 module Obs = Obs
 module Trace_export = Trace_export
 module Memory = Memory
@@ -50,6 +54,11 @@ module Omega = Detectors.Omega
 module Omega_k = Detectors.Omega_k
 module Register = Memory.Register
 module Snapshot = Memory.Snapshot
+module Dpor = Check.Dpor
+module Lin = Check.Lin
+module Scenario = Check.Scenario
+module Shrink = Check.Shrink
+module Mutant = Check.Mutant
 module Upsilon_sa = Agreement.Upsilon_sa
 module Upsilon_f_sa = Agreement.Upsilon_f_sa
 module Sa_spec = Agreement.Sa_spec

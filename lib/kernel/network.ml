@@ -11,10 +11,16 @@ let send t ~to_ m =
 let broadcast t m =
   Array.iteri (fun to_ _ -> send t ~to_ m) t.mailboxes
 
-let poll t =
+let poll t ~me =
+  (* Labelled with the polled mailbox — the same object a send to [me]
+     writes — so trace-level independence analysis (Check.Dpor) sees
+     send/poll on one mailbox as conflicting and polls of distinct
+     mailboxes as commuting. Draining mutates the queue, hence Write. *)
   Sim.atomic
-    (Sim.Read { obj = t.net_name ^ "<-" })
+    (Sim.Write { obj = Printf.sprintf "%s->%s" t.net_name (Pid.to_string me) })
     (fun ctx ->
+      if not (Pid.equal ctx.Sim.pid me) then
+        invalid_arg "Network.poll: polling another process's mailbox";
       let q = t.mailboxes.(ctx.Sim.pid) in
       let rec drain acc =
         match Queue.take_opt q with

@@ -23,8 +23,11 @@ val send : 'm t -> to_:Pid.t -> 'm -> unit
 val broadcast : 'm t -> 'm -> unit
 (** [n_plus_1] send steps, destinations in pid order (includes self). *)
 
-val poll : 'm t -> (Pid.t * 'm) list
-(** One step: drain the caller's mailbox, oldest first, with senders. *)
+val poll : 'm t -> me:Pid.t -> (Pid.t * 'm) list
+(** One step: drain the caller's mailbox, oldest first, with senders.
+    [me] must be the calling process (checked at step time); it lets the
+    step be labelled with the polled mailbox object, which schedule
+    exploration needs to tell conflicting from commuting steps. *)
 
 val pending : 'm t -> Pid.t -> int
 (** Oracle access: queued messages at a mailbox, no step. *)

@@ -117,6 +117,26 @@ let next_fiber t pid =
   in
   search t.cursor.(pid) 0
 
+(* The fiber [next_fiber] would pick, without advancing the cursor. *)
+let peek_fiber t pid =
+  let fibers = t.by_pid.(pid) in
+  let k = Array.length fibers in
+  let rec search i tried =
+    if tried >= k then None
+    else
+      let f = fibers.(i mod k) in
+      if Fiber.status f = Fiber.Runnable then Some f
+      else search (i + 1) (tried + 1)
+  in
+  search t.cursor.(pid) 0
+
+let pending t =
+  Pid.all ~n_plus_1:(Failure_pattern.n_plus_1 t.sched_pattern)
+  |> List.filter_map (fun p ->
+         match peek_fiber t p with
+         | Some f -> Some (p, Fiber.pending_kind f)
+         | None -> None)
+
 let step t =
   let step_time = t.clock + 1 in
   process_crashes t step_time;

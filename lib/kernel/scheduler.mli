@@ -25,6 +25,17 @@ val create :
 val now : t -> int
 val pattern : t -> Failure_pattern.t
 
+val pending : t -> (Pid.t * Sim.kind) list
+(** The currently enabled processes (alive, with a runnable fiber), each
+    paired with the kind of the step it would take if scheduled next, in
+    pid order. Does not advance the run or the per-process fiber
+    rotation. Model checkers use this to compute the independence
+    relation over the next transitions without committing to one.
+
+    Note the enabled set the policy will actually see at the next
+    {!step} may differ: crashes whose time is reached by that step are
+    processed first. *)
+
 val step : t -> [ `Stepped of Pid.t | `Stopped of outcome ]
 (** Advance the run by one step. *)
 

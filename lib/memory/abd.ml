@@ -14,6 +14,12 @@ type 'a message =
 
 type 'a reply = Tagged of tag * 'a | Acked
 
+(* Test-only planted mutant (Check.Mutant): when set, [read] skips the
+   write-back phase, making reads merely regular — the classic new/old
+   read inversion the model checker must be able to find. Never set this
+   outside checker regression tests. *)
+let chaos_skip_write_back = ref false
+
 let m_reads = Obs.Metrics.counter "memory.abd.reads"
 let m_writes = Obs.Metrics.counter "memory.abd.writes"
 let m_query_phases = Obs.Metrics.counter "memory.abd.query_phases"
@@ -40,8 +46,8 @@ type 'a t = {
   counters : int array; (* per-process client op ids *)
   buffers : (int, 'a reply list ref) Hashtbl.t array; (* client reply buffers *)
   mutable log : 'a op list;
-  mutable attempts : (string * tag * int) list;
-      (* write tags broadcast, with keys and invoke times *)
+  mutable attempts : (string * tag * 'a * int) list;
+      (* write tags broadcast, with keys, values and invoke times *)
 }
 
 let create ~name ~n_plus_1 ~init =
@@ -73,21 +79,28 @@ let stash t ~me ~op reply =
 
 (* The replica/responder fiber: answer requests from the local copy,
    adopt fresher (tag, value) pairs, forward replies to the client. *)
+(* Replica step labels carry the owning process: replica.(me) is local
+   state only [me]'s server ever touches, so labelling it per process
+   lets schedule exploration commute replica steps of distinct
+   processes. *)
+let replica_obj ~me ~key =
+  Printf.sprintf "abd.replica/%s/%s" (Pid.to_string me) key
+
 let server t ~me () =
   while true do
-    let messages = Network.poll t.net in
+    let messages = Network.poll t.net ~me in
     List.iter
       (fun (from, message) ->
         match message with
         | Query { op; key } ->
             let reply =
-              Sim.atomic (Sim.Read { obj = "abd.replica/" ^ key }) (fun _ ->
+              Sim.atomic (Sim.Read { obj = replica_obj ~me ~key }) (fun _ ->
                   let tag, value = replica_get t ~me ~key in
                   Query_reply { op; tag; value })
             in
             Network.send t.net ~to_:from reply
         | Update { op; key; tag; value } ->
-            Sim.atomic (Sim.Write { obj = "abd.replica/" ^ key }) (fun _ ->
+            Sim.atomic (Sim.Write { obj = replica_obj ~me ~key }) (fun _ ->
                 let current_tag, _ = replica_get t ~me ~key in
                 if compare_tag tag current_tag > 0 then
                   Hashtbl.replace t.replica.(me) key (tag, value));
@@ -132,7 +145,8 @@ let max_tagged replies =
     None replies
 
 (* Phase 1: collect a majority of (tag, value) pairs. Returns the pair
-   with the highest tag and the invocation time (first send step). *)
+   with the highest tag, the invocation time (the marker step below) and
+   the phase's completion time. *)
 let query_phase t ~me ~key =
   Obs.Metrics.incr m_query_phases;
   let op = fresh_op t ~me in
@@ -143,9 +157,9 @@ let query_phase t ~me ~key =
       invoked := ctx.Sim.now;
       ());
   Network.broadcast t.net (Query { op; key });
-  let replies, _ = await t ~me ~op ~want:(quorum t) in
+  let replies, completed = await t ~me ~op ~want:(quorum t) in
   match max_tagged replies with
-  | Some (tag, value) -> (tag, value, !invoked)
+  | Some (tag, value) -> (tag, value, !invoked, completed)
   | None -> assert false (* quorum >= 1 Tagged replies *)
 
 (* Phase 2: propagate (tag, value) to a majority. Returns the response
@@ -160,21 +174,24 @@ let update_phase t ~me ~key ~tag ~value =
 let log_op t entry = t.log <- entry :: t.log
 
 let read t ~me ~key =
-  let tag, value, invoked = query_phase t ~me ~key in
+  let tag, value, invoked, query_done = query_phase t ~me ~key in
   (* write-back: a later read must not see an older value *)
-  let responded = update_phase t ~me ~key ~tag ~value in
+  let responded =
+    if !chaos_skip_write_back then query_done
+    else update_phase t ~me ~key ~tag ~value
+  in
   Obs.Metrics.incr m_reads;
   Obs.Metrics.observe_int m_latency (responded - invoked);
   log_op t { kind = `Read; pid = me; key; tag; value; invoked; responded };
   value
 
 let write t ~me ~key value =
-  let max_tag, _, invoked = query_phase t ~me ~key in
+  let max_tag, _, invoked, _ = query_phase t ~me ~key in
   let tag = { seq = max_tag.seq + 1; writer = me } in
   (* the tag becomes visible from here on, even if this client crashes
      before completing: atomicity lets such a write linearize anywhere
      after its invocation *)
-  t.attempts <- (key, tag, invoked) :: t.attempts;
+  t.attempts <- (key, tag, value, invoked) :: t.attempts;
   let responded = update_phase t ~me ~key ~tag ~value in
   Obs.Metrics.incr m_writes;
   Obs.Metrics.observe_int m_latency (responded - invoked);
@@ -182,6 +199,13 @@ let write t ~me ~key value =
   ()
 
 let oplog t = List.rev t.log
+let attempts t = t.attempts
+
+let unsafe_seed_replica t ~owner ~key ~tag value =
+  Hashtbl.replace t.replica.(owner) key (tag, value)
+
+let unsafe_attempt t ~key ~tag value ~invoked =
+  t.attempts <- (key, tag, value, invoked) :: t.attempts
 let unsafe_append t entry = t.log <- entry :: t.log
 
 (* Atomicity is per register: check each key's sub-log independently. *)
@@ -235,7 +259,7 @@ let check_atomicity_key t the_key =
                   (* completed writes and crashed-mid-flight attempts both
                      produce legitimately readable tags *)
                   List.exists
-                    (fun (key, tag, invoked) ->
+                    (fun (key, tag, _value, invoked) ->
                       String.equal key the_key
                       && compare_tag tag r.tag = 0
                       && invoked <= r.responded)

@@ -64,9 +64,31 @@ type 'a op = {
 val oplog : 'a t -> 'a op list
 (** Completed operations in completion order. *)
 
+val attempts : 'a t -> (string * tag * 'a * int) list
+(** Every write attempt whose tag became visible (broadcast), as
+    [(key, tag, value, invoke_time)], newest first — including writes
+    whose client crashed mid-operation. Model checking uses these as the
+    pending operations a linearization may still include. *)
+
+val chaos_skip_write_back : bool ref
+(** Test-only planted mutant: when set, {!read} skips the write-back
+    phase, so reads are merely regular and non-overlapping reads can see
+    new-then-old values. Exists solely so checker regression tests can
+    assert the bug is found; never set it elsewhere. *)
+
 val unsafe_append : 'a t -> 'a op -> unit
 (** Append a hand-built entry to the op log — for testing the checker on
     forged histories only. *)
+
+val unsafe_seed_replica :
+  'a t -> owner:Pid.t -> key:string -> tag:tag -> 'a -> unit
+(** Harness-only, no steps: install [(tag, value)] at [owner]'s replica,
+    modelling a write that reached that replica before the run began
+    (e.g. a client that crashed mid-update-phase). Pair with
+    {!unsafe_attempt} so checkers know the tag is legitimate. *)
+
+val unsafe_attempt : 'a t -> key:string -> tag:tag -> 'a -> invoked:int -> unit
+(** Harness-only, no steps: record a broadcast write attempt. *)
 
 val keys : 'a t -> string list
 (** Every key appearing in the op log. *)

@@ -16,6 +16,18 @@ let write t v =
   Obs.Metrics.incr m_writes;
   Sim.atomic (Sim.Write { obj = t.reg_name }) (fun _ -> t.cell <- v)
 
+let read_timed t =
+  Obs.Metrics.incr m_reads;
+  Sim.atomic (Sim.Read { obj = t.reg_name }) (fun ctx -> (ctx.Sim.now, t.cell))
+
+let write_timed t v =
+  Obs.Metrics.incr m_writes;
+  Sim.atomic
+    (Sim.Write { obj = t.reg_name })
+    (fun ctx ->
+      t.cell <- v;
+      ctx.Sim.now)
+
 let peek t = t.cell
 let poke t v = t.cell <- v
 

@@ -20,6 +20,15 @@ val read : 'a t -> 'a
 val write : 'a t -> 'a -> unit
 (** One step. Only call from inside a fiber. *)
 
+val read_timed : 'a t -> int * 'a
+(** Like {!read}, also returning the global time of the step itself —
+    the operation's linearization point. History recorders (model
+    checking) use this to timestamp operations by their effective access
+    rather than by surrounding bookkeeping steps. *)
+
+val write_timed : 'a t -> 'a -> int
+(** Like {!write}, returning the time of the step. *)
+
 val peek : 'a t -> 'a
 (** Observe the current value without taking a step — for test oracles
     and harness code only, never for protocol code. *)

@@ -24,13 +24,22 @@ let create ~name ~size ~init =
 
 let size t = Array.length t.cells
 
-let collect t = Array.map Register.read t.cells
+
+(* Test-only planted mutant (Check.Mutant): when set, [scan] returns its
+   first collect with no double-collect validation — the textbook broken
+   snapshot whose views can be atomically inconsistent. Only checker
+   regression tests may set this. *)
+let chaos_single_collect = ref false
 
 (* One collect per iteration; a position whose version changed between two
    successive collects "moved". A position seen moving twice performed a
    complete update inside our scan interval, so its embedded view is a
-   valid snapshot of that interval (Afek et al., Lemma 4.2). *)
-let scan_entries t =
+   valid snapshot of that interval (Afek et al., Lemma 4.2).
+
+   Returns the view together with the times of the first and last
+   register accesses, delimiting the scan's real-time interval for
+   history recording. *)
+let scan_entries_timed t =
   let n = size t in
   let moved = Array.make n 0 in
   let rounds = ref 1 in
@@ -39,36 +48,68 @@ let scan_entries t =
     Obs.Metrics.observe_int m_scan_rounds !rounds;
     result
   in
-  let rec attempt c1 =
-    let c2 = collect t in
-    let any_change = ref false in
-    let borrowed = ref None in
-    for j = 0 to n - 1 do
-      if c1.(j).version <> c2.(j).version then begin
-        any_change := true;
-        moved.(j) <- moved.(j) + 1;
-        if moved.(j) >= 2 && !borrowed = None then borrowed := Some c2.(j)
-      end
-    done;
-    if not !any_change then finish (Array.map (fun e -> (e.data, e.version)) c2)
-    else
-      match !borrowed with
-      | Some e ->
-          Obs.Metrics.incr m_borrowed;
-          finish (Array.copy e.view)
-      | None ->
-          incr rounds;
-          attempt c2
+  let collect_timed () =
+    let first = ref max_int and last = ref 0 in
+    let entries =
+      Array.map
+        (fun cell ->
+          let time, e = Register.read_timed cell in
+          if time < !first then first := time;
+          if time > !last then last := time;
+          e)
+        t.cells
+    in
+    (entries, !first, !last)
   in
-  attempt (collect t)
+  let c0, t_first, c0_last = collect_timed () in
+  if !chaos_single_collect then
+    (finish (Array.map (fun e -> (e.data, e.version)) c0), t_first, c0_last)
+  else
+    let rec attempt c1 =
+      let c2, _, c2_last = collect_timed () in
+      let any_change = ref false in
+      let borrowed = ref None in
+      for j = 0 to n - 1 do
+        if c1.(j).version <> c2.(j).version then begin
+          any_change := true;
+          moved.(j) <- moved.(j) + 1;
+          if moved.(j) >= 2 && !borrowed = None then borrowed := Some c2.(j)
+        end
+      done;
+      if not !any_change then
+        (finish (Array.map (fun e -> (e.data, e.version)) c2), t_first, c2_last)
+      else
+        match !borrowed with
+        | Some e ->
+            Obs.Metrics.incr m_borrowed;
+            (finish (Array.copy e.view), t_first, c2_last)
+        | None ->
+            incr rounds;
+            attempt c2
+    in
+    attempt c0
+
+let scan_entries t =
+  let view, _, _ = scan_entries_timed t in
+  view
 
 let scan_versioned t = scan_entries t
 let scan t = Array.map fst (scan_entries t)
 
-let update t ~me v =
+let scan_timed t =
+  let view, first, last = scan_entries_timed t in
+  (Array.map fst view, first, last)
+
+let update_timed t ~me v =
   Obs.Metrics.incr m_updates;
-  let view = scan_entries t in
+  let view, first, _ = scan_entries_timed t in
   let old = Register.read t.cells.(me) in
-  Register.write t.cells.(me) { data = v; version = old.version + 1; view }
+  let written =
+    Register.write_timed t.cells.(me)
+      { data = v; version = old.version + 1; view }
+  in
+  (first, written)
+
+let update t ~me v = ignore (update_timed t ~me v)
 
 let peek t = Array.map (fun cell -> (Register.peek cell).data) t.cells

@@ -33,5 +33,19 @@ val scan_versioned : 'a t -> ('a * int) array
     (update count); version vectors of concurrent scans are related by
     containment (pointwise [≤] one way or the other). *)
 
+val scan_timed : 'a t -> 'a array * int * int
+(** [scan_timed t] is [(view, first, last)] where [first]/[last] are the
+    times of the scan's first and last register accesses — the real-time
+    interval history recorders attribute to the operation. *)
+
+val update_timed : 'a t -> me:int -> 'a -> int * int
+(** Like {!update}, returning the times of the operation's first register
+    access and of the final write (its linearization point). *)
+
 val peek : 'a t -> 'a array
 (** Current contents without taking steps — oracle use only. *)
+
+val chaos_single_collect : bool ref
+(** Test-only planted mutant: when set, [scan] returns its first collect
+    without double-collect validation, so concurrent updates can yield
+    atomically inconsistent views. For checker regression tests only. *)

@@ -1,0 +1,302 @@
+(* The model-checking layer: Wing–Gong linearizability on forged and
+   recorded histories, ddmin shrinking, the DPOR pruning bound, and the
+   three planted mutants — each must be caught with a shrunk,
+   replayable counterexample, and the unmutated objects must pass. *)
+
+open Kernel
+open Check
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let is_ok = function Ok () -> true | Error _ -> false
+
+(* ------------------------------------------------------------- Lin --- *)
+
+let reg_spec = Histories.register_spec ~init:0
+
+let wr v ~at ~pid =
+  Lin.completed ~op:(Histories.Reg_write v) ~result:Histories.Reg_unit
+    ~invoked:at ~responded:at ~pid
+
+let rd v ~invoked ~responded ~pid =
+  Lin.completed ~op:Histories.Reg_read ~result:(Histories.Reg_val v) ~invoked
+    ~responded ~pid
+
+let test_lin_sequential () =
+  checkb "write;read linearizable" true
+    (is_ok (Lin.check reg_spec [ wr 1 ~at:1 ~pid:0; rd 1 ~invoked:2 ~responded:3 ~pid:0 ]));
+  checkb "stale read rejected" false
+    (is_ok (Lin.check reg_spec [ wr 1 ~at:1 ~pid:0; rd 0 ~invoked:2 ~responded:3 ~pid:0 ]));
+  checkb "empty history" true (is_ok (Lin.check reg_spec []))
+
+let test_lin_overlap () =
+  (* overlapping write and read: both orders legal, either value ok *)
+  let history v =
+    [ wr 5 ~at:4 ~pid:0; rd v ~invoked:3 ~responded:6 ~pid:1 ]
+  in
+  checkb "overlapping read of new value" true (is_ok (Lin.check reg_spec (history 5)));
+  checkb "overlapping read of old value" true (is_ok (Lin.check reg_spec (history 0)))
+
+let test_lin_new_old_inversion () =
+  (* reads in real-time order seeing new then old: the classic
+     atomicity violation *)
+  let history =
+    [
+      wr 7 ~at:2 ~pid:0;
+      rd 7 ~invoked:3 ~responded:4 ~pid:1;
+      rd 0 ~invoked:5 ~responded:6 ~pid:1;
+    ]
+  in
+  checkb "new/old inversion rejected" false (is_ok (Lin.check reg_spec history))
+
+let test_lin_pending_may_apply () =
+  let p = Lin.pending ~op:(Histories.Reg_write 9) ~invoked:1 ~pid:0 in
+  checkb "pending write may take effect" true
+    (is_ok (Lin.check reg_spec [ p; rd 9 ~invoked:2 ~responded:3 ~pid:1 ]));
+  checkb "pending write may never take effect" true
+    (is_ok (Lin.check reg_spec [ p; rd 0 ~invoked:2 ~responded:3 ~pid:1 ]));
+  (* but it takes effect at most once: 9 then 0 then 9 again is not
+     explainable by one pending write *)
+  checkb "pending write applies at most once" false
+    (is_ok
+       (Lin.check reg_spec
+          [
+            p;
+            rd 9 ~invoked:2 ~responded:3 ~pid:1;
+            rd 0 ~invoked:4 ~responded:5 ~pid:1;
+            rd 9 ~invoked:6 ~responded:7 ~pid:1;
+          ]))
+
+let test_lin_pending_before_invocation () =
+  (* a pending op cannot be linearized before its own invocation *)
+  checkb "effect not before invocation" false
+    (is_ok
+       (Lin.check reg_spec
+          [
+            Lin.pending ~op:(Histories.Reg_write 9) ~invoked:5 ~pid:0;
+            rd 9 ~invoked:1 ~responded:2 ~pid:1;
+          ]))
+
+let test_lin_event_limit () =
+  let history =
+    List.init 63 (fun i -> wr i ~at:i ~pid:0)
+  in
+  Alcotest.check_raises "63 events rejected"
+    (Invalid_argument "Lin.check: more than 62 events") (fun () ->
+      ignore (Lin.check reg_spec history))
+
+(* ------------------------------------------------------- histories --- *)
+
+let test_logged_register_history () =
+  let log = Histories.log () in
+  let reg = Memory.Register.create ~name:"r" 0 in
+  let body pid () =
+    if pid = 0 then Histories.logged_write log reg ~me:pid 42
+    else ignore (Histories.logged_read log reg ~me:pid)
+  in
+  let result =
+    Run.exec
+      ~pattern:(Failure_pattern.no_failures ~n_plus_1:2)
+      ~policy:(Policy.round_robin ())
+      ~procs:(fun pid -> [ body pid ])
+      ()
+  in
+  ignore result;
+  let events = Histories.events log in
+  checki "two events" 2 (List.length events);
+  checkb "history linearizable" true
+    (is_ok (Lin.check (Histories.register_spec ~init:0) events));
+  List.iter
+    (fun e ->
+      checkb "completed" true (e.Lin.result <> None);
+      checkb "interval sane" true (e.Lin.invoked <= e.Lin.responded))
+    events
+
+let test_abd_history_pending () =
+  (* a seeded attempt with no completed write surfaces as pending *)
+  let abd = Memory.Abd.create ~name:"a" ~n_plus_1:3 ~init:0 in
+  Memory.Abd.unsafe_attempt abd ~key:"x"
+    ~tag:{ Memory.Abd.seq = 1; writer = 2 }
+    5 ~invoked:0;
+  let events = Histories.abd_history abd in
+  checki "one pending event" 1 (List.length events);
+  match events with
+  | [ e ] ->
+      checkb "pending" true (e.Lin.result = None);
+      checkb "write of 5" true (e.Lin.op = Histories.Abd_write { key = "x"; value = 5 })
+  | _ -> Alcotest.fail "expected exactly one event"
+
+(* ----------------------------------------------------------- ddmin --- *)
+
+let test_ddmin_minimal_pair () =
+  (* failure needs 3 and 7 both present: ddmin must isolate exactly them *)
+  let test xs = List.mem 3 xs && List.mem 7 xs in
+  Alcotest.check
+    (Alcotest.list Alcotest.int)
+    "isolates the pair" [ 3; 7 ]
+    (Shrink.ddmin ~test [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+
+let test_ddmin_empty_and_singleton () =
+  let always _ = true in
+  Alcotest.check (Alcotest.list Alcotest.int) "empty input" [] (Shrink.ddmin ~test:always []);
+  Alcotest.check (Alcotest.list Alcotest.int) "vacuous failure" []
+    (Shrink.ddmin ~test:always [ 1; 2; 3 ]);
+  let needs_all xs = List.length xs >= 3 in
+  checki "irreducible input survives" 3
+    (List.length (Shrink.ddmin ~test:needs_all [ 1; 2; 3 ]))
+
+let test_minimize_synthetic () =
+  (* replay "fails" iff the prefix holds two p2-entries and p1 is
+     crashed; minimize must drop the noise entries and the other crash *)
+  let replay ~pattern ~prefix =
+    let crashed p = Failure_pattern.crash_time pattern p <> Failure_pattern.never in
+    if crashed 0 && List.length (List.filter (fun p -> p = 1) prefix) >= 2 then
+      Some "boom"
+    else None
+  in
+  let pattern = Failure_pattern.make ~n_plus_1:3 ~crashes:[ (0, 5); (2, 9) ] in
+  match Shrink.minimize ~replay ~pattern ~prefix:[ 0; 1; 2; 1; 0; 1 ] with
+  | None -> Alcotest.fail "minimize lost the failure"
+  | Some (pat, prefix, report) ->
+      Alcotest.check (Alcotest.string) "report" "boom" report;
+      Alcotest.check (Alcotest.list Alcotest.int) "minimal prefix" [ 1; 1 ] prefix;
+      checkb "p1 crash kept" true
+        (Failure_pattern.crash_time pat 0 <> Failure_pattern.never);
+      checkb "p3 crash dropped" true
+        (Failure_pattern.crash_time pat 2 = Failure_pattern.never)
+
+let test_minimize_rejects_nonreproducing () =
+  let replay ~pattern:_ ~prefix:_ = None in
+  checkb "non-reproducing input refused" true
+    (Shrink.minimize ~replay
+       ~pattern:(Failure_pattern.no_failures ~n_plus_1:2)
+       ~prefix:[ 0; 1 ]
+    = None)
+
+(* ------------------------------------------------- clean scenarios --- *)
+
+let test_clean_scenarios_pass () =
+  List.iter
+    (fun (obj, procs, depth) ->
+      let o = Wfde.Harness.check_exhaustive ~procs ~depth obj in
+      checkb
+        (Printf.sprintf "%s clean" (Scenario.to_string obj))
+        true
+        (o.Wfde.Harness.violation = None))
+    [
+      (Scenario.Register, 2, 6);
+      (Scenario.Snapshot, 2, 6);
+      (Scenario.Commit_adopt, 2, 6);
+      (Scenario.Abd, 3, 5);
+    ]
+
+(* --------------------------------------------------------- mutants --- *)
+
+(* Catch the mutant, then replay its shrunk counterexample from scratch
+   through Policy.script to prove the report is reproducible. *)
+let assert_mutant_caught ~mutant ~obj ~procs ~depth =
+  let o = Wfde.Harness.check_exhaustive ~procs ~depth ~mutant obj in
+  match o.Wfde.Harness.violation with
+  | None ->
+      Alcotest.failf "%s not caught on %s" (Mutant.to_string mutant)
+        (Scenario.to_string obj)
+  | Some v ->
+      checkb "shrunk and confirmed" true v.Wfde.Harness.shrunk;
+      let replayed =
+        Mutant.with_ (Some mutant) (fun () ->
+            let fibers, check = Scenario.make obj ~procs () in
+            let result =
+              Run.exec ~pattern:v.Wfde.Harness.cex_pattern
+                ~policy:
+                  (Policy.script v.Wfde.Harness.cex_prefix
+                     ~then_:(Policy.round_robin ()))
+                ~horizon:o.Wfde.Harness.check_horizon ~procs:fibers ()
+            in
+            check result.Run.trace)
+      in
+      (match replayed with
+      | Error report ->
+          Alcotest.check Alcotest.string "replay reproduces the report"
+            v.Wfde.Harness.cex_report report
+      | Ok () -> Alcotest.fail "shrunk counterexample did not replay");
+      (* the planted bug must not be blamed on crashes it does not need:
+         drop-phase2 and single-collect fail crash-free *)
+      if mutant <> Mutant.Abd_skip_write_back then
+        checkb "no crashes needed" true
+          (Failure_pattern.correct v.Wfde.Harness.cex_pattern
+          |> Pid.Set.cardinal
+          = Failure_pattern.n_plus_1 v.Wfde.Harness.cex_pattern)
+
+let test_mutant_drop_phase2 () =
+  assert_mutant_caught ~mutant:Mutant.Converge_drop_phase2
+    ~obj:Scenario.Commit_adopt ~procs:2 ~depth:6
+
+let test_mutant_single_collect () =
+  assert_mutant_caught ~mutant:Mutant.Snapshot_single_collect
+    ~obj:Scenario.Snapshot ~procs:3 ~depth:12
+
+let test_mutant_skip_write_back () =
+  assert_mutant_caught ~mutant:Mutant.Abd_skip_write_back ~obj:Scenario.Abd
+    ~procs:3 ~depth:6
+
+let test_mutant_names_roundtrip () =
+  List.iter
+    (fun m ->
+      match Mutant.of_string (Mutant.to_string m) with
+      | Ok m' -> checkb (Mutant.to_string m) true (m = m')
+      | Error e -> Alcotest.fail e)
+    Mutant.all;
+  checkb "unknown rejected" true (Result.is_error (Mutant.of_string "nope"))
+
+(* --------------------------------------------------------- pruning --- *)
+
+let test_dpor_prunes_10x_on_abd () =
+  (* acceptance criterion: 3-process ABD at depth 10 in >= 10x fewer
+     executions than unpruned enumeration, measured via Obs.Metrics *)
+  let m = Obs.Metrics.counter "check.dpor.executions" in
+  let before = Obs.Metrics.counter_value m in
+  let outcome =
+    Dpor.explore
+      ~pattern:(Failure_pattern.no_failures ~n_plus_1:3)
+      ~depth:10 ~horizon:400
+      ~make:(Scenario.make Scenario.Abd ~procs:3)
+      ()
+  in
+  checkb "no violation" true (outcome.Dpor.counterexample = None);
+  let explored = Obs.Metrics.counter_value m - before in
+  checki "metrics agree with stats" outcome.Dpor.stats.Dpor.executions explored;
+  let naive_bound = Explore.count_schedules ~n_plus_1:3 ~depth:10 in
+  checkb
+    (Printf.sprintf "10x pruning (%d * 10 <= %d)" explored naive_bound)
+    true
+    (explored * 10 <= naive_bound)
+
+let suite =
+  [
+    Alcotest.test_case "lin: sequential register" `Quick test_lin_sequential;
+    Alcotest.test_case "lin: overlapping ops" `Quick test_lin_overlap;
+    Alcotest.test_case "lin: new/old inversion" `Quick test_lin_new_old_inversion;
+    Alcotest.test_case "lin: pending semantics" `Quick test_lin_pending_may_apply;
+    Alcotest.test_case "lin: pending after invocation" `Quick
+      test_lin_pending_before_invocation;
+    Alcotest.test_case "lin: event limit" `Quick test_lin_event_limit;
+    Alcotest.test_case "histories: logged register ops" `Quick
+      test_logged_register_history;
+    Alcotest.test_case "histories: abd pending extraction" `Quick
+      test_abd_history_pending;
+    Alcotest.test_case "ddmin: minimal pair" `Quick test_ddmin_minimal_pair;
+    Alcotest.test_case "ddmin: edge cases" `Quick test_ddmin_empty_and_singleton;
+    Alcotest.test_case "minimize: synthetic replay" `Quick test_minimize_synthetic;
+    Alcotest.test_case "minimize: rejects non-reproducing" `Quick
+      test_minimize_rejects_nonreproducing;
+    Alcotest.test_case "clean scenarios pass" `Quick test_clean_scenarios_pass;
+    Alcotest.test_case "mutant: converge drop-phase2" `Quick
+      test_mutant_drop_phase2;
+    Alcotest.test_case "mutant: snapshot single-collect" `Slow
+      test_mutant_single_collect;
+    Alcotest.test_case "mutant: abd skip-write-back" `Quick
+      test_mutant_skip_write_back;
+    Alcotest.test_case "mutant names roundtrip" `Quick test_mutant_names_roundtrip;
+    Alcotest.test_case "dpor prunes >=10x on abd depth 10" `Slow
+      test_dpor_prunes_10x_on_abd;
+  ]

@@ -1,9 +1,11 @@
-(* Exhaustive-prefix exploration: verify safety properties over ALL
-   interleavings of the critical early steps (not just sampled ones) for
-   small systems, and demonstrate the explorer can actually find a
-   planted bug. *)
+(* Exhaustive-prefix exploration, now DPOR-backed: verify safety
+   properties over ALL schedule classes of the critical early steps for
+   small systems, demonstrate the explorer still finds a planted bug,
+   and check the reduction against the naive enumerator — same verdict,
+   strictly fewer executions. *)
 
 open Kernel
+open Check
 
 let checkb = Alcotest.check Alcotest.bool
 
@@ -35,6 +37,20 @@ let commit_adopt_world n () =
   in
   (procs, check)
 
+(* The classic lost update: both processes read a register, then write
+   their increment; some interleaving loses one of them. *)
+let lost_update_world () =
+  let open Memory in
+  let reg = Register.create ~name:"c" 0 in
+  let body _pid () =
+    let v = Register.read reg in
+    Register.write reg (v + 1)
+  in
+  let check _trace =
+    if Register.peek reg = 2 then Ok () else Error "lost update"
+  in
+  ((fun pid -> [ body pid ]), check)
+
 let test_commit_adopt_exhaustive_2proc () =
   let outcome =
     Explore.exhaustive_prefix
@@ -43,7 +59,7 @@ let test_commit_adopt_exhaustive_2proc () =
       ~make:(commit_adopt_world 2)
       ()
   in
-  checkb "many executions" true (outcome.executions > 1_000);
+  checkb "explored more than one class" true (outcome.executions > 1);
   match outcome.counterexample with
   | None -> ()
   | Some (prefix, msg) ->
@@ -58,12 +74,12 @@ let test_commit_adopt_exhaustive_3proc () =
       ~make:(commit_adopt_world 3)
       ()
   in
-  checkb "many executions" true (outcome.executions > 1_000);
+  checkb "explored more than one class" true (outcome.executions > 1);
   checkb "no counterexample" true (outcome.counterexample = None)
 
 let test_converge_exhaustive_c_agreement () =
   (* k = 1 converge with 3 distinct inputs: whenever anyone commits, all
-     picks agree — over all 3^6 early interleavings. *)
+     picks agree — over every class of the 3^6 early interleavings. *)
   let make () =
     let inst = Converge.create ~name:"x" ~k:1 ~size:3 ~compare:Int.compare in
     let results = ref [] in
@@ -87,34 +103,95 @@ let test_converge_exhaustive_c_agreement () =
   checkb "no counterexample" true (outcome.counterexample = None)
 
 let test_explorer_finds_planted_race () =
-  (* A deliberately racy "protocol": both processes read a register, then
-     write their increment — the classic lost update. Exploration must
-     find an interleaving where the final value is 1 instead of 2. *)
-  let open Memory in
-  let make () =
-    let reg = Register.create ~name:"c" 0 in
-    let body _pid () =
-      let v = Register.read reg in
-      Register.write reg (v + 1)
-    in
-    let check _trace =
-      if Register.peek reg = 2 then Ok () else Error "lost update"
-    in
-    ((fun pid -> [ body pid ]), check)
-  in
   let outcome =
     Explore.exhaustive_prefix
       ~pattern:(Failure_pattern.no_failures ~n_plus_1:2)
-      ~depth:4 ~horizon:100 ~make ()
+      ~depth:4 ~horizon:100 ~make:lost_update_world ()
   in
   match outcome.counterexample with
   | Some (_, "lost update") -> ()
   | Some (_, other) -> Alcotest.failf "unexpected report %s" other
   | None -> Alcotest.fail "explorer missed the planted race"
 
+(* DPOR vs the naive enumerator on 2-process depth-5 worlds: identical
+   verdict; on violation-free worlds strictly fewer executions. *)
+let equivalence_cases =
+  [
+    ("commit-adopt", commit_adopt_world 2, false);
+    ("lost update", lost_update_world, true);
+    ( "independent registers",
+      (fun () ->
+        let open Memory in
+        let a = Register.create ~name:"a" 0 and b = Register.create ~name:"b" 0 in
+        let body pid () =
+          let reg = if pid = 0 then a else b in
+          Register.write reg 1;
+          ignore (Register.read reg);
+          Register.write reg 2
+        in
+        let check _trace =
+          if Register.peek a = 2 && Register.peek b = 2 then Ok ()
+          else Error "final values wrong"
+        in
+        ((fun pid -> [ body pid ]), check)),
+      false );
+    ( "shared register",
+      (fun () ->
+        let open Memory in
+        let r = Register.create ~name:"r" 0 in
+        let body pid () =
+          Register.write r (10 + pid);
+          ignore (Register.read r)
+        in
+        let check _trace =
+          let v = Register.peek r in
+          if v = 10 || v = 11 then Ok () else Error "impossible final value"
+        in
+        ((fun pid -> [ body pid ]), check)),
+      false );
+  ]
+
+let test_dpor_matches_naive () =
+  List.iter
+    (fun (name, make, violates) ->
+      let pattern = Failure_pattern.no_failures ~n_plus_1:2 in
+      let dpor =
+        Explore.exhaustive_prefix ~pattern ~depth:5 ~horizon:200 ~make ()
+      in
+      let naive =
+        Explore.naive_prefix ~pattern ~depth:5 ~horizon:200 ~make ()
+      in
+      checkb
+        (Printf.sprintf "%s: same verdict" name)
+        (naive.counterexample <> None)
+        (dpor.counterexample <> None);
+      checkb
+        (Printf.sprintf "%s: expected verdict" name)
+        violates
+        (dpor.counterexample <> None);
+      if not violates then
+        checkb
+          (Printf.sprintf "%s: dpor strictly fewer executions (%d < %d)" name
+             dpor.executions naive.executions)
+          true
+          (dpor.executions < naive.executions))
+    equivalence_cases
+
 let test_schedule_count_bound () =
-  Alcotest.check Alcotest.int "3^4" 81
-    (Explore.count_schedules ~n_plus_1:3 ~depth:4)
+  let checki = Alcotest.check Alcotest.int in
+  checki "3^4" 81 (Explore.count_schedules ~n_plus_1:3 ~depth:4);
+  checki "k^0" 1 (Explore.count_schedules ~n_plus_1:7 ~depth:0);
+  checki "1^k" 1 (Explore.count_schedules ~n_plus_1:1 ~depth:500);
+  (* saturation instead of the old silent overflow *)
+  checki "2^61 fits" (1 lsl 61) (Explore.count_schedules ~n_plus_1:2 ~depth:61);
+  checki "2^62 saturates" max_int (Explore.count_schedules ~n_plus_1:2 ~depth:62);
+  checki "2^200 saturates" max_int
+    (Explore.count_schedules ~n_plus_1:2 ~depth:200);
+  checki "10^100 saturates" max_int
+    (Explore.count_schedules ~n_plus_1:10 ~depth:100);
+  Alcotest.check_raises "negative depth rejected"
+    (Invalid_argument "Explore.count_schedules: negative argument") (fun () ->
+      ignore (Explore.count_schedules ~n_plus_1:2 ~depth:(-1)))
 
 let suite =
   [
@@ -126,5 +203,7 @@ let suite =
       test_converge_exhaustive_c_agreement;
     Alcotest.test_case "explorer finds planted race" `Quick
       test_explorer_finds_planted_race;
+    Alcotest.test_case "dpor matches naive enumeration" `Quick
+      test_dpor_matches_naive;
     Alcotest.test_case "schedule count bound" `Quick test_schedule_count_bound;
   ]

@@ -181,6 +181,35 @@ let test_script_policy_order () =
     (Alcotest.list Alcotest.int)
     "script order respected" [ 2; 0; 1; 2; 0; 1 ] (List.rev !order)
 
+let step_order procs_steps policy =
+  let n_plus_1 = List.length procs_steps in
+  let pattern = Failure_pattern.no_failures ~n_plus_1 in
+  let result =
+    Run.exec ~pattern ~policy ~procs:(fun pid -> [ nops (List.nth procs_steps pid) ]) ()
+  in
+  List.filter_map
+    (function Trace.Step { pid; _ } -> Some pid | _ -> None)
+    result.trace
+
+let test_round_robin_cursor_fairness () =
+  (* after p1 quiesces the cursor keeps cycling from where it was, so the
+     survivors alternate strictly instead of restarting at the lowest pid *)
+  check
+    (Alcotest.list Alcotest.int)
+    "cursor keeps cycling"
+    [ 0; 1; 2; 0; 1; 2; 1; 2; 1; 2 ]
+    (step_order [ 2; 4; 4 ] (Policy.round_robin ()))
+
+let test_script_policy_exhaustion () =
+  (* entries for a quiesced process are skipped, and an exhausted script
+     hands the rest of the run to [then_] *)
+  check
+    (Alcotest.list Alcotest.int)
+    "skip + fall back"
+    [ 1; 1; 0; 0; 0 ]
+    (step_order [ 3; 2 ]
+       (Policy.script [ 1; 1; 1 ] ~then_:(Policy.round_robin ())))
+
 let test_random_policy_is_fair () =
   let pattern = Failure_pattern.no_failures ~n_plus_1:4 in
   let rng = Rng.create 99 in
@@ -332,6 +361,10 @@ let suite =
     Alcotest.test_case "solo starves others" `Quick
       test_solo_policy_starves_others;
     Alcotest.test_case "script order" `Quick test_script_policy_order;
+    Alcotest.test_case "round-robin cursor fairness" `Quick
+      test_round_robin_cursor_fairness;
+    Alcotest.test_case "script exhaustion falls back" `Quick
+      test_script_policy_exhaustion;
     Alcotest.test_case "random policy fair" `Quick test_random_policy_is_fair;
     Alcotest.test_case "two fibers per process" `Quick
       test_two_fibers_share_process;

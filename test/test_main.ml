@@ -11,6 +11,7 @@ let () =
       ("wfde", Test_wfde.suite);
       ("faults", Test_faults.suite);
       ("explore", Test_explore.suite);
+      ("check", Test_check.suite);
       ("oracles", Test_oracles.suite);
       ("network", Test_network.suite);
       ("abd", Test_abd.suite);

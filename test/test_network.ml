@@ -17,7 +17,7 @@ let test_send_poll_roundtrip () =
   in
   let receiver () =
     let rec loop () =
-      got := !got @ Network.poll net;
+      got := !got @ Network.poll net ~me:1;
       if List.length !got < 2 then loop ()
     in
     loop ()
@@ -38,7 +38,7 @@ let test_send_and_poll_are_single_steps () =
   let net = Network.create ~name:"n" ~n_plus_1:1 in
   let body () =
     Network.send net ~to_:0 1;
-    ignore (Network.poll net)
+    ignore (Network.poll net ~me:0)
   in
   let result =
     Run.exec
@@ -56,7 +56,7 @@ let test_broadcast_reaches_everyone () =
   let body pid () =
     if pid = 0 then Network.broadcast net "ping";
     let rec loop () =
-      if List.exists (fun (_, m) -> m = "ping") (Network.poll net) then
+      if List.exists (fun (_, m) -> m = "ping") (Network.poll net ~me:pid) then
         received.(pid) <- true
       else loop ()
     in
@@ -107,7 +107,7 @@ let qcheck_cases =
             (Pid.all ~n_plus_1);
           while true do
             received.(pid) <-
-              received.(pid) + List.length (Network.poll net)
+              received.(pid) + List.length (Network.poll net ~me:pid)
           done
         in
         let _ =
