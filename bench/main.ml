@@ -5,6 +5,11 @@
    and the measurements backing it (see DESIGN.md's experiment index and
    EXPERIMENTS.md for the paper-vs-measured record).
 
+   Part 1.5 re-runs representative experiments on a 1-worker and a
+   4-worker Exec.Pool, recording serial vs parallel wall time and the
+   speedup, and asserting the rendered tables are byte-identical — the
+   determinism contract of the parallel sweep runner.
+
    Part 2 times the representative kernels with bechamel: one Test.make
    per experiment, plus substrate micro-benchmarks.
 
@@ -44,6 +49,50 @@ let print_experiment_tables () =
       (String.concat ", "
          (List.map (fun (o, _) -> o.Wfde.Experiments.id) failed));
   outcomes
+
+(* ----------------------------------------------------------- part 1.5 *)
+
+(* Serial vs parallel sweep over the heaviest seed-sharded experiments.
+   Tables must be byte-identical at every jobs value (checked here);
+   only the wall clock may differ. On a >= 4-core host the parallel leg
+   shows the speedup; on fewer cores domain-spawn overhead can make it
+   slower — the recorded ratio is honest either way. *)
+
+let sweep_selection = [ ("e1", 3); ("e2", 2); ("e6", 2) ]
+
+let time_sweep ~jobs =
+  List.map
+    (fun (id, scale) ->
+      let f = Option.get (Wfde.Experiments.by_id id) in
+      let t0 = Unix.gettimeofday () in
+      let o = f ~scale ~jobs () in
+      let wall = Unix.gettimeofday () -. t0 in
+      (id, Format.asprintf "%a" Wfde.Experiments.pp o, wall))
+    sweep_selection
+
+let parallel_sweep_entries () =
+  Format.printf "==================================================@.";
+  Format.printf "Part 1.5: serial vs parallel sweep (Exec.Pool)@.";
+  Format.printf "==================================================@.@.";
+  let serial = time_sweep ~jobs:1 in
+  let parallel = time_sweep ~jobs:4 in
+  let entries =
+    List.map2
+      (fun (id, table1, wall1) (_, table4, wall4) ->
+        let identical = table1 = table4 in
+        Format.printf
+          "%-4s -j1 %7.3fs   -j4 %7.3fs   speedup %5.2fx   tables %s@." id
+          wall1 wall4 (wall1 /. wall4)
+          (if identical then "identical" else "DIFFER (BUG)");
+        (id, wall1, wall4, identical))
+      serial parallel
+  in
+  Format.printf "@.";
+  if List.for_all (fun (_, _, _, i) -> i) entries then
+    Format.printf "determinism: all tables byte-identical at -j1 / -j4@.@."
+  else
+    Format.printf "determinism: FAILED — tables differ between -j1 and -j4@.@.";
+  entries
 
 (* ------------------------------------------------------------- part 2 *)
 
@@ -339,7 +388,7 @@ let run_benchmarks () =
 
 (* --------------------------------------------------------- json output *)
 
-let json_document ~outcomes ~benchmarks =
+let json_document ~outcomes ~sweep ~benchmarks =
   let module J = Wfde.Json in
   J.Obj
     [
@@ -355,6 +404,19 @@ let json_document ~outcomes ~benchmarks =
                    ("wall_seconds", J.Float wall);
                  ])
              outcomes) );
+      ( "parallel_sweep",
+        J.List
+          (List.map
+             (fun (id, wall1, wall4, identical) ->
+               J.Obj
+                 [
+                   ("id", J.String id);
+                   ("wall_seconds_j1", J.Float wall1);
+                   ("wall_seconds_j4", J.Float wall4);
+                   ("speedup", J.Float (wall1 /. wall4));
+                   ("tables_identical", J.Bool identical);
+                 ])
+             sweep) );
       ( "benchmarks",
         J.List
           (List.map
@@ -381,6 +443,7 @@ let parse_args () =
 let () =
   let json_path = parse_args () in
   let outcomes = print_experiment_tables () in
+  let sweep = parallel_sweep_entries () in
   let benchmarks = run_benchmarks () in
   match json_path with
   | None -> ()
@@ -390,6 +453,6 @@ let () =
         ~finally:(fun () -> close_out oc)
         (fun () ->
           output_string oc
-            (Wfde.Json.to_string (json_document ~outcomes ~benchmarks));
+            (Wfde.Json.to_string (json_document ~outcomes ~sweep ~benchmarks));
           output_char oc '\n');
       Format.printf "wrote machine-readable results to %s@." path

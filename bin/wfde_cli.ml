@@ -1,9 +1,10 @@
 (* The wfde command-line interface.
 
-     wfde run [EXPERIMENTS...] [--scale N]   (also the default command)
+     wfde run [EXPERIMENTS...] [--scale N] [-j N]   (also the default command)
      wfde list
      wfde trace --protocol fig1 --seed 7 --n 4 [--limit 120] [--out F.jsonl]
      wfde stats [EXPERIMENTS...] [--scale N] [--json PATH]
+     wfde sweep [EXPERIMENTS...] [-j N] [--scale N] [--json PATH]
 
    Experiments are the paper-claim tables of DESIGN.md (e1..e11, a1..a3);
    trace replays one world and dumps the step-by-step run, including the
@@ -14,18 +15,19 @@ open Cmdliner
 
 (* ------------------------------------------------------------- run --- *)
 
-let run_ids ids scale =
-  let outcomes =
-    match ids with
-    | [] -> Wfde.Experiments.all ()
-    | ids ->
-        List.map
-          (fun id ->
-            match Wfde.Experiments.by_id id with
-            | Some f -> f ?scale:(Some scale) ()
-            | None -> failwith (Printf.sprintf "unknown experiment %S" id))
-          ids
-  in
+let outcomes_of ids ~scale ~jobs =
+  match ids with
+  | [] -> Wfde.Experiments.all ~jobs ()
+  | ids ->
+      List.map
+        (fun id ->
+          match Wfde.Experiments.by_id id with
+          | Some f -> f ~scale ~jobs ()
+          | None -> failwith (Printf.sprintf "unknown experiment %S" id))
+        ids
+
+let run_ids ids scale jobs =
+  let outcomes = outcomes_of ids ~scale ~jobs in
   List.iter (fun o -> Format.printf "%a@." Wfde.Experiments.pp o) outcomes;
   let failed = List.filter (fun o -> not o.Wfde.Experiments.ok) outcomes in
   if failed = [] then begin
@@ -48,9 +50,17 @@ let scale_arg =
   let doc = "Multiply default seed counts / phase budgets by this factor." in
   Arg.(value & opt int 1 & info [ "scale"; "s" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel sweep pool (clamped to 1-64). The \
+     output is byte-identical at every value; only wall time changes."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"J" ~doc)
+
 let run_cmd =
   let doc = "run experiments (the default command)" in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run_ids $ ids_arg $ scale_arg)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run_ids $ ids_arg $ scale_arg $ jobs_arg)
 
 (* ------------------------------------------------------------- list --- *)
 
@@ -187,19 +197,9 @@ let trace_cmd =
 
 (* ------------------------------------------------------------ stats --- *)
 
-let run_stats ids scale json_path =
+let run_stats ids scale jobs json_path =
   Wfde.Metrics.reset ();
-  let outcomes =
-    match ids with
-    | [] -> Wfde.Experiments.all ()
-    | ids ->
-        List.map
-          (fun id ->
-            match Wfde.Experiments.by_id id with
-            | Some f -> f ?scale:(Some scale) ()
-            | None -> failwith (Printf.sprintf "unknown experiment %S" id))
-          ids
-  in
+  let outcomes = outcomes_of ids ~scale ~jobs in
   let failed = List.filter (fun o -> not o.Wfde.Experiments.ok) outcomes in
   let snap = Wfde.Metrics.snapshot () in
   let title =
@@ -247,11 +247,11 @@ let stats_cmd =
     "run experiments and dump the telemetry-registry counters they populated"
   in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const run_stats $ ids_arg $ scale_arg $ json_arg)
+    Term.(const run_stats $ ids_arg $ scale_arg $ jobs_arg $ json_arg)
 
 (* ------------------------------------------------------------ check --- *)
 
-let run_check obj_name procs depth horizon mutant_name json_path =
+let run_check obj_name procs depth horizon jobs mutant_name json_path =
   let fail msg =
     Format.eprintf "%s@." msg;
     2
@@ -268,7 +268,8 @@ let run_check obj_name procs depth horizon mutant_name json_path =
       | Error msg -> fail msg
       | Ok mutant -> (
           let outcome =
-            Wfde.Harness.check_exhaustive ?procs ~depth ~horizon ?mutant obj
+            Wfde.Harness.check_exhaustive ~jobs ?procs ~depth ~horizon
+              ?mutant obj
           in
           Format.printf
             "%s: procs=%d depth=%d patterns=%d executions=%d (naive bound %d) \
@@ -367,7 +368,111 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc ~man)
     Term.(
       const run_check $ obj_arg $ procs_arg $ depth_arg $ horizon_arg
-      $ mutant_arg $ json_arg)
+      $ jobs_arg $ mutant_arg $ json_arg)
+
+(* ------------------------------------------------------------ sweep --- *)
+
+(* Timed experiment sweep. Tables go to stdout and are byte-identical at
+   every -j (the determinism contract of Exec.Pool); wall-clock timings
+   go to stderr and the optional JSON document, which are the only
+   places nondeterminism is allowed to show. *)
+
+let run_sweep ids scale jobs json_path =
+  let ids = if ids = [] then List.map fst Wfde.Experiments.catalog else ids in
+  let timed =
+    List.map
+      (fun id ->
+        match Wfde.Experiments.by_id id with
+        | None -> failwith (Printf.sprintf "unknown experiment %S" id)
+        | Some f ->
+            let t0 = Unix.gettimeofday () in
+            let outcome = f ~scale ~jobs () in
+            let wall = Unix.gettimeofday () -. t0 in
+            (id, outcome, wall))
+      ids
+  in
+  List.iter
+    (fun (_, o, _) -> Format.printf "%a@." Wfde.Experiments.pp o)
+    timed;
+  let total = List.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 timed in
+  List.iter
+    (fun (id, _, w) -> Format.eprintf "%-4s %8.3fs@." id w)
+    timed;
+  Format.eprintf "%-4s %8.3fs (jobs=%d)@." "all" total jobs;
+  let failed =
+    List.filter (fun (_, o, _) -> not o.Wfde.Experiments.ok) timed
+  in
+  let json_failed =
+    match json_path with
+    | None -> false
+    | Some path -> (
+        let doc =
+          Wfde.Json.Obj
+            [
+              ("schema", Wfde.Json.String "wfde-sweep/1");
+              ("jobs", Wfde.Json.Int jobs);
+              ("scale", Wfde.Json.Int scale);
+              ("total_wall_seconds", Wfde.Json.Float total);
+              ( "experiments",
+                Wfde.Json.List
+                  (List.map
+                     (fun (id, o, w) ->
+                       Wfde.Json.Obj
+                         [
+                           ("id", Wfde.Json.String id);
+                           ("ok", Wfde.Json.Bool o.Wfde.Experiments.ok);
+                           ("wall_seconds", Wfde.Json.Float w);
+                         ])
+                     timed) );
+            ]
+        in
+        match open_out path with
+        | oc ->
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc (Wfde.Json.to_string doc);
+                output_char oc '\n');
+            Format.eprintf "wrote sweep JSON to %s@." path;
+            false
+        | exception Sys_error msg ->
+            Format.eprintf "cannot write sweep JSON: %s@." msg;
+            true)
+  in
+  if json_failed then 1
+  else if failed = [] then 0
+  else begin
+    Format.printf "FAILED claims: %s@."
+      (String.concat ", "
+         (List.map (fun (id, _, _) -> id) failed));
+    1
+  end
+
+let sweep_cmd =
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write a wfde-sweep/1 JSON document (per-experiment wall times) \
+             to $(docv).")
+  in
+  let doc = "run experiments on the parallel pool and time each one" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the selected experiments (all of them by default) with their \
+         independent work units sharded over $(b,--jobs) worker domains. \
+         Tables print to stdout and are byte-identical at every $(b,-j) \
+         value; per-experiment wall-clock timings print to stderr and to \
+         the $(b,--json) document, which are the only outputs allowed to \
+         vary between runs.";
+    ]
+  in
+  Cmd.v (Cmd.info "sweep" ~doc ~man)
+    Term.(const run_sweep $ ids_arg $ scale_arg $ jobs_arg $ json_arg)
 
 (* ------------------------------------------------------------ group --- *)
 
@@ -394,13 +499,15 @@ let group =
         \  wfde trace -p fig1 --seed 7 --out /tmp/fig1.jsonl\n\
         \  wfde stats e1 e7 --json /tmp/metrics.json\n\
         \  wfde check --object abd --procs 3 --depth 10\n\
+        \  wfde check --object abd --procs 3 --depth 8 -j 4\n\
         \  wfde check --object snapshot --procs 3 --depth 12 \
-         --mutant snapshot-single-collect --json /tmp/cex.json";
+         --mutant snapshot-single-collect --json /tmp/cex.json\n\
+        \  wfde sweep e1 e2 -j 4 --json /tmp/sweep.json";
     ]
   in
-  let default = Term.(const run_ids $ ids_arg $ scale_arg) in
+  let default = Term.(const run_ids $ ids_arg $ scale_arg $ jobs_arg) in
   Cmd.group ~default
     (Cmd.info "wfde" ~version:"1.0.0" ~doc ~man)
-    [ run_cmd; list_cmd; trace_cmd; stats_cmd; check_cmd ]
+    [ run_cmd; list_cmd; trace_cmd; stats_cmd; check_cmd; sweep_cmd ]
 
 let () = exit (Cmd.eval' group)

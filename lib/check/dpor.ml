@@ -12,6 +12,17 @@ type 'a outcome = {
   counterexample : (Pid.t list * 'a) option;
 }
 
+let unbounded = max_int
+let sat_add a b = if a > unbounded - b then unbounded else a + b
+
+let merge_stats a b =
+  {
+    executions = sat_add a.executions b.executions;
+    sleep_blocked = sat_add a.sleep_blocked b.sleep_blocked;
+    races = sat_add a.races b.races;
+    backtrack_points = sat_add a.backtrack_points b.backtrack_points;
+  }
+
 let m_executions = Obs.Metrics.counter "check.dpor.executions"
 let m_sleep_blocked = Obs.Metrics.counter "check.dpor.sleep_blocked"
 let m_races = Obs.Metrics.counter "check.dpor.races"
@@ -54,6 +65,16 @@ let node_step nd = (nd.chosen, nd.kind)
    checker's verdict, the trace, the stack length after extension, and
    whether extension hit an all-sleeping enabled set (a provably
    redundant run). *)
+let spawn_fibers ~pattern ~procs =
+  Pid.all ~n_plus_1:(Failure_pattern.n_plus_1 pattern)
+  |> List.concat_map (fun pid ->
+         List.mapi
+           (fun j body ->
+             Fiber.create ~pid
+               ~name:(Format.asprintf "%a/t%d" Pid.pp pid j)
+               body)
+           (procs pid))
+
 let run_once ~pattern ~horizon ~depth ~stack ~len ~make =
   let procs, checkf = make () in
   let sched_ref = ref None in
@@ -120,16 +141,7 @@ let run_once ~pattern ~horizon ~depth ~stack ~len ~make =
             Some q
       end
   in
-  let fibers =
-    Pid.all ~n_plus_1:(Failure_pattern.n_plus_1 pattern)
-    |> List.concat_map (fun pid ->
-           List.mapi
-             (fun j body ->
-               Fiber.create ~pid
-                 ~name:(Format.asprintf "%a/t%d" Pid.pp pid j)
-                 body)
-             (procs pid))
-  in
+  let fibers = spawn_fibers ~pattern ~procs in
   let sched = Scheduler.create ~pattern ~policy ~fibers in
   sched_ref := Some sched;
   let (_ : Scheduler.outcome) = Scheduler.run sched ~max_steps:horizon in
@@ -331,9 +343,12 @@ let analyze ~stack ~grown ~trace =
 
 (* Pop to the deepest node with an unexplored, non-sleeping backtrack
    alternative; retarget it and truncate the stack there. False when the
-   whole tree is exhausted. *)
-let rec next_candidate ~stack ~len =
-  if !len = 0 then false
+   whole (sub)tree is exhausted. Nodes below [floor] are frozen: branch
+   units pass [floor = 1] so their preset root is never retargeted —
+   race analysis may offer later root siblings, but each sibling is
+   covered by its own unit. *)
+let rec next_candidate ~stack ~len ~floor =
+  if !len <= floor then false
   else begin
     let nd = match stack.(!len - 1) with Some nd -> nd | None -> assert false in
     nd.explored <- Pid.Set.add nd.chosen nd.explored;
@@ -350,7 +365,7 @@ let rec next_candidate ~stack ~len =
     | None ->
         len := !len - 1;
         stack.(!len) <- None;
-        next_candidate ~stack ~len
+        next_candidate ~stack ~len ~floor
   end
 
 let rec take n = function
@@ -358,34 +373,34 @@ let rec take n = function
   | _ when n <= 0 -> []
   | x :: tl -> x :: take (n - 1) tl
 
-let explore ~pattern ~depth ~horizon ~make () =
-  if depth < 0 then invalid_arg "Dpor.explore: negative depth";
-  let stack = Array.make (max depth 1) None in
-  let len = ref 0 in
+let explore_loop ~pattern ~depth ~horizon ~make ~budget ~stack ~len ~floor =
   let executions = ref 0 and blocked_runs = ref 0 in
   let races_total = ref 0 and added_total = ref 0 in
   let rec loop () =
-    let verdict, trace, grown, blocked =
-      run_once ~pattern ~horizon ~depth ~stack ~len:!len ~make
-    in
-    incr executions;
-    Obs.Metrics.incr m_executions;
-    if blocked then begin
-      incr blocked_runs;
-      Obs.Metrics.incr m_sleep_blocked
-    end;
-    match verdict with
-    | Error report -> Some (take depth (Trace.schedule trace), report)
-    | Ok () ->
-        if not blocked then begin
-          let races, added = analyze ~stack ~grown ~trace in
-          races_total := !races_total + races;
-          added_total := !added_total + added;
-          Obs.Metrics.incr ~by:races m_races;
-          Obs.Metrics.incr ~by:added m_backtrack_points
-        end;
-        len := grown;
-        if next_candidate ~stack ~len then loop () else None
+    if !executions >= budget then None
+    else begin
+      let verdict, trace, grown, blocked =
+        run_once ~pattern ~horizon ~depth ~stack ~len:!len ~make
+      in
+      incr executions;
+      Obs.Metrics.incr m_executions;
+      if blocked then begin
+        incr blocked_runs;
+        Obs.Metrics.incr m_sleep_blocked
+      end;
+      match verdict with
+      | Error report -> Some (take depth (Trace.schedule trace), report)
+      | Ok () ->
+          if not blocked then begin
+            let races, added = analyze ~stack ~grown ~trace in
+            races_total := !races_total + races;
+            added_total := !added_total + added;
+            Obs.Metrics.incr ~by:races m_races;
+            Obs.Metrics.incr ~by:added m_backtrack_points
+          end;
+          len := grown;
+          if next_candidate ~stack ~len ~floor then loop () else None
+    end
   in
   let counterexample = loop () in
   {
@@ -398,3 +413,58 @@ let explore ~pattern ~depth ~horizon ~make () =
       };
     counterexample;
   }
+
+let check_budget ~who budget =
+  if budget < 0 then invalid_arg (who ^ ": negative budget")
+
+let explore ~pattern ~depth ~horizon ?(budget = unbounded) ~make () =
+  if depth < 0 then invalid_arg "Dpor.explore: negative depth";
+  check_budget ~who:"Dpor.explore" budget;
+  let stack = Array.make (max depth 1) None in
+  let len = ref 0 in
+  explore_loop ~pattern ~depth ~horizon ~make ~budget ~stack ~len ~floor:0
+
+let root_branches ~pattern ~make () =
+  let procs, _checkf = make () in
+  let sched_ref = ref None in
+  let seen = ref None in
+  let policy ~now:_ ~enabled:_ =
+    (match (!seen, !sched_ref) with
+    | None, Some sched -> seen := Some (Scheduler.pending sched)
+    | _ -> ());
+    None
+  in
+  let fibers = spawn_fibers ~pattern ~procs in
+  let sched = Scheduler.create ~pattern ~policy ~fibers in
+  sched_ref := Some sched;
+  let (_ : Scheduler.outcome) = Scheduler.run sched ~max_steps:1 in
+  match !seen with None -> [] | Some pend -> pend
+
+let explore_branch ~pattern ~depth ~horizon ?(budget = unbounded) ~branches
+    ~index ~make () =
+  if depth < 1 then invalid_arg "Dpor.explore_branch: depth must be >= 1";
+  check_budget ~who:"Dpor.explore_branch" budget;
+  if index < 0 || index >= List.length branches then
+    invalid_arg "Dpor.explore_branch: branch index out of range";
+  let chosen, kind = List.nth branches index in
+  (* Earlier siblings preset as explored: the subtree runs with exactly
+     the sleep sets a serial pass visiting branches left-to-right would
+     give it, so equivalence classes already covered by an earlier
+     branch's unit are not re-run here. *)
+  let explored =
+    List.filteri (fun i _ -> i < index) branches
+    |> List.map fst |> Pid.Set.of_list
+  in
+  let stack = Array.make (max depth 1) None in
+  stack.(0) <-
+    Some
+      {
+        chosen;
+        kind;
+        enabled = branches;
+        backtrack = Pid.Set.empty;
+        explored;
+        sleep = Pid.Set.empty;
+      };
+  let len = ref 1 in
+  explore_loop ~pattern ~depth ~horizon ~make ~budget ~stack ~len ~floor:1

@@ -68,10 +68,26 @@ type 'a outcome = {
           identical world reproduces the violation. *)
 }
 
+val unbounded : int
+(** [max_int] — the [?budget] value meaning "no execution limit". This
+    is also what {!Explore.count_schedules} saturates to, so a
+    saturated schedule count used as a budget is, correctly, no bound
+    at all. *)
+
+val sat_add : int -> int -> int
+(** Addition saturating at {!unbounded}, for folding per-branch
+    {!stats} without wrapping past [max_int]. Arguments must be
+    non-negative. *)
+
+val merge_stats : stats -> stats -> stats
+(** Field-wise saturating sum, for aggregating sharded branch
+    explorations into one report. *)
+
 val explore :
   pattern:Failure_pattern.t ->
   depth:int ->
   horizon:int ->
+  ?budget:int ->
   make:
     (unit ->
     (Pid.t -> (unit -> unit) list) * (Trace.t -> (unit, 'a) result)) ->
@@ -82,9 +98,54 @@ val explore :
     It is called once per explored schedule; two calls must yield
     behaviourally identical worlds (this is what makes replay and
     backtracking meaningful). Exploration stops at the first
-    counterexample.
+    counterexample, or after [budget] executions (default
+    {!unbounded}): a truncated exploration reports
+    [stats.executions = budget] and no counterexample — it is {e not} a
+    verification of the remaining schedules.
 
     Also updates the [check.dpor.*] metrics: [executions],
     [sleep_blocked], [races], [backtrack_points] counters and the
     [check.dpor.execution_steps] histogram, cumulative across calls
     (use {!Obs.Metrics.reset} between measurements). *)
+
+(** {1 Branch sharding}
+
+    The first scheduling position splits the exploration tree into one
+    independent subtree per initially-enabled process. Each subtree can
+    be explored by {!explore_branch} in isolation — on another domain,
+    with its own sleep sets — and the per-branch {!stats} folded with
+    {!merge_stats}. Branch [i] is explored with branches [0 .. i-1]
+    preset as explored at the root, giving it the same sleep sets a
+    serial left-to-right pass would, so the union over all branches
+    covers every Mazurkiewicz class at least once without the branches
+    coordinating. *)
+
+val root_branches :
+  pattern:Failure_pattern.t ->
+  make:
+    (unit ->
+    (Pid.t -> (unit -> unit) list) * (Trace.t -> (unit, 'a) result)) ->
+  unit ->
+  (Pid.t * Sim.kind) list
+(** The enabled processes (with their pending step labels) at the first
+    scheduling position of a fresh world, in pid order — the shardable
+    root branches. Empty when the world has no step to take (e.g. every
+    process crashes at time 0); callers should then fall back to a
+    single {!explore} unit so the lone execution is still checked. *)
+
+val explore_branch :
+  pattern:Failure_pattern.t ->
+  depth:int ->
+  horizon:int ->
+  ?budget:int ->
+  branches:(Pid.t * Sim.kind) list ->
+  index:int ->
+  make:
+    (unit ->
+    (Pid.t -> (unit -> unit) list) * (Trace.t -> (unit, 'a) result)) ->
+  unit ->
+  'a outcome
+(** Explore only the subtree whose first step is [List.nth branches
+    index]. [branches] must be the {!root_branches} of the same world;
+    [depth] must be >= 1. Same metrics, budget, and counterexample
+    semantics as {!explore}. *)

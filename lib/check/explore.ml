@@ -5,8 +5,11 @@ type 'a outcome = {
   counterexample : (Pid.t list * 'a) option;
 }
 
-let exhaustive_prefix ~pattern ~depth ~horizon ~make () =
-  let result = Dpor.explore ~pattern ~depth ~horizon ~make () in
+let unbounded = Dpor.unbounded
+let sat_add = Dpor.sat_add
+
+let exhaustive_prefix ~pattern ~depth ~horizon ?(budget = unbounded) ~make () =
+  let result = Dpor.explore ~pattern ~depth ~horizon ~budget ~make () in
   {
     executions = result.Dpor.stats.Dpor.executions;
     counterexample = result.Dpor.counterexample;

@@ -18,10 +18,22 @@ type 'a outcome = {
           violating execution, if any *)
 }
 
+val unbounded : int
+(** [max_int], the [?budget] value meaning "no execution limit" —
+    identical to {!Dpor.unbounded}, and identical to what
+    {!count_schedules} saturates to. The two agree by construction:
+    feeding a saturated schedule count back in as a budget imposes no
+    bound, exactly as an un-representable true count should. *)
+
+val sat_add : int -> int -> int
+(** {!Dpor.sat_add}: non-negative addition saturating at
+    {!unbounded}. *)
+
 val exhaustive_prefix :
   pattern:Failure_pattern.t ->
   depth:int ->
   horizon:int ->
+  ?budget:int ->
   make:
     (unit ->
     (Pid.t -> (unit -> unit) list) * (Trace.t -> (unit, 'a) result)) ->
@@ -31,7 +43,9 @@ val exhaustive_prefix :
     Mazurkiewicz class of depth-bounded prefixes instead of every
     prefix. [make ()] must build a {e fresh}, deterministic world: the
     fiber factory plus a checker run on the completed trace ([Ok] =
-    property held, [Error] = violation report). *)
+    property held, [Error] = violation report). [budget] (default
+    {!unbounded}) caps the number of executions; a truncated run
+    reports [executions = budget] and no counterexample. *)
 
 val naive_prefix :
   pattern:Failure_pattern.t ->

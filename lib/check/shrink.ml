@@ -85,14 +85,25 @@ let minimize ~replay ~pattern ~prefix =
   match run ~pattern ~prefix with
   | None -> None
   | Some _ ->
-      let pattern =
-        shrink_pattern pattern ~still_fails:(fun candidate ->
-            run ~pattern:candidate ~prefix <> None)
+      (* Alternate the two shrinkers to a joint fixpoint: shrinking the
+         prefix can make a crash removable (and vice versa), so one
+         pass of each is 1-minimal only against the other's pre-shrink
+         input. At the fixpoint, removing any single crash or any
+         single schedule entry no longer reproduces the failure. *)
+      let rec fix pattern prefix =
+        let pattern' =
+          shrink_pattern pattern ~still_fails:(fun candidate ->
+              run ~pattern:candidate ~prefix <> None)
+        in
+        let prefix' =
+          ddmin prefix ~test:(fun candidate ->
+              run ~pattern:pattern' ~prefix:candidate <> None)
+        in
+        if crashes_of pattern' = crashes_of pattern && prefix' = prefix then
+          (pattern', prefix')
+        else fix pattern' prefix'
       in
-      let prefix =
-        ddmin prefix ~test:(fun candidate ->
-            run ~pattern ~prefix:candidate <> None)
-      in
+      let pattern, prefix = fix pattern prefix in
       (* confirm and return the report of the shrunk counterexample *)
       (match run ~pattern ~prefix with
       | Some report -> Some (pattern, prefix, report)

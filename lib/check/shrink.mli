@@ -1,10 +1,11 @@
 (** Counterexample minimization by delta debugging.
 
     A counterexample from {!Dpor.explore} is a (failure pattern,
-    schedule prefix) pair. [minimize] first drops crashes that are not
-    needed for the failure, then ddmin-shrinks the schedule prefix
-    (Zeller–Hildebrandt), replaying each candidate through the caller's
-    [replay] to confirm it still fails. Because replays re-execute a
+    schedule prefix) pair. [minimize] alternates between dropping
+    crashes that are not needed for the failure and ddmin-shrinking the
+    schedule prefix (Zeller–Hildebrandt) until neither changes —
+    shrinking one side can unlock the other — replaying each candidate
+    through the caller's [replay] to confirm it still fails. Because replays re-execute a
     fresh deterministic world under {!Kernel.Policy.script}, the result
     is a confirmed, directly replayable minimal counterexample — the
     final report returned comes from re-running the shrunk pair, not

@@ -15,24 +15,31 @@ let mean = function
 
 let mean_int l = mean (List.map float_of_int l)
 
+(* Run one experiment's independent units on a worker pool. Results come
+   back in input order whatever [jobs] is, so the table folds out
+   identically at -j 1 and -j N; unit bodies must be self-contained
+   (build their own world, mutate no enclosing refs — fold verdicts over
+   the returned list instead). *)
+let pmap ~jobs xs f = Exec.Pool.map_list (Exec.Pool.create ~jobs ()) ~f xs
+let pseeds ~jobs seeds f = pmap ~jobs (List.init seeds Fun.id) f
+
 (* ------------------------------------------------------------------ E1 *)
 
-let e1_fig1_set_agreement ?(seeds = 25) ?(sizes = [ 2; 3; 4; 5; 6 ]) () =
+let e1_fig1_set_agreement ?(jobs = 1) ?(seeds = 25) ?(sizes = [ 2; 3; 4; 5; 6 ])
+    () =
   let all_ok = ref true in
   let rows =
     List.map
       (fun n_plus_1 ->
         let runs =
-          List.init seeds (fun i ->
+          pseeds ~jobs seeds (fun i ->
               let world =
                 Harness.random_world ~seed:((n_plus_1 * 1000) + i) ~n_plus_1
                   ~max_faulty:(n_plus_1 - 1) ()
               in
               Harness.run_fig1 world)
-          |> List.map (fun m ->
-                 if not (Harness.ok m) then all_ok := false;
-                 m)
         in
+        List.iter (fun m -> if not (Harness.ok m) then all_ok := false) runs;
         [
           Report.cell_int n_plus_1;
           Report.cell_int (n_plus_1 - 1);
@@ -71,7 +78,7 @@ let e1_fig1_set_agreement ?(seeds = 25) ?(sizes = [ 2; 3; 4; 5; 6 ]) () =
 
 (* ------------------------------------------------------------------ E2 *)
 
-let e2_fig2_f_resilient ?(seeds = 15) ?(sizes = [ 3; 4; 5; 6 ]) () =
+let e2_fig2_f_resilient ?(jobs = 1) ?(seeds = 15) ?(sizes = [ 3; 4; 5; 6 ]) () =
   let all_ok = ref true in
   let rows =
     List.concat_map
@@ -79,7 +86,7 @@ let e2_fig2_f_resilient ?(seeds = 15) ?(sizes = [ 3; 4; 5; 6 ]) () =
         List.init (n_plus_1 - 1) (fun fm1 ->
             let f = fm1 + 1 in
             let runs =
-              List.init seeds (fun i ->
+              pseeds ~jobs seeds (fun i ->
                   let world =
                     Harness.random_world
                       ~seed:((n_plus_1 * 7919) + (f * 131) + i)
@@ -121,11 +128,11 @@ let e2_fig2_f_resilient ?(seeds = 15) ?(sizes = [ 3; 4; 5; 6 ]) () =
 
 (* ------------------------------------------------------------- E3 / E4 *)
 
-let adversary_table ~id ~claim ~title ~n_plus_1 ~f ~max_phases =
+let adversary_table ~jobs ~id ~claim ~title ~n_plus_1 ~f ~max_phases =
   (* both verdict shapes are defeats, so the claim holds whenever every
      run produces a verdict — which the type guarantees *)
   let rows =
-    List.map
+    pmap ~jobs Adversary.Candidates.all
       (fun cand ->
         let defeat, detail =
           match
@@ -139,7 +146,6 @@ let adversary_table ~id ~claim ~title ~n_plus_1 ~f ~max_phases =
                   Pid.Set.pp on phase )
         in
         [ cand.Adversary.cand_name; defeat; detail ])
-      Adversary.Candidates.all
   in
   {
     id;
@@ -155,16 +161,16 @@ let adversary_table ~id ~claim ~title ~n_plus_1 ~f ~max_phases =
     ok = true;
   }
 
-let e3_theorem1_adversary ?(max_phases = 25) () =
-  adversary_table ~id:"e3"
+let e3_theorem1_adversary ?(jobs = 1) ?(max_phases = 25) () =
+  adversary_table ~jobs ~id:"e3"
     ~claim:
       "Theorem 1: Upsilon is strictly weaker than Omega_n (n >= 2) - the \
        solo-schedule adversary defeats every candidate extractor"
     ~title:"E3: Theorem-1 adversary vs Upsilon->Omega_n candidates" ~n_plus_1:3
     ~f:2 ~max_phases
 
-let e4_theorem5_adversary ?(max_phases = 25) () =
-  adversary_table ~id:"e4"
+let e4_theorem5_adversary ?(jobs = 1) ?(max_phases = 25) () =
+  adversary_table ~jobs ~id:"e4"
     ~claim:
       "Theorem 5: Upsilon^f is strictly weaker than Omega^f (2 <= f <= n) - \
        same adversary in the f-resilient setting"
@@ -173,7 +179,7 @@ let e4_theorem5_adversary ?(max_phases = 25) () =
 
 (* ------------------------------------------------------------------ E5 *)
 
-let e5_fig3_extraction ?(seeds = 8) () =
+let e5_fig3_extraction ?(jobs = 1) ?(seeds = 8) () =
   let n_plus_1 = 4 in
   let f = 2 in
   let sources =
@@ -192,7 +198,7 @@ let e5_fig3_extraction ?(seeds = 8) () =
     List.map
       (fun (label, source) ->
         let results =
-          List.init seeds (fun i ->
+          pseeds ~jobs seeds (fun i ->
               let world =
                 Harness.random_world
                   ~seed:((Hashtbl.hash label * 31) + i)
@@ -233,7 +239,7 @@ let e5_fig3_extraction ?(seeds = 8) () =
 
 (* ------------------------------------------------------------------ E6 *)
 
-let e6_pairwise_reductions ?(seeds = 20) () =
+let e6_pairwise_reductions ?(jobs = 1) ?(seeds = 20) () =
   let open Detectors in
   let all_ok = ref true in
   let pct_ok results =
@@ -241,7 +247,7 @@ let e6_pairwise_reductions ?(seeds = 20) () =
     Report.cell_pct (mean (List.map (fun r -> if r then 1.0 else 0.0) results))
   in
   let omega_to_upsilon =
-    List.init seeds (fun i ->
+    pseeds ~jobs seeds (fun i ->
         let rng = Rng.create (i + 1) in
         let n_plus_1 = 3 + (i mod 3) in
         let pattern =
@@ -253,7 +259,7 @@ let e6_pairwise_reductions ?(seeds = 20) () =
         Upsilon.check u ~pattern ~stab_by:60 ~horizon:160 = Ok ())
   in
   let omega_n_to_upsilon =
-    List.init seeds (fun i ->
+    pseeds ~jobs seeds (fun i ->
         let rng = Rng.create (i + 100) in
         let n_plus_1 = 3 + (i mod 3) in
         let pattern =
@@ -265,7 +271,7 @@ let e6_pairwise_reductions ?(seeds = 20) () =
         Upsilon.check u ~pattern ~stab_by:60 ~horizon:160 = Ok ())
   in
   let omega_f_to_upsilon_f =
-    List.init seeds (fun i ->
+    pseeds ~jobs seeds (fun i ->
         let rng = Rng.create (i + 200) in
         let n_plus_1 = 4 in
         let f = 1 + (i mod 3) in
@@ -277,7 +283,7 @@ let e6_pairwise_reductions ?(seeds = 20) () =
         Upsilon_f.check u ~pattern ~f ~stab_by:60 ~horizon:160 = Ok ())
   in
   let two_proc_equivalence =
-    List.init seeds (fun i ->
+    pseeds ~jobs seeds (fun i ->
         let rng = Rng.create (i + 300) in
         let pattern =
           Failure_pattern.random rng ~n_plus_1:2 ~max_faulty:1 ~latest:40
@@ -294,7 +300,7 @@ let e6_pairwise_reductions ?(seeds = 20) () =
            = Ok ())
   in
   let omega_to_anti =
-    List.init seeds (fun i ->
+    pseeds ~jobs seeds (fun i ->
         let rng = Rng.create (i + 400) in
         let n_plus_1 = 3 + (i mod 3) in
         let pattern =
@@ -308,7 +314,7 @@ let e6_pairwise_reductions ?(seeds = 20) () =
         = Ok ())
   in
   let ev_perfect_to_omega =
-    List.init seeds (fun i ->
+    pseeds ~jobs seeds (fun i ->
         let rng = Rng.create (i + 600) in
         let n_plus_1 = 3 + (i mod 3) in
         let pattern =
@@ -323,7 +329,7 @@ let e6_pairwise_reductions ?(seeds = 20) () =
         = Ok ())
   in
   let ev_perfect_chain_to_upsilon =
-    List.init seeds (fun i ->
+    pseeds ~jobs seeds (fun i ->
         let rng = Rng.create (i + 700) in
         let n_plus_1 = 3 + (i mod 3) in
         let pattern =
@@ -341,7 +347,7 @@ let e6_pairwise_reductions ?(seeds = 20) () =
         = Ok ())
   in
   let upsilon1_to_omega =
-    List.init seeds (fun i ->
+    pseeds ~jobs seeds (fun i ->
         let rng = Rng.create (i + 500) in
         let n_plus_1 = 3 in
         let pattern =
@@ -392,8 +398,8 @@ let e6_pairwise_reductions ?(seeds = 20) () =
 
 (* ------------------------------------------------------------------ E7 *)
 
-let e7_upsilon_vs_omega_n ?(seeds = 15) ?(stab_times = [ 0; 200; 800; 3200 ]) ()
-    =
+let e7_upsilon_vs_omega_n ?(jobs = 1) ?(seeds = 15)
+    ?(stab_times = [ 0; 200; 800; 3200 ]) () =
   let n_plus_1 = 4 in
   let all_ok = ref true in
   (* The lock-step round-robin schedule with distinct inputs is the one
@@ -418,7 +424,7 @@ let e7_upsilon_vs_omega_n ?(seeds = 15) ?(stab_times = [ 0; 200; 800; 3200 ]) ()
                 (lockstep_world ())
         in
         let random_runs alg =
-          List.init seeds (fun i ->
+          pseeds ~jobs seeds (fun i ->
               let world =
                 Harness.random_world
                   ~seed:((stab_time * 17) + i)
@@ -473,12 +479,10 @@ let e7_upsilon_vs_omega_n ?(seeds = 15) ?(stab_times = [ 0; 200; 800; 3200 ]) ()
 
 (* ------------------------------------------------------------------ E8 *)
 
-let e8_impossibility ?(horizons = [ 20_000; 80_000; 320_000 ]) () =
+let e8_impossibility ?(jobs = 1) ?(horizons = [ 20_000; 80_000; 320_000 ]) () =
   let n_plus_1 = 3 in
-  let ok = ref true in
-  let rows =
-    List.concat_map
-      (fun horizon ->
+  let results =
+    pmap ~jobs horizons (fun horizon ->
         let world =
           {
             Harness.pattern = Failure_pattern.no_failures ~n_plus_1;
@@ -491,7 +495,6 @@ let e8_impossibility ?(horizons = [ 20_000; 80_000; 320_000 ]) () =
           n_plus_1
           - Pid.Set.cardinal async.Harness.verdict.Agreement.Sa_spec.undecided_correct
         in
-        if deciders <> 0 then ok := false;
         let world_u =
           {
             Harness.pattern = Failure_pattern.no_failures ~n_plus_1;
@@ -500,6 +503,13 @@ let e8_impossibility ?(horizons = [ 20_000; 80_000; 320_000 ]) () =
           }
         in
         let with_upsilon = Harness.run_fig1 ~horizon ~stab_time:0 world_u in
+        (horizon, async, deciders, with_upsilon))
+  in
+  let ok = ref true in
+  let rows =
+    List.concat_map
+      (fun (horizon, async, deciders, with_upsilon) ->
+        if deciders <> 0 then ok := false;
         if not (Harness.ok with_upsilon) then ok := false;
         [
           [
@@ -520,7 +530,7 @@ let e8_impossibility ?(horizons = [ 20_000; 80_000; 320_000 ]) () =
             Printf.sprintf "decides by t=%d" with_upsilon.Harness.last_decision_time;
           ];
         ])
-      horizons
+      results
   in
   {
     id = "e8";
@@ -542,7 +552,7 @@ let e8_impossibility ?(horizons = [ 20_000; 80_000; 320_000 ]) () =
 
 (* ------------------------------------------------------------------ A1 *)
 
-let a1_snapshot_ablation ?(sizes = [ 2; 4; 8 ]) () =
+let a1_snapshot_ablation ?(jobs = 1) ?(sizes = [ 2; 4; 8 ]) () =
   let steps_for ~impl ~n_plus_1 =
     let ops_per_proc = 10 in
     let pattern = Failure_pattern.no_failures ~n_plus_1 in
@@ -585,10 +595,10 @@ let a1_snapshot_ablation ?(sizes = [ 2; 4; 8 ]) () =
         result.steps
   in
   let rows =
-    List.concat_map
-      (fun n_plus_1 ->
-        let reg = steps_for ~impl:`Registers ~n_plus_1 in
-        let nat = steps_for ~impl:`Native ~n_plus_1 in
+    pmap ~jobs sizes (fun n_plus_1 ->
+        (n_plus_1, steps_for ~impl:`Registers ~n_plus_1,
+         steps_for ~impl:`Native ~n_plus_1))
+    |> List.concat_map (fun (n_plus_1, reg, nat) ->
         let per_op total = float_of_int total /. float_of_int (n_plus_1 * 20) in
         [
           [
@@ -604,7 +614,6 @@ let a1_snapshot_ablation ?(sizes = [ 2; 4; 8 ]) () =
             Report.cell_float (per_op nat);
           ];
         ])
-      sizes
   in
   {
     id = "a1";
@@ -623,7 +632,7 @@ let a1_snapshot_ablation ?(sizes = [ 2; 4; 8 ]) () =
 
 (* ------------------------------------------------------------------ A2 *)
 
-let a2_escape_ablation ?(seeds = 12) () =
+let a2_escape_ablation ?(jobs = 1) ?(seeds = 12) () =
   let open Agreement in
   let n_plus_1 = 3 in
   let configs =
@@ -652,7 +661,7 @@ let a2_escape_ablation ?(seeds = 12) () =
         (* The adversarial setup where the escapes matter: failure-free,
            Upsilon pinned on a strict subset, lockstep scheduling. *)
         let terminated =
-          List.init seeds (fun i ->
+          pseeds ~jobs seeds (fun i ->
               let pattern = Failure_pattern.no_failures ~n_plus_1 in
               let world =
                 {
@@ -698,7 +707,7 @@ let a2_escape_ablation ?(seeds = 12) () =
 
 (* ------------------------------------------------------------------ E9 *)
 
-let e9_booster_consensus ?(seeds = 20) ?(sizes = [ 2; 3; 4; 5 ]) () =
+let e9_booster_consensus ?(jobs = 1) ?(seeds = 20) ?(sizes = [ 2; 3; 4; 5 ]) () =
   let open Agreement in
   let open Detectors in
   let all_ok = ref true in
@@ -706,7 +715,7 @@ let e9_booster_consensus ?(seeds = 20) ?(sizes = [ 2; 3; 4; 5 ]) () =
     List.map
       (fun n_plus_1 ->
         let runs =
-          List.init seeds (fun i ->
+          pseeds ~jobs seeds (fun i ->
               let rng = Rng.create ((n_plus_1 * 613) + i) in
               let pattern =
                 Failure_pattern.random rng ~n_plus_1
@@ -786,7 +795,7 @@ let e9_booster_consensus ?(seeds = 20) ?(sizes = [ 2; 3; 4; 5 ]) () =
 
 (* ----------------------------------------------------------------- E10 *)
 
-let e10_abd_emulation ?(seeds = 10) ?(sizes = [ 3; 5; 7 ]) () =
+let e10_abd_emulation ?(jobs = 1) ?(seeds = 10) ?(sizes = [ 3; 5; 7 ]) () =
   let all_ok = ref true in
   let rows =
     List.map
@@ -794,7 +803,7 @@ let e10_abd_emulation ?(seeds = 10) ?(sizes = [ 3; 5; 7 ]) () =
         let minority = (n_plus_1 - 1) / 2 in
         let per_client = 2 in
         let results =
-          List.init seeds (fun i ->
+          pseeds ~jobs seeds (fun i ->
               let rng = Rng.create ((n_plus_1 * 811) + i) in
               let pattern =
                 Failure_pattern.random rng ~n_plus_1 ~max_faulty:minority
@@ -828,7 +837,6 @@ let e10_abd_emulation ?(seeds = 10) ?(sizes = [ 3; 5; 7 ]) () =
                   (Failure_pattern.correct pattern)
               in
               let atomic = Memory.Abd.check_atomicity abd = Ok () in
-              if not (atomic && correct_done) then all_ok := false;
               ignore result;
               let latency =
                 List.map
@@ -837,6 +845,10 @@ let e10_abd_emulation ?(seeds = 10) ?(sizes = [ 3; 5; 7 ]) () =
               in
               (atomic, correct_done, completed, latency))
         in
+        List.iter
+          (fun (atomic, correct_done, _, _) ->
+            if not (atomic && correct_done) then all_ok := false)
+          results;
         let latencies =
           List.concat_map (fun (_, _, _, l) -> l) results
         in
@@ -875,7 +887,7 @@ let e10_abd_emulation ?(seeds = 10) ?(sizes = [ 3; 5; 7 ]) () =
 
 (* ----------------------------------------------------------------- E11 *)
 
-let e11_msg_consensus ?(seeds = 6) ?(sizes = [ 3; 5 ]) () =
+let e11_msg_consensus ?(jobs = 1) ?(seeds = 6) ?(sizes = [ 3; 5 ]) () =
   let open Agreement in
   let open Detectors in
   let all_ok = ref true in
@@ -884,7 +896,7 @@ let e11_msg_consensus ?(seeds = 6) ?(sizes = [ 3; 5 ]) () =
       (fun n_plus_1 ->
         let minority = (n_plus_1 - 1) / 2 in
         let runs =
-          List.init seeds (fun i ->
+          pseeds ~jobs seeds (fun i ->
               let rng = Rng.create ((n_plus_1 * 907) + i) in
               let pattern =
                 Failure_pattern.random rng ~n_plus_1 ~max_faulty:minority
@@ -910,7 +922,6 @@ let e11_msg_consensus ?(seeds = 6) ?(sizes = [ 3; 5 ]) () =
                   ()
               in
               let atomic = Msg_consensus.check_memory proto = Ok () in
-              if not (Sa_spec.all_ok verdict && atomic) then all_ok := false;
               let last_decide =
                 List.fold_left
                   (fun acc (_, time) -> max acc time)
@@ -919,6 +930,9 @@ let e11_msg_consensus ?(seeds = 6) ?(sizes = [ 3; 5 ]) () =
               in
               (Sa_spec.all_ok verdict, atomic, last_decide))
         in
+        List.iter
+          (fun (o, a, _) -> if not (o && a) then all_ok := false)
+          runs;
         [
           Report.cell_int n_plus_1;
           Report.cell_int minority;
@@ -950,7 +964,7 @@ let e11_msg_consensus ?(seeds = 6) ?(sizes = [ 3; 5 ]) () =
 
 (* ------------------------------------------------------------------ A3 *)
 
-let a3_fig2_snapshot_cost ?(seeds = 12) () =
+let a3_fig2_snapshot_cost ?(jobs = 1) ?(seeds = 12) () =
   let open Agreement in
   let open Detectors in
   let n_plus_1 = 4 in
@@ -986,14 +1000,13 @@ let a3_fig2_snapshot_cost ?(seeds = 12) () =
         ~decisions:(Upsilon_f_sa.decisions proto)
         ()
     in
-    if not (Sa_spec.all_ok verdict) then all_ok := false;
-    result.steps
+    (result.steps, Sa_spec.all_ok verdict)
   in
   let rows =
     List.concat_map
       (fun impl ->
         let random_runs =
-          List.init seeds (fun i ->
+          pseeds ~jobs seeds (fun i ->
               let world =
                 Harness.random_world ~seed:(4000 + i) ~n_plus_1 ~max_faulty:f ()
               in
@@ -1002,7 +1015,9 @@ let a3_fig2_snapshot_cost ?(seeds = 12) () =
         List.iter
           (fun m -> if not (Harness.ok m) then all_ok := false)
           random_runs;
-        let gated_steps = List.init seeds (gated_run impl) in
+        let gated = pseeds ~jobs seeds (gated_run impl) in
+        List.iter (fun (_, o) -> if not o then all_ok := false) gated;
+        let gated_steps = List.map fst gated in
         [
           [
             Memory.Snap.impl_name impl;
@@ -1047,11 +1062,11 @@ let a3_fig2_snapshot_cost ?(seeds = 12) () =
 
 (* ------------------------------------------------- c1: model checking *)
 
-let c1_model_checking ?(depth = 6) ?(mutant_depth = 12) () =
+let c1_model_checking ?(jobs = 1) ?(depth = 6) ?(mutant_depth = 12) () =
   let all_ok = ref true in
   let row ?mutant ?depth:d ?procs obj ~expect_violation =
     let depth = Option.value d ~default:depth in
-    let o = Harness.check_exhaustive ?procs ?mutant ~depth obj in
+    let o = Harness.check_exhaustive ~jobs ?procs ?mutant ~depth obj in
     let found = o.Harness.violation <> None in
     if found <> expect_violation then all_ok := false;
     (match o.Harness.violation with
@@ -1121,23 +1136,23 @@ let c1_model_checking ?(depth = 6) ?(mutant_depth = 12) () =
 
 (* --------------------------------------------------------------- index *)
 
-let all () =
+let all ?(jobs = 1) () =
   [
-    e1_fig1_set_agreement ();
-    e2_fig2_f_resilient ();
-    e3_theorem1_adversary ();
-    e4_theorem5_adversary ();
-    e5_fig3_extraction ();
-    e6_pairwise_reductions ();
-    e7_upsilon_vs_omega_n ();
-    e8_impossibility ();
-    e9_booster_consensus ();
-    e10_abd_emulation ();
-    e11_msg_consensus ();
-    a1_snapshot_ablation ();
-    a2_escape_ablation ();
-    a3_fig2_snapshot_cost ();
-    c1_model_checking ();
+    e1_fig1_set_agreement ~jobs ();
+    e2_fig2_f_resilient ~jobs ();
+    e3_theorem1_adversary ~jobs ();
+    e4_theorem5_adversary ~jobs ();
+    e5_fig3_extraction ~jobs ();
+    e6_pairwise_reductions ~jobs ();
+    e7_upsilon_vs_omega_n ~jobs ();
+    e8_impossibility ~jobs ();
+    e9_booster_consensus ~jobs ();
+    e10_abd_emulation ~jobs ();
+    e11_msg_consensus ~jobs ();
+    a1_snapshot_ablation ~jobs ();
+    a2_escape_ablation ~jobs ();
+    a3_fig2_snapshot_cost ~jobs ();
+    c1_model_checking ~jobs ();
   ]
 
 let catalog =
@@ -1162,21 +1177,21 @@ let catalog =
 let by_id id =
   let scaled default scale = match scale with None -> default | Some s -> default * s in
   match String.lowercase_ascii id with
-  | "e1" -> Some (fun ?scale () -> e1_fig1_set_agreement ~seeds:(scaled 25 scale) ())
-  | "e2" -> Some (fun ?scale () -> e2_fig2_f_resilient ~seeds:(scaled 15 scale) ())
-  | "e3" -> Some (fun ?scale () -> e3_theorem1_adversary ~max_phases:(scaled 25 scale) ())
-  | "e4" -> Some (fun ?scale () -> e4_theorem5_adversary ~max_phases:(scaled 25 scale) ())
-  | "e5" -> Some (fun ?scale () -> e5_fig3_extraction ~seeds:(scaled 8 scale) ())
-  | "e6" -> Some (fun ?scale () -> e6_pairwise_reductions ~seeds:(scaled 20 scale) ())
-  | "e7" -> Some (fun ?scale () -> e7_upsilon_vs_omega_n ~seeds:(scaled 15 scale) ())
-  | "e8" -> Some (fun ?scale () -> ignore scale; e8_impossibility ())
-  | "e9" -> Some (fun ?scale () -> e9_booster_consensus ~seeds:(scaled 20 scale) ())
-  | "e10" -> Some (fun ?scale () -> e10_abd_emulation ~seeds:(scaled 10 scale) ())
-  | "e11" -> Some (fun ?scale () -> e11_msg_consensus ~seeds:(scaled 6 scale) ())
-  | "a1" -> Some (fun ?scale () -> ignore scale; a1_snapshot_ablation ())
-  | "a2" -> Some (fun ?scale () -> a2_escape_ablation ~seeds:(scaled 12 scale) ())
-  | "a3" -> Some (fun ?scale () -> a3_fig2_snapshot_cost ~seeds:(scaled 12 scale) ())
-  | "c1" -> Some (fun ?scale () -> ignore scale; c1_model_checking ())
+  | "e1" -> Some (fun ?scale ?jobs () -> e1_fig1_set_agreement ?jobs ~seeds:(scaled 25 scale) ())
+  | "e2" -> Some (fun ?scale ?jobs () -> e2_fig2_f_resilient ?jobs ~seeds:(scaled 15 scale) ())
+  | "e3" -> Some (fun ?scale ?jobs () -> e3_theorem1_adversary ?jobs ~max_phases:(scaled 25 scale) ())
+  | "e4" -> Some (fun ?scale ?jobs () -> e4_theorem5_adversary ?jobs ~max_phases:(scaled 25 scale) ())
+  | "e5" -> Some (fun ?scale ?jobs () -> e5_fig3_extraction ?jobs ~seeds:(scaled 8 scale) ())
+  | "e6" -> Some (fun ?scale ?jobs () -> e6_pairwise_reductions ?jobs ~seeds:(scaled 20 scale) ())
+  | "e7" -> Some (fun ?scale ?jobs () -> e7_upsilon_vs_omega_n ?jobs ~seeds:(scaled 15 scale) ())
+  | "e8" -> Some (fun ?scale ?jobs () -> ignore scale; e8_impossibility ?jobs ())
+  | "e9" -> Some (fun ?scale ?jobs () -> e9_booster_consensus ?jobs ~seeds:(scaled 20 scale) ())
+  | "e10" -> Some (fun ?scale ?jobs () -> e10_abd_emulation ?jobs ~seeds:(scaled 10 scale) ())
+  | "e11" -> Some (fun ?scale ?jobs () -> e11_msg_consensus ?jobs ~seeds:(scaled 6 scale) ())
+  | "a1" -> Some (fun ?scale ?jobs () -> ignore scale; a1_snapshot_ablation ?jobs ())
+  | "a2" -> Some (fun ?scale ?jobs () -> a2_escape_ablation ?jobs ~seeds:(scaled 12 scale) ())
+  | "a3" -> Some (fun ?scale ?jobs () -> a3_fig2_snapshot_cost ?jobs ~seeds:(scaled 12 scale) ())
+  | "c1" -> Some (fun ?scale ?jobs () -> ignore scale; c1_model_checking ?jobs ())
   | _ -> None
 
 let pp ppf t =

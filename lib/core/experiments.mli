@@ -1,7 +1,12 @@
 (** The experiment drivers: one per claim of the paper (see DESIGN.md's
     experiment index). Each returns a rendered table plus an [ok] flag
     meaning "the paper's claim held on every run we made". Defaults are
-    sized to finish in seconds; the CLI and benches can scale them up. *)
+    sized to finish in seconds; the CLI and benches can scale them up.
+
+    Every driver takes [?jobs] (default 1): its independent work units
+    (seeds, sizes, adversary candidates, DPOR branches) are sharded over
+    an {!Exec.Pool} of that many domains and merged deterministically,
+    so tables and [ok] flags are byte-identical at every [jobs]. *)
 
 type outcome = {
   id : string;
@@ -10,73 +15,84 @@ type outcome = {
   ok : bool;
 }
 
-val e1_fig1_set_agreement : ?seeds:int -> ?sizes:int list -> unit -> outcome
+val e1_fig1_set_agreement :
+  ?jobs:int -> ?seeds:int -> ?sizes:int list -> unit -> outcome
 (** Fig 1 / Theorem 2: Υ + registers solve n-set-agreement wait-free. *)
 
-val e2_fig2_f_resilient : ?seeds:int -> ?sizes:int list -> unit -> outcome
+val e2_fig2_f_resilient :
+  ?jobs:int -> ?seeds:int -> ?sizes:int list -> unit -> outcome
 (** Fig 2 / Theorem 6: Υᶠ + registers solve f-resilient f-set-agreement,
     swept over every f for each system size. *)
 
-val e3_theorem1_adversary : ?max_phases:int -> unit -> outcome
+val e3_theorem1_adversary : ?jobs:int -> ?max_phases:int -> unit -> outcome
 (** Theorem 1: the adversary defeats every candidate Υ → Ωₙ extractor. *)
 
-val e4_theorem5_adversary : ?max_phases:int -> unit -> outcome
+val e4_theorem5_adversary : ?jobs:int -> ?max_phases:int -> unit -> outcome
 (** Theorem 5: same at 2 ≤ f < n against Ωᶠ. *)
 
-val e5_fig3_extraction : ?seeds:int -> unit -> outcome
+val e5_fig3_extraction : ?jobs:int -> ?seeds:int -> unit -> outcome
 (** Fig 3 / Theorem 10: Υᶠ is extracted from every stable source. *)
 
-val e6_pairwise_reductions : ?seeds:int -> unit -> outcome
+val e6_pairwise_reductions : ?jobs:int -> ?seeds:int -> unit -> outcome
 (** §4 / §5.3: the direct reductions between detectors. *)
 
-val e7_upsilon_vs_omega_n : ?seeds:int -> ?stab_times:int list -> unit -> outcome
+val e7_upsilon_vs_omega_n :
+  ?jobs:int -> ?seeds:int -> ?stab_times:int list -> unit -> outcome
 (** Corollaries 3–4 context: Υ-based vs Ωₙ-based set agreement, cost as a
     function of the detector's stabilization time. *)
 
-val e8_impossibility : ?horizons:int list -> unit -> outcome
+val e8_impossibility : ?jobs:int -> ?horizons:int list -> unit -> outcome
 (** The impossibility backdrop: the detector-free skeleton starves under
     lock-step forever; the same schedule with Υ decides. *)
 
-val e9_booster_consensus : ?seeds:int -> ?sizes:int list -> unit -> outcome
+val e9_booster_consensus :
+  ?jobs:int -> ?seeds:int -> ?sizes:int list -> unit -> outcome
 (** Corollary 4 context: Ωₙ boosts n-process consensus objects to
     n+1-process consensus; port discipline of the committee-indexed
     objects is verified. *)
 
-val e10_abd_emulation : ?seeds:int -> ?sizes:int list -> unit -> outcome
+val e10_abd_emulation :
+  ?jobs:int -> ?seeds:int -> ?sizes:int list -> unit -> outcome
 (** Substrate bridge: ABD emulation of atomic registers over
     asynchronous messages; linearizability and liveness with a correct
     majority. *)
 
-val e11_msg_consensus : ?seeds:int -> ?sizes:int list -> unit -> outcome
+val e11_msg_consensus :
+  ?jobs:int -> ?seeds:int -> ?sizes:int list -> unit -> outcome
 (** End-to-end lowering: Ω-based consensus over ABD registers in message
     passing, memory linearizability checked per run. *)
 
-val a1_snapshot_ablation : ?sizes:int list -> unit -> outcome
+val a1_snapshot_ablation : ?jobs:int -> ?sizes:int list -> unit -> outcome
 (** Register-built Afek snapshot vs native snapshot: steps per
     operation. *)
 
-val a2_escape_ablation : ?seeds:int -> unit -> outcome
+val a2_escape_ablation : ?jobs:int -> ?seeds:int -> unit -> outcome
 (** Fig 1's escape conditions: which are load-bearing for Termination. *)
 
-val a3_fig2_snapshot_cost : ?seeds:int -> unit -> outcome
+val a3_fig2_snapshot_cost : ?jobs:int -> ?seeds:int -> unit -> outcome
 (** Fig 2 on register-built vs native snapshots: same correctness, the
     faithful construction's Θ(n) step cost shows inside the protocol. *)
 
-val c1_model_checking : ?depth:int -> ?mutant_depth:int -> unit -> outcome
+val c1_model_checking :
+  ?jobs:int -> ?depth:int -> ?mutant_depth:int -> unit -> outcome
 (** The {!Check} layer end to end: every clean scenario passes DPOR
     exploration, every planted mutant is caught with a shrunk,
     replayable counterexample. [mutant_depth] sizes the deeper window
     the snapshot single-collect mutant needs (3 processes, ≥ 10). *)
 
-val all : unit -> outcome list
-(** Every experiment with default parameters, in order. *)
+val all : ?jobs:int -> unit -> outcome list
+(** Every experiment with default parameters, in order; [jobs] sets the
+    worker count of the {!Exec.Pool} each driver shards its independent
+    runs onto (default 1 = serial; the output is identical at any
+    [jobs]). *)
 
 val catalog : (string * string) list
 (** [(id, one-line description)] for every experiment, without running
     anything. *)
 
-val by_id : string -> (?scale:int -> unit -> outcome) option
+val by_id : string -> (?scale:int -> ?jobs:int -> unit -> outcome) option
 (** Look up an experiment by id ("e1" … "e11", "a1" … "a3", "c1");
-    [scale] multiplies the default seed counts. *)
+    [scale] multiplies the default seed counts, [jobs] is the pool
+    width as in {!all}. *)
 
 val pp : Format.formatter -> outcome -> unit

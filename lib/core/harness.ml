@@ -189,8 +189,8 @@ type check_outcome = {
 let m_check_runs = Obs.Metrics.counter "harness.check.runs"
 let m_check_violations = Obs.Metrics.counter "harness.check.violations"
 
-let check_exhaustive ?procs ?(depth = 6) ?(horizon = 400) ?patterns ?mutant obj
-    =
+let check_exhaustive ?(jobs = 1) ?procs ?(depth = 6) ?(horizon = 400) ?patterns
+    ?mutant obj =
   let procs =
     let floor = Check.Scenario.min_procs obj in
     match procs with Some p -> max p floor | None -> max 2 floor
@@ -201,74 +201,104 @@ let check_exhaustive ?procs ?(depth = 6) ?(horizon = 400) ?patterns ?mutant obj
     | None -> Check.Scenario.patterns obj ~procs
   in
   let make = Check.Scenario.make obj ~procs in
-  (* every exploration and every shrink replay runs under the same
-     (possibly mutated) implementation *)
-  let guarded f = Check.Mutant.with_ mutant f in
-  let replay ~pattern ~prefix =
-    guarded (fun () ->
+  let pool = Exec.Pool.create ~jobs () in
+  (* The mutant flags are plain global refs: set them once around the
+     whole sweep (probes, pool units, shrink replays) rather than per
+     unit, so worker domains only ever read them — per-unit set/restore
+     from concurrent workers could flip an implementation back to
+     healthy mid-run. The spawn fence publishes the writes. *)
+  Check.Mutant.with_ mutant (fun () ->
+      let replay ~pattern ~prefix =
         let fibers, check = make () in
         let policy = Policy.script prefix ~then_:(Policy.round_robin ()) in
         let result = Run.exec ~pattern ~policy ~horizon ~procs:fibers () in
         match check result.Run.trace with
         | Ok () -> None
-        | Error report -> Some report)
-  in
-  let executions = ref 0
-  and sleep_blocked = ref 0
-  and races = ref 0
-  and backtrack_points = ref 0
-  and swept = ref 0 in
-  let rec sweep = function
-    | [] -> None
-    | pattern :: rest -> (
-        incr swept;
-        let o =
-          guarded (fun () ->
-              Check.Dpor.explore ~pattern ~depth ~horizon ~make ())
-        in
-        let s = o.Check.Dpor.stats in
-        executions := !executions + s.Check.Dpor.executions;
-        sleep_blocked := !sleep_blocked + s.Check.Dpor.sleep_blocked;
-        races := !races + s.Check.Dpor.races;
-        backtrack_points := !backtrack_points + s.Check.Dpor.backtrack_points;
-        match o.Check.Dpor.counterexample with
-        | Some (prefix, report) -> Some (pattern, prefix, report)
-        | None -> sweep rest)
-  in
-  Obs.Metrics.incr m_check_runs;
-  let violation =
-    match sweep patterns with
-    | None -> None
-    | Some (pattern, prefix, report) ->
-        Obs.Metrics.incr m_check_violations;
-        Some
-          (match Check.Shrink.minimize ~replay ~pattern ~prefix with
-          | Some (cex_pattern, cex_prefix, cex_report) ->
-              { cex_pattern; cex_prefix; cex_report; shrunk = true }
-          | None ->
-              (* replay did not reproduce — report the raw counterexample
-                 and flag the failed shrink *)
-              {
-                cex_pattern = pattern;
-                cex_prefix = prefix;
-                cex_report = report;
-                shrunk = false;
-              })
-  in
-  {
-    check_obj = obj;
-    check_procs = procs;
-    check_depth = depth;
-    check_horizon = horizon;
-    check_mutant = mutant;
-    patterns_swept = !swept;
-    executions = !executions;
-    sleep_blocked = !sleep_blocked;
-    races = !races;
-    backtrack_points = !backtrack_points;
-    naive_bound = Check.Explore.count_schedules ~n_plus_1:procs ~depth;
-    violation;
-  }
+        | Error report -> Some report
+      in
+      (* Work units: one DPOR root branch per pattern per initially
+         enabled process (probed serially here), falling back to one
+         whole-tree unit when there is nothing to shard — same unit
+         list at every [jobs], which is what makes -j N byte-identical
+         to -j 1. *)
+      let units =
+        patterns
+        |> List.mapi (fun pi pattern ->
+               let branches =
+                 if depth = 0 then []
+                 else Check.Dpor.root_branches ~pattern ~make ()
+               in
+               match branches with
+               | [] -> [ (pi, pattern, None) ]
+               | bs -> List.mapi (fun bi _ -> (pi, pattern, Some (bs, bi))) bs)
+        |> List.concat |> Array.of_list
+      in
+      Obs.Metrics.incr m_check_runs;
+      let results =
+        Exec.Pool.map_until pool
+          ~stop:(fun (_, _, o) -> o.Check.Dpor.counterexample <> None)
+          ~f:(fun i ->
+            let pi, pattern, branch = units.(i) in
+            let o =
+              match branch with
+              | None -> Check.Dpor.explore ~pattern ~depth ~horizon ~make ()
+              | Some (branches, index) ->
+                  Check.Dpor.explore_branch ~pattern ~depth ~horizon ~branches
+                    ~index ~make ()
+            in
+            (pi, pattern, o))
+          (Array.length units)
+      in
+      let zero =
+        {
+          Check.Dpor.executions = 0;
+          sleep_blocked = 0;
+          races = 0;
+          backtrack_points = 0;
+        }
+      in
+      let stats =
+        List.fold_left
+          (fun acc (_, _, o) -> Check.Dpor.merge_stats acc o.Check.Dpor.stats)
+          zero results
+      in
+      let swept =
+        match List.rev results with [] -> 0 | (pi, _, _) :: _ -> pi + 1
+      in
+      let violation =
+        match List.rev results with
+        | (_, pattern, { Check.Dpor.counterexample = Some (prefix, report); _ })
+          :: _ ->
+            Obs.Metrics.incr m_check_violations;
+            Some
+              (match Check.Shrink.minimize ~replay ~pattern ~prefix with
+              | Some (cex_pattern, cex_prefix, cex_report) ->
+                  { cex_pattern; cex_prefix; cex_report; shrunk = true }
+              | None ->
+                  (* replay did not reproduce — report the raw
+                     counterexample and flag the failed shrink *)
+                  {
+                    cex_pattern = pattern;
+                    cex_prefix = prefix;
+                    cex_report = report;
+                    shrunk = false;
+                  })
+        | _ -> None
+      in
+      {
+        check_obj = obj;
+        check_procs = procs;
+        check_depth = depth;
+        check_horizon = horizon;
+        check_mutant = mutant;
+        patterns_swept = swept;
+        executions = stats.Check.Dpor.executions;
+        sleep_blocked = stats.Check.Dpor.sleep_blocked;
+        races = stats.Check.Dpor.races;
+        backtrack_points = stats.Check.Dpor.backtrack_points;
+        naive_bound = Check.Explore.count_schedules ~n_plus_1:procs ~depth;
+        violation;
+      })
 
 let check_outcome_json t =
   let module J = Obs.Json in

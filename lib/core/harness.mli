@@ -96,6 +96,7 @@ type check_outcome = {
 }
 
 val check_exhaustive :
+  ?jobs:int ->
   ?procs:int ->
   ?depth:int ->
   ?horizon:int ->
@@ -109,7 +110,14 @@ val check_exhaustive :
     {!Check.Scenario.min_procs}, defaults are [procs >= 2], [depth = 6],
     [horizon = 400]. [mutant] injects the named bug for the whole run —
     exploration {e and} shrink replays. Updates [harness.check.*] and
-    [check.dpor.*] metrics. *)
+    [check.dpor.*] metrics.
+
+    The sweep is sharded into one work unit per (pattern, DPOR root
+    branch) and run on an {!Exec.Pool} with [jobs] workers (default 1).
+    The unit list, the merge (keyed by unit index), and the
+    first-violation cut are identical at every [jobs], so the outcome —
+    including [patterns_swept] and the aggregated stats — is
+    deterministic across [-j] values. *)
 
 val check_outcome_json : check_outcome -> Obs.Json.t
 (** Stable machine-readable rendering (the [wfde check --json]

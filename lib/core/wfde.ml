@@ -19,10 +19,14 @@
       and ddmin counterexample shrinking.
     - {!Harness} / {!Experiments} / {!Report}: run whole worlds and
       regenerate every claim's table (E1–E8, A1–A2 in DESIGN.md).
-    - {!Obs} / {!Trace_export}: the telemetry layer — simulator-wide
-      metrics registry and JSONL trace export/replay. *)
+    - {!Obs} / {!Trace_export}: the telemetry layer — domain-local
+      metrics registries and JSONL trace export/replay.
+    - {!Exec}: the domain-parallel sweep runner — a fixed worker pool
+      with deterministic, unit-index-keyed merging, so [-j 1] and
+      [-j N] produce byte-identical results. *)
 
 module Kernel = Kernel
+module Exec = Exec
 module Check = Check
 module Obs = Obs
 module Trace_export = Trace_export
@@ -37,6 +41,7 @@ module Report = Report
 module Stats = Stats
 
 (* Frequently used names, re-exported flat. *)
+module Pool = Exec.Pool
 module Metrics = Obs.Metrics
 module Json = Obs.Json
 module Pid = Kernel.Pid

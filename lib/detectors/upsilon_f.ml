@@ -12,8 +12,16 @@ let legal_stable_sets ~pattern ~f =
 
 (* Stash construction metadata for harness code, keyed by name. Default
    names are deterministic functions of the parameters so that identical
-   worlds produce byte-identical traces (replay tooling depends on it). *)
+   worlds produce byte-identical traces (replay tooling depends on it).
+   Shared across domains when a sweep runs under Exec.Pool, hence the
+   mutex; replace is idempotent for a given name, so cross-domain
+   interleavings cannot change what stab_time_of observes. *)
 let stab_times : (string, int) Hashtbl.t = Hashtbl.create 17
+let stab_times_mu = Mutex.create ()
+
+let with_stab_times f =
+  Mutex.lock stab_times_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock stab_times_mu) f
 
 let make ?name ~rng ~pattern ~f ?stable_set ?stab_time () =
   let n_plus_1 = Failure_pattern.n_plus_1 pattern in
@@ -40,7 +48,7 @@ let make ?name ~rng ~pattern ~f ?stable_set ?stab_time () =
     | Some n -> n
     | None -> Printf.sprintf "upsilon_f(f=%d,t*=%d)" f stab_time
   in
-  Hashtbl.replace stab_times name stab_time;
+  with_stab_times (fun () -> Hashtbl.replace stab_times name stab_time);
   Detector.record_make ~family:"upsilon_f" ~stab_time;
   let history pid time =
     if time >= stab_time then stable_set
@@ -51,7 +59,7 @@ let make ?name ~rng ~pattern ~f ?stable_set ?stab_time () =
   { Detector.name; history; pp = Pid.Set.pp; equal = Pid.Set.equal }
 
 let stab_time_of (d : Pid.Set.t Detector.t) =
-  match Hashtbl.find_opt stab_times d.Detector.name with
+  match with_stab_times (fun () -> Hashtbl.find_opt stab_times d.Detector.name) with
   | Some t -> t
   | None -> invalid_arg "Upsilon_f.stab_time_of: not built by make"
 

@@ -1,0 +1,112 @@
+type t = { jobs : int }
+
+let create ?(jobs = 1) () = { jobs = max 1 (min 64 jobs) }
+let jobs t = t.jobs
+
+(* Set in worker domains so nested pool calls degrade to inline serial
+   execution instead of spawning domains or windowing metrics. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* Registered lazily so purely serial processes never grow exec.* rows
+   in their stats output. *)
+let m_runs = lazy (Obs.Metrics.counter "exec.pool.runs")
+let m_units = lazy (Obs.Metrics.counter "exec.pool.units")
+
+type 'a slot =
+  | Done of 'a * Obs.Metrics.snapshot
+  | Failed of exn * Printexc.raw_backtrace * Obs.Metrics.snapshot
+
+let rec atomic_min a i =
+  let cur = Atomic.get a in
+  if i < cur && not (Atomic.compare_and_set a cur i) then atomic_min a i
+
+let serial_until ~stop ~f n =
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let v = f i in
+      if stop v then List.rev (v :: acc) else go (i + 1) (v :: acc)
+  in
+  go 0 []
+
+let map_until t ~stop ~f n =
+  if n <= 0 then []
+  else if t.jobs <= 1 || n = 1 || Domain.DLS.get in_worker then
+    serial_until ~stop ~f n
+  else begin
+    let jobs = min t.jobs n in
+    let slots = Array.make n None in
+    let next = Atomic.make 0 in
+    (* Highest index the merge will keep: lowered to the first stopping
+       (or raising) unit. Units are claimed in index order from [next],
+       so every unit <= the final cut is guaranteed to have run. *)
+    let cut = Atomic.make (n - 1) in
+    let worker wid () =
+      Domain.DLS.set in_worker true;
+      let t0 = Unix.gettimeofday () in
+      let claimed = ref 0 and steals = ref 0 in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          if i <= Atomic.get cut then begin
+            incr claimed;
+            if i mod jobs <> wid then incr steals;
+            Obs.Metrics.reset ();
+            (match f i with
+            | v ->
+                let snap = Obs.Metrics.snapshot () in
+                slots.(i) <- Some (Done (v, snap));
+                if stop v then atomic_min cut i
+            | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                let snap = Obs.Metrics.snapshot () in
+                slots.(i) <- Some (Failed (e, bt, snap));
+                atomic_min cut i)
+          end;
+          loop ()
+        end
+      in
+      loop ();
+      (!claimed, !steals, (Unix.gettimeofday () -. t0) *. 1000.)
+    in
+    let domains =
+      Array.init jobs (fun wid -> Domain.spawn (fun () -> worker wid ()))
+    in
+    let wstats = Array.map Domain.join domains in
+    let last = Atomic.get cut in
+    let acc = ref [] and failed = ref None in
+    for i = 0 to last do
+      match slots.(i) with
+      | Some (Done (v, snap)) ->
+          Obs.Metrics.absorb snap;
+          acc := v :: !acc
+      | Some (Failed (e, bt, snap)) ->
+          Obs.Metrics.absorb snap;
+          failed := Some (e, bt)
+      | None -> assert false
+    done;
+    Obs.Metrics.incr (Lazy.force m_runs);
+    Obs.Metrics.incr ~by:(last + 1) (Lazy.force m_units);
+    Array.iteri
+      (fun wid (claimed, steals, wall_ms) ->
+        let set name v =
+          Obs.Metrics.set
+            (Obs.Metrics.gauge
+               (Printf.sprintf "exec.pool.worker.%s{worker=%d}" name wid))
+            v
+        in
+        set "units" (float_of_int claimed);
+        set "steals" (float_of_int steals);
+        set "wall_ms" wall_ms)
+      wstats;
+    (match !failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    List.rev !acc
+  end
+
+let map t ~f n = map_until t ~stop:(fun _ -> false) ~f n
+
+let map_list t ~f xs =
+  let arr = Array.of_list xs in
+  map t ~f:(fun i -> f arr.(i)) (Array.length arr)

@@ -1,17 +1,34 @@
-type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+(* Each domain owns a private registry (DLS-keyed); handles are names plus
+   a cached (domain id, cell) pair. Domain ids are never reused, so a
+   cached pair from another domain is detected and refreshed rather than
+   misused; the cache field itself holds an immutable pair, which the
+   OCaml memory model guarantees is read untorn. *)
+
+type ccell = { mutable cv : int }
+type gcell = { mutable gv : float; mutable gset : bool }
+
+type hcell = {
+  bounds : float array; (* strictly increasing upper bounds *)
+  counts : int array; (* length = Array.length bounds + 1; last is overflow *)
+  mutable hsum : float;
+  mutable hevents : int;
+}
+
+type cell = Ccell of ccell | Gcell of gcell | Hcell of hcell
+
+let registry_key : (string, cell) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 97)
+
+let registry () = Domain.DLS.get registry_key
+
+type counter = { c_name : string; mutable c_cache : (int * ccell) option }
+type gauge = { g_name : string; mutable g_cache : (int * gcell) option }
 
 type histogram = {
   h_name : string;
-  bounds : float array; (* strictly increasing upper bounds *)
-  counts : int array; (* length = Array.length bounds + 1; last is overflow *)
-  mutable h_sum : float;
-  mutable h_events : int;
+  h_buckets : float array;
+  mutable h_cache : (int * hcell) option;
 }
-
-type metric = Counter of counter | Gauge of gauge | Histogram of histogram
-
-let registry : (string, metric) Hashtbl.t = Hashtbl.create 97
 
 let clash name =
   invalid_arg
@@ -20,65 +37,115 @@ let clash name =
 let default_buckets =
   [| 1.; 2.; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 5000. |]
 
-let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some (Counter c) -> c
+let self_id () = (Domain.self () :> int)
+
+let ccell name =
+  let r = registry () in
+  match Hashtbl.find_opt r name with
+  | Some (Ccell c) -> c
   | Some _ -> clash name
   | None ->
-      let c = { c_name = name; c_value = 0 } in
-      Hashtbl.replace registry name (Counter c);
+      let c = { cv = 0 } in
+      Hashtbl.replace r name (Ccell c);
       c
 
-let incr ?(by = 1) c = c.c_value <- c.c_value + by
-let counter_value c = c.c_value
+let counter name =
+  (* register eagerly so the creating domain's snapshot lists the
+     counter even before its first increment *)
+  { c_name = name; c_cache = Some (self_id (), ccell name) }
 
-let gauge name =
-  match Hashtbl.find_opt registry name with
-  | Some (Gauge g) -> g
+let counter_cell t =
+  let self = self_id () in
+  match t.c_cache with
+  | Some (d, c) when d = self -> c
+  | _ ->
+      let c = ccell t.c_name in
+      t.c_cache <- Some (self, c);
+      c
+
+let incr ?(by = 1) t =
+  let c = counter_cell t in
+  c.cv <- c.cv + by
+
+let counter_value t = (counter_cell t).cv
+
+let gcell name =
+  let r = registry () in
+  match Hashtbl.find_opt r name with
+  | Some (Gcell g) -> g
   | Some _ -> clash name
   | None ->
-      let g = { g_name = name; g_value = 0.0; g_set = false } in
-      Hashtbl.replace registry name (Gauge g);
+      let g = { gv = 0.0; gset = false } in
+      Hashtbl.replace r name (Gcell g);
       g
 
-let set g v =
-  g.g_value <- v;
-  g.g_set <- true
+let gauge name = { g_name = name; g_cache = Some (self_id (), gcell name) }
 
-let gauge_value g = g.g_value
+let gauge_cell t =
+  let self = self_id () in
+  match t.g_cache with
+  | Some (d, g) when d = self -> g
+  | _ ->
+      let g = gcell t.g_name in
+      t.g_cache <- Some (self, g);
+      g
 
-let histogram ?(buckets = default_buckets) name =
-  match Hashtbl.find_opt registry name with
-  | Some (Histogram h) -> h
+let set t v =
+  let g = gauge_cell t in
+  g.gv <- v;
+  g.gset <- true
+
+let gauge_value t = (gauge_cell t).gv
+
+let check_buckets buckets =
+  let m = Array.length buckets in
+  if m = 0 then invalid_arg "Metrics.histogram: no buckets";
+  for i = 1 to m - 1 do
+    if buckets.(i) <= buckets.(i - 1) then
+      invalid_arg "Metrics.histogram: bucket bounds must increase"
+  done
+
+let hcell ~buckets name =
+  let r = registry () in
+  match Hashtbl.find_opt r name with
+  | Some (Hcell h) -> h
   | Some _ -> clash name
   | None ->
-      let m = Array.length buckets in
-      if m = 0 then invalid_arg "Metrics.histogram: no buckets";
-      for i = 1 to m - 1 do
-        if buckets.(i) <= buckets.(i - 1) then
-          invalid_arg "Metrics.histogram: bucket bounds must increase"
-      done;
       let h =
         {
-          h_name = name;
           bounds = Array.copy buckets;
-          counts = Array.make (m + 1) 0;
-          h_sum = 0.0;
-          h_events = 0;
+          counts = Array.make (Array.length buckets + 1) 0;
+          hsum = 0.0;
+          hevents = 0;
         }
       in
-      Hashtbl.replace registry name (Histogram h);
+      Hashtbl.replace r name (Hcell h);
       h
 
-let observe h v =
+let histogram ?(buckets = default_buckets) name =
+  check_buckets buckets;
+  let buckets = Array.copy buckets in
+  { h_name = name; h_buckets = buckets; h_cache = Some (self_id (), hcell ~buckets name) }
+
+let hist_cell t =
+  let self = self_id () in
+  match t.h_cache with
+  | Some (d, h) when d = self -> h
+  | _ ->
+      let h = hcell ~buckets:t.h_buckets t.h_name in
+      t.h_cache <- Some (self, h);
+      h
+
+let observe_cell h v =
   let m = Array.length h.bounds in
   let rec slot i = if i >= m || v <= h.bounds.(i) then i else slot (i + 1) in
   let i = slot 0 in
   h.counts.(i) <- h.counts.(i) + 1;
-  h.h_sum <- h.h_sum +. v;
-  h.h_events <- h.h_events + 1
+  h.hsum <- h.hsum +. v;
+  h.hevents <- h.hevents + 1
 
-let observe_int h v = observe h (float_of_int v)
+let observe t v = observe_cell (hist_cell t) v
+let observe_int t v = observe t (float_of_int v)
 
 (* ---------------------------------------------------------- snapshots --- *)
 
@@ -95,13 +162,13 @@ type snapshot = {
   histograms : (string * hist_view) list;
 }
 
-let hist_view h =
+let hist_view (h : hcell) =
   {
     buckets =
       List.init (Array.length h.bounds) (fun i -> (h.bounds.(i), h.counts.(i)));
     overflow = h.counts.(Array.length h.bounds);
-    sum = h.h_sum;
-    events = h.h_events;
+    sum = h.hsum;
+    events = h.hevents;
   }
 
 let by_name (a, _) (b, _) = String.compare a b
@@ -110,10 +177,10 @@ let snapshot () =
   let counters = ref [] and gauges = ref [] and histograms = ref [] in
   Hashtbl.iter
     (fun name -> function
-      | Counter c -> counters := (name, c.c_value) :: !counters
-      | Gauge g -> if g.g_set then gauges := (name, g.g_value) :: !gauges
-      | Histogram h -> histograms := (name, hist_view h) :: !histograms)
-    registry;
+      | Ccell c -> counters := (name, c.cv) :: !counters
+      | Gcell g -> if g.gset then gauges := (name, g.gv) :: !gauges
+      | Hcell h -> histograms := (name, hist_view h) :: !histograms)
+    (registry ());
   {
     counters = List.sort by_name !counters;
     gauges = List.sort by_name !gauges;
@@ -123,15 +190,43 @@ let snapshot () =
 let reset () =
   Hashtbl.iter
     (fun _ -> function
-      | Counter c -> c.c_value <- 0
-      | Gauge g ->
-          g.g_value <- 0.0;
-          g.g_set <- false
-      | Histogram h ->
+      | Ccell c -> c.cv <- 0
+      | Gcell g ->
+          g.gv <- 0.0;
+          g.gset <- false
+      | Hcell h ->
           Array.fill h.counts 0 (Array.length h.counts) 0;
-          h.h_sum <- 0.0;
-          h.h_events <- 0)
-    registry
+          h.hsum <- 0.0;
+          h.hevents <- 0)
+    (registry ())
+
+let absorb (s : snapshot) =
+  List.iter
+    (fun (name, v) ->
+      let c = ccell name in
+      c.cv <- c.cv + v)
+    s.counters;
+  List.iter
+    (fun (name, v) ->
+      let g = gcell name in
+      g.gv <- v;
+      g.gset <- true)
+    s.gauges;
+  List.iter
+    (fun (name, hv) ->
+      let buckets = Array.of_list (List.map fst hv.buckets) in
+      check_buckets buckets;
+      let h = hcell ~buckets name in
+      if Array.length h.bounds <> Array.length buckets then clash name;
+      Array.iteri
+        (fun i b -> if h.bounds.(i) <> b then clash name)
+        buckets;
+      List.iteri (fun i (_, c) -> h.counts.(i) <- h.counts.(i) + c) hv.buckets;
+      let last = Array.length h.bounds in
+      h.counts.(last) <- h.counts.(last) + hv.overflow;
+      h.hsum <- h.hsum +. hv.sum;
+      h.hevents <- h.hevents + hv.events)
+    s.histograms
 
 let find_counter snap name = List.assoc_opt name snap.counters
 let find_gauge snap name = List.assoc_opt name snap.gauges

@@ -1,4 +1,4 @@
-(** A process-global metrics registry for the simulator.
+(** A domain-local metrics registry for the simulator.
 
     Instrumentation sites register named counters, gauges, and
     fixed-bucket histograms; the harness, CLI, and bench read them back
@@ -7,6 +7,15 @@
     is already registered — so hot paths can cache handles at module
     initialization and {!reset} zeroes values in place without
     invalidating them.
+
+    Each domain owns an independent registry: a handle created in one
+    domain may be used from any other, where it transparently binds to
+    (and if needed creates) that domain's cell of the same name. All
+    value operations — {!incr}, {!set}, {!observe}, {!snapshot},
+    {!reset}, {!absorb} — act on the {e calling} domain's registry only,
+    so worker domains accumulate in isolation and the coordinator folds
+    their per-unit snapshots back in with {!absorb}, in whatever order
+    makes the aggregate deterministic.
 
     Naming convention: [layer.component.metric], with a
     [{label=value}] suffix for bounded label sets (e.g.
@@ -66,9 +75,17 @@ type snapshot = {
 val snapshot : unit -> snapshot
 
 val reset : unit -> unit
-(** Zero every registered metric in place. Handles held by
-    instrumentation sites stay valid; gauges return to the unset
-    state. *)
+(** Zero every metric registered in the calling domain, in place.
+    Handles held by instrumentation sites stay valid; gauges return to
+    the unset state. *)
+
+val absorb : snapshot -> unit
+(** Merge a snapshot (typically taken in a worker domain) into the
+    calling domain's registry: counters and histograms add, gauges take
+    the snapshot's value (last absorb wins — absorb in unit order to
+    keep aggregates deterministic). Histograms are created with the
+    snapshot's bucket bounds when absent; raises [Invalid_argument] on a
+    name registered with a different type or bucket layout. *)
 
 val find_counter : snapshot -> string -> int option
 val find_gauge : snapshot -> string -> float option

@@ -248,6 +248,126 @@ let test_mutant_names_roundtrip () =
     Mutant.all;
   checkb "unknown rejected" true (Result.is_error (Mutant.of_string "nope"))
 
+(* ---------------------------------------------------- 1-minimality --- *)
+
+(* Satellite property of the shrinker: on every planted mutant's shrunk
+   counterexample, removing any single schedule entry or any single
+   crash makes the bug vanish under Policy.script replay. The shrink
+   fixpoint (pattern pass and ddmin pass alternate until neither
+   changes) is what guarantees this jointly, not per-side. *)
+
+let replay_fails ~mutant ~obj ~procs ~horizon ~pattern ~prefix =
+  Mutant.with_ (Some mutant) (fun () ->
+      let fibers, check = Scenario.make obj ~procs () in
+      let result =
+        Run.exec ~pattern
+          ~policy:(Policy.script prefix ~then_:(Policy.round_robin ()))
+          ~horizon ~procs:fibers ()
+      in
+      Result.is_error (check result.Run.trace))
+
+let drop_nth n xs = List.filteri (fun i _ -> i <> n) xs
+
+let assert_one_minimal ~mutant ~obj ~procs ~depth =
+  let o = Wfde.Harness.check_exhaustive ~procs ~depth ~mutant obj in
+  match o.Wfde.Harness.violation with
+  | None -> Alcotest.failf "%s not caught" (Mutant.to_string mutant)
+  | Some v ->
+      let pattern = v.Wfde.Harness.cex_pattern in
+      let prefix = v.Wfde.Harness.cex_prefix in
+      let horizon = o.Wfde.Harness.check_horizon in
+      checkb "shrunk" true v.Wfde.Harness.shrunk;
+      checkb "shrunk pair still fails" true
+        (replay_fails ~mutant ~obj ~procs ~horizon ~pattern ~prefix);
+      List.iteri
+        (fun i _ ->
+          checkb
+            (Printf.sprintf "dropping schedule entry %d/%d cures it" i
+               (List.length prefix))
+            false
+            (replay_fails ~mutant ~obj ~procs ~horizon ~pattern
+               ~prefix:(drop_nth i prefix)))
+        prefix;
+      let n_plus_1 = Failure_pattern.n_plus_1 pattern in
+      for p = 0 to n_plus_1 - 1 do
+        let t = Failure_pattern.crash_time pattern p in
+        if t <> Failure_pattern.never then begin
+          let crashes =
+            List.filter_map
+              (fun q ->
+                if q = p then None
+                else
+                  let tq = Failure_pattern.crash_time pattern q in
+                  if tq = Failure_pattern.never then None else Some (q, tq))
+              (List.init n_plus_1 Fun.id)
+          in
+          let pattern' = Failure_pattern.make ~n_plus_1 ~crashes in
+          checkb
+            (Printf.sprintf "dropping crash of p%d cures it" (p + 1))
+            false
+            (replay_fails ~mutant ~obj ~procs ~horizon ~pattern:pattern'
+               ~prefix)
+        end
+      done
+
+let test_one_minimal_drop_phase2 () =
+  assert_one_minimal ~mutant:Mutant.Converge_drop_phase2
+    ~obj:Scenario.Commit_adopt ~procs:2 ~depth:6
+
+let test_one_minimal_single_collect () =
+  assert_one_minimal ~mutant:Mutant.Snapshot_single_collect
+    ~obj:Scenario.Snapshot ~procs:3 ~depth:12
+
+let test_one_minimal_skip_write_back () =
+  assert_one_minimal ~mutant:Mutant.Abd_skip_write_back ~obj:Scenario.Abd
+    ~procs:3 ~depth:6
+
+(* ---------------------------------------------------------- budget --- *)
+
+let explore_reg ?budget () =
+  Explore.exhaustive_prefix
+    ~pattern:(Failure_pattern.no_failures ~n_plus_1:2)
+    ~depth:6 ~horizon:400
+    ?budget
+    ~make:(Scenario.make Scenario.Register ~procs:2)
+    ()
+
+let test_budget_boundaries () =
+  let free = explore_reg () in
+  checkb "reference run explores something" true (free.Explore.executions > 1);
+  (* max_int means unbounded: identical outcome *)
+  let capped = explore_reg ~budget:Explore.unbounded () in
+  checki "budget = unbounded is a no-op" free.Explore.executions
+    capped.Explore.executions;
+  (* budget = 1: exactly one execution, then truncation *)
+  let one = explore_reg ~budget:1 () in
+  checki "budget = 1 runs once" 1 one.Explore.executions;
+  (* budget = the exact execution count: no truncation, same outcome *)
+  let exact = explore_reg ~budget:free.Explore.executions () in
+  checki "exact budget does not truncate" free.Explore.executions
+    exact.Explore.executions;
+  (* one less does truncate *)
+  let less = explore_reg ~budget:(free.Explore.executions - 1) () in
+  checki "budget - 1 truncates" (free.Explore.executions - 1)
+    less.Explore.executions
+
+let test_count_schedules_saturates () =
+  (* 3^1000 overflows; count_schedules must return exactly unbounded,
+     so that feeding it back as a budget imposes no limit *)
+  let c = Explore.count_schedules ~n_plus_1:3 ~depth:1000 in
+  checki "saturates to unbounded" Explore.unbounded c;
+  let free = explore_reg () in
+  let with_sat = explore_reg ~budget:c () in
+  checki "saturated count as budget is unbounded" free.Explore.executions
+    with_sat.Explore.executions;
+  (* non-saturating cases still exact *)
+  checki "3^4" 81 (Explore.count_schedules ~n_plus_1:3 ~depth:4);
+  checki "depth 0" 1 (Explore.count_schedules ~n_plus_1:5 ~depth:0);
+  (* sat_add saturates instead of wrapping *)
+  checki "sat_add caps" Explore.unbounded
+    (Explore.sat_add (Explore.unbounded - 1) 2);
+  checki "sat_add exact below cap" 7 (Explore.sat_add 3 4)
+
 (* --------------------------------------------------------- pruning --- *)
 
 let test_dpor_prunes_10x_on_abd () =
@@ -297,6 +417,15 @@ let suite =
     Alcotest.test_case "mutant: abd skip-write-back" `Quick
       test_mutant_skip_write_back;
     Alcotest.test_case "mutant names roundtrip" `Quick test_mutant_names_roundtrip;
+    Alcotest.test_case "shrink 1-minimal: converge drop-phase2" `Quick
+      test_one_minimal_drop_phase2;
+    Alcotest.test_case "shrink 1-minimal: snapshot single-collect" `Slow
+      test_one_minimal_single_collect;
+    Alcotest.test_case "shrink 1-minimal: abd skip-write-back" `Quick
+      test_one_minimal_skip_write_back;
+    Alcotest.test_case "budget boundaries" `Quick test_budget_boundaries;
+    Alcotest.test_case "count_schedules saturates" `Quick
+      test_count_schedules_saturates;
     Alcotest.test_case "dpor prunes >=10x on abd depth 10" `Slow
       test_dpor_prunes_10x_on_abd;
   ]

@@ -1,0 +1,254 @@
+(* Tests for the domain-parallel sweep runner: order/identity of the
+   deterministic merge, map_until prefix semantics, exception
+   propagation, metrics determinism across [jobs], and the -j1 vs -j4
+   determinism regression over a real experiment and a real
+   model-checking sweep. *)
+
+module M = Obs.Metrics
+module Pool = Exec.Pool
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+let ilist = Alcotest.(list int)
+
+(* -- merge identity ---------------------------------------------------- *)
+
+let test_map_order () =
+  let serial = Pool.map (Pool.create ()) ~f:(fun i -> i * i) 17 in
+  checki "serial length" 17 (List.length serial);
+  List.iter
+    (fun jobs ->
+      let par = Pool.map (Pool.create ~jobs ()) ~f:(fun i -> i * i) 17 in
+      Alcotest.check ilist
+        (Printf.sprintf "jobs=%d merges in unit order" jobs)
+        serial par)
+    [ 2; 3; 4; 8 ];
+  Alcotest.check ilist "empty input" []
+    (Pool.map (Pool.create ~jobs:4 ()) ~f:(fun i -> i) 0)
+
+let test_map_list () =
+  let xs = [ "a"; "bb"; "ccc"; "dddd"; "eeeee" ] in
+  Alcotest.check ilist "map_list keeps element order"
+    (List.map String.length xs)
+    (Pool.map_list (Pool.create ~jobs:3 ()) ~f:String.length xs)
+
+let test_jobs_clamped () =
+  checki "0 clamps to 1" 1 (Pool.jobs (Pool.create ~jobs:0 ()));
+  checki "negative clamps to 1" 1 (Pool.jobs (Pool.create ~jobs:(-7) ()));
+  checki "huge clamps to 64" 64 (Pool.jobs (Pool.create ~jobs:1000 ()))
+
+(* -- map_until prefix semantics ---------------------------------------- *)
+
+let test_map_until_prefix () =
+  (* The first stopping unit is index 5: every jobs must return exactly
+     the serial prefix [0..5], whatever got computed speculatively. *)
+  List.iter
+    (fun jobs ->
+      let got =
+        Pool.map_until
+          (Pool.create ~jobs ())
+          ~stop:(fun r -> r >= 50)
+          ~f:(fun i -> i * 10)
+          20
+      in
+      Alcotest.check ilist
+        (Printf.sprintf "jobs=%d stops at first hit" jobs)
+        [ 0; 10; 20; 30; 40; 50 ]
+        got)
+    [ 1; 2; 4; 8 ];
+  List.iter
+    (fun jobs ->
+      let got =
+        Pool.map_until
+          (Pool.create ~jobs ())
+          ~stop:(fun _ -> false)
+          ~f:(fun i -> i)
+          7
+      in
+      Alcotest.check ilist
+        (Printf.sprintf "jobs=%d no hit returns everything" jobs)
+        [ 0; 1; 2; 3; 4; 5; 6 ] got)
+    [ 1; 4 ]
+
+exception Unit_failed of int
+
+let test_exception_lowest_index () =
+  (* Several units raise; the caller must see the lowest-index failure,
+     as a serial left-to-right run would. *)
+  List.iter
+    (fun jobs ->
+      let raised =
+        try
+          ignore
+            (Pool.map
+               (Pool.create ~jobs ())
+               ~f:(fun i -> if i >= 3 then raise (Unit_failed i) else i)
+               12);
+          None
+        with Unit_failed i -> Some i
+      in
+      checkb
+        (Printf.sprintf "jobs=%d re-raises lowest failing unit" jobs)
+        true
+        (raised = Some 3))
+    [ 1; 2; 4 ]
+
+(* -- metrics determinism ----------------------------------------------- *)
+
+let strip_exec (s : M.snapshot) =
+  let keep (name, _) =
+    not (String.length name >= 5 && String.sub name 0 5 = "exec.")
+  in
+  {
+    M.counters = List.filter keep s.M.counters;
+    gauges = List.filter keep s.M.gauges;
+    histograms = List.filter keep s.M.histograms;
+  }
+
+let run_metric_units ~jobs =
+  M.reset ();
+  ignore
+    (Pool.map
+       (Pool.create ~jobs ())
+       ~f:(fun i ->
+         M.incr ~by:(i + 1) (M.counter "test.exec.work");
+         M.observe_int (M.histogram "test.exec.latency") (1 + (i mod 7));
+         M.set (M.gauge "test.exec.last_seed") (float_of_int i);
+         i)
+       16);
+  strip_exec (M.snapshot ())
+
+let test_metrics_deterministic () =
+  let s1 = run_metric_units ~jobs:1 in
+  List.iter
+    (fun jobs ->
+      let sn = run_metric_units ~jobs in
+      checkb
+        (Printf.sprintf "jobs=%d snapshot equals serial (exec.* stripped)"
+           jobs)
+        true (sn = s1))
+    [ 2; 4 ];
+  (* the absorbed totals are the serial totals *)
+  checkb "counter total" true
+    (M.find_counter s1 "test.exec.work" = Some (16 * 17 / 2));
+  checkb "gauge is last unit's (unit order, not completion order)" true
+    (M.find_gauge s1 "test.exec.last_seed" = Some 15.0);
+  match M.find_histogram s1 "test.exec.latency" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some v -> checki "all events absorbed" 16 v.M.events
+
+let test_worker_telemetry () =
+  M.reset ();
+  ignore (Pool.map (Pool.create ~jobs:4 ()) ~f:(fun i -> i) 12);
+  let s = M.snapshot () in
+  checkb "pool run counted" true (M.find_counter s "exec.pool.runs" = Some 1);
+  checkb "unit count recorded" true
+    (M.find_counter s "exec.pool.units" = Some 12);
+  let claimed =
+    List.filter_map
+      (fun w -> M.find_gauge s (Printf.sprintf "exec.pool.worker.units{worker=%d}" w))
+      [ 0; 1; 2; 3 ]
+  in
+  checkb "per-worker claims sum to unit count" true
+    (int_of_float (List.fold_left ( +. ) 0.0 claimed) = 12)
+
+(* -- determinism regression: a real experiment ------------------------- *)
+
+let render outcome = Format.asprintf "%a" Wfde.Experiments.pp outcome
+
+let test_e1_table_identical () =
+  M.reset ();
+  let t1 = render (Wfde.Experiments.e1_fig1_set_agreement ~jobs:1 ~seeds:6 ~sizes:[ 2; 3 ] ()) in
+  let s1 = strip_exec (M.snapshot ()) in
+  M.reset ();
+  let t4 = render (Wfde.Experiments.e1_fig1_set_agreement ~jobs:4 ~seeds:6 ~sizes:[ 2; 3 ] ()) in
+  let s4 = strip_exec (M.snapshot ()) in
+  checks "E1 table byte-identical at -j1 / -j4" t1 t4;
+  checkb "E1 metrics snapshot identical (exec.* stripped)" true (s1 = s4)
+
+(* -- determinism regression: a real model-checking sweep --------------- *)
+
+let test_check_identical () =
+  M.reset ();
+  let c1 = Wfde.Harness.check_exhaustive ~jobs:1 ~procs:3 ~depth:8 Wfde.Scenario.Abd in
+  let s1 = strip_exec (M.snapshot ()) in
+  M.reset ();
+  let c4 = Wfde.Harness.check_exhaustive ~jobs:4 ~procs:3 ~depth:8 Wfde.Scenario.Abd in
+  let s4 = strip_exec (M.snapshot ()) in
+  checkb "check outcome structurally identical" true (c1 = c4);
+  checks "check --json payload byte-identical"
+    (Obs.Json.to_string (Wfde.Harness.check_outcome_json c1))
+    (Obs.Json.to_string (Wfde.Harness.check_outcome_json c4));
+  checkb "check metrics snapshot identical (exec.* stripped)" true (s1 = s4);
+  checkb "sweep actually explored" true (c1.Wfde.Harness.executions > 0)
+
+let test_mutant_caught_any_jobs () =
+  (* A planted bug must be found — and shrink to the same replayable
+     counterexample — whichever worker's unit hits it first. *)
+  let outcome_of jobs =
+    M.reset ();
+    Wfde.Harness.check_exhaustive ~jobs ~procs:3 ~depth:10
+      ~mutant:Wfde.Mutant.Abd_skip_write_back Wfde.Scenario.Abd
+  in
+  let c1 = outcome_of 1 in
+  let c4 = outcome_of 4 in
+  checkb "mutant caught at -j1" true (c1.Wfde.Harness.violation <> None);
+  checkb "identical violation at -j4" true
+    (c1.Wfde.Harness.violation = c4.Wfde.Harness.violation)
+
+(* -- exported JSONL determinism ---------------------------------------- *)
+
+let test_trace_lines_identical () =
+  (* Sharded seeds each build their own world; the traces they export
+     must not depend on which domain ran them. *)
+  let lines_of ~jobs =
+    Pool.map_list
+      (Pool.create ~jobs ())
+      ~f:(fun seed ->
+        let world =
+          Wfde.Harness.random_world ~seed ~n_plus_1:3 ~max_faulty:1 ()
+        in
+        let rng = Kernel.Rng.create seed in
+        let upsilon =
+          Wfde.Upsilon.make ~rng ~pattern:world.Wfde.Harness.pattern ()
+        in
+        let proto =
+          Wfde.Upsilon_sa.create ~name:"t" ~n_plus_1:3
+            ~upsilon:(Wfde.Detector.source upsilon) ()
+        in
+        let run =
+          Kernel.Run.exec ~pattern:world.Wfde.Harness.pattern
+            ~policy:world.Wfde.Harness.policy ~horizon:200_000
+            ~procs:(fun pid ->
+              [ Wfde.Upsilon_sa.proposer proto ~me:pid ~input:(100 + pid) ])
+            ()
+        in
+        String.concat "\n" (Trace_export.to_lines run.Kernel.Run.trace))
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  checkb "exported JSONL identical at -j1 / -j4" true
+    (lines_of ~jobs:1 = lines_of ~jobs:4)
+
+let suite =
+  [
+    Alcotest.test_case "map merges in unit order" `Quick test_map_order;
+    Alcotest.test_case "map_list keeps order" `Quick test_map_list;
+    Alcotest.test_case "jobs clamped to [1,64]" `Quick test_jobs_clamped;
+    Alcotest.test_case "map_until returns serial prefix" `Quick
+      test_map_until_prefix;
+    Alcotest.test_case "lowest-index exception wins" `Quick
+      test_exception_lowest_index;
+    Alcotest.test_case "absorbed metrics deterministic" `Quick
+      test_metrics_deterministic;
+    Alcotest.test_case "worker telemetry recorded" `Quick
+      test_worker_telemetry;
+    Alcotest.test_case "E1 table identical at -j1/-j4" `Quick
+      test_e1_table_identical;
+    Alcotest.test_case "check sweep identical at -j1/-j4" `Slow
+      test_check_identical;
+    Alcotest.test_case "mutant violation identical at -j1/-j4" `Quick
+      test_mutant_caught_any_jobs;
+    Alcotest.test_case "exported JSONL identical at -j1/-j4" `Quick
+      test_trace_lines_identical;
+  ]

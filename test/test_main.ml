@@ -8,10 +8,12 @@ let () =
       ("agreement", Test_agreement.suite);
       ("reduction", Test_reduction.suite);
       ("obs", Test_obs.suite);
+      ("exec", Test_exec.suite);
       ("wfde", Test_wfde.suite);
       ("faults", Test_faults.suite);
       ("explore", Test_explore.suite);
       ("check", Test_check.suite);
+      ("lin-diff", Test_lin_diff.suite);
       ("oracles", Test_oracles.suite);
       ("network", Test_network.suite);
       ("abd", Test_abd.suite);
