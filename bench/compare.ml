@@ -1,0 +1,113 @@
+(* Deterministic perf-regression checker.
+
+   Usage: compare BASELINE.json CURRENT.json
+
+   Both files are wfde-bench/1 documents (bench/main.exe --json; the
+   quick CI path produces one with --macro-only). Only the "macro"
+   section is compared — it is the part built from deterministic work
+   counters:
+
+   - every counter of an entry present in both files must not INCREASE
+     (executions, races, backtrack points, scheduler steps are exact
+     functions of the checked algorithms; an increase means the
+     reduction got weaker or the kernel does more work per run);
+   - minor-heap words must not grow by more than 10% (allocation counts
+     are deterministic for a fixed compiler but drift slightly across
+     compiler versions, hence the tolerance);
+   - wall-clock times are printed with their ratio but never gate: CI
+     machines are noisy, counters are not;
+   - a baseline entry missing from the current run fails (a vanished
+     benchmark hides regressions); a new current entry is reported and
+     allowed.
+
+   Exit status 0 = no regression, 1 = regression, 2 = usage/parse
+   error. *)
+
+let minor_words_tolerance = 1.10
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let load path =
+  let ic = try open_in path with Sys_error e -> die "cannot open %s" e in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match Wfde.Json.of_string s with
+  | Ok j -> j
+  | Error e -> die "%s: parse error: %s" path e
+
+let get_macro path doc =
+  (match Wfde.Json.member "schema" doc |> Option.map Wfde.Json.to_str with
+  | Some (Some "wfde-bench/1") -> ()
+  | _ -> die "%s: not a wfde-bench/1 document" path);
+  match Wfde.Json.member "macro" doc with
+  | Some (Wfde.Json.List entries) ->
+      List.filter_map
+        (fun e ->
+          let str k = Option.bind (Wfde.Json.member k e) Wfde.Json.to_str in
+          let num k = Option.bind (Wfde.Json.member k e) Wfde.Json.to_float in
+          match (str "name", num "wall_seconds", num "minor_words") with
+          | Some name, Some wall, Some minor ->
+              let counters =
+                match Wfde.Json.member "counters" e with
+                | Some (Wfde.Json.Obj kvs) ->
+                    List.filter_map
+                      (fun (k, v) ->
+                        Option.map (fun i -> (k, i)) (Wfde.Json.to_int v))
+                      kvs
+                | _ -> []
+              in
+              Some (name, (wall, minor, counters))
+          | _ -> die "%s: malformed macro entry" path)
+        entries
+  | _ -> die "%s: no \"macro\" section (rerun bench with --macro-only)" path
+
+let () =
+  let baseline_path, current_path =
+    match Sys.argv with
+    | [| _; b; c |] -> (b, c)
+    | _ -> die "usage: %s BASELINE.json CURRENT.json" Sys.argv.(0)
+  in
+  let baseline = get_macro baseline_path (load baseline_path) in
+  let current = get_macro current_path (load current_path) in
+  let regressions = ref [] in
+  let regress fmt =
+    Printf.ksprintf (fun s -> regressions := s :: !regressions) fmt
+  in
+  List.iter
+    (fun (name, (b_wall, b_minor, b_counters)) ->
+      match List.assoc_opt name current with
+      | None -> regress "%s: entry missing from current run" name
+      | Some (c_wall, c_minor, c_counters) ->
+          Printf.printf "%-38s wall %7.3fs -> %7.3fs (%5.2fx)\n" name b_wall
+            c_wall
+            (if c_wall > 0. then b_wall /. c_wall else nan);
+          List.iter
+            (fun (k, bv) ->
+              match List.assoc_opt k c_counters with
+              | None -> regress "%s: counter %s vanished (was %d)" name k bv
+              | Some cv when cv > bv ->
+                  regress "%s: counter %s regressed %d -> %d" name k bv cv
+              | Some cv when cv < bv ->
+                  Printf.printf "  improved counter %-20s %d -> %d\n" k bv cv
+              | Some _ -> ())
+            b_counters;
+          if c_minor > b_minor *. minor_words_tolerance then
+            regress "%s: minor_words regressed %.0f -> %.0f (> %.0f%% growth)"
+              name b_minor c_minor
+              ((minor_words_tolerance -. 1.) *. 100.)
+          else if c_minor < b_minor then
+            Printf.printf "  improved minor_words %24.0f -> %.0f (%.1fx less)\n"
+              b_minor c_minor
+              (if c_minor > 0. then b_minor /. c_minor else nan))
+    baseline;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name baseline) then
+        Printf.printf "%-38s new entry (no baseline)\n" name)
+    current;
+  match List.rev !regressions with
+  | [] -> print_endline "compare: no deterministic-counter regressions"
+  | rs ->
+      List.iter (fun r -> Printf.eprintf "REGRESSION %s\n" r) rs;
+      exit 1

@@ -94,6 +94,159 @@ let parallel_sweep_entries () =
     Format.printf "determinism: FAILED — tables differ between -j1 and -j4@.@.";
   entries
 
+(* ------------------------------------------------------------- part 3 *)
+
+(* DPOR / Lin macro-benchmark: the model-checking hot paths, measured
+   with both the wall clock and deterministic work counters. The
+   counters (executions, races, backtrack points, scheduler steps) are
+   functions of the algorithm, not the machine, so a change in any of
+   them is a behaviour change; minor-heap words measure allocation
+   pressure and are deterministic per compiler. bench/compare.ml diffs
+   the "macro" section of two wfde-bench/1 documents and fails on
+   counter or allocation regressions — wall clock is reported but never
+   gates. *)
+
+type macro_entry = {
+  macro_name : string;
+  macro_wall : float;
+  macro_minor_words : int;
+  macro_counters : (string * int) list;
+  macro_snap : Wfde.Metrics.snapshot;
+}
+
+(* Deterministic Lin workload: random-but-seeded register histories,
+   shaped like the ones the scenarios record (per-process sequential
+   operations, occasional pending write). The checker's verdict count
+   is the deterministic counter. *)
+let lin_histories ~histories ~procs ~ops_per_proc =
+  let rng = Wfde.Rng.create 42 in
+  List.init histories (fun _ ->
+      let events = ref [] in
+      for pid = 0 to procs - 1 do
+        let t = ref (Wfde.Rng.int rng 3) in
+        for _ = 1 to ops_per_proc do
+          let dur = Wfde.Rng.int rng 4 in
+          let invoked = !t and responded = !t + dur in
+          t := responded + 1 + Wfde.Rng.int rng 3;
+          let write = Wfde.Rng.int rng 3 = 0 in
+          let ev =
+            if write then
+              let v = Wfde.Rng.int rng 3 in
+              if Wfde.Rng.int rng 8 = 0 then
+                Wfde.Lin.pending
+                  ~op:(Wfde.Check.Histories.Reg_write v)
+                  ~invoked ~pid
+              else
+                Wfde.Lin.completed
+                  ~op:(Wfde.Check.Histories.Reg_write v)
+                  ~result:Wfde.Check.Histories.Reg_unit ~invoked ~responded
+                  ~pid
+            else
+              Wfde.Lin.completed ~op:Wfde.Check.Histories.Reg_read
+                ~result:(Wfde.Check.Histories.Reg_val (Wfde.Rng.int rng 3))
+                ~invoked ~responded ~pid
+          in
+          events := ev :: !events
+        done
+      done;
+      List.rev !events)
+
+let macro_configs : (string * (unit -> (string * int) list)) list =
+  let check ?procs ?mutant ~depth obj =
+    let o = Wfde.Harness.check_exhaustive ?procs ?mutant ~depth obj in
+    [ ("violations", if o.Wfde.Harness.violation = None then 0 else 1) ]
+  in
+  [
+    ( "check/register p2 d6",
+      fun () -> check Wfde.Scenario.Register ~procs:2 ~depth:6 );
+    ( "check/register p3 d8",
+      fun () -> check Wfde.Scenario.Register ~procs:3 ~depth:8 );
+    ( "check/snapshot p3 d12",
+      fun () -> check Wfde.Scenario.Snapshot ~procs:3 ~depth:12 );
+    ( "check/abd p3 d10 (25 crash patterns)",
+      fun () -> check Wfde.Scenario.Abd ~procs:3 ~depth:10 );
+    ( "check/abd p3 d12 (25 crash patterns)",
+      fun () -> check Wfde.Scenario.Abd ~procs:3 ~depth:12 );
+    ( "check/commit-adopt p3 d8",
+      fun () -> check Wfde.Scenario.Commit_adopt ~procs:3 ~depth:8 );
+    ( "check/mutant converge-drop-phase2 d6",
+      fun () ->
+        check Wfde.Scenario.Commit_adopt
+          ~mutant:Wfde.Mutant.Converge_drop_phase2 ~depth:6 );
+    ( "lin/register histories 400x12",
+      fun () ->
+        let hs = lin_histories ~histories:400 ~procs:3 ~ops_per_proc:4 in
+        let spec = Wfde.Check.Histories.register_spec ~init:0 in
+        let ok =
+          List.fold_left
+            (fun acc h ->
+              match Wfde.Lin.check spec h with Ok () -> acc + 1 | Error _ -> acc)
+            0 hs
+        in
+        [ ("lin_ok", ok) ] );
+  ]
+
+let macro_counter_names =
+  [
+    ("executions", "check.dpor.executions");
+    ("sleep_blocked", "check.dpor.sleep_blocked");
+    ("races", "check.dpor.races");
+    ("backtrack_points", "check.dpor.backtrack_points");
+    ("scheduler_steps", "kernel.scheduler.steps");
+    ("shrink_replays", "check.shrink.replays");
+  ]
+
+let run_macro_entry (name, f) =
+  Wfde.Metrics.reset ();
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let extra = f () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor = int_of_float (Gc.minor_words () -. w0) in
+  let snap = Wfde.Metrics.snapshot () in
+  let counters =
+    extra
+    @ List.filter_map
+        (fun (label, metric) ->
+          match Wfde.Metrics.find_counter snap metric with
+          | Some v when v > 0 -> Some (label, v)
+          | Some _ | None -> None)
+        macro_counter_names
+  in
+  {
+    macro_name = name;
+    macro_wall = wall;
+    macro_minor_words = minor;
+    macro_counters = counters;
+  macro_snap = snap;
+  }
+
+let macro_entries () =
+  Format.printf "==================================================@.";
+  Format.printf "Part 3: DPOR/Lin macro-bench (deterministic counters)@.";
+  Format.printf "==================================================@.@.";
+  (* Each entry runs on a freshly reset registry so its counters are its
+     own; the pre-existing totals (parts 1-2) are saved and re-absorbed
+     afterwards, together with every entry's snapshot, so the final
+     telemetry section still covers the whole process. *)
+  let saved = Wfde.Metrics.snapshot () in
+  let entries = List.map run_macro_entry macro_configs in
+  Wfde.Metrics.reset ();
+  Wfde.Metrics.absorb saved;
+  List.iter (fun e -> Wfde.Metrics.absorb e.macro_snap) entries;
+  List.iter
+    (fun e ->
+      Format.printf "%-38s %8.3fs  %11d minor words  %s@." e.macro_name
+        e.macro_wall e.macro_minor_words
+        (String.concat " "
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+              e.macro_counters)))
+    entries;
+  Format.printf "@.";
+  entries
+
 (* ------------------------------------------------------------- part 2 *)
 
 let fig1_world seed =
@@ -388,7 +541,7 @@ let run_benchmarks () =
 
 (* --------------------------------------------------------- json output *)
 
-let json_document ~outcomes ~sweep ~benchmarks =
+let json_document ~outcomes ~sweep ~benchmarks ~macro =
   let module J = Wfde.Json in
   J.Obj
     [
@@ -424,27 +577,47 @@ let json_document ~outcomes ~sweep ~benchmarks =
                J.Obj
                  [ ("name", J.String name); ("ns_per_run", J.Float nanos) ])
              benchmarks) );
+      ( "macro",
+        J.List
+          (List.map
+             (fun e ->
+               J.Obj
+                 [
+                   ("name", J.String e.macro_name);
+                   ("wall_seconds", J.Float e.macro_wall);
+                   ("minor_words", J.Int e.macro_minor_words);
+                   ( "counters",
+                     J.Obj
+                       (List.map
+                          (fun (k, v) -> (k, J.Int v))
+                          e.macro_counters) );
+                 ])
+             macro) );
       ("metrics", Wfde.Metrics.to_json (Wfde.Metrics.snapshot ()));
     ]
 
 let parse_args () =
-  let json = ref None in
+  let json = ref None and macro_only = ref false in
   let rec walk = function
     | [] -> ()
     | "--json" :: path :: rest ->
         json := Some path;
         walk rest
     | "--json" :: [] -> failwith "--json requires a PATH argument"
+    | "--macro-only" :: rest ->
+        macro_only := true;
+        walk rest
     | arg :: _ -> failwith (Printf.sprintf "unknown argument %S" arg)
   in
   walk (List.tl (Array.to_list Sys.argv));
-  !json
+  (!json, !macro_only)
 
 let () =
-  let json_path = parse_args () in
-  let outcomes = print_experiment_tables () in
-  let sweep = parallel_sweep_entries () in
-  let benchmarks = run_benchmarks () in
+  let json_path, macro_only = parse_args () in
+  let outcomes = if macro_only then [] else print_experiment_tables () in
+  let sweep = if macro_only then [] else parallel_sweep_entries () in
+  let benchmarks = if macro_only then [] else run_benchmarks () in
+  let macro = macro_entries () in
   match json_path with
   | None -> ()
   | Some path ->
@@ -453,6 +626,7 @@ let () =
         ~finally:(fun () -> close_out oc)
         (fun () ->
           output_string oc
-            (Wfde.Json.to_string (json_document ~outcomes ~sweep ~benchmarks));
+            (Wfde.Json.to_string
+               (json_document ~outcomes ~sweep ~benchmarks ~macro));
           output_char oc '\n');
       Format.printf "wrote machine-readable results to %s@." path

@@ -31,7 +31,7 @@ let m_exec_steps = Obs.Metrics.histogram "check.dpor.execution_steps"
 
 (* Label-based independence of two prospective steps: see the .mli for
    the rationale, including why queries commute with nothing. *)
-let independent (p1, k1) (p2, k2) =
+let independent p1 k1 p2 k2 =
   (not (Pid.equal p1 p2))
   &&
   match (k1, k2) with
@@ -51,31 +51,44 @@ let independent (p1, k1) (p2, k2) =
 type node = {
   mutable chosen : Pid.t;
   mutable kind : Sim.kind; (* pending kind of [chosen] at this position *)
-  mutable enabled : (Pid.t * Sim.kind) list; (* before the step, pid order *)
+  enabled : Eset.t; (* before the step, pid order; refreshed in place *)
   mutable backtrack : Pid.Set.t;
   mutable explored : Pid.Set.t;
   sleep : Pid.Set.t;
 }
 
-let node_step nd = (nd.chosen, nd.kind)
+(* Fiber names are a pure function of (pid, thread index); intern them
+   so re-spawning the world for every execution stops formatting. *)
+let fiber_names : (int, string) Hashtbl.t = Hashtbl.create 32
 
-(* Execute one run: follow the prescribed choices in [stack.(0..len-1)],
-   extend with the first non-sleeping enabled process up to [depth]
-   (pushing new nodes), then complete with round-robin. Returns the
-   checker's verdict, the trace, the stack length after extension, and
-   whether extension hit an all-sleeping enabled set (a provably
-   redundant run). *)
+let fiber_name pid j =
+  let key = (Pid.to_int pid lsl 16) lor j in
+  match Hashtbl.find_opt fiber_names key with
+  | Some s -> s
+  | None ->
+      let s = Format.asprintf "%a/t%d" Pid.pp pid j in
+      Hashtbl.replace fiber_names key s;
+      s
+
 let spawn_fibers ~pattern ~procs =
   Pid.all ~n_plus_1:(Failure_pattern.n_plus_1 pattern)
   |> List.concat_map (fun pid ->
          List.mapi
-           (fun j body ->
-             Fiber.create ~pid
-               ~name:(Format.asprintf "%a/t%d" Pid.pp pid j)
-               body)
+           (fun j body -> Fiber.create ~pid ~name:(fiber_name pid j) body)
            (procs pid))
 
-let run_once ~pattern ~horizon ~depth ~stack ~len ~make =
+(* Fill an enabled-set buffer from the scheduler's pending view. *)
+let refresh_enabled es sched =
+  Eset.clear es;
+  Scheduler.iter_pending sched (fun p k -> Eset.push es p k)
+
+(* Execute one run: follow the prescribed choices in [stack.(0..len-1)],
+   extend with the first non-sleeping enabled process up to [depth]
+   (pushing new nodes), then complete with round-robin. Returns the
+   checker's verdict, the trace, the live trace buffer (for the race
+   analysis), the stack length after extension, and whether extension
+   hit an all-sleeping enabled set (a provably redundant run). *)
+let run_once ~pattern ~horizon ~depth ~stack ~len ~make ~pend =
   let procs, checkf = make () in
   let sched_ref = ref None in
   let pos = ref 0 in
@@ -90,13 +103,12 @@ let run_once ~pattern ~horizon ~depth ~stack ~len ~make =
       let sched =
         match !sched_ref with Some s -> s | None -> assert false
       in
-      let pend = Scheduler.pending sched in
       if i < len then begin
         let nd = match stack.(i) with Some nd -> nd | None -> assert false in
         (* deterministic worlds make this refresh a no-op; it keeps the
            recorded data in sync with the run actually performed *)
-        nd.enabled <- pend;
-        (match List.assoc_opt nd.chosen pend with
+        refresh_enabled nd.enabled sched;
+        (match Eset.find nd.enabled nd.chosen with
         | Some k -> nd.kind <- k
         | None ->
             invalid_arg
@@ -105,24 +117,32 @@ let run_once ~pattern ~horizon ~depth ~stack ~len ~make =
         Some nd.chosen
       end
       else begin
+        refresh_enabled pend sched;
         let sleep =
           if i = 0 then Pid.Set.empty
           else
             let parent =
               match stack.(i - 1) with Some nd -> nd | None -> assert false
             in
-            let parent_step = node_step parent in
+            let pp = parent.chosen and pk = parent.kind in
             (* a sleeping process keeps sleeping while its pending step
                commutes with the executed one; explored siblings enter
                the child's sleep set the same way *)
             Pid.Set.filter
               (fun q ->
-                match List.assoc_opt q pend with
-                | Some kq -> independent (q, kq) parent_step
+                match Eset.find pend q with
+                | Some kq -> independent q kq pp pk
                 | None -> false)
               (Pid.Set.union parent.sleep parent.explored)
         in
-        match List.find_opt (fun (q, _) -> not (Pid.Set.mem q sleep)) pend with
+        let rec first_awake idx =
+          if idx >= Eset.size pend then None
+          else
+            let q = Eset.pid_at pend idx in
+            if Pid.Set.mem q sleep then first_awake (idx + 1)
+            else Some (q, Eset.kind_at pend idx)
+        in
+        match first_awake 0 with
         | None ->
             blocked := true;
             rr ~now ~enabled
@@ -132,7 +152,7 @@ let run_once ~pattern ~horizon ~depth ~stack ~len ~make =
                 {
                   chosen = q;
                   kind = kq;
-                  enabled = pend;
+                  enabled = Eset.copy pend;
                   backtrack = Pid.Set.empty;
                   explored = Pid.Set.empty;
                   sleep;
@@ -147,7 +167,74 @@ let run_once ~pattern ~horizon ~depth ~stack ~len ~make =
   let (_ : Scheduler.outcome) = Scheduler.run sched ~max_steps:horizon in
   Obs.Metrics.observe_int m_exec_steps (Scheduler.now sched);
   let trace = Scheduler.trace sched in
-  (checkf trace, trace, !grown, !blocked)
+  (checkf trace, trace, Scheduler.trace_builder sched, !grown, !blocked)
+
+(* ------------------------------------------------------ race analysis --- *)
+
+(* Per-object access state for the happens-before scan. A cleared
+   vector-clock slot is the shared empty array (physically [||], length
+   0 = absent); live clock buffers come from the scratch pool so one
+   allocation serves many executions. *)
+type obj_state = {
+  mutable lw_vc : int array; (* clock of the last write; [||] = none *)
+  mutable lw_pos : int; (* position of the last write; -1 = none *)
+  mutable r_vc : int array; (* join of reads since that write; [||] = none *)
+  r_pos : int array; (* per-process last-read position; -1 = none *)
+}
+
+(* Reusable buffers for [analyze]: one scratch serves every execution of
+   an [explore] call, so the per-run cost is zeroing, not allocating.
+   [n] is the process count of the world (>= the largest pid + 1 seen in
+   any trace), fixed by the failure pattern. *)
+type scratch = {
+  n : int;
+  mutable s_pids : int array; (* per step: acting pid *)
+  mutable s_kinds : Sim.kind array; (* per step: label *)
+  mutable vc : int array array; (* per step: vector clock, rows reused *)
+  mutable own : int array; (* per step: 1-based own-process index *)
+  proc_clock : int array array; (* per process: clock after its last step *)
+  positions : Exec.Dynarray.t array; (* per process: its steps' positions *)
+  objs : (string, obj_state) Hashtbl.t;
+  mutable pool : int array list; (* free clock buffers, length n *)
+  cand : Exec.Dynarray.t; (* race candidate positions for one step *)
+}
+
+let make_scratch ~n =
+  {
+    n;
+    s_pids = Array.make 256 0;
+    s_kinds = Array.make 256 Sim.Nop;
+    vc = [||];
+    own = [||];
+    proc_clock = Array.init n (fun _ -> Array.make n 0);
+    positions = Array.init n (fun _ -> Exec.Dynarray.create ~capacity:64 ());
+    objs = Hashtbl.create 16;
+    pool = [];
+    cand = Exec.Dynarray.create ~capacity:16 ();
+  }
+
+let take_buf s =
+  match s.pool with
+  | b :: rest ->
+      s.pool <- rest;
+      b
+  | [] -> Array.make s.n 0
+
+let release_buf s b = if Array.length b > 0 then s.pool <- b :: s.pool
+
+let obj_state s o =
+  match Hashtbl.find_opt s.objs o with
+  | Some st -> st
+  | None ->
+      let st =
+        { lw_vc = [||]; lw_pos = -1; r_vc = [||]; r_pos = Array.make s.n (-1) }
+      in
+      Hashtbl.replace s.objs o st;
+      st
+
+(* pseudo-object giving queries their conflict-with-everything
+   semantics; real object names never collide with it *)
+let q_obj = "\x00query"
 
 (* Race analysis (Flanagan–Godefroid) over the WHOLE executed run, not
    just the choice window: a race whose later step sits in the
@@ -165,178 +252,192 @@ let run_once ~pattern ~horizon ~depth ~stack ~len ~make =
    the race candidates are the per-object last conflicting accesses;
    (i, j) is an immediate race when no intermediate k has
    hb(i,k) && hb(k,j). Returns (races, alternatives inserted). *)
-let analyze ~stack ~grown ~trace =
-  let steps =
-    trace
-    |> List.filter_map (function
-         | Trace.Step { pid; kind; _ } -> Some (pid, kind)
-         | Trace.Crash _ -> None)
-    |> Array.of_list
-  in
-  let m = Array.length steps in
+let analyze ~scratch:s ~stack ~grown ~builder =
+  let n = s.n in
+  (* load (pid, kind) per step from the trace buffer *)
+  let total = Trace.builder_length builder in
+  if Array.length s.s_pids < total then begin
+    let cap = max total (2 * Array.length s.s_pids) in
+    s.s_pids <- Array.make cap 0;
+    s.s_kinds <- Array.make cap Sim.Nop
+  end;
+  let m = ref 0 in
+  Trace.iter_builder builder (function
+    | Trace.Step { pid; kind; _ } ->
+        s.s_pids.(!m) <- Pid.to_int pid;
+        s.s_kinds.(!m) <- kind;
+        incr m
+    | Trace.Crash _ -> ());
+  let m = !m in
   if m = 0 then (0, 0)
   else begin
-    let n =
-      1 + Array.fold_left (fun acc (p, _) -> max acc (Pid.to_int p)) 0 steps
-    in
-    (* per-step: vector clock (vc.(j).(q) = how many of q's steps
-       happen-before step j, inclusive of j itself for q = pid_j) and
-       the step's own per-process index (1-based) *)
-    let vc = Array.make_matrix m n 0 in
-    let own = Array.make m 0 in
-    (* positions.(q) = global positions of q's steps, in order *)
-    let positions = Array.make n [] in
-    let proc_clock = Array.init n (fun _ -> Array.make n 0) in
-    let last_write_vc : (string, int array) Hashtbl.t = Hashtbl.create 16 in
-    let last_write_pos : (string, int) Hashtbl.t = Hashtbl.create 16 in
-    let reads_vc : (string, int array) Hashtbl.t = Hashtbl.create 16 in
-    let last_read_pos : (string * int, int) Hashtbl.t = Hashtbl.create 16 in
-    let join dst src = Array.iteri (fun q v -> if v > dst.(q) then dst.(q) <- v) src in
-    (* pseudo-object giving queries their conflict-with-everything
-       semantics; real object names never collide with it *)
-    let q_obj = "\x00query" in
-    let accesses kind =
-      match kind with
-      | Sim.Read { obj } -> [ (obj, `R); (q_obj, `R) ]
-      | Sim.Write { obj } -> [ (obj, `W); (q_obj, `R) ]
-      | Sim.Query _ -> [ (q_obj, `W) ]
-      | Sim.Output _ | Sim.Input _ | Sim.Nop -> [ (q_obj, `R) ]
+    (* reset the reusable buffers for this run *)
+    (if Array.length s.vc < m then begin
+       let old = Array.length s.vc in
+       let cap = max m (2 * old) in
+       let vc = Array.make cap [||] in
+       Array.blit s.vc 0 vc 0 old;
+       for j = old to cap - 1 do
+         vc.(j) <- Array.make n 0
+       done;
+       s.vc <- vc;
+       s.own <- Array.make cap 0
+     end);
+    for j = 0 to m - 1 do
+      Array.fill s.vc.(j) 0 n 0
+    done;
+    for q = 0 to n - 1 do
+      Array.fill s.proc_clock.(q) 0 n 0;
+      Exec.Dynarray.clear s.positions.(q)
+    done;
+    Hashtbl.iter
+      (fun _ st ->
+        release_buf s st.lw_vc;
+        st.lw_vc <- [||];
+        st.lw_pos <- -1;
+        release_buf s st.r_vc;
+        st.r_vc <- [||];
+        Array.fill st.r_pos 0 n (-1))
+      s.objs;
+    let q_st = obj_state s q_obj in
+    let join dst src =
+      Array.iteri (fun q v -> if v > dst.(q) then dst.(q) <- v) src
     in
     let hb i j =
       (* step i happens-before step j (i < j) *)
-      vc.(j).(Pid.to_int (fst steps.(i))) >= own.(i)
+      s.vc.(j).(s.s_pids.(i)) >= s.own.(i)
     in
     let races = ref 0 and added = ref 0 in
     for j = 0 to m - 1 do
-      let pj, kj = steps.(j) in
-      let p = Pid.to_int pj in
-      let accs = accesses kj in
+      let p = s.s_pids.(j) in
+      let kj = s.s_kinds.(j) in
+      let pj : Pid.t = p in
+      (* the step's accesses: its named object (if any) read or written,
+         plus the query pseudo-object (written by queries, read by all) *)
+      let real_st, real_w =
+        match kj with
+        | Sim.Read { obj } -> (Some (obj_state s obj), false)
+        | Sim.Write { obj } -> (Some (obj_state s obj), true)
+        | Sim.Query _ | Sim.Output _ | Sim.Input _ | Sim.Nop -> (None, false)
+      in
+      let q_w = match kj with Sim.Query _ -> true | _ -> false in
       (* candidates: last conflicting access per object, before joining
          this step's clock (so they reflect strictly earlier steps) *)
-      let candidates =
-        List.concat_map
-          (fun (o, a) ->
-            let w =
-              match Hashtbl.find_opt last_write_pos o with
-              | Some i -> [ i ]
-              | None -> []
-            in
-            match a with
-            | `R -> w
-            | `W ->
-                w
-                @ List.concat
-                    (List.init n (fun q ->
-                         if q = p then []
-                         else
-                           match Hashtbl.find_opt last_read_pos (o, q) with
-                           | Some i -> [ i ]
-                           | None -> [])))
-          accs
-        |> List.filter (fun i -> not (Pid.equal (fst steps.(i)) pj))
-        |> List.sort_uniq Int.compare
+      Exec.Dynarray.clear s.cand;
+      let push_cand i = if s.s_pids.(i) <> p then Exec.Dynarray.push s.cand i in
+      let candidates_of st w =
+        if st.lw_pos >= 0 then push_cand st.lw_pos;
+        if w then
+          for q = 0 to n - 1 do
+            if q <> p && st.r_pos.(q) >= 0 then push_cand st.r_pos.(q)
+          done
       in
+      (match real_st with Some st -> candidates_of st real_w | None -> ());
+      candidates_of q_st q_w;
+      Exec.Dynarray.sort_uniq s.cand;
       (* compute this step's clock *)
-      let clock = vc.(j) in
-      join clock proc_clock.(p);
-      own.(j) <- clock.(p) + 1;
-      clock.(p) <- own.(j);
-      List.iter
-        (fun (o, a) ->
-          (match Hashtbl.find_opt last_write_vc o with
-          | Some w -> join clock w
-          | None -> ());
-          match a with
-          | `R -> ()
-          | `W -> (
-              match Hashtbl.find_opt reads_vc o with
-              | Some r -> join clock r
-              | None -> ()))
-        accs;
+      let clock = s.vc.(j) in
+      join clock s.proc_clock.(p);
+      s.own.(j) <- clock.(p) + 1;
+      clock.(p) <- s.own.(j);
+      let join_tables st w =
+        if Array.length st.lw_vc > 0 then join clock st.lw_vc;
+        if w && Array.length st.r_vc > 0 then join clock st.r_vc
+      in
+      (match real_st with Some st -> join_tables st real_w | None -> ());
+      join_tables q_st q_w;
       (* immediate races among the candidates *)
-      List.iter
-        (fun i ->
-          let mediated = ref false in
-          for k = i + 1 to j - 1 do
-            if (not !mediated) && hb i k && hb k j then mediated := true
-          done;
-          if not !mediated then begin
-            incr races;
-            if i >= grown then begin
-              (* both race steps sit in the uncontrollable round-robin
-                 tail: reversal needs pid_j inside the window first.
-                 Conservatively offer it at the deepest window node
-                 (bounded-search backtracking, cf. Coons et al.); once
-                 it runs there, normal race reversal pulls it further
-                 forward on subsequent analyses. *)
-              if grown > 0 then begin
-                let nd =
-                  match stack.(grown - 1) with
-                  | Some nd -> nd
-                  | None -> assert false
-                in
-                if
-                  List.mem_assoc pj nd.enabled
-                  && not (Pid.Set.mem pj nd.backtrack)
-                then begin
-                  nd.backtrack <- Pid.Set.add pj nd.backtrack;
-                  incr added
-                end
+      for ci = 0 to Exec.Dynarray.length s.cand - 1 do
+        let i = Exec.Dynarray.get s.cand ci in
+        let rec mediated k = k < j && ((hb i k && hb k j) || mediated (k + 1)) in
+        if not (mediated (i + 1)) then begin
+          incr races;
+          if i >= grown then begin
+            (* both race steps sit in the uncontrollable round-robin
+               tail: reversal needs pid_j inside the window first.
+               Conservatively offer it at the deepest window node
+               (bounded-search backtracking, cf. Coons et al.); once
+               it runs there, normal race reversal pulls it further
+               forward on subsequent analyses. *)
+            if grown > 0 then begin
+              let nd =
+                match stack.(grown - 1) with
+                | Some nd -> nd
+                | None -> assert false
+              in
+              if
+                Eset.mem nd.enabled pj && not (Pid.Set.mem pj nd.backtrack)
+              then begin
+                nd.backtrack <- Pid.Set.add pj nd.backtrack;
+                incr added
               end
             end
-            else begin
-              let nd =
-                match stack.(i) with Some nd -> nd | None -> assert false
-              in
-              let enabled_i = List.map fst nd.enabled in
-              (* E-set: processes enabled at i whose scheduling there
-                 could reverse the race — pid_j itself, or anyone with a
-                 step in (i, j) happening-before j *)
-              let e =
-                List.filter
-                  (fun q ->
-                    Pid.equal q pj
-                    ||
-                    let qi = Pid.to_int q in
-                    clock.(qi) >= 1
-                    &&
-                    match List.nth_opt positions.(qi) (clock.(qi) - 1) with
-                    | Some pos -> pos > i && pos < j
-                    | None -> false)
-                  enabled_i
-              in
-              let to_add = if e = [] then enabled_i else e in
-              List.iter
-                (fun q ->
-                  if not (Pid.Set.mem q nd.backtrack) then begin
-                    nd.backtrack <- Pid.Set.add q nd.backtrack;
-                    incr added
-                  end)
-                to_add
-            end
-          end)
-        candidates;
+          end
+          else begin
+            let nd =
+              match stack.(i) with Some nd -> nd | None -> assert false
+            in
+            (* E-set: processes enabled at i whose scheduling there
+               could reverse the race — pid_j itself, or anyone with a
+               step in (i, j) happening-before j *)
+            let in_e q =
+              Pid.equal q pj
+              ||
+              let qi = Pid.to_int q in
+              clock.(qi) >= 1
+              &&
+              let c = clock.(qi) - 1 in
+              c < Exec.Dynarray.length s.positions.(qi)
+              &&
+              let pos = Exec.Dynarray.get s.positions.(qi) c in
+              pos > i && pos < j
+            in
+            let e_nonempty = ref false in
+            Eset.iter nd.enabled (fun q _ ->
+                if (not !e_nonempty) && in_e q then e_nonempty := true);
+            let e_nonempty = !e_nonempty in
+            (* add E when non-empty, every enabled process otherwise *)
+            Eset.iter nd.enabled (fun q _ ->
+                if
+                  ((not e_nonempty) || in_e q)
+                  && not (Pid.Set.mem q nd.backtrack)
+                then begin
+                  nd.backtrack <- Pid.Set.add q nd.backtrack;
+                  incr added
+                end)
+          end
+        end
+      done;
       (* update the access tables with this step *)
-      List.iter
-        (fun (o, a) ->
-          match a with
-          | `R ->
-              (match Hashtbl.find_opt reads_vc o with
-              | Some r -> join r clock
-              | None -> Hashtbl.replace reads_vc o (Array.copy clock));
-              Hashtbl.replace last_read_pos (o, p) j
-          | `W ->
-              Hashtbl.replace last_write_vc o (Array.copy clock);
-              Hashtbl.replace last_write_pos o j;
-              (* a write orders all prior reads before it; clear them so
-                 later writes race with the write, not stale reads *)
-              Hashtbl.remove reads_vc o;
-              for q = 0 to n - 1 do
-                Hashtbl.remove last_read_pos (o, q)
-              done)
-        accs;
-      join proc_clock.(p) clock;
-      positions.(p) <- positions.(p) @ [ j ]
+      let update st w =
+        if w then begin
+          (if Array.length st.lw_vc > 0 then Array.blit clock 0 st.lw_vc 0 n
+           else begin
+             let b = take_buf s in
+             Array.blit clock 0 b 0 n;
+             st.lw_vc <- b
+           end);
+          st.lw_pos <- j;
+          (* a write orders all prior reads before it; clear them so
+             later writes race with the write, not stale reads *)
+          release_buf s st.r_vc;
+          st.r_vc <- [||];
+          Array.fill st.r_pos 0 n (-1)
+        end
+        else begin
+          (if Array.length st.r_vc > 0 then join st.r_vc clock
+           else begin
+             let b = take_buf s in
+             Array.blit clock 0 b 0 n;
+             st.r_vc <- b
+           end);
+          st.r_pos.(p) <- j
+        end
+      in
+      (match real_st with Some st -> update st real_w | None -> ());
+      update q_st q_w;
+      join s.proc_clock.(p) clock;
+      Exec.Dynarray.push s.positions.(p) j
     done;
     (!races, !added)
   end
@@ -358,7 +459,7 @@ let rec next_candidate ~stack ~len ~floor =
     match Pid.Set.min_elt_opt cands with
     | Some q ->
         nd.chosen <- q;
-        (match List.assoc_opt q nd.enabled with
+        (match Eset.find nd.enabled q with
         | Some k -> nd.kind <- k
         | None -> assert false);
         true
@@ -376,11 +477,13 @@ let rec take n = function
 let explore_loop ~pattern ~depth ~horizon ~make ~budget ~stack ~len ~floor =
   let executions = ref 0 and blocked_runs = ref 0 in
   let races_total = ref 0 and added_total = ref 0 in
+  let scratch = make_scratch ~n:(Failure_pattern.n_plus_1 pattern) in
+  let pend = Eset.create () in
   let rec loop () =
     if !executions >= budget then None
     else begin
-      let verdict, trace, grown, blocked =
-        run_once ~pattern ~horizon ~depth ~stack ~len:!len ~make
+      let verdict, trace, builder, grown, blocked =
+        run_once ~pattern ~horizon ~depth ~stack ~len:!len ~make ~pend
       in
       incr executions;
       Obs.Metrics.incr m_executions;
@@ -392,7 +495,7 @@ let explore_loop ~pattern ~depth ~horizon ~make ~budget ~stack ~len ~floor =
       | Error report -> Some (take depth (Trace.schedule trace), report)
       | Ok () ->
           if not blocked then begin
-            let races, added = analyze ~stack ~grown ~trace in
+            let races, added = analyze ~scratch ~stack ~grown ~builder in
             races_total := !races_total + races;
             added_total := !added_total + added;
             Obs.Metrics.incr ~by:races m_races;
@@ -461,7 +564,7 @@ let explore_branch ~pattern ~depth ~horizon ?(budget = unbounded) ~branches
       {
         chosen;
         kind;
-        enabled = branches;
+        enabled = Eset.of_list branches;
         backtrack = Pid.Set.empty;
         explored;
         sleep = Pid.Set.empty;

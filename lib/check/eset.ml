@@ -1,0 +1,78 @@
+open Kernel
+
+type t = {
+  mutable pids : int array; (* strictly increasing over the live prefix *)
+  mutable kinds : Sim.kind array;
+  mutable size : int;
+}
+
+let create ?(capacity = 8) () =
+  let capacity = max capacity 1 in
+  {
+    pids = Array.make capacity 0;
+    kinds = Array.make capacity Sim.Nop;
+    size = 0;
+  }
+
+let size t = t.size
+let clear t = t.size <- 0
+
+let push t pid kind =
+  if t.size > 0 && Pid.to_int pid <= t.pids.(t.size - 1) then
+    invalid_arg "Eset.push: pids must be pushed in increasing order";
+  (if t.size = Array.length t.pids then begin
+     let cap = 2 * t.size in
+     let pids = Array.make cap 0 and kinds = Array.make cap Sim.Nop in
+     Array.blit t.pids 0 pids 0 t.size;
+     Array.blit t.kinds 0 kinds 0 t.size;
+     t.pids <- pids;
+     t.kinds <- kinds
+   end);
+  t.pids.(t.size) <- Pid.to_int pid;
+  t.kinds.(t.size) <- kind;
+  t.size <- t.size + 1
+
+let pid_at t i =
+  if i < 0 || i >= t.size then invalid_arg "Eset.pid_at: index out of bounds";
+  t.pids.(i)
+
+let kind_at t i =
+  if i < 0 || i >= t.size then invalid_arg "Eset.kind_at: index out of bounds";
+  t.kinds.(i)
+
+(* The pid array is sorted, so scan with early exit; enabled sets are a
+   handful of entries wide, making this the indexed equivalent of
+   [List.assoc_opt] over the association-list representation. *)
+let index t pid =
+  let p = Pid.to_int pid in
+  let rec go i =
+    if i >= t.size || t.pids.(i) > p then -1
+    else if t.pids.(i) = p then i
+    else go (i + 1)
+  in
+  go 0
+
+let find t pid =
+  let i = index t pid in
+  if i < 0 then None else Some t.kinds.(i)
+
+let mem t pid = index t pid >= 0
+
+let iter t f =
+  for i = 0 to t.size - 1 do
+    f t.pids.(i) t.kinds.(i)
+  done
+
+let copy t =
+  {
+    pids = Array.sub t.pids 0 (max t.size 1);
+    kinds = Array.sub t.kinds 0 (max t.size 1);
+    size = t.size;
+  }
+
+let of_list l =
+  let t = create ~capacity:(max (List.length l) 1) () in
+  List.iter (fun (p, k) -> push t p k) l;
+  t
+
+let to_list t = List.init t.size (fun i -> (t.pids.(i), t.kinds.(i)))

@@ -1,0 +1,47 @@
+(** Enabled sets as sorted (pid, kind) arrays.
+
+    The DPOR stack stores, per node, the set of processes enabled before
+    the node's step together with each one's pending step label. The
+    association-list representation allocated a cons and a tuple per
+    entry per refresh and paid [List.assoc_opt] walks on the hot path;
+    this module stores the same mapping as a pair of parallel arrays in
+    pid order with indexed access. Lookup semantics are exactly those of
+    the association list built by {!to_list}: [find t p =
+    List.assoc_opt p (to_list t)] and [mem t p = List.mem_assoc p
+    (to_list t)] (the QCheck equivalence test in [test_dpor_golden]
+    exercises this). *)
+
+open Kernel
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val size : t -> int
+
+val clear : t -> unit
+(** Empty the set, retaining storage (per-step refresh reuse). *)
+
+val push : t -> Pid.t -> Sim.kind -> unit
+(** Append an entry; pids must arrive in strictly increasing order (the
+    order {!Kernel.Scheduler.iter_pending} produces). Raises
+    [Invalid_argument] otherwise. *)
+
+val pid_at : t -> int -> Pid.t
+val kind_at : t -> int -> Sim.kind
+
+val find : t -> Pid.t -> Sim.kind option
+(** [List.assoc_opt] over the entries. *)
+
+val mem : t -> Pid.t -> bool
+(** [List.mem_assoc] over the entries. *)
+
+val iter : t -> (Pid.t -> Sim.kind -> unit) -> unit
+(** In pid order. *)
+
+val copy : t -> t
+(** Size-fitted private copy (stack nodes own their enabled set). *)
+
+val of_list : (Pid.t * Sim.kind) list -> t
+(** From entries in strictly increasing pid order. *)
+
+val to_list : t -> (Pid.t * Sim.kind) list

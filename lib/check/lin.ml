@@ -45,6 +45,21 @@ let check spec events =
     (fun i e -> if e.result <> None then completed_mask := !completed_mask lor (1 lsl i))
     evs;
   let completed_mask = !completed_mask in
+  (* pred_mask.(i): completed events that real-time-precede event i.
+     Precomputed once so the minimality test inside the search is a
+     single mask intersection instead of an O(n) scan per candidate. *)
+  let pred_mask = Array.make (max n 1) 0 in
+  for i = 0 to n - 1 do
+    let inv = evs.(i).invoked in
+    let m = ref 0 in
+    for j = 0 to n - 1 do
+      if j <> i then
+        match evs.(j).result with
+        | Some _ when evs.(j).responded < inv -> m := !m lor (1 lsl j)
+        | Some _ | None -> ()
+    done;
+    pred_mask.(i) <- !m
+  done;
   (* Memoizes failed (remaining set, state) pairs — success exits
      immediately, so only dead ends are stored. *)
   let memo = Hashtbl.create 256 in
@@ -63,17 +78,7 @@ let check spec events =
   and candidates mask state =
     (* a remaining event is minimal when no remaining completed event
        real-time-precedes it; only minimal events may linearize next *)
-    let minimal i =
-      let e = evs.(i) in
-      let blocked = ref false in
-      for j = 0 to n - 1 do
-        if (mask lsr j) land 1 = 1 && j <> i then
-          match evs.(j).result with
-          | Some _ when evs.(j).responded < e.invoked -> blocked := true
-          | Some _ | None -> ()
-      done;
-      not !blocked
-    in
+    let minimal i = mask land pred_mask.(i) = 0 in
     let rec try_from i =
       if i >= n then false
       else if (mask lsr i) land 1 = 1 && minimal i then begin

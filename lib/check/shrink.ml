@@ -4,50 +4,57 @@ type 'a replay = pattern:Failure_pattern.t -> prefix:Pid.t list -> 'a option
 
 let m_replays = Obs.Metrics.counter "check.shrink.replays"
 
-(* Split [xs] into [n] contiguous chunks, the first ones one element
-   longer when the length does not divide evenly. *)
-let split_chunks xs n =
-  let len = List.length xs in
+(* The candidate sequence lives in an array; chunks are (start, size)
+   windows over it — n contiguous chunks, the first ones one element
+   longer when the length does not divide evenly — and candidate lists
+   are built per test call only, in the exact order the classic
+   list-of-chunks formulation would test them (the replay counter is
+   part of the golden outputs). *)
+let chunk_bounds len n =
   let base = len / n and extra = len mod n in
-  let rec go xs i =
-    if i >= n then []
-    else begin
+  Array.init n (fun i ->
+      let start = (i * base) + min i extra in
       let size = base + if i < extra then 1 else 0 in
-      let rec take k = function
-        | tl when k = 0 -> ([], tl)
-        | [] -> ([], [])
-        | x :: tl ->
-            let chunk, rest = take (k - 1) tl in
-            (x :: chunk, rest)
-      in
-      let chunk, rest = take size xs in
-      chunk :: go rest (i + 1)
-    end
-  in
-  go xs 0
-
-let complement_of chunks i =
-  List.concat (List.filteri (fun j _ -> j <> i) chunks)
+      (start, size))
 
 let ddmin ~test xs =
   if test [] then []
   else
-    let rec go xs n =
-      let len = List.length xs in
-      if len <= 1 then xs
+    let chunk_list a (start, size) = List.init size (fun k -> a.(start + k)) in
+    let complement_list a (start, size) =
+      List.init
+        (Array.length a - size)
+        (fun k -> if k < start then a.(k) else a.(k + size))
+    in
+    let rec go a n =
+      let len = Array.length a in
+      if len <= 1 then Array.to_list a
       else begin
         let n = min n len in
-        let chunks = split_chunks xs n in
-        match List.find_opt test chunks with
-        | Some chunk -> go chunk 2
+        let bounds = chunk_bounds len n in
+        let rec first_chunk i =
+          if i >= n then None
+          else if test (chunk_list a bounds.(i)) then Some bounds.(i)
+          else first_chunk (i + 1)
+        in
+        match first_chunk 0 with
+        | Some (start, size) -> go (Array.sub a start size) 2
         | None -> (
-            let complements = List.mapi (fun i _ -> complement_of chunks i) chunks in
-            match List.find_opt test complements with
-            | Some c -> go c (max (n - 1) 2)
-            | None -> if n < len then go xs (min len (2 * n)) else xs)
+            let rec first_complement i =
+              if i >= n then None
+              else if test (complement_list a bounds.(i)) then Some bounds.(i)
+              else first_complement (i + 1)
+            in
+            match first_complement 0 with
+            | Some (start, size) ->
+                let rest = Array.make (len - size) a.(0) in
+                Array.blit a 0 rest 0 start;
+                Array.blit a (start + size) rest start (len - start - size);
+                go rest (max (n - 1) 2)
+            | None -> if n < len then go a (min len (2 * n)) else Array.to_list a)
       end
     in
-    go xs 2
+    go (Array.of_list xs) 2
 
 let crashes_of pattern =
   let n_plus_1 = Failure_pattern.n_plus_1 pattern in

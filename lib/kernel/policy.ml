@@ -5,15 +5,14 @@ let round_robin () =
   fun ~now:_ ~enabled ->
     match enabled with
     | [] -> None
-    | _ ->
-        (* Pick the first enabled pid at or after the cursor, wrapping. *)
-        let ge, lt = List.partition (fun p -> Pid.to_int p >= !cursor) enabled in
-        let chosen =
-          match (ge, lt) with
-          | p :: _, _ -> p
-          | [], p :: _ -> p
-          | [], [] -> assert false
+    | first :: _ ->
+        (* Pick the first enabled pid at or after the cursor, wrapping
+           to the first enabled pid when none is. *)
+        let rec at_or_after = function
+          | [] -> first
+          | p :: rest -> if Pid.to_int p >= !cursor then p else at_or_after rest
         in
+        let chosen = at_or_after enabled in
         cursor := Pid.to_int chosen + 1;
         Some chosen
 

@@ -1,29 +1,45 @@
 type outcome = Horizon | Quiescent | Policy_stop
 
-(* Telemetry: totals are module-level handles (Metrics registration is
-   idempotent); per-pid counters are cached per scheduler so the hot
-   loop never builds a name. *)
-let m_steps = Obs.Metrics.counter "kernel.scheduler.steps"
+(* Telemetry: rare events (crashes, stop reasons) use module-level slow
+   handles; everything on the per-step path uses Metrics.Fast cells
+   owned by the scheduler and absorbed into the registry when the run
+   stops (every [`Stopped] exit, [run] return and [trace] flush, and
+   manual steppers call [flush_metrics] themselves). Absorption is
+   idempotent, so the defensive multi-point flushing never
+   double-counts. *)
 let m_crashes = Obs.Metrics.counter "kernel.scheduler.crashes"
-let m_policy_decisions = Obs.Metrics.counter "kernel.scheduler.policy_decisions"
 let m_policy_stops = Obs.Metrics.counter "kernel.scheduler.policy_stops"
 let m_quiescent = Obs.Metrics.counter "kernel.scheduler.quiescent_stops"
-let m_queries = Obs.Metrics.counter "detectors.queries"
 
-let m_kind_read = Obs.Metrics.counter "kernel.scheduler.steps{kind=read}"
-let m_kind_write = Obs.Metrics.counter "kernel.scheduler.steps{kind=write}"
-let m_kind_query = Obs.Metrics.counter "kernel.scheduler.steps{kind=query}"
-let m_kind_output = Obs.Metrics.counter "kernel.scheduler.steps{kind=output}"
-let m_kind_input = Obs.Metrics.counter "kernel.scheduler.steps{kind=input}"
-let m_kind_nop = Obs.Metrics.counter "kernel.scheduler.steps{kind=nop}"
+let kind_tag = function
+  | Sim.Read _ -> 0
+  | Sim.Write _ -> 1
+  | Sim.Query _ -> 2
+  | Sim.Output _ -> 3
+  | Sim.Input _ -> 4
+  | Sim.Nop -> 5
 
-let kind_counter = function
-  | Sim.Read _ -> m_kind_read
-  | Sim.Write _ -> m_kind_write
-  | Sim.Query _ -> m_kind_query
-  | Sim.Output _ -> m_kind_output
-  | Sim.Input _ -> m_kind_input
-  | Sim.Nop -> m_kind_nop
+let kind_counter_names =
+  [|
+    "kernel.scheduler.steps{kind=read}";
+    "kernel.scheduler.steps{kind=write}";
+    "kernel.scheduler.steps{kind=query}";
+    "kernel.scheduler.steps{kind=output}";
+    "kernel.scheduler.steps{kind=input}";
+    "kernel.scheduler.steps{kind=nop}";
+  |]
+
+(* Per-pid counter names are interned once per process so scheduler
+   creation (one per DPOR execution) never calls Printf. *)
+let pid_counter_names : (int, string) Hashtbl.t = Hashtbl.create 16
+
+let pid_counter_name p =
+  match Hashtbl.find_opt pid_counter_names p with
+  | Some s -> s
+  | None ->
+      let s = Printf.sprintf "kernel.scheduler.steps{pid=p%d}" (p + 1) in
+      Hashtbl.replace pid_counter_names p s;
+      s
 
 (* Detector instance names embed run parameters ("upsilon_f(f=2,t*=37)");
    collapse to the family so the per-detector label set stays bounded. *)
@@ -32,9 +48,44 @@ let detector_family name =
   | Some i -> String.sub name 0 i
   | None -> name
 
-let query_counter detector =
-  Obs.Metrics.counter
-    ("detectors.queries{detector=" ^ detector_family detector ^ "}")
+(* The fast cells for the step path, shared by every scheduler of a
+   domain (model checkers create a scheduler per execution; re-creating
+   the cells each time would put a dozen registry lookups on that path).
+   Sharing is sound because the buffered values are sums absorbed into
+   the same registry cells, and every scheduler flushes at each stopped
+   run, so the buffers are empty at unit boundaries. *)
+type metric_bundle = {
+  b_steps : Obs.Metrics.Fast.counter;
+  b_policy_decisions : Obs.Metrics.Fast.counter;
+  b_queries : Obs.Metrics.Fast.counter;
+  mutable b_by_pid : Obs.Metrics.Fast.counter array; (* grown on demand *)
+  b_by_kind : Obs.Metrics.Fast.counter array; (* indexed by kind_tag *)
+  (* per-detector query counters, keyed by the raw instance name so the
+     hot path never allocates the family substring *)
+  b_detectors : (string, Obs.Metrics.Fast.counter) Hashtbl.t;
+}
+
+let bundle_key : metric_bundle Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        b_steps = Obs.Metrics.Fast.counter "kernel.scheduler.steps";
+        b_policy_decisions =
+          Obs.Metrics.Fast.counter "kernel.scheduler.policy_decisions";
+        b_queries = Obs.Metrics.Fast.counter "detectors.queries";
+        b_by_pid = [||];
+        b_by_kind = Array.map Obs.Metrics.Fast.counter kind_counter_names;
+        b_detectors = Hashtbl.create 4;
+      })
+
+let bundle ~n =
+  let b = Domain.DLS.get bundle_key in
+  let have = Array.length b.b_by_pid in
+  if have < n then
+    b.b_by_pid <-
+      Array.init n (fun p ->
+          if p < have then b.b_by_pid.(p)
+          else Obs.Metrics.Fast.counter (pid_counter_name p));
+  b
 
 type t = {
   sched_pattern : Failure_pattern.t;
@@ -42,9 +93,11 @@ type t = {
   by_pid : Fiber.t array array;
   cursor : int array; (* per-pid rotation among its fibers *)
   crash_recorded : bool array;
+  mutable next_crash : int; (* min crash time not yet recorded; max_int = none *)
   mutable clock : int;
   events : Trace.builder;
-  steps_by_pid : Obs.Metrics.counter array;
+  ctx : Sim.ctx; (* reused across steps; fields rewritten each step *)
+  metrics : metric_bundle;
 }
 
 let create ~pattern ~policy ~fibers =
@@ -59,48 +112,85 @@ let create ~pattern ~policy ~fibers =
         Array.of_list (List.filter (fun f -> Pid.to_int (Fiber.pid f) = p) fibers))
   in
   List.iter Fiber.start fibers;
-  let t =
-    {
-      sched_pattern = pattern;
-      policy;
-      by_pid;
-      cursor = Array.make n 0;
-      crash_recorded = Array.make n false;
-      clock = 0;
-      events = Trace.builder ();
-      steps_by_pid =
-        Array.init n (fun p ->
-            Obs.Metrics.counter
-              (Printf.sprintf "kernel.scheduler.steps{pid=p%d}" (p + 1)));
-    }
-  in
-  t
+  {
+    sched_pattern = pattern;
+    policy;
+    by_pid;
+    cursor = Array.make n 0;
+    crash_recorded = Array.make n false;
+    next_crash =
+      (let next = ref max_int in
+       for p = 0 to n - 1 do
+         let c = Failure_pattern.crash_time pattern p in
+         if c < !next then next := c
+       done;
+       !next);
+    clock = 0;
+    events = Trace.builder ();
+    ctx = { Sim.pid = 0; now = 0; note = None };
+    metrics = bundle ~n;
+  }
+
+let flush_metrics t =
+  let b = t.metrics in
+  Obs.Metrics.Fast.absorb_counter b.b_steps;
+  Obs.Metrics.Fast.absorb_counter b.b_policy_decisions;
+  Obs.Metrics.Fast.absorb_counter b.b_queries;
+  Array.iter Obs.Metrics.Fast.absorb_counter b.b_by_pid;
+  Array.iter Obs.Metrics.Fast.absorb_counter b.b_by_kind;
+  Hashtbl.iter (fun _ f -> Obs.Metrics.Fast.absorb_counter f) b.b_detectors
+
+let detector_counter t detector =
+  match Hashtbl.find_opt t.metrics.b_detectors detector with
+  | Some f -> f
+  | None ->
+      let f =
+        Obs.Metrics.Fast.counter
+          ("detectors.queries{detector=" ^ detector_family detector ^ "}")
+      in
+      Hashtbl.replace t.metrics.b_detectors detector f;
+      f
 
 let now t = t.clock
 let pattern t = t.sched_pattern
 
 (* Record crash events and kill fibers for processes whose crash time has
-   been reached by the prospective step time. *)
+   been reached by the prospective step time. The caller skips the scan
+   entirely while [step_time < next_crash], so the per-step cost is one
+   comparison on crash-free stretches. *)
 let process_crashes t step_time =
+  let next = ref max_int in
   Array.iteri
     (fun p recorded ->
-      if not recorded then
+      if not recorded then begin
         let c = Failure_pattern.crash_time t.sched_pattern p in
         if c <= step_time then begin
           t.crash_recorded.(p) <- true;
           Obs.Metrics.incr m_crashes;
           Trace.record t.events (Trace.Crash { pid = p; time = c });
           Array.iter Fiber.kill t.by_pid.(p)
-        end)
-    t.crash_recorded
+        end
+        else if c < !next then next := c
+      end)
+    t.crash_recorded;
+  t.next_crash <- !next
 
-let runnable_fibers t pid =
-  Array.to_list t.by_pid.(pid)
-  |> List.filter (fun f -> Fiber.status f = Fiber.Runnable)
+let has_runnable t pid =
+  let fibers = t.by_pid.(pid) in
+  let k = Array.length fibers in
+  let rec go i =
+    i < k && (Fiber.status fibers.(i) = Fiber.Runnable || go (i + 1))
+  in
+  go 0
 
 let enabled_pids t =
-  Pid.all ~n_plus_1:(Failure_pattern.n_plus_1 t.sched_pattern)
-  |> List.filter (fun p -> runnable_fibers t p <> [])
+  let n = Failure_pattern.n_plus_1 t.sched_pattern in
+  let rec build p =
+    if p >= n then []
+    else if has_runnable t p then p :: build (p + 1)
+    else build (p + 1)
+  in
+  build 0
 
 let next_fiber t pid =
   let fibers = t.by_pid.(pid) in
@@ -130,24 +220,32 @@ let peek_fiber t pid =
   in
   search t.cursor.(pid) 0
 
+let iter_pending t f =
+  let n = Failure_pattern.n_plus_1 t.sched_pattern in
+  for p = 0 to n - 1 do
+    match peek_fiber t p with
+    | Some fb -> f p (Fiber.pending_kind fb)
+    | None -> ()
+  done
+
 let pending t =
-  Pid.all ~n_plus_1:(Failure_pattern.n_plus_1 t.sched_pattern)
-  |> List.filter_map (fun p ->
-         match peek_fiber t p with
-         | Some f -> Some (p, Fiber.pending_kind f)
-         | None -> None)
+  let acc = ref [] in
+  iter_pending t (fun p k -> acc := (p, k) :: !acc);
+  List.rev !acc
 
 let step t =
   let step_time = t.clock + 1 in
-  process_crashes t step_time;
+  if step_time >= t.next_crash then process_crashes t step_time;
   match enabled_pids t with
   | [] ->
+      flush_metrics t;
       Obs.Metrics.incr m_quiescent;
       `Stopped Quiescent
   | enabled -> (
-      Obs.Metrics.incr m_policy_decisions;
+      Obs.Metrics.Fast.incr t.metrics.b_policy_decisions;
       match t.policy ~now:step_time ~enabled with
       | None ->
+          flush_metrics t;
           Obs.Metrics.incr m_policy_stops;
           `Stopped Policy_stop
       | Some pid ->
@@ -156,15 +254,19 @@ let step t =
           t.clock <- step_time;
           let fiber = next_fiber t pid in
           let kind = Fiber.pending_kind fiber in
-          Obs.Metrics.incr m_steps;
-          Obs.Metrics.incr t.steps_by_pid.(pid);
-          Obs.Metrics.incr (kind_counter kind);
+          let b = t.metrics in
+          Obs.Metrics.Fast.incr b.b_steps;
+          Obs.Metrics.Fast.incr b.b_by_pid.(pid);
+          Obs.Metrics.Fast.incr b.b_by_kind.(kind_tag kind);
           (match kind with
           | Sim.Query { detector } ->
-              Obs.Metrics.incr m_queries;
-              Obs.Metrics.incr (query_counter detector)
+              Obs.Metrics.Fast.incr b.b_queries;
+              Obs.Metrics.Fast.incr (detector_counter t detector)
           | _ -> ());
-          let ctx = { Sim.pid; now = step_time; note = None } in
+          let ctx = t.ctx in
+          ctx.Sim.pid <- pid;
+          ctx.Sim.now <- step_time;
+          ctx.Sim.note <- None;
           Fiber.step fiber ctx;
           Trace.record t.events
             (Trace.Step { pid; time = step_time; kind; note = ctx.Sim.note });
@@ -172,12 +274,19 @@ let step t =
 
 let run t ~max_steps =
   let rec loop remaining =
-    if remaining = 0 then Horizon
+    if remaining = 0 then begin
+      flush_metrics t;
+      Horizon
+    end
     else
       match step t with
       | `Stepped _ -> loop (remaining - 1)
-      | `Stopped outcome -> outcome
+      | `Stopped outcome -> outcome (* step already flushed *)
   in
   loop max_steps
 
-let trace t = Trace.finish t.events
+let trace t =
+  flush_metrics t;
+  Trace.finish t.events
+
+let trace_builder t = t.events

@@ -36,6 +36,10 @@ val pending : t -> (Pid.t * Sim.kind) list
     {!step} may differ: crashes whose time is reached by that step are
     processed first. *)
 
+val iter_pending : t -> (Pid.t -> Sim.kind -> unit) -> unit
+(** [pending] without building the list: applies the function to each
+    enabled (pid, next-step kind) in pid order (checker hot paths). *)
+
 val step : t -> [ `Stepped of Pid.t | `Stopped of outcome ]
 (** Advance the run by one step. *)
 
@@ -45,3 +49,14 @@ val run : t -> max_steps:int -> outcome
 
 val trace : t -> Trace.t
 (** Trace of everything executed so far. *)
+
+val trace_builder : t -> Trace.builder
+(** The live trace buffer, for iterating events without materializing
+    the list ({!Trace.iter_builder}). *)
+
+val flush_metrics : t -> unit
+(** Fold the scheduler's buffered step counters into the calling
+    domain's metrics registry. [run], [trace], and every [`Stopped]
+    result flush automatically; call this before taking a
+    {!Obs.Metrics.snapshot} if the scheduler was last advanced by manual
+    {!step} calls. Idempotent: flushing twice adds nothing. *)

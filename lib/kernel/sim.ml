@@ -1,4 +1,8 @@
-type ctx = { pid : Pid.t; now : int; mutable note : string option }
+type ctx = {
+  mutable pid : Pid.t;
+  mutable now : int;
+  mutable note : string option;
+}
 
 type kind =
   | Read of { obj : string }

@@ -11,12 +11,18 @@
     register read/write ({!Memory.Register}), detector queries ({!query}),
     and input/output events. *)
 
-type ctx = { pid : Pid.t; now : int; mutable note : string option }
+type ctx = {
+  mutable pid : Pid.t;
+  mutable now : int;
+  mutable note : string option;
+}
 (** Identity of the stepping process and the global time of the step,
     available to the atomic closure. Setting [note] attaches a rendered
     payload to the step's trace event (queries record the value the
     oracle returned, so run-condition (2) is checkable from the
-    trace). *)
+    trace). All fields are mutable so the scheduler can reuse one [ctx]
+    record across steps; atomic closures must read the fields during the
+    step and not retain the record. *)
 
 (** How a step is labelled in the trace. *)
 type kind =

@@ -17,7 +17,17 @@ type builder
 
 val builder : unit -> builder
 val record : builder -> event -> unit
+
 val finish : builder -> t
+(** The chronological list view of everything recorded so far.
+    Non-destructive: recording may continue afterwards. *)
+
+val iter_builder : builder -> (event -> unit) -> unit
+(** Apply a function to every recorded event in chronological order
+    without materializing the list (checker hot paths). *)
+
+val builder_length : builder -> int
+(** Number of events recorded so far. *)
 
 val steps_of : t -> Pid.t -> int
 (** Number of steps taken by a pid. *)

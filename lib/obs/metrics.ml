@@ -147,6 +147,73 @@ let observe_cell h v =
 let observe t v = observe_cell (hist_cell t) v
 let observe_int t v = observe t (float_of_int v)
 
+(* ---------------------------------------------------------- fast path --- *)
+
+(* Raw cells for per-step instrumentation. A fast cell is bound to one
+   registry cell at creation and buffers increments as a plain unboxed
+   int, so the hot path pays one field write — no domain-id check, no
+   hashtable, no float boxing. [absorb_*] folds the buffered value into
+   the registry cell and zeroes the buffer, which makes absorption
+   idempotent by construction: a second absorb adds zero (the
+   double-absorb guard the Exec.Pool snapshot discipline relies on).
+   The binding is to the creating domain's registry, so a fast cell
+   must be created and used within one domain — which is how the
+   kernel uses them: one set per scheduler, created where the run
+   executes and absorbed when it stops. *)
+
+module Fast = struct
+  type counter = { fc_cell : ccell; mutable fc_pending : int }
+
+  let counter name = { fc_cell = ccell name; fc_pending = 0 }
+  let incr ?(by = 1) f = f.fc_pending <- f.fc_pending + by
+
+  let absorb_counter f =
+    f.fc_cell.cv <- f.fc_cell.cv + f.fc_pending;
+    f.fc_pending <- 0
+
+  type histogram = {
+    fh_cell : hcell;
+    fh_ibounds : int array; (* floor of each float bound: v <= b iff v <= floor b *)
+    fh_icounts : int array; (* same layout as fh_cell.counts *)
+    mutable fh_isum : int;
+    mutable fh_ievents : int;
+  }
+
+  let histogram ?(buckets = default_buckets) name =
+    check_buckets buckets;
+    let h = hcell ~buckets:(Array.copy buckets) name in
+    {
+      fh_cell = h;
+      fh_ibounds = Array.map (fun b -> int_of_float (Float.floor b)) h.bounds;
+      fh_icounts = Array.make (Array.length h.counts) 0;
+      fh_isum = 0;
+      fh_ievents = 0;
+    }
+
+  let observe_int f v =
+    let bounds = f.fh_ibounds in
+    let m = Array.length bounds in
+    let rec slot i = if i >= m || v <= bounds.(i) then i else slot (i + 1) in
+    let i = slot 0 in
+    f.fh_icounts.(i) <- f.fh_icounts.(i) + 1;
+    f.fh_isum <- f.fh_isum + v;
+    f.fh_ievents <- f.fh_ievents + 1
+
+  let absorb_histogram f =
+    let h = f.fh_cell in
+    Array.iteri
+      (fun i c ->
+        if c <> 0 then begin
+          h.counts.(i) <- h.counts.(i) + c;
+          f.fh_icounts.(i) <- 0
+        end)
+      f.fh_icounts;
+    h.hsum <- h.hsum +. float_of_int f.fh_isum;
+    h.hevents <- h.hevents + f.fh_ievents;
+    f.fh_isum <- 0;
+    f.fh_ievents <- 0
+end
+
 (* ---------------------------------------------------------- snapshots --- *)
 
 type hist_view = {

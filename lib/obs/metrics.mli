@@ -57,6 +57,40 @@ val default_buckets : float array
 (** [1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 5000] — suits
     step/round/latency counts in simulator time units. *)
 
+(** {1 Fast path}
+
+    Raw cells for per-step hot loops (the scheduler, DPOR replay).  A
+    fast cell buffers increments in a plain mutable int bound to one
+    registry cell; the buffered value becomes visible to {!snapshot} /
+    {!counter_value} only after the matching [absorb_*] call, which
+    folds it into the registry and zeroes the buffer.  Absorption is
+    therefore idempotent — absorbing twice adds zero — so callers may
+    absorb defensively at every exit point.  A fast cell binds to the
+    {e creating} domain's registry and must not be shared across
+    domains; create it where the hot loop runs (e.g. per scheduler
+    instance inside the pool worker) and absorb before the unit's
+    snapshot is taken. *)
+
+module Fast : sig
+  type counter
+
+  val counter : string -> counter
+  (** Register (or look up) the named registry counter in the calling
+      domain and bind a fresh zero buffer to it. *)
+
+  val incr : ?by:int -> counter -> unit
+  val absorb_counter : counter -> unit
+
+  type histogram
+
+  val histogram : ?buckets:float array -> string -> histogram
+  (** Same layout rules as the slow-path {!histogram} registration;
+      observation values are ints and the buffered sum is exact. *)
+
+  val observe_int : histogram -> int -> unit
+  val absorb_histogram : histogram -> unit
+end
+
 (** {1 Snapshots} *)
 
 type hist_view = {

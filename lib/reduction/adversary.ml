@@ -96,12 +96,13 @@ let run candidate ~n_plus_1 ~f ~max_phases ~phase_budget =
   let record index output =
     history := { index; output; at_time = Scheduler.now sched } :: !history
   in
-  match warmup phase_budget with
-  | None ->
-      (* The candidate never produced an output at all: treat as stuck on
-         the empty set (it certainly does not implement Ωᶠ). *)
-      Stuck { on = Pid.Set.empty; phase = 0; history = [] }
-  | Some l0 ->
+  let verdict =
+    match warmup phase_budget with
+    | None ->
+        (* The candidate never produced an output at all: treat as stuck on
+           the empty set (it certainly does not implement Ωᶠ). *)
+        Stuck { on = Pid.Set.empty; phase = 0; history = [] }
+    | Some l0 ->
       record 0 l0;
       let rec phases index l =
         if index >= max_phases then
@@ -151,6 +152,11 @@ let run candidate ~n_plus_1 ~f ~max_phases ~phase_budget =
         end
       in
       phases 0 l0
+  in
+  (* the adversary steps the scheduler manually, so the buffered step
+     counters are folded in here rather than at a [run] exit *)
+  Scheduler.flush_metrics sched;
+  verdict
 
 let flips = function
   | Never_stabilizes { flips; _ } -> flips

@@ -1,0 +1,185 @@
+(* Differential regression tests for the allocation-free DPOR rewrite:
+   exploration stats pinned to the pre-optimization goldens (captured
+   from the list-based implementation on the wfde check configurations
+   and the three planted mutants), verdict agreement with the naive
+   enumerator on depth-<=8 ABD scenarios, and QCheck equivalence of the
+   indexed enabled-set against its association-list semantics. *)
+
+open Kernel
+open Check
+module H = Wfde.Harness
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* -- golden stats ------------------------------------------------------ *)
+
+(* (object, procs, depth, mutant, patterns_swept, executions,
+   sleep_blocked, races, backtrack_points, violation found) as measured
+   before the rewrite; the optimized checker must reproduce every field
+   exactly — these counters are part of the wfde check --json payload
+   and any drift means the reduction explored a different tree. *)
+let golden =
+  [
+    (Scenario.Register, 2, 6, None, 1, 34, 0, 116, 66, false);
+    (Scenario.Register, 3, 8, None, 1, 2788, 0, 21068, 5009, false);
+    (Scenario.Snapshot, 2, 6, None, 1, 3, 0, 4, 3, false);
+    (Scenario.Snapshot, 3, 12, None, 1, 27, 0, 125, 69, false);
+    (Scenario.Abd, 3, 8, None, 25, 307, 0, 5664, 494, false);
+    (Scenario.Abd, 3, 10, None, 25, 562, 0, 10466, 967, false);
+    (Scenario.Commit_adopt, 2, 6, None, 1, 3, 0, 13, 3, false);
+    (Scenario.Commit_adopt, 3, 8, None, 1, 6, 0, 98, 7, false);
+    ( Scenario.Abd, 3, 10, Some Mutant.Abd_skip_write_back, 20, 329, 0, 3201,
+      595, true );
+    ( Scenario.Snapshot, 3, 12, Some Mutant.Snapshot_single_collect, 1, 14, 0,
+      60, 28, true );
+    ( Scenario.Commit_adopt, 2, 6, Some Mutant.Converge_drop_phase2, 1, 1, 0, 0,
+      0, true );
+  ]
+
+let test_golden_stats () =
+  List.iter
+    (fun (obj, procs, depth, mutant, patterns, execs, sleep, races, bt, violated)
+       ->
+      let label fmt =
+        Printf.sprintf "%s p%d d%d%s %s" (Scenario.to_string obj) procs depth
+          (match mutant with
+          | Some m -> " mutant:" ^ Mutant.to_string m
+          | None -> "")
+          fmt
+      in
+      let c = H.check_exhaustive ~jobs:1 ~procs ~depth ?mutant obj in
+      checki (label "patterns_swept") patterns c.H.patterns_swept;
+      checki (label "executions") execs c.H.executions;
+      checki (label "sleep_blocked") sleep c.H.sleep_blocked;
+      checki (label "races") races c.H.races;
+      checki (label "backtrack_points") bt c.H.backtrack_points;
+      checkb (label "violation") violated (c.H.violation <> None))
+    golden
+
+(* -- DPOR vs the naive enumerator -------------------------------------- *)
+
+let test_abd_matches_naive () =
+  (* Same verdict on the ABD scenario at every depth the naive
+     enumerator can still afford, failure-free and under the scenario's
+     first crash pattern; the reduction must also do strictly less
+     work. *)
+  let patterns = Scenario.patterns Scenario.Abd ~procs:3 in
+  let crashy = List.nth patterns 1 in
+  List.iter
+    (fun (pattern, pat_name, depths) ->
+      List.iter
+        (fun depth ->
+          let make = Scenario.make Scenario.Abd ~procs:3 in
+          let dpor =
+            Explore.exhaustive_prefix ~pattern ~depth ~horizon:400 ~make ()
+          in
+          let naive = Explore.naive_prefix ~pattern ~depth ~horizon:400 ~make () in
+          checkb
+            (Printf.sprintf "abd %s d%d: same verdict" pat_name depth)
+            (naive.Explore.counterexample = None)
+            (dpor.Explore.counterexample = None);
+          checkb
+            (Printf.sprintf "abd %s d%d: dpor fewer executions (%d < %d)"
+               pat_name depth dpor.Explore.executions naive.Explore.executions)
+            true
+            (dpor.Explore.executions < naive.Explore.executions))
+        depths)
+    [
+      (List.hd patterns, "failure-free", [ 4; 6; 8 ]);
+      (crashy, "crash-pattern", [ 4; 6 ]);
+    ]
+
+let test_mutant_matches_naive () =
+  (* The one planted bug cheap enough for unreduced enumeration: both
+     explorers must catch converge-drop-phase2, with the identical
+     checker report. *)
+  let pattern = Failure_pattern.no_failures ~n_plus_1:2 in
+  let make = Scenario.make Scenario.Commit_adopt ~procs:2 in
+  Mutant.with_ (Some Mutant.Converge_drop_phase2) (fun () ->
+      let dpor =
+        Explore.exhaustive_prefix ~pattern ~depth:6 ~horizon:400 ~make ()
+      in
+      let naive = Explore.naive_prefix ~pattern ~depth:6 ~horizon:400 ~make () in
+      match (dpor.Explore.counterexample, naive.Explore.counterexample) with
+      | Some (_, r1), Some (_, r2) ->
+          Alcotest.check Alcotest.string "same checker report" r2 r1
+      | None, _ -> Alcotest.fail "dpor missed the planted mutant"
+      | _, None -> Alcotest.fail "naive enumerator missed the planted mutant")
+
+(* -- Eset vs association list (QCheck) --------------------------------- *)
+
+let kind_pool =
+  [|
+    Sim.Read { obj = "x" };
+    Sim.Read { obj = "y" };
+    Sim.Write { obj = "x" };
+    Sim.Query { detector = "upsilon" };
+    Sim.Output { label = "decide"; value = "1" };
+    Sim.Input { label = "in"; value = "0" };
+    Sim.Nop;
+  |]
+
+(* An enabled set as its association-list model: a strictly increasing
+   pid subset of 0..11, each with an arbitrary pending kind. *)
+let entries_gen =
+  QCheck.Gen.(
+    list_size (int_bound 12)
+      (pair (int_bound 11) (int_bound (Array.length kind_pool - 1)))
+    >|= fun raw ->
+    let module IS = Set.Make (Int) in
+    let _, entries =
+      List.fold_left
+        (fun (seen, acc) (p, k) ->
+          if IS.mem p seen then (seen, acc)
+          else (IS.add p seen, (p, kind_pool.(k)) :: acc))
+        (IS.empty, []) raw
+    in
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) entries)
+
+let qcheck_eset_equivalence =
+  QCheck.Test.make ~count:500 ~name:"Eset matches association-list semantics"
+    (QCheck.make entries_gen)
+    (fun entries ->
+      let es = Eset.of_list entries in
+      (* every pid in range, present or not, looks up identically *)
+      List.for_all
+        (fun p ->
+          Eset.find es p = List.assoc_opt p entries
+          && Eset.mem es p = List.mem_assoc p entries)
+        (List.init 13 Fun.id)
+      && Eset.to_list es = entries
+      && Eset.size es = List.length entries
+      && Eset.to_list (Eset.copy es) = entries
+      &&
+      (* iteration visits the entries in pid order *)
+      let seen = ref [] in
+      Eset.iter es (fun p k -> seen := (p, k) :: !seen);
+      List.rev !seen = entries)
+
+let qcheck_eset_incremental =
+  QCheck.Test.make ~count:200 ~name:"Eset push/clear reuse stays equivalent"
+    (QCheck.make QCheck.Gen.(pair entries_gen entries_gen))
+    (fun (first, second) ->
+      (* one buffer refreshed across two generations, as the per-node
+         refresh on the DPOR hot path does *)
+      let es = Eset.create ~capacity:2 () in
+      List.iter (fun (p, k) -> Eset.push es p k) first;
+      Eset.clear es;
+      List.iter (fun (p, k) -> Eset.push es p k) second;
+      Eset.to_list es = second
+      && List.for_all
+           (fun p -> Eset.find es p = List.assoc_opt p second)
+           (List.init 13 Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "stats match pre-optimization goldens" `Slow
+      test_golden_stats;
+    Alcotest.test_case "abd verdicts match naive enumerator" `Slow
+      test_abd_matches_naive;
+    Alcotest.test_case "planted mutant caught by both explorers" `Quick
+      test_mutant_matches_naive;
+    QCheck_alcotest.to_alcotest qcheck_eset_equivalence;
+    QCheck_alcotest.to_alcotest qcheck_eset_incremental;
+  ]

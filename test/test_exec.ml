@@ -183,6 +183,61 @@ let test_check_identical () =
   checkb "check metrics snapshot identical (exec.* stripped)" true (s1 = s4);
   checkb "sweep actually explored" true (c1.Wfde.Harness.executions > 0)
 
+let test_check_json_repeatable () =
+  (* Two runs of the same configuration in the same process: the
+     optimized checker's buffer reuse (Eset refresh, vector-clock pool,
+     trace chunks, fast metric cells) must leave no state behind that
+     could change the payload of a later run. *)
+  let payload jobs =
+    M.reset ();
+    Obs.Json.to_string
+      (Wfde.Harness.check_outcome_json
+         (Wfde.Harness.check_exhaustive ~jobs ~procs:3 ~depth:8
+            Wfde.Scenario.Abd))
+  in
+  checks "check --json identical across two same-config runs" (payload 1)
+    (payload 1);
+  checks "second run at -j4 still matches" (payload 1) (payload 4)
+
+(* The deterministic part of the wfde sweep --json document: identical
+   structure to the CLI payload with the wall-clock fields — the only
+   sanctioned nondeterminism — normalized to zero. *)
+let sweep_json_normalized ~jobs ids =
+  let outcomes =
+    List.map
+      (fun id ->
+        match Wfde.Experiments.by_id id with
+        | None -> Alcotest.failf "unknown experiment %s" id
+        | Some f -> (id, f ~jobs ()))
+      ids
+  in
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [
+         ("schema", Obs.Json.String "wfde-sweep/1");
+         ("scale", Obs.Json.Int 1);
+         ("total_wall_seconds", Obs.Json.Float 0.0);
+         ( "experiments",
+           Obs.Json.List
+             (List.map
+                (fun (id, o) ->
+                  Obs.Json.Obj
+                    [
+                      ("id", Obs.Json.String id);
+                      ("ok", Obs.Json.Bool o.Wfde.Experiments.ok);
+                      ("wall_seconds", Obs.Json.Float 0.0);
+                    ])
+                outcomes) );
+       ])
+
+let test_sweep_json_identical () =
+  let ids = [ "e1"; "e2"; "e6" ] in
+  let j1 = sweep_json_normalized ~jobs:1 ids in
+  let j1' = sweep_json_normalized ~jobs:1 ids in
+  let j4 = sweep_json_normalized ~jobs:4 ids in
+  checks "sweep JSON identical across two same-seed runs" j1 j1';
+  checks "sweep JSON identical at -j1 / -j4" j1 j4
+
 let test_mutant_caught_any_jobs () =
   (* A planted bug must be found — and shrink to the same replayable
      counterexample — whichever worker's unit hits it first. *)
@@ -247,6 +302,10 @@ let suite =
       test_e1_table_identical;
     Alcotest.test_case "check sweep identical at -j1/-j4" `Slow
       test_check_identical;
+    Alcotest.test_case "check --json repeatable in-process" `Slow
+      test_check_json_repeatable;
+    Alcotest.test_case "sweep JSON identical at -j1/-j4" `Slow
+      test_sweep_json_identical;
     Alcotest.test_case "mutant violation identical at -j1/-j4" `Quick
       test_mutant_caught_any_jobs;
     Alcotest.test_case "exported JSONL identical at -j1/-j4" `Quick

@@ -13,6 +13,7 @@ let () =
       ("faults", Test_faults.suite);
       ("explore", Test_explore.suite);
       ("check", Test_check.suite);
+      ("dpor-golden", Test_dpor_golden.suite);
       ("lin-diff", Test_lin_diff.suite);
       ("oracles", Test_oracles.suite);
       ("network", Test_network.suite);

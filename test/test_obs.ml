@@ -260,6 +260,86 @@ let test_exported_schedule_replays () =
       = Trace.outputs ~label:"decide" original.Run.trace)
   done
 
+(* -- fast-path cells --------------------------------------------------- *)
+
+let test_fast_absorb_idempotent () =
+  (* absorb moves the buffered amount into the registry and zeroes the
+     buffer, so a second (or defensive extra) absorb adds nothing — the
+     scheduler relies on this to flush at every stop point without
+     double-counting. *)
+  M.reset ();
+  let f = M.Fast.counter "test.obs.fast" in
+  M.Fast.incr f;
+  M.Fast.incr ~by:9 f;
+  M.Fast.absorb_counter f;
+  M.Fast.absorb_counter f;
+  checkb "double absorb adds nothing" true
+    (M.find_counter (M.snapshot ()) "test.obs.fast" = Some 10);
+  M.Fast.incr ~by:5 f;
+  M.Fast.absorb_counter f;
+  M.Fast.absorb_counter f;
+  checkb "buffer usable after absorb" true
+    (M.find_counter (M.snapshot ()) "test.obs.fast" = Some 15);
+  let h = M.Fast.histogram ~buckets:[| 2.0; 8.0 |] "test.obs.fast_hist" in
+  M.Fast.observe_int h 1;
+  M.Fast.observe_int h 5;
+  M.Fast.observe_int h 100;
+  M.Fast.absorb_histogram h;
+  M.Fast.absorb_histogram h;
+  match M.find_histogram (M.snapshot ()) "test.obs.fast_hist" with
+  | None -> Alcotest.fail "fast histogram missing"
+  | Some v ->
+      checki "events absorbed once" 3 v.M.events;
+      checkb "buckets absorbed once" true (v.M.buckets = [ (2.0, 1); (8.0, 1) ]);
+      checki "overflow absorbed once" 1 v.M.overflow;
+      checkf "sum exact" 106.0 v.M.sum
+
+let test_fast_matches_slow_under_pool () =
+  (* Identical workload through the buffered fast path and the direct
+     slow path, each sharded over Exec.Pool workers: absorbed totals
+     must agree exactly, at every jobs. *)
+  let units = 16 in
+  let work incr observe u =
+    for i = 1 to 5 do
+      incr ((u * 5) + i);
+      observe (1 + ((u + i) mod 7))
+    done
+  in
+  let snapshot_of ~jobs ~fast =
+    M.reset ();
+    ignore
+      (Exec.Pool.map
+         (Exec.Pool.create ~jobs ())
+         ~f:(fun u ->
+           if fast then begin
+             let c = M.Fast.counter "test.obs.path.work" in
+             let h = M.Fast.histogram "test.obs.path.lat" in
+             work
+               (fun by -> M.Fast.incr ~by c)
+               (M.Fast.observe_int h) u;
+             M.Fast.absorb_counter c;
+             M.Fast.absorb_histogram h
+           end
+           else begin
+             let c = M.counter "test.obs.path.work" in
+             let h = M.histogram "test.obs.path.lat" in
+             work (fun by -> M.incr ~by c) (M.observe_int h) u
+           end;
+           u)
+         units);
+    let s = M.snapshot () in
+    (M.find_counter s "test.obs.path.work",
+     M.find_histogram s "test.obs.path.lat")
+  in
+  let reference = snapshot_of ~jobs:1 ~fast:false in
+  List.iter
+    (fun jobs ->
+      checkb
+        (Printf.sprintf "fast path total matches slow path at jobs=%d" jobs)
+        true
+        (snapshot_of ~jobs ~fast:true = reference))
+    [ 1; 2; 4 ]
+
 let suite =
   [
     Alcotest.test_case "counter semantics" `Quick test_counter;
@@ -274,5 +354,9 @@ let suite =
     Alcotest.test_case "save/load file" `Quick test_save_load_file;
     Alcotest.test_case "exported schedule replays" `Quick
       test_exported_schedule_replays;
+    Alcotest.test_case "fast-path absorb idempotent" `Quick
+      test_fast_absorb_idempotent;
+    Alcotest.test_case "fast path matches slow path under pool" `Quick
+      test_fast_matches_slow_under_pool;
   ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_cases
