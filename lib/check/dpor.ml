@@ -58,16 +58,21 @@ type node = {
 }
 
 (* Fiber names are a pure function of (pid, thread index); intern them
-   so re-spawning the world for every execution stops formatting. *)
-let fiber_names : (int, string) Hashtbl.t = Hashtbl.create 32
+   so re-spawning the world for every execution stops formatting. The
+   table is domain-local because explore runs concurrently in Exec.Pool
+   worker domains and stdlib Hashtbl is not domain-safe; each domain
+   interning its own copy still amortizes. *)
+let fiber_names_key : (int, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
 
 let fiber_name pid j =
+  let names = Domain.DLS.get fiber_names_key in
   let key = (Pid.to_int pid lsl 16) lor j in
-  match Hashtbl.find_opt fiber_names key with
+  match Hashtbl.find_opt names key with
   | Some s -> s
   | None ->
       let s = Format.asprintf "%a/t%d" Pid.pp pid j in
-      Hashtbl.replace fiber_names key s;
+      Hashtbl.replace names key s;
       s
 
 let spawn_fibers ~pattern ~procs =

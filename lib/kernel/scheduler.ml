@@ -29,17 +29,11 @@ let kind_counter_names =
     "kernel.scheduler.steps{kind=nop}";
   |]
 
-(* Per-pid counter names are interned once per process so scheduler
-   creation (one per DPOR execution) never calls Printf. *)
-let pid_counter_names : (int, string) Hashtbl.t = Hashtbl.create 16
-
-let pid_counter_name p =
-  match Hashtbl.find_opt pid_counter_names p with
-  | Some s -> s
-  | None ->
-      let s = Printf.sprintf "kernel.scheduler.steps{pid=p%d}" (p + 1) in
-      Hashtbl.replace pid_counter_names p s;
-      s
+(* Per-pid counter names are only built when a domain's bundle grows to
+   a new pid count (not per scheduler creation), so the Printf is off
+   the hot path and needs no shared interning table — sharing one across
+   pool worker domains would race. *)
+let pid_counter_name p = Printf.sprintf "kernel.scheduler.steps{pid=p%d}" (p + 1)
 
 (* Detector instance names embed run parameters ("upsilon_f(f=2,t*=37)");
    collapse to the family so the per-detector label set stays bounded. *)
@@ -234,43 +228,52 @@ let pending t =
   List.rev !acc
 
 let step t =
-  let step_time = t.clock + 1 in
-  if step_time >= t.next_crash then process_crashes t step_time;
-  match enabled_pids t with
-  | [] ->
-      flush_metrics t;
-      Obs.Metrics.incr m_quiescent;
-      `Stopped Quiescent
-  | enabled -> (
-      Obs.Metrics.Fast.incr t.metrics.b_policy_decisions;
-      match t.policy ~now:step_time ~enabled with
-      | None ->
-          flush_metrics t;
-          Obs.Metrics.incr m_policy_stops;
-          `Stopped Policy_stop
-      | Some pid ->
-          if not (List.mem pid enabled) then
-            invalid_arg "Scheduler.step: policy chose a disabled process";
-          t.clock <- step_time;
-          let fiber = next_fiber t pid in
-          let kind = Fiber.pending_kind fiber in
-          let b = t.metrics in
-          Obs.Metrics.Fast.incr b.b_steps;
-          Obs.Metrics.Fast.incr b.b_by_pid.(pid);
-          Obs.Metrics.Fast.incr b.b_by_kind.(kind_tag kind);
-          (match kind with
-          | Sim.Query { detector } ->
-              Obs.Metrics.Fast.incr b.b_queries;
-              Obs.Metrics.Fast.incr (detector_counter t detector)
-          | _ -> ());
-          let ctx = t.ctx in
-          ctx.Sim.pid <- pid;
-          ctx.Sim.now <- step_time;
-          ctx.Sim.note <- None;
-          Fiber.step fiber ctx;
-          Trace.record t.events
-            (Trace.Step { pid; time = step_time; kind; note = ctx.Sim.note });
-          `Stepped pid)
+  try
+    let step_time = t.clock + 1 in
+    if step_time >= t.next_crash then process_crashes t step_time;
+    match enabled_pids t with
+    | [] ->
+        flush_metrics t;
+        Obs.Metrics.incr m_quiescent;
+        `Stopped Quiescent
+    | enabled -> (
+        Obs.Metrics.Fast.incr t.metrics.b_policy_decisions;
+        match t.policy ~now:step_time ~enabled with
+        | None ->
+            flush_metrics t;
+            Obs.Metrics.incr m_policy_stops;
+            `Stopped Policy_stop
+        | Some pid ->
+            if not (List.mem pid enabled) then
+              invalid_arg "Scheduler.step: policy chose a disabled process";
+            t.clock <- step_time;
+            let fiber = next_fiber t pid in
+            let kind = Fiber.pending_kind fiber in
+            let b = t.metrics in
+            Obs.Metrics.Fast.incr b.b_steps;
+            Obs.Metrics.Fast.incr b.b_by_pid.(pid);
+            Obs.Metrics.Fast.incr b.b_by_kind.(kind_tag kind);
+            (match kind with
+            | Sim.Query { detector } ->
+                Obs.Metrics.Fast.incr b.b_queries;
+                Obs.Metrics.Fast.incr (detector_counter t detector)
+            | _ -> ());
+            let ctx = t.ctx in
+            ctx.Sim.pid <- pid;
+            ctx.Sim.now <- step_time;
+            ctx.Sim.note <- None;
+            Fiber.step fiber ctx;
+            Trace.record t.events
+              (Trace.Step { pid; time = step_time; kind; note = ctx.Sim.note });
+            `Stepped pid)
+  with e ->
+    (* A raising fiber/policy must not strand this step's buffered Fast
+       increments: the bundle is domain-shared and survives
+       Obs.Metrics.reset, so unflushed counts would bleed into the next
+       pool unit's snapshot. Flush before propagating. *)
+    let bt = Printexc.get_raw_backtrace () in
+    flush_metrics t;
+    Printexc.raise_with_backtrace e bt
 
 let run t ~max_steps =
   let rec loop remaining =
