@@ -247,6 +247,113 @@ let macro_entries () =
   Format.printf "@.";
   entries
 
+(* ------------------------------------------------------------- part 4 *)
+
+(* Service-daemon throughput/latency: an in-process daemon serving the
+   deterministic Loadgen workload, one serial leg (1 client) and one
+   concurrent leg (4 clients) over the SAME global request indices.
+   Wall time, throughput, and latency percentiles are machine-dependent
+   and never gate; the work counters are deterministic and do:
+   errors / requests_missing / payload_mismatches must stay 0, and
+   payload_bytes is an exact function of the workload (the serial and
+   concurrent legs must agree on it — that is the daemon's determinism
+   contract under concurrency). *)
+
+type serve_entry = {
+  serve_name : string;
+  serve_wall : float;
+  serve_rps : float;
+  serve_p50 : float;
+  serve_p95 : float;
+  serve_p99 : float;
+  serve_counters : (string * int) list;
+}
+
+let serve_requests = 60
+let serve_clients = 4
+
+let latency_percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let serve_entry_of ~name ~(leg : Serve.Loadgen.leg) ~extra_counters =
+  let sorted =
+    let a =
+      Array.of_list
+        (List.filter (fun l -> l > 0.) (Array.to_list leg.latencies_ms))
+    in
+    Array.sort compare a;
+    a
+  in
+  {
+    serve_name = name;
+    serve_wall = leg.wall_seconds;
+    serve_rps =
+      (if leg.wall_seconds > 0. then float_of_int leg.ok /. leg.wall_seconds
+       else 0.);
+    serve_p50 = latency_percentile sorted 0.50;
+    serve_p95 = latency_percentile sorted 0.95;
+    serve_p99 = latency_percentile sorted 0.99;
+    serve_counters =
+      [
+        ("errors", leg.errors + leg.transport_errors);
+        ("requests_missing", leg.total - leg.ok);
+        ("payload_bytes", leg.payload_bytes);
+      ]
+      @ extra_counters;
+  }
+
+let serve_entries () =
+  Format.printf "==================================================@.";
+  Format.printf "Part 4: service daemon (deterministic load generator)@.";
+  Format.printf "==================================================@.@.";
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wfde-bench-%d.sock" (Unix.getpid ()))
+  in
+  let daemon =
+    Serve.Daemon.start ~workers:serve_clients ~queue_capacity:64 ~socket ()
+  in
+  let entries =
+    Fun.protect
+      ~finally:(fun () -> Serve.Daemon.stop daemon)
+      (fun () ->
+        let serial =
+          Serve.Loadgen.run ~socket ~total:serve_requests ~clients:1
+        in
+        let concurrent =
+          Serve.Loadgen.run ~socket ~total:serve_requests
+            ~clients:serve_clients
+        in
+        let mismatches = Serve.Loadgen.mismatches ~reference:serial concurrent in
+        [
+          serve_entry_of
+            ~name:(Printf.sprintf "serve/serial %d reqs x1 client" serve_requests)
+            ~leg:serial ~extra_counters:[];
+          serve_entry_of
+            ~name:
+              (Printf.sprintf "serve/concurrent %d reqs x%d clients"
+                 serve_requests serve_clients)
+            ~leg:concurrent
+            ~extra_counters:[ ("payload_mismatches", mismatches) ];
+        ])
+  in
+  List.iter
+    (fun e ->
+      Format.printf
+        "%-34s %7.3fs  %8.1f req/s  p50 %6.2fms p95 %6.2fms p99 %6.2fms  %s@."
+        e.serve_name e.serve_wall e.serve_rps e.serve_p50 e.serve_p95
+        e.serve_p99
+        (String.concat " "
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+              e.serve_counters)))
+    entries;
+  Format.printf "@.";
+  entries
+
 (* ------------------------------------------------------------- part 2 *)
 
 let fig1_world seed =
@@ -541,7 +648,7 @@ let run_benchmarks () =
 
 (* --------------------------------------------------------- json output *)
 
-let json_document ~outcomes ~sweep ~benchmarks ~macro =
+let json_document ~outcomes ~sweep ~benchmarks ~macro ~serve =
   let module J = Wfde.Json in
   J.Obj
     [
@@ -593,11 +700,34 @@ let json_document ~outcomes ~sweep ~benchmarks ~macro =
                           e.macro_counters) );
                  ])
              macro) );
+      ( "serve",
+        J.List
+          (List.map
+             (fun e ->
+               J.Obj
+                 [
+                   ("name", J.String e.serve_name);
+                   ("wall_seconds", J.Float e.serve_wall);
+                   ("throughput_rps", J.Float e.serve_rps);
+                   ( "latency_ms",
+                     J.Obj
+                       [
+                         ("p50", J.Float e.serve_p50);
+                         ("p95", J.Float e.serve_p95);
+                         ("p99", J.Float e.serve_p99);
+                       ] );
+                   ( "counters",
+                     J.Obj
+                       (List.map
+                          (fun (k, v) -> (k, J.Int v))
+                          e.serve_counters) );
+                 ])
+             serve) );
       ("metrics", Wfde.Metrics.to_json (Wfde.Metrics.snapshot ()));
     ]
 
 let parse_args () =
-  let json = ref None and macro_only = ref false in
+  let json = ref None and macro_only = ref false and serve_only = ref false in
   let rec walk = function
     | [] -> ()
     | "--json" :: path :: rest ->
@@ -607,17 +737,24 @@ let parse_args () =
     | "--macro-only" :: rest ->
         macro_only := true;
         walk rest
+    | "--serve-only" :: rest ->
+        serve_only := true;
+        walk rest
     | arg :: _ -> failwith (Printf.sprintf "unknown argument %S" arg)
   in
   walk (List.tl (Array.to_list Sys.argv));
-  (!json, !macro_only)
+  (!json, !macro_only, !serve_only)
 
 let () =
-  let json_path, macro_only = parse_args () in
-  let outcomes = if macro_only then [] else print_experiment_tables () in
-  let sweep = if macro_only then [] else parallel_sweep_entries () in
-  let benchmarks = if macro_only then [] else run_benchmarks () in
-  let macro = macro_entries () in
+  let json_path, macro_only, serve_only = parse_args () in
+  let quick = macro_only || serve_only in
+  let outcomes = if quick then [] else print_experiment_tables () in
+  let sweep = if quick then [] else parallel_sweep_entries () in
+  let benchmarks = if quick then [] else run_benchmarks () in
+  let macro = if serve_only then [] else macro_entries () in
+  (* part 4 runs in every mode: it is cheap, and keeping it in the
+     --macro-only document is what lets CI gate its counters *)
+  let serve = serve_entries () in
   match json_path with
   | None -> ()
   | Some path ->
@@ -627,6 +764,6 @@ let () =
         (fun () ->
           output_string oc
             (Wfde.Json.to_string
-               (json_document ~outcomes ~sweep ~benchmarks ~macro));
+               (json_document ~outcomes ~sweep ~benchmarks ~macro ~serve));
           output_char oc '\n');
       Format.printf "wrote machine-readable results to %s@." path

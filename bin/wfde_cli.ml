@@ -5,39 +5,65 @@
      wfde trace --protocol fig1 --seed 7 --n 4 [--limit 120] [--out F.jsonl]
      wfde stats [EXPERIMENTS...] [--scale N] [--json PATH]
      wfde sweep [EXPERIMENTS...] [-j N] [--scale N] [--json PATH]
+     wfde serve --socket PATH [--workers N] [--queue N]
+     wfde client METHOD --socket PATH [--params JSON] [--deadline-ms N]
 
    Experiments are the paper-claim tables of DESIGN.md (e1..e11, a1..a3);
    trace replays one world and dumps the step-by-step run, including the
    values every detector query returned (or exports it as JSONL); stats
-   runs experiments and dumps the telemetry registry they populated. *)
+   runs experiments and dumps the telemetry registry they populated;
+   serve/client are the wfde-rpc/1 daemon and its line client. *)
 
 open Cmdliner
 
+(* Integer options validated at parse time: a malformed or out-of-range
+   value is a one-line usage error with a nonzero exit, never a raw
+   exception out of the guts (Dpor raises on depth < 1, several
+   experiment drivers on scale < 1, ...). *)
+let bounded_int ~what ~min:lo ~max:hi =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= lo && v <= hi -> Ok v
+    | Some _ | None ->
+        Error
+          (`Msg (Printf.sprintf "%s must be an integer in [%d, %d]" what lo hi))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 (* ------------------------------------------------------------- run --- *)
 
-let outcomes_of ids ~scale ~jobs =
-  match ids with
-  | [] -> Wfde.Experiments.all ~jobs ()
-  | ids ->
-      List.map
-        (fun id ->
-          match Wfde.Experiments.by_id id with
-          | Some f -> f ~scale ~jobs ()
-          | None -> failwith (Printf.sprintf "unknown experiment %S" id))
-        ids
+(* Experiment selection and execution shared with the daemon: unknown
+   ids fail with one clean line, and payload-visible output goes
+   through Serve.Service's renderers so 'wfde run' and a daemon 'run'
+   request agree byte for byte. *)
+
+let reject_unknown_ids ids =
+  match Serve.Service.unknown_ids ids with
+  | [] -> true
+  | unknown ->
+      Format.eprintf "unknown experiment id(s): %s (see 'wfde list')@."
+        (String.concat ", " unknown);
+      false
+
+let timed_outcomes ids ~scale ~jobs =
+  let ids = if ids = [] then List.map fst Wfde.Experiments.catalog else ids in
+  List.map
+    (fun id ->
+      let f = Option.get (Wfde.Experiments.by_id id) in
+      let t0 = Unix.gettimeofday () in
+      let outcome = f ~scale ~jobs () in
+      let wall = Unix.gettimeofday () -. t0 in
+      (id, outcome, wall))
+    ids
 
 let run_ids ids scale jobs =
-  let outcomes = outcomes_of ids ~scale ~jobs in
-  List.iter (fun o -> Format.printf "%a@." Wfde.Experiments.pp o) outcomes;
-  let failed = List.filter (fun o -> not o.Wfde.Experiments.ok) outcomes in
-  if failed = [] then begin
-    Format.printf "all %d experiment claims hold@." (List.length outcomes);
-    0
-  end
+  if not (reject_unknown_ids ids) then 2
   else begin
-    Format.printf "FAILED claims: %s@."
-      (String.concat ", " (List.map (fun o -> o.Wfde.Experiments.id) failed));
-    1
+    let outcomes =
+      List.map (fun (_, o, _) -> o) (timed_outcomes ids ~scale ~jobs)
+    in
+    print_string (Serve.Service.run_text outcomes);
+    if List.for_all (fun o -> o.Wfde.Experiments.ok) outcomes then 0 else 1
   end
 
 let ids_arg =
@@ -48,14 +74,20 @@ let ids_arg =
 
 let scale_arg =
   let doc = "Multiply default seed counts / phase budgets by this factor." in
-  Arg.(value & opt int 1 & info [ "scale"; "s" ] ~docv:"N" ~doc)
+  Arg.(
+    value
+    & opt (bounded_int ~what:"--scale" ~min:1 ~max:1_000_000) 1
+    & info [ "scale"; "s" ] ~docv:"N" ~doc)
 
 let jobs_arg =
   let doc =
     "Worker domains for the parallel sweep pool (clamped to 1-64). The \
      output is byte-identical at every value; only wall time changes."
   in
-  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"J" ~doc)
+  Arg.(
+    value
+    & opt (bounded_int ~what:"--jobs" ~min:1 ~max:64) 1
+    & info [ "jobs"; "j" ] ~docv:"J" ~doc)
 
 let run_cmd =
   let doc = "run experiments (the default command)" in
@@ -125,7 +157,10 @@ let dump_trace protocol seed n_plus_1 f limit out =
               ])
             (),
           "detector-free skeleton under lock-step (the impossibility run)" )
-    | other -> failwith (Printf.sprintf "unknown protocol %S" other)
+    | other ->
+        Format.eprintf "unknown protocol %S (expected fig1, fig2, or async)@."
+          other;
+        exit 2
   in
   let events = run_result.Wfde.Run.trace in
   match out with
@@ -163,21 +198,27 @@ let trace_cmd =
     Arg.(value & opt string "fig1" & info [ "protocol"; "p" ] ~docv:"P" ~doc)
   in
   let seed_arg =
-    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"World seed.")
+    Arg.(
+      value
+      & opt (bounded_int ~what:"--seed" ~min:0 ~max:max_int) 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"World seed.")
   in
   let n_arg =
     Arg.(
-      value & opt int 3
+      value
+      & opt (bounded_int ~what:"--n" ~min:2 ~max:64) 3
       & info [ "n"; "procs" ] ~docv:"N+1" ~doc:"Number of processes.")
   in
   let f_arg =
     Arg.(
-      value & opt int 1
+      value
+      & opt (bounded_int ~what:"--f" ~min:1 ~max:63) 1
       & info [ "f"; "faulty" ] ~docv:"F" ~doc:"Resilience (fig2 only).")
   in
   let limit_arg =
     Arg.(
-      value & opt int 120
+      value
+      & opt (bounded_int ~what:"--limit" ~min:0 ~max:max_int) 120
       & info [ "limit" ] ~docv:"K" ~doc:"Print at most K events.")
   in
   let out_arg =
@@ -197,9 +238,11 @@ let trace_cmd =
 
 (* ------------------------------------------------------------ stats --- *)
 
-let run_stats ids scale jobs json_path =
+let stats_body ids scale jobs json_path =
   Wfde.Metrics.reset ();
-  let outcomes = outcomes_of ids ~scale ~jobs in
+  let outcomes =
+    List.map (fun (_, o, _) -> o) (timed_outcomes ids ~scale ~jobs)
+  in
   let failed = List.filter (fun o -> not o.Wfde.Experiments.ok) outcomes in
   let snap = Wfde.Metrics.snapshot () in
   let title =
@@ -234,6 +277,10 @@ let run_stats ids scale jobs json_path =
       (String.concat ", " (List.map (fun o -> o.Wfde.Experiments.id) failed));
     1
   end
+
+let run_stats ids scale jobs json_path =
+  if not (reject_unknown_ids ids) then 2
+  else stats_body ids scale jobs json_path
 
 let stats_cmd =
   let json_arg =
@@ -327,15 +374,24 @@ let check_cmd =
     let doc =
       "Number of processes (clamped up to the scenario's minimum; default 2)."
     in
-    Arg.(value & opt (some int) None & info [ "procs"; "n" ] ~docv:"N+1" ~doc)
+    Arg.(
+      value
+      & opt (some (bounded_int ~what:"--procs" ~min:1 ~max:64)) None
+      & info [ "procs"; "n" ] ~docv:"N+1" ~doc)
   in
   let depth_arg =
     let doc = "Schedule-choice window: explore every class of the first $(docv) steps." in
-    Arg.(value & opt int 6 & info [ "depth"; "d" ] ~docv:"D" ~doc)
+    Arg.(
+      value
+      & opt (bounded_int ~what:"--depth" ~min:1 ~max:64) 6
+      & info [ "depth"; "d" ] ~docv:"D" ~doc)
   in
   let horizon_arg =
     let doc = "Step budget per execution (completes runs past the window)." in
-    Arg.(value & opt int 400 & info [ "horizon" ] ~docv:"H" ~doc)
+    Arg.(
+      value
+      & opt (bounded_int ~what:"--horizon" ~min:1 ~max:100_000_000) 400
+      & info [ "horizon" ] ~docv:"H" ~doc)
   in
   let mutant_arg =
     let doc =
@@ -377,23 +433,12 @@ let check_cmd =
    go to stderr and the optional JSON document, which are the only
    places nondeterminism is allowed to show. *)
 
-let run_sweep ids scale jobs json_path =
-  let ids = if ids = [] then List.map fst Wfde.Experiments.catalog else ids in
-  let timed =
-    List.map
-      (fun id ->
-        match Wfde.Experiments.by_id id with
-        | None -> failwith (Printf.sprintf "unknown experiment %S" id)
-        | Some f ->
-            let t0 = Unix.gettimeofday () in
-            let outcome = f ~scale ~jobs () in
-            let wall = Unix.gettimeofday () -. t0 in
-            (id, outcome, wall))
-      ids
-  in
-  List.iter
-    (fun (_, o, _) -> Format.printf "%a@." Wfde.Experiments.pp o)
-    timed;
+let sweep_body ids scale jobs json_path =
+  let timed = timed_outcomes ids ~scale ~jobs in
+  let outcomes = List.map (fun (_, o, _) -> o) timed in
+  (* tables (and the failed-claims line, when any) come from the same
+     renderer the daemon's sweep payload embeds *)
+  print_string (Serve.Service.sweep_text outcomes);
   let total = List.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 timed in
   List.iter
     (fun (id, _, w) -> Format.eprintf "%-4s %8.3fs@." id w)
@@ -406,26 +451,7 @@ let run_sweep ids scale jobs json_path =
     match json_path with
     | None -> false
     | Some path -> (
-        let doc =
-          Wfde.Json.Obj
-            [
-              ("schema", Wfde.Json.String "wfde-sweep/1");
-              ("jobs", Wfde.Json.Int jobs);
-              ("scale", Wfde.Json.Int scale);
-              ("total_wall_seconds", Wfde.Json.Float total);
-              ( "experiments",
-                Wfde.Json.List
-                  (List.map
-                     (fun (id, o, w) ->
-                       Wfde.Json.Obj
-                         [
-                           ("id", Wfde.Json.String id);
-                           ("ok", Wfde.Json.Bool o.Wfde.Experiments.ok);
-                           ("wall_seconds", Wfde.Json.Float w);
-                         ])
-                     timed) );
-            ]
-        in
+        let doc = Serve.Service.sweep_json ~jobs ~scale timed in
         match open_out path with
         | oc ->
             Fun.protect
@@ -439,14 +465,11 @@ let run_sweep ids scale jobs json_path =
             Format.eprintf "cannot write sweep JSON: %s@." msg;
             true)
   in
-  if json_failed then 1
-  else if failed = [] then 0
-  else begin
-    Format.printf "FAILED claims: %s@."
-      (String.concat ", "
-         (List.map (fun (id, _, _) -> id) failed));
-    1
-  end
+  if json_failed then 1 else if failed = [] then 0 else 1
+
+let run_sweep ids scale jobs json_path =
+  if not (reject_unknown_ids ids) then 2
+  else sweep_body ids scale jobs json_path
 
 let sweep_cmd =
   let json_arg =
@@ -473,6 +496,176 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc ~man)
     Term.(const run_sweep $ ids_arg $ scale_arg $ jobs_arg $ json_arg)
+
+(* ------------------------------------------------------------ serve --- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path the daemon listens on." in
+  Arg.(
+    value
+    & opt string "/tmp/wfde.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let run_serve socket workers queue_capacity =
+  match
+    Serve.Daemon.start ~workers ~queue_capacity ~socket ()
+  with
+  | t ->
+      (* the readiness line CI and scripts wait for *)
+      Format.printf "wfde serve: listening on %s (workers=%d queue=%d)@."
+        socket workers queue_capacity;
+      Serve.Daemon.run_forever t;
+      Format.printf "wfde serve: drained, bye@.";
+      0
+  | exception Unix.Unix_error (e, _, arg) ->
+      Format.eprintf "cannot listen on %s: %s %s@." socket
+        (Unix.error_message e) arg;
+      1
+
+let serve_cmd =
+  let workers_arg =
+    let doc = "Worker domains executing requests." in
+    Arg.(
+      value
+      & opt (bounded_int ~what:"--workers" ~min:1 ~max:64) 2
+      & info [ "workers" ] ~docv:"W" ~doc)
+  in
+  let queue_arg =
+    let doc = "Bounded job-queue capacity; a full queue rejects with queue_full." in
+    Arg.(
+      value
+      & opt (bounded_int ~what:"--queue" ~min:1 ~max:4096) 64
+      & info [ "queue" ] ~docv:"Q" ~doc)
+  in
+  let doc = "run the wfde-rpc/1 daemon on a Unix-domain socket" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Serves newline-delimited JSON requests (run, check, sweep, stats, \
+         sleep, health, metrics) over a Unix-domain socket. Work executes \
+         on a bounded worker fleet: a full queue rejects immediately with \
+         a structured queue_full error, per-request deadline_ms cancels \
+         cooperatively, and SIGTERM/SIGINT drain gracefully (in-flight \
+         and queued requests complete; new ones are refused). Payloads \
+         are byte-identical to the matching CLI output.";
+    ]
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(const run_serve $ socket_arg $ workers_arg $ queue_arg)
+
+(* ----------------------------------------------------------- client --- *)
+
+let run_client meth socket params_json id deadline_ms envelope =
+  let params =
+    match params_json with
+    | None -> Ok []
+    | Some s -> (
+        match Wfde.Json.of_string s with
+        | Ok (Wfde.Json.Obj kvs) -> Ok kvs
+        | Ok _ -> Error "--params must be a JSON object"
+        | Error e -> Error (Printf.sprintf "--params is not valid JSON: %s" e))
+  in
+  match params with
+  | Error msg ->
+      Format.eprintf "%s@." msg;
+      2
+  | Ok params -> (
+      let req =
+        {
+          Serve.Proto.id =
+            (match id with None -> Wfde.Json.Null | Some s -> Wfde.Json.String s);
+          meth;
+          params;
+          deadline_ms;
+        }
+      in
+      match Serve.Client.rpc ~socket req with
+      | Error msg ->
+          Format.eprintf "transport error: %s@." msg;
+          3
+      | Ok resp -> (
+          if envelope then begin
+            let doc =
+              match resp.Serve.Proto.result with
+              | Ok payload ->
+                  Serve.Proto.ok_response ~id:resp.Serve.Proto.resp_id
+                    ~wall_ms:resp.Serve.Proto.wall_ms payload
+              | Error e ->
+                  Serve.Proto.error_response ~id:resp.Serve.Proto.resp_id
+                    ~wall_ms:resp.Serve.Proto.wall_ms e
+            in
+            print_string (Wfde.Json.to_string doc);
+            print_newline ()
+          end;
+          match resp.Serve.Proto.result with
+          | Ok payload ->
+              if not envelope then begin
+                print_string (Wfde.Json.to_string payload);
+                print_newline ()
+              end;
+              0
+          | Error e ->
+              if not envelope then
+                Format.eprintf "%s: %s@."
+                  (Serve.Proto.code_to_string e.Serve.Proto.code)
+                  e.Serve.Proto.message;
+              1))
+
+let client_cmd =
+  let meth_arg =
+    let doc =
+      "Method to call: run, check, sweep, stats, sleep, health, or metrics."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"METHOD" ~doc)
+  in
+  let params_arg =
+    let doc = "Method parameters as a JSON object." in
+    Arg.(
+      value & opt (some string) None & info [ "params" ] ~docv:"JSON" ~doc)
+  in
+  let id_arg =
+    let doc = "Request id, echoed back in the envelope." in
+    Arg.(value & opt (some string) None & info [ "id" ] ~docv:"ID" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-request deadline in milliseconds." in
+    Arg.(
+      value
+      & opt (some (bounded_int ~what:"--deadline-ms" ~min:1 ~max:86_400_000)) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let envelope_arg =
+    let doc =
+      "Print the full wfde-rpc/1 envelope instead of just the payload."
+    in
+    Arg.(value & flag & info [ "envelope" ] ~doc)
+  in
+  let doc = "send one request to a running wfde daemon" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Connects to the daemon's Unix socket, sends one request, prints \
+         the payload JSON on stdout (exit 0), a structured server error \
+         on stderr (exit 1), or a transport error (exit 3). With \
+         $(b,--envelope) the whole response envelope prints instead. \
+         Because daemon payloads are byte-identical to CLI output, \
+         'wfde client sweep --params ...' and 'wfde sweep --json -' \
+         style pipelines can be diffed directly.";
+      `S Manpage.s_examples;
+      `Pre
+        "  wfde client health --socket /tmp/wfde.sock\n\
+        \  wfde client run --params '{\"experiments\":[\"e1\"]}'\n\
+        \  wfde client check --params '{\"object\":\"abd\",\"procs\":3}' \
+         --deadline-ms 30000\n\
+        \  wfde client metrics --envelope";
+    ]
+  in
+  Cmd.v (Cmd.info "client" ~doc ~man)
+    Term.(
+      const run_client $ meth_arg $ socket_arg $ params_arg $ id_arg
+      $ deadline_arg $ envelope_arg)
 
 (* ------------------------------------------------------------ group --- *)
 
@@ -508,6 +701,15 @@ let group =
   let default = Term.(const run_ids $ ids_arg $ scale_arg $ jobs_arg) in
   Cmd.group ~default
     (Cmd.info "wfde" ~version:"1.0.0" ~doc ~man)
-    [ run_cmd; list_cmd; trace_cmd; stats_cmd; check_cmd; sweep_cmd ]
+    [
+      run_cmd;
+      list_cmd;
+      trace_cmd;
+      stats_cmd;
+      check_cmd;
+      sweep_cmd;
+      serve_cmd;
+      client_cmd;
+    ]
 
 let () = exit (Cmd.eval' group)

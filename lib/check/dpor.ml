@@ -479,13 +479,14 @@ let rec take n = function
   | _ when n <= 0 -> []
   | x :: tl -> x :: take (n - 1) tl
 
-let explore_loop ~pattern ~depth ~horizon ~make ~budget ~stack ~len ~floor =
+let explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~stack
+    ~len ~floor =
   let executions = ref 0 and blocked_runs = ref 0 in
   let races_total = ref 0 and added_total = ref 0 in
   let scratch = make_scratch ~n:(Failure_pattern.n_plus_1 pattern) in
   let pend = Eset.create () in
   let rec loop () =
-    if !executions >= budget then None
+    if !executions >= budget || should_stop () then None
     else begin
       let verdict, trace, builder, grown, blocked =
         run_once ~pattern ~horizon ~depth ~stack ~len:!len ~make ~pend
@@ -525,12 +526,14 @@ let explore_loop ~pattern ~depth ~horizon ~make ~budget ~stack ~len ~floor =
 let check_budget ~who budget =
   if budget < 0 then invalid_arg (who ^ ": negative budget")
 
-let explore ~pattern ~depth ~horizon ?(budget = unbounded) ~make () =
+let explore ~pattern ~depth ~horizon ?(budget = unbounded)
+    ?(should_stop = fun () -> false) ~make () =
   if depth < 0 then invalid_arg "Dpor.explore: negative depth";
   check_budget ~who:"Dpor.explore" budget;
   let stack = Array.make (max depth 1) None in
   let len = ref 0 in
-  explore_loop ~pattern ~depth ~horizon ~make ~budget ~stack ~len ~floor:0
+  explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~stack ~len
+    ~floor:0
 
 let root_branches ~pattern ~make () =
   let procs, _checkf = make () in
@@ -548,8 +551,8 @@ let root_branches ~pattern ~make () =
   let (_ : Scheduler.outcome) = Scheduler.run sched ~max_steps:1 in
   match !seen with None -> [] | Some pend -> pend
 
-let explore_branch ~pattern ~depth ~horizon ?(budget = unbounded) ~branches
-    ~index ~make () =
+let explore_branch ~pattern ~depth ~horizon ?(budget = unbounded)
+    ?(should_stop = fun () -> false) ~branches ~index ~make () =
   if depth < 1 then invalid_arg "Dpor.explore_branch: depth must be >= 1";
   check_budget ~who:"Dpor.explore_branch" budget;
   if index < 0 || index >= List.length branches then
@@ -575,4 +578,5 @@ let explore_branch ~pattern ~depth ~horizon ?(budget = unbounded) ~branches
         sleep = Pid.Set.empty;
       };
   let len = ref 1 in
-  explore_loop ~pattern ~depth ~horizon ~make ~budget ~stack ~len ~floor:1
+  explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~stack ~len
+    ~floor:1

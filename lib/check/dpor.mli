@@ -88,6 +88,7 @@ val explore :
   depth:int ->
   horizon:int ->
   ?budget:int ->
+  ?should_stop:(unit -> bool) ->
   make:
     (unit ->
     (Pid.t -> (unit -> unit) list) * (Trace.t -> (unit, 'a) result)) ->
@@ -102,6 +103,14 @@ val explore :
     {!unbounded}): a truncated exploration reports
     [stats.executions = budget] and no counterexample — it is {e not} a
     verification of the remaining schedules.
+
+    [should_stop] (default [fun () -> false]) is polled at the same
+    point as the budget, i.e. once before each execution: returning
+    [true] truncates the exploration exactly as an exhausted budget
+    would (no counterexample, stats reflect the work done). This is the
+    cooperative-cancellation hook request deadlines are wired into; the
+    callback must be cheap and, when the caller shards branches over
+    {!Exec.Pool} domains, safe to call from any worker domain.
 
     Also updates the [check.dpor.*] metrics: [executions],
     [sleep_blocked], [races], [backtrack_points] counters and the
@@ -138,6 +147,7 @@ val explore_branch :
   depth:int ->
   horizon:int ->
   ?budget:int ->
+  ?should_stop:(unit -> bool) ->
   branches:(Pid.t * Sim.kind) list ->
   index:int ->
   make:
@@ -147,5 +157,5 @@ val explore_branch :
   'a outcome
 (** Explore only the subtree whose first step is [List.nth branches
     index]. [branches] must be the {!root_branches} of the same world;
-    [depth] must be >= 1. Same metrics, budget, and counterexample
-    semantics as {!explore}. *)
+    [depth] must be >= 1. Same metrics, budget, [should_stop], and
+    counterexample semantics as {!explore}. *)

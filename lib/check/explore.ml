@@ -8,8 +8,11 @@ type 'a outcome = {
 let unbounded = Dpor.unbounded
 let sat_add = Dpor.sat_add
 
-let exhaustive_prefix ~pattern ~depth ~horizon ?(budget = unbounded) ~make () =
-  let result = Dpor.explore ~pattern ~depth ~horizon ~budget ~make () in
+let exhaustive_prefix ~pattern ~depth ~horizon ?(budget = unbounded)
+    ?(should_stop = fun () -> false) ~make () =
+  let result =
+    Dpor.explore ~pattern ~depth ~horizon ~budget ~should_stop ~make ()
+  in
   {
     executions = result.Dpor.stats.Dpor.executions;
     counterexample = result.Dpor.counterexample;

@@ -34,6 +34,7 @@ val exhaustive_prefix :
   depth:int ->
   horizon:int ->
   ?budget:int ->
+  ?should_stop:(unit -> bool) ->
   make:
     (unit ->
     (Pid.t -> (unit -> unit) list) * (Trace.t -> (unit, 'a) result)) ->
@@ -45,7 +46,10 @@ val exhaustive_prefix :
     fiber factory plus a checker run on the completed trace ([Ok] =
     property held, [Error] = violation report). [budget] (default
     {!unbounded}) caps the number of executions; a truncated run
-    reports [executions = budget] and no counterexample. *)
+    reports [executions = budget] and no counterexample. [should_stop]
+    (default never) is the cooperative-cancellation probe of
+    {!Dpor.explore}, polled at the budget check before each
+    execution. *)
 
 val naive_prefix :
   pattern:Failure_pattern.t ->

@@ -190,7 +190,7 @@ let m_check_runs = Obs.Metrics.counter "harness.check.runs"
 let m_check_violations = Obs.Metrics.counter "harness.check.violations"
 
 let check_exhaustive ?(jobs = 1) ?procs ?(depth = 6) ?(horizon = 400) ?patterns
-    ?mutant obj =
+    ?(should_stop = fun () -> false) ?mutant obj =
   let procs =
     let floor = Check.Scenario.min_procs obj in
     match procs with Some p -> max p floor | None -> max 2 floor
@@ -241,10 +241,12 @@ let check_exhaustive ?(jobs = 1) ?procs ?(depth = 6) ?(horizon = 400) ?patterns
             let pi, pattern, branch = units.(i) in
             let o =
               match branch with
-              | None -> Check.Dpor.explore ~pattern ~depth ~horizon ~make ()
+              | None ->
+                  Check.Dpor.explore ~pattern ~depth ~horizon ~should_stop
+                    ~make ()
               | Some (branches, index) ->
-                  Check.Dpor.explore_branch ~pattern ~depth ~horizon ~branches
-                    ~index ~make ()
+                  Check.Dpor.explore_branch ~pattern ~depth ~horizon
+                    ~should_stop ~branches ~index ~make ()
             in
             (pi, pattern, o))
           (Array.length units)

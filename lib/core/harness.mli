@@ -101,6 +101,7 @@ val check_exhaustive :
   ?depth:int ->
   ?horizon:int ->
   ?patterns:Failure_pattern.t list ->
+  ?should_stop:(unit -> bool) ->
   ?mutant:Check.Mutant.t ->
   Check.Scenario.obj ->
   check_outcome
@@ -117,7 +118,17 @@ val check_exhaustive :
     The unit list, the merge (keyed by unit index), and the
     first-violation cut are identical at every [jobs], so the outcome —
     including [patterns_swept] and the aggregated stats — is
-    deterministic across [-j] values. *)
+    deterministic across [-j] values.
+
+    [should_stop] (default never) is polled before each DPOR execution
+    of every unit ({!Check.Dpor.explore}'s cooperative-cancellation
+    hook): once it returns [true] the sweep winds down without a
+    counterexample, reporting only the work already done. The service
+    layer wires per-request deadlines into it; with [jobs > 1] the
+    callback is invoked from pool worker domains and must be
+    domain-safe (e.g. read a wall-clock deadline or an [Atomic.t]). A
+    cancelled outcome is {e not} a verification and is timing-dependent
+    — callers must not feed it into determinism-sensitive output. *)
 
 val check_outcome_json : check_outcome -> Obs.Json.t
 (** Stable machine-readable rendering (the [wfde check --json]

@@ -1,0 +1,59 @@
+type t = { fd : Unix.file_descr; mutable pending : string }
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok { fd; pending = "" }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let k = Unix.write fd b off (n - off) in
+      go (off + k)
+  in
+  go 0
+
+let read_line t =
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match String.index_opt t.pending '\n' with
+    | Some i ->
+        let line = String.sub t.pending 0 i in
+        t.pending <-
+          String.sub t.pending (i + 1) (String.length t.pending - i - 1);
+        Ok line
+    | None -> (
+        match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Error "connection closed before a full response line arrived"
+        | n ->
+            t.pending <- t.pending ^ Bytes.sub_string chunk 0 n;
+            go ()
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Printf.sprintf "read failed: %s" (Unix.error_message e)))
+  in
+  go ()
+
+let call t req =
+  match
+    write_all t.fd (Obs.Json.to_string (Proto.request_to_json req) ^ "\n")
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "write failed: %s" (Unix.error_message e))
+  | () -> (
+      match read_line t with
+      | Error _ as e -> e
+      | Ok line -> Proto.parse_response line)
+
+let rpc ~socket req =
+  match connect ~socket with
+  | Error _ as e -> e
+  | Ok t ->
+      Fun.protect ~finally:(fun () -> close t) (fun () -> call t req)

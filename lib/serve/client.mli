@@ -1,0 +1,21 @@
+(** A blocking client for one daemon connection.
+
+    Requests on one connection are answered strictly in order, so the
+    client is a simple lock-step pair: write one request line, read one
+    response line. For concurrency, open more connections. *)
+
+type t
+
+val connect : socket:string -> (t, string) result
+(** Connect to the daemon's Unix socket. [Error] is a human-readable
+    reason (daemon down, bad path). *)
+
+val close : t -> unit
+
+val call : t -> Proto.request -> (Proto.response, string) result
+(** One round trip. [Error] is a transport-level failure (connection
+    closed mid-response, malformed envelope); a server-side rejection
+    is an [Ok] response carrying [result = Error _]. *)
+
+val rpc : socket:string -> Proto.request -> (Proto.response, string) result
+(** One-shot convenience: connect, {!call}, close. *)

@@ -1,0 +1,296 @@
+module J = Obs.Json
+module M = Obs.Metrics
+
+type t = {
+  sock_path : string;
+  listen_fd : Unix.file_descr;
+  engine : Engine.t;
+  max_request_bytes : int;
+  started_at : float;
+  stopping : bool Atomic.t;
+  conn_mu : Mutex.t;
+  conn_cv : Condition.t;
+  mutable conn_count : int;
+  mutable accept_thread : Thread.t option;
+  stop_mu : Mutex.t;
+  mutable stopped : bool;
+  (* The daemon-side registry is the main domain's, shared by every
+     connection thread; Metrics is domain-local but not thread-safe, so
+     all daemon-side metric traffic goes through this mutex. *)
+  reg_mu : Mutex.t;
+}
+
+(* ------------------------------------------------------- metrics ----- *)
+
+let known_methods = [ "run"; "check"; "sweep"; "stats"; "sleep"; "health"; "metrics" ]
+
+let method_label m = if List.mem m known_methods then m else "other"
+
+let with_registry t f =
+  Mutex.lock t.reg_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.reg_mu) f
+
+let latency_buckets =
+  [| 0.5; 1.; 2.; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 5000.; 30000. |]
+
+let record_request t ~meth ~code ~wall_ms =
+  with_registry t (fun () ->
+      M.incr (M.counter (Printf.sprintf "serve.requests{method=%s}" (method_label meth)));
+      M.incr (M.counter (Printf.sprintf "serve.responses{code=%s}" code));
+      M.observe
+        (M.histogram ~buckets:latency_buckets
+           (Printf.sprintf "serve.latency_ms{method=%s}" (method_label meth)))
+        wall_ms;
+      M.set (M.gauge "serve.queue.depth") (float_of_int (Engine.queue_depth t.engine));
+      M.set (M.gauge "serve.in_flight") (float_of_int (Engine.in_flight t.engine)))
+
+let set_connections t n =
+  with_registry t (fun () -> M.set (M.gauge "serve.connections") (float_of_int n))
+
+(* ------------------------------------------------ inline handlers ---- *)
+
+let health_json t =
+  J.Obj
+    [
+      ("status", J.String (if Atomic.get t.stopping then "draining" else "ok"));
+      ("workers", J.Int (Engine.workers t.engine));
+      ("queue_depth", J.Int (Engine.queue_depth t.engine));
+      ("queue_capacity", J.Int (Engine.queue_capacity t.engine));
+      ("in_flight", J.Int (Engine.in_flight t.engine));
+      ("connections", J.Int t.conn_count);
+      ("uptime_ms", J.Float ((Unix.gettimeofday () -. t.started_at) *. 1000.));
+    ]
+
+let metrics_json t = with_registry t (fun () -> M.to_json (M.snapshot ()))
+
+(* ---------------------------------------------------- connection ----- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let k = Unix.write fd b off (n - off) in
+      go (off + k)
+  in
+  go 0
+
+(* One request line -> one response line. Returns [false] when the
+   peer is gone and the connection should close. *)
+let serve_line t fd line =
+  let t0 = Unix.gettimeofday () in
+  let wall_ms () = (Unix.gettimeofday () -. t0) *. 1000. in
+  let meth_of = function Ok (r : Proto.request) -> r.meth | Error _ -> "invalid" in
+  let parsed = Proto.parse_request ~max_bytes:t.max_request_bytes line in
+  let id, result =
+    match parsed with
+    | Error (e, id) -> (id, Error e)
+    | Ok req -> (
+        ( req.id,
+          match req.meth with
+          | "health" -> Ok (health_json t)
+          | "metrics" -> Ok (metrics_json t)
+          | _ when Atomic.get t.stopping ->
+              Error (Proto.err Shutting_down "daemon is draining; retry elsewhere")
+          | _ -> (
+              let deadline =
+                match req.deadline_ms with
+                | None -> fun () -> false
+                | Some ms ->
+                    let at = t0 +. (float_of_int ms /. 1000.) in
+                    fun () -> Unix.gettimeofday () > at
+              in
+              let iv = Ivar.create () in
+              let job () =
+                let r =
+                  (* a request can spend its whole deadline queued *)
+                  if deadline () then
+                    Error
+                      (Proto.err Deadline_exceeded
+                         "deadline expired while queued")
+                  else
+                    try Service.handle ~deadline req
+                    with e ->
+                      Error
+                        (Proto.err Internal "uncaught exception: %s"
+                           (Printexc.to_string e))
+                in
+                Ivar.fill iv r
+              in
+              match Engine.submit t.engine job with
+              | `Ok -> Ivar.read iv
+              | `Queue_full ->
+                  Error
+                    (Proto.err Queue_full
+                       "job queue is at capacity (%d); retry later"
+                       (Engine.queue_capacity t.engine))
+              | `Draining ->
+                  Error (Proto.err Shutting_down "daemon is draining") ) ))
+  in
+  let wall_ms = wall_ms () in
+  let code =
+    match result with Ok _ -> "ok" | Error e -> Proto.code_to_string e.Proto.code
+  in
+  record_request t ~meth:(meth_of parsed) ~code ~wall_ms;
+  let doc =
+    match result with
+    | Ok payload -> Proto.ok_response ~id ~wall_ms payload
+    | Error e -> Proto.error_response ~id ~wall_ms e
+  in
+  match write_all fd (J.to_string doc ^ "\n") with
+  | () -> true
+  | exception Unix.Unix_error _ -> false
+
+let conn_loop t fd =
+  let pending = ref "" in
+  let chunk = Bytes.create 8192 in
+  let running = ref true in
+  let take_line () =
+    match String.index_opt !pending '\n' with
+    | None -> None
+    | Some i ->
+        let line = String.sub !pending 0 i in
+        pending := String.sub !pending (i + 1) (String.length !pending - i - 1);
+        let line =
+          if line <> "" && line.[String.length line - 1] = '\r' then
+            String.sub line 0 (String.length line - 1)
+          else line
+        in
+        Some line
+  in
+  (try
+     while !running do
+       match take_line () with
+       | Some "" -> () (* blank lines are keep-alives *)
+       | Some line -> running := serve_line t fd line
+       | None ->
+           if Atomic.get t.stopping then running := false
+           else if String.length !pending > t.max_request_bytes then begin
+             (* refuse to buffer unboundedly while hunting a newline *)
+             ignore
+               (serve_line t fd
+                  (String.sub !pending 0 (t.max_request_bytes + 1)));
+             running := false
+           end
+           else begin
+             match Unix.select [ fd ] [] [] 0.25 with
+             | [], _, _ -> ()
+             | _ ->
+                 let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+                 if n = 0 then running := false
+                 else pending := !pending ^ Bytes.sub_string chunk 0 n
+           end
+     done
+   with _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.conn_mu;
+  t.conn_count <- t.conn_count - 1;
+  let n = t.conn_count in
+  Condition.broadcast t.conn_cv;
+  Mutex.unlock t.conn_mu;
+  set_connections t n
+
+(* -------------------------------------------------------- accept ----- *)
+
+let accept_loop t =
+  let rec go () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept t.listen_fd with
+          | fd, _ ->
+              if Atomic.get t.stopping then Unix.close fd
+              else begin
+                Mutex.lock t.conn_mu;
+                t.conn_count <- t.conn_count + 1;
+                let n = t.conn_count in
+                Mutex.unlock t.conn_mu;
+                set_connections t n;
+                ignore (Thread.create (conn_loop t) fd)
+              end
+          | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error _ -> ());
+      go ()
+    end
+  in
+  go ()
+
+(* ----------------------------------------------------- lifecycle ----- *)
+
+let start ?workers ?queue_capacity ?(max_request_bytes = 1 lsl 20) ~socket () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+     Unix.listen listen_fd 64
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  let t =
+    {
+      sock_path = socket;
+      listen_fd;
+      engine = Engine.start ?workers ?queue_capacity ();
+      max_request_bytes;
+      started_at = Unix.gettimeofday ();
+      stopping = Atomic.make false;
+      conn_mu = Mutex.create ();
+      conn_cv = Condition.create ();
+      conn_count = 0;
+      accept_thread = None;
+      stop_mu = Mutex.create ();
+      stopped = false;
+      reg_mu = Mutex.create ();
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let socket_path t = t.sock_path
+let queue_depth t = Engine.queue_depth t.engine
+let in_flight t = Engine.in_flight t.engine
+let draining t = Atomic.get t.stopping
+
+let connections t =
+  Mutex.lock t.conn_mu;
+  let n = t.conn_count in
+  Mutex.unlock t.conn_mu;
+  n
+
+let stop t =
+  Atomic.set t.stopping true;
+  Mutex.lock t.stop_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.stop_mu)
+    (fun () ->
+      if not t.stopped then begin
+        (match t.accept_thread with
+        | Some th ->
+            Thread.join th;
+            t.accept_thread <- None
+        | None -> ());
+        (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+        (try Unix.unlink t.sock_path with Unix.Unix_error _ -> ());
+        (* connection threads notice [stopping] within one select tick,
+           finish the request they are blocked on (its job still runs —
+           the engine drains only after they are gone), and exit *)
+        Mutex.lock t.conn_mu;
+        while t.conn_count > 0 do
+          Condition.wait t.conn_cv t.conn_mu
+        done;
+        Mutex.unlock t.conn_mu;
+        Engine.drain t.engine;
+        t.stopped <- true
+      end)
+
+let run_forever t =
+  let requested = Atomic.make false in
+  let on_signal _ = Atomic.set requested true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  while not (Atomic.get requested) do
+    Unix.sleepf 0.1
+  done;
+  stop t

@@ -1,0 +1,59 @@
+(** The wfde service daemon: a Unix-domain-socket front-end around
+    {!Engine} + {!Service}.
+
+    One accept-loop thread hands each connection to its own thread; a
+    connection carries newline-delimited {!Proto} requests, answered in
+    order (pipelined lines queue behind each other — concurrency comes
+    from concurrent {e connections}). Work methods are submitted to the
+    bounded engine queue and rejected immediately with [queue_full]
+    when it is at capacity; [health] and [metrics] are answered inline
+    by the connection thread so they keep working while the fleet is
+    busy or draining.
+
+    Shutdown ({!stop}, or SIGTERM/SIGINT under {!run_forever}) is a
+    graceful drain: the listening socket closes first (new connections
+    refused), connection threads finish the request they are on —
+    including requests already accepted into the queue — then close,
+    and finally the worker fleet is joined. Requests {e arriving} after
+    the drain began get a structured [shutting_down] error.
+
+    Request accounting lands in the calling process's {!Obs.Metrics}
+    registry (the daemon serializes its own access — connection threads
+    share one registry):
+    - [serve.requests{method=M}] / [serve.responses{code=C}] counters,
+    - [serve.latency_ms{method=M}] histograms,
+    - [serve.queue.depth], [serve.in_flight], [serve.connections]
+      gauges. *)
+
+type t
+
+val start :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?max_request_bytes:int ->
+  socket:string ->
+  unit ->
+  t
+(** Bind [socket] (an existing socket file is replaced), spawn the
+    worker fleet and the accept thread, and return. [max_request_bytes]
+    (default 1 MiB) bounds one request line; longer lines get an
+    [oversized] error and the connection is closed. Raises
+    [Unix.Unix_error] when the socket cannot be bound. *)
+
+val socket_path : t -> string
+
+val stop : t -> unit
+(** Graceful drain, as described above. Blocks until every connection
+    thread and worker domain has exited; idempotent. *)
+
+val run_forever : t -> unit
+(** Park the calling thread until SIGTERM or SIGINT arrives, then
+    {!stop}. Installs handlers for both signals (and ignores SIGPIPE,
+    which {!start} already did). *)
+
+(** {1 Introspection} (what [health] reports; handy in tests) *)
+
+val queue_depth : t -> int
+val in_flight : t -> int
+val connections : t -> int
+val draining : t -> bool

@@ -1,0 +1,60 @@
+type t = {
+  q : (unit -> unit) Jobq.t;
+  fleet : unit Domain.t array;
+  inflight : int Atomic.t;
+  draining : bool Atomic.t;
+  drain_mu : Mutex.t;
+  mutable drained : bool;
+}
+
+let worker_loop q inflight =
+  let rec go () =
+    match Jobq.pop q with
+    | None -> ()
+    | Some job ->
+        Atomic.incr inflight;
+        (try job () with _ -> ());
+        Atomic.decr inflight;
+        go ()
+  in
+  go ()
+
+let start ?(workers = 2) ?(queue_capacity = 64) () =
+  let workers = max 1 (min 64 workers) in
+  let q = Jobq.create ~capacity:queue_capacity in
+  let inflight = Atomic.make 0 in
+  {
+    q;
+    fleet =
+      Array.init workers (fun _ ->
+          Domain.spawn (fun () -> worker_loop q inflight));
+    inflight;
+    draining = Atomic.make false;
+    drain_mu = Mutex.create ();
+    drained = false;
+  }
+
+let workers t = Array.length t.fleet
+let queue_capacity t = Jobq.capacity t.q
+let queue_depth t = Jobq.length t.q
+let in_flight t = Atomic.get t.inflight
+
+let submit t job =
+  if Atomic.get t.draining then `Draining
+  else
+    match Jobq.try_push t.q job with
+    | `Ok -> `Ok
+    | `Full -> `Queue_full
+    | `Closed -> `Draining
+
+let drain t =
+  Atomic.set t.draining true;
+  Jobq.close t.q;
+  (* Joining under the mutex makes concurrent drains all block until
+     the fleet is actually gone, and a second drain a no-op. *)
+  Mutex.lock t.drain_mu;
+  if not t.drained then begin
+    Array.iter Domain.join t.fleet;
+    t.drained <- true
+  end;
+  Mutex.unlock t.drain_mu

@@ -1,0 +1,39 @@
+(** The reusable worker fleet: a fixed set of domains consuming jobs
+    from one bounded {!Jobq}.
+
+    Unlike {!Exec.Pool} — which spawns domains per [map] call and owns
+    the whole result merge — the engine is long-lived: domains are
+    spawned once at {!start} and serve unrelated jobs until {!drain}.
+    A job is an opaque [unit -> unit] thunk; completion signalling and
+    result transport are the submitter's business (close over an
+    {!Ivar}). Thunks run on a worker {e domain}, so they see that
+    domain's metrics registry, and they must not raise — a raising
+    thunk is swallowed (the worker survives; the submitter's ivar
+    would stay empty), so wrap the body in your own [try]/[with].
+
+    Rejections are immediate and never block the submitter:
+    [`Queue_full] is the backpressure signal (bounded queue at
+    capacity), [`Draining] means {!drain} has begun. *)
+
+type t
+
+val start : ?workers:int -> ?queue_capacity:int -> unit -> t
+(** [workers] (default 2) is clamped to [1, 64]; [queue_capacity]
+    (default 64) to at least 1. *)
+
+val workers : t -> int
+val queue_capacity : t -> int
+
+val queue_depth : t -> int
+(** Jobs accepted but not yet picked up by a worker. *)
+
+val in_flight : t -> int
+(** Jobs currently executing on a worker. *)
+
+val submit : t -> (unit -> unit) -> [ `Ok | `Queue_full | `Draining ]
+
+val drain : t -> unit
+(** Graceful shutdown: refuse new submissions, let queued and running
+    jobs complete, then join every worker domain. Blocks until the
+    fleet is gone; idempotent (concurrent callers all block until the
+    first drain finishes). *)

@@ -1,0 +1,37 @@
+type 'a t = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  mutable cell : 'a option;
+}
+
+let create () = { mu = Mutex.create (); cv = Condition.create (); cell = None }
+
+let fill t v =
+  Mutex.lock t.mu;
+  match t.cell with
+  | Some _ ->
+      Mutex.unlock t.mu;
+      invalid_arg "Ivar.fill: already filled"
+  | None ->
+      t.cell <- Some v;
+      Condition.broadcast t.cv;
+      Mutex.unlock t.mu
+
+let read t =
+  Mutex.lock t.mu;
+  let rec wait () =
+    match t.cell with
+    | Some v ->
+        Mutex.unlock t.mu;
+        v
+    | None ->
+        Condition.wait t.cv t.mu;
+        wait ()
+  in
+  wait ()
+
+let peek t =
+  Mutex.lock t.mu;
+  let v = t.cell in
+  Mutex.unlock t.mu;
+  v

@@ -1,0 +1,20 @@
+(** A write-once synchronization cell.
+
+    The connection thread that accepted a request parks on {!read}
+    while a worker domain computes the response and calls {!fill}.
+    Works across domains and threads (mutex + condition variable). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** Raises [Invalid_argument] on a second fill — a filled cell is a
+    completed request; two completions is a bug in the engine. *)
+
+val read : 'a t -> 'a
+(** Block until filled; returns immediately on an already-filled
+    cell. *)
+
+val peek : 'a t -> 'a option
+(** Non-blocking: [None] while unfilled. *)

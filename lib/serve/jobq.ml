@@ -1,0 +1,63 @@
+type 'a t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  cap : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  {
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    cap = max 1 capacity;
+    closed = false;
+  }
+
+let capacity t = t.cap
+
+let length t =
+  Mutex.lock t.mu;
+  let n = Queue.length t.items in
+  Mutex.unlock t.mu;
+  n
+
+let try_push t x =
+  Mutex.lock t.mu;
+  let r =
+    if t.closed then `Closed
+    else if Queue.length t.items >= t.cap then `Full
+    else begin
+      Queue.add x t.items;
+      Condition.signal t.nonempty;
+      `Ok
+    end
+  in
+  Mutex.unlock t.mu;
+  r
+
+let pop t =
+  Mutex.lock t.mu;
+  let rec wait () =
+    match Queue.take_opt t.items with
+    | Some x ->
+        Mutex.unlock t.mu;
+        Some x
+    | None ->
+        if t.closed then begin
+          Mutex.unlock t.mu;
+          None
+        end
+        else begin
+          Condition.wait t.nonempty t.mu;
+          wait ()
+        end
+  in
+  wait ()
+
+let close t =
+  Mutex.lock t.mu;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu

@@ -1,0 +1,33 @@
+(** A bounded, closeable FIFO job queue — the backpressure point of the
+    service spine.
+
+    Producers (connection threads) use {!try_push}, which never blocks:
+    a full queue is an immediate [`Full], which the daemon turns into a
+    structured [queue_full] rejection instead of unbounded buffering.
+    Consumers (worker domains) block in {!pop} until an item or the
+    close arrives.
+
+    {!close} starts the {e drain}: pushes are refused from that point,
+    but items already queued are still handed out — {!pop} returns
+    [None] only once the queue is both closed and empty, which is each
+    worker's signal to exit. Safe across domains and threads. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] is clamped to at least 1. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Current queue depth (racy by nature; exact at the instant the
+    internal lock was held — good enough for gauges and rejections). *)
+
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+
+val pop : 'a t -> 'a option
+(** Block until an item is available ([Some]) or the queue is closed
+    and drained ([None]). *)
+
+val close : 'a t -> unit
+(** Idempotent. Wakes every blocked {!pop}. *)

@@ -1,0 +1,94 @@
+module J = Obs.Json
+
+type leg = {
+  total : int;
+  ok : int;
+  errors : int;
+  transport_errors : int;
+  payload_bytes : int;
+  wall_seconds : float;
+  latencies_ms : float array;
+  payloads : string array;
+}
+
+let request_for i =
+  let id = J.String (Printf.sprintf "i%d" i) in
+  match i mod 3 with
+  | 0 ->
+      {
+        Proto.id;
+        meth = "check";
+        params =
+          [
+            ("object", J.String "register");
+            ("depth", J.Int 3);
+            ("horizon", J.Int 60);
+          ];
+        deadline_ms = None;
+      }
+  | 1 ->
+      {
+        Proto.id;
+        meth = "run";
+        params = [ ("experiments", J.List [ J.String "e1" ]) ];
+        deadline_ms = None;
+      }
+  | _ -> { Proto.id; meth = "sleep"; params = [ ("ms", J.Int 0) ]; deadline_ms = None }
+
+let run ~socket ~total ~clients =
+  let clients = max 1 (min clients (max 1 total)) in
+  let latencies_ms = Array.make total 0. in
+  let payloads = Array.make total "" in
+  let ok = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let transport_errors = Atomic.make 0 in
+  let client_loop c =
+    match Client.connect ~socket with
+    | Error _ ->
+        (* count every request this client owned as failed *)
+        let rec owned i n = if i >= total then n else owned (i + clients) (n + 1) in
+        ignore (Atomic.fetch_and_add transport_errors (owned c 0))
+    | Ok conn ->
+        Fun.protect
+          ~finally:(fun () -> Client.close conn)
+          (fun () ->
+            let i = ref c in
+            while !i < total do
+              let t0 = Unix.gettimeofday () in
+              (match Client.call conn (request_for !i) with
+              | Ok { Proto.result = Ok payload; _ } ->
+                  latencies_ms.(!i) <- (Unix.gettimeofday () -. t0) *. 1000.;
+                  payloads.(!i) <- J.to_string payload;
+                  Atomic.incr ok
+              | Ok { Proto.result = Error _; _ } -> Atomic.incr errors
+              | Error _ -> Atomic.incr transport_errors);
+              i := !i + clients
+            done)
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = Array.init clients (fun c -> Thread.create client_loop c) in
+  Array.iter Thread.join threads;
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  {
+    total;
+    ok = Atomic.get ok;
+    errors = Atomic.get errors;
+    transport_errors = Atomic.get transport_errors;
+    payload_bytes =
+      Array.fold_left (fun acc p -> acc + String.length p) 0 payloads;
+    wall_seconds;
+    latencies_ms;
+    payloads;
+  }
+
+let mismatches ~reference leg =
+  let n = min (Array.length reference.payloads) (Array.length leg.payloads) in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if
+      reference.payloads.(i) <> ""
+      && leg.payloads.(i) <> ""
+      && not (String.equal reference.payloads.(i) leg.payloads.(i))
+    then incr count
+  done;
+  !count

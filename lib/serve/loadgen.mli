@@ -1,0 +1,37 @@
+(** A deterministic closed-loop load generator for the daemon — the
+    engine behind [wfde bench] part 4 and the daemon smoke tests.
+
+    The workload is a fixed function of the {e global request index}:
+    request [i] is always {!request_for}[ i], whatever client sends it.
+    A leg of [total] requests over [clients] connections partitions the
+    indices round-robin (client [c] sends [c, c+clients, c+2*clients,
+    ...]), each client lock-stepping over its own connection. Because
+    the workload is index-determined, a serial leg and a concurrent leg
+    over the same [total] must produce byte-identical payloads per
+    index — {!mismatches} counts the indices where they differ, and a
+    nonzero count is a determinism bug in the daemon. *)
+
+type leg = {
+  total : int;  (** requests attempted *)
+  ok : int;  (** responses with [ok = true] *)
+  errors : int;  (** structured server errors *)
+  transport_errors : int;  (** connect/read/write failures *)
+  payload_bytes : int;  (** summed rendered-payload sizes, ok responses *)
+  wall_seconds : float;
+  latencies_ms : float array;  (** per request, by global index; 0 on error *)
+  payloads : string array;
+      (** rendered payload per global index; [""] on any error *)
+}
+
+val request_for : int -> Proto.request
+(** The deterministic request for global index [i]: a cycle of a small
+    [check], a one-experiment [run], and a [sleep 0] (pure spine
+    overhead). Ids are ["i<N>"] so responses correlate. *)
+
+val run : socket:string -> total:int -> clients:int -> leg
+(** Execute one leg. [clients] is clamped to [1, total]. *)
+
+val mismatches : reference:leg -> leg -> int
+(** Indices whose payloads differ between two legs (only indices where
+    both sides got an ok payload are compared — errors are already
+    counted separately). *)

@@ -1,0 +1,179 @@
+module J = Obs.Json
+
+let schema = "wfde-rpc/1"
+
+type error_code =
+  | Bad_request
+  | Unknown_method
+  | Oversized
+  | Queue_full
+  | Deadline_exceeded
+  | Shutting_down
+  | Internal
+
+let code_to_string = function
+  | Bad_request -> "bad_request"
+  | Unknown_method -> "unknown_method"
+  | Oversized -> "oversized"
+  | Queue_full -> "queue_full"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let all_codes =
+  [
+    Bad_request;
+    Unknown_method;
+    Oversized;
+    Queue_full;
+    Deadline_exceeded;
+    Shutting_down;
+    Internal;
+  ]
+
+let code_of_string s =
+  List.find_opt (fun c -> code_to_string c = s) all_codes
+
+type error = { code : error_code; message : string }
+
+let err code fmt = Printf.ksprintf (fun message -> { code; message }) fmt
+
+type request = {
+  id : J.t;
+  meth : string;
+  params : (string * J.t) list;
+  deadline_ms : int option;
+}
+
+let known_request_fields = [ "id"; "method"; "params"; "deadline_ms" ]
+
+let parse_request ~max_bytes line =
+  let fail ?(id = J.Null) e = Error (e, id) in
+  if String.length line > max_bytes then
+    fail
+      (err Oversized "request line is %d bytes; the limit is %d"
+         (String.length line) max_bytes)
+  else
+    match J.of_string line with
+    | Error e -> fail (err Bad_request "request is not valid JSON: %s" e)
+    | Ok (J.Obj fields) -> (
+        (* salvage the id first so every later error can echo it *)
+        let id =
+          match List.assoc_opt "id" fields with
+          | Some (J.String _ as v) | Some (J.Int _ as v) -> v
+          | _ -> J.Null
+        in
+        let fail e = fail ~id e in
+        match
+          List.find_opt
+            (fun (k, _) -> not (List.mem k known_request_fields))
+            fields
+        with
+        | Some (k, _) -> fail (err Bad_request "unknown request field %S" k)
+        | None -> (
+            match List.assoc_opt "id" fields with
+            | Some (J.String _) | Some (J.Int _) | None -> (
+                match List.assoc_opt "method" fields with
+                | None -> fail (err Bad_request "missing \"method\" field")
+                | Some (J.String meth) -> (
+                    let params_r =
+                      match List.assoc_opt "params" fields with
+                      | None -> Ok []
+                      | Some (J.Obj kvs) -> Ok kvs
+                      | Some _ ->
+                          Error
+                            (err Bad_request "\"params\" must be an object")
+                    in
+                    match params_r with
+                    | Error e -> fail e
+                    | Ok params -> (
+                        match List.assoc_opt "deadline_ms" fields with
+                        | None -> Ok { id; meth; params; deadline_ms = None }
+                        | Some (J.Int ms) when ms > 0 ->
+                            Ok { id; meth; params; deadline_ms = Some ms }
+                        | Some _ ->
+                            fail
+                              (err Bad_request
+                                 "\"deadline_ms\" must be a positive integer")))
+                | Some _ ->
+                    fail (err Bad_request "\"method\" must be a string"))
+            | Some _ ->
+                fail (err Bad_request "\"id\" must be a string or an integer")))
+    | Ok _ -> fail (err Bad_request "request must be a JSON object")
+
+let request_to_json r =
+  List.concat
+    [
+      (match r.id with J.Null -> [] | id -> [ ("id", id) ]);
+      [ ("method", J.String r.meth) ];
+      (match r.params with [] -> [] | ps -> [ ("params", J.Obj ps) ]);
+      (match r.deadline_ms with
+      | None -> []
+      | Some ms -> [ ("deadline_ms", J.Int ms) ]);
+    ]
+  |> fun fields -> J.Obj fields
+
+let envelope ~id ~wall_ms ~ok rest =
+  J.Obj
+    (("schema", J.String schema)
+     :: ("id", id)
+     :: ("ok", J.Bool ok)
+     :: rest
+    @ [ ("wall_ms", J.Float wall_ms) ])
+
+let ok_response ~id ~wall_ms payload =
+  envelope ~id ~wall_ms ~ok:true [ ("payload", payload) ]
+
+let error_response ~id ~wall_ms e =
+  envelope ~id ~wall_ms ~ok:false
+    [
+      ( "error",
+        J.Obj
+          [
+            ("code", J.String (code_to_string e.code));
+            ("message", J.String e.message);
+          ] );
+    ]
+
+type response = {
+  resp_id : J.t;
+  wall_ms : float;
+  result : (J.t, error) result;
+}
+
+let parse_response line =
+  match J.of_string line with
+  | Error e -> Error (Printf.sprintf "response is not valid JSON: %s" e)
+  | Ok doc -> (
+      match J.member "schema" doc with
+      | Some (J.String s) when s = schema -> (
+          let resp_id = Option.value ~default:J.Null (J.member "id" doc) in
+          let wall_ms =
+            match Option.bind (J.member "wall_ms" doc) J.to_float with
+            | Some w -> w
+            | None -> 0.0
+          in
+          match J.member "ok" doc with
+          | Some (J.Bool true) -> (
+              match J.member "payload" doc with
+              | Some payload -> Ok { resp_id; wall_ms; result = Ok payload }
+              | None -> Error "ok response without \"payload\"")
+          | Some (J.Bool false) -> (
+              match J.member "error" doc with
+              | Some e -> (
+                  let code =
+                    Option.bind
+                      (Option.bind (J.member "code" e) J.to_str)
+                      code_of_string
+                  in
+                  let message =
+                    Option.value ~default:""
+                      (Option.bind (J.member "message" e) J.to_str)
+                  in
+                  match code with
+                  | Some code ->
+                      Ok { resp_id; wall_ms; result = Error { code; message } }
+                  | None -> Error "error response without a known \"code\"")
+              | None -> Error "error response without \"error\"")
+          | _ -> Error "response without a boolean \"ok\"")
+      | _ -> Error "response is not a wfde-rpc/1 envelope")

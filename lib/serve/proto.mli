@@ -1,0 +1,80 @@
+(** The [wfde-rpc/1] wire protocol: newline-delimited JSON requests and
+    responses.
+
+    One request per line, one response line per request, over a stream
+    socket. A request is a JSON object:
+
+    {v
+    {"method": "check",            // required: run | check | sweep |
+                                   //   stats | sleep | health | metrics
+     "id": "r1",                   // optional string/int, echoed back
+     "params": {"object": "abd"},  // optional object, method-specific
+     "deadline_ms": 2000}          // optional per-request deadline
+    v}
+
+    and every response is an envelope around either a payload or a
+    structured error:
+
+    {v
+    {"schema":"wfde-rpc/1","id":"r1","ok":true,
+     "payload":{...},"wall_ms":12.3}
+    {"schema":"wfde-rpc/1","id":"r1","ok":false,
+     "error":{"code":"queue_full","message":"..."},"wall_ms":0.0}
+    v}
+
+    The [payload] is the deterministic part — byte-identical to the
+    matching CLI output for the same request; [id] and [wall_ms] are
+    the envelope fields comparisons strip. Unknown top-level request
+    fields are rejected ([bad_request]) rather than ignored, so typos
+    fail loudly. *)
+
+type error_code =
+  | Bad_request  (** malformed JSON, bad fields, bad params *)
+  | Unknown_method
+  | Oversized  (** request line longer than the daemon's limit *)
+  | Queue_full  (** bounded job queue at capacity — retry later *)
+  | Deadline_exceeded
+  | Shutting_down  (** daemon is draining; no new work accepted *)
+  | Internal
+
+val code_to_string : error_code -> string
+val code_of_string : string -> error_code option
+
+type error = { code : error_code; message : string }
+
+val err : error_code -> ('a, unit, string, error) format4 -> 'a
+(** [err code fmt ...] builds an {!error} printf-style. *)
+
+type request = {
+  id : Obs.Json.t;  (** [Null] when absent; echoed verbatim *)
+  meth : string;
+  params : (string * Obs.Json.t) list;  (** empty when absent *)
+  deadline_ms : int option;
+}
+
+val schema : string
+(** ["wfde-rpc/1"] *)
+
+val parse_request :
+  max_bytes:int -> string -> (request, error * Obs.Json.t) result
+(** Parse one request line. On error, the second component is the
+    request id when one could still be salvaged from the malformed
+    object ([Null] otherwise), so the error response can be
+    correlated. *)
+
+val request_to_json : request -> Obs.Json.t
+(** The client-side rendering (one line via {!Obs.Json.to_string}). *)
+
+val ok_response : id:Obs.Json.t -> wall_ms:float -> Obs.Json.t -> Obs.Json.t
+val error_response : id:Obs.Json.t -> wall_ms:float -> error -> Obs.Json.t
+
+type response = {
+  resp_id : Obs.Json.t;
+  wall_ms : float;
+  result : (Obs.Json.t, error) result;  (** payload or structured error *)
+}
+
+val parse_response : string -> (response, string) result
+(** Client-side envelope parsing; [Error] describes a malformed or
+    wrong-schema line (a transport-level failure, not a structured
+    server error). *)

@@ -1,0 +1,271 @@
+module J = Obs.Json
+
+let never () = false
+
+(* ------------------------------------------------ shared renderers --- *)
+
+let with_buffer_formatter f =
+  let b = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer b in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents b
+
+let failed_of outcomes =
+  List.filter (fun o -> not o.Wfde.Experiments.ok) outcomes
+
+let run_text outcomes =
+  with_buffer_formatter (fun ppf ->
+      List.iter
+        (fun o -> Format.fprintf ppf "%a@." Wfde.Experiments.pp o)
+        outcomes;
+      match failed_of outcomes with
+      | [] ->
+          Format.fprintf ppf "all %d experiment claims hold@."
+            (List.length outcomes)
+      | failed ->
+          Format.fprintf ppf "FAILED claims: %s@."
+            (String.concat ", "
+               (List.map (fun o -> o.Wfde.Experiments.id) failed)))
+
+let sweep_text outcomes =
+  with_buffer_formatter (fun ppf ->
+      List.iter
+        (fun o -> Format.fprintf ppf "%a@." Wfde.Experiments.pp o)
+        outcomes;
+      match failed_of outcomes with
+      | [] -> ()
+      | failed ->
+          Format.fprintf ppf "FAILED claims: %s@."
+            (String.concat ", "
+               (List.map (fun o -> o.Wfde.Experiments.id) failed)))
+
+let sweep_json ~jobs ~scale timed =
+  let total = List.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 timed in
+  J.Obj
+    [
+      ("schema", J.String "wfde-sweep/1");
+      ("jobs", J.Int jobs);
+      ("scale", J.Int scale);
+      ("total_wall_seconds", J.Float total);
+      ( "experiments",
+        J.List
+          (List.map
+             (fun (id, o, w) ->
+               J.Obj
+                 [
+                   ("id", J.String id);
+                   ("ok", J.Bool o.Wfde.Experiments.ok);
+                   ("wall_seconds", J.Float w);
+                 ])
+             timed) );
+    ]
+
+let unknown_ids ids =
+  List.filter (fun id -> Wfde.Experiments.by_id id = None) ids
+
+(* ------------------------------------------------ param validation --- *)
+
+let bad fmt = Printf.ksprintf (fun m -> Error (Proto.err Bad_request "%s" m)) fmt
+
+let ( let* ) = Result.bind
+
+let check_allowed ~meth ~allowed params =
+  match List.find_opt (fun (k, _) -> not (List.mem k allowed)) params with
+  | Some (k, _) -> bad "unknown %S parameter %S" meth k
+  | None -> Ok ()
+
+let get_int ~key ~default ~min ~max params =
+  match List.assoc_opt key params with
+  | None -> Ok default
+  | Some (J.Int v) when v >= min && v <= max -> Ok v
+  | Some _ -> bad "%S must be an integer in [%d, %d]" key min max
+
+let get_string_opt ~key params =
+  match List.assoc_opt key params with
+  | None -> Ok None
+  | Some (J.String s) -> Ok (Some s)
+  | Some _ -> bad "%S must be a string" key
+
+let get_ids params =
+  match List.assoc_opt "experiments" params with
+  | None -> Ok []
+  | Some (J.List xs) -> (
+      let rec strings acc = function
+        | [] -> Ok (List.rev acc)
+        | J.String s :: tl -> strings (s :: acc) tl
+        | _ -> bad "\"experiments\" must be a list of id strings"
+      in
+      let* ids = strings [] xs in
+      match unknown_ids ids with
+      | [] -> Ok ids
+      | unknown ->
+          bad "unknown experiment id(s): %s (see 'wfde list')"
+            (String.concat ", " unknown))
+  | Some _ -> bad "\"experiments\" must be a list of id strings"
+
+(* Service-side bounds are tighter than the CLI's: a request is a
+   shared-daemon tenant, not the machine owner. *)
+let max_scale = 1_000
+let max_jobs = 16
+let max_depth = 24
+let max_horizon = 10_000_000
+let max_procs = 8
+let max_sleep_ms = 60_000
+
+let exp_params ~meth params =
+  let* () =
+    check_allowed ~meth ~allowed:[ "experiments"; "scale"; "jobs" ] params
+  in
+  let* ids = get_ids params in
+  let* scale = get_int ~key:"scale" ~default:1 ~min:1 ~max:max_scale params in
+  let* jobs = get_int ~key:"jobs" ~default:1 ~min:1 ~max:max_jobs params in
+  Ok (ids, scale, jobs)
+
+(* Run experiments left to right, polling the deadline before each so a
+   timed-out request stops between drivers (the per-driver work is the
+   cancellation granularity here). *)
+let run_experiments ~deadline ~ids ~scale ~jobs =
+  let ids =
+    match ids with
+    | [] -> List.map fst Wfde.Experiments.catalog
+    | ids -> ids
+  in
+  let total = List.length ids in
+  let rec go acc done_ = function
+    | [] -> Ok (List.rev acc)
+    | id :: rest ->
+        if deadline () then
+          Error
+            (Proto.err Deadline_exceeded
+               "deadline expired after %d of %d experiment(s)" done_ total)
+        else
+          let f = Option.get (Wfde.Experiments.by_id id) in
+          let t0 = Unix.gettimeofday () in
+          let o = f ~scale ~jobs () in
+          let wall = Unix.gettimeofday () -. t0 in
+          go ((id, o, wall) :: acc) (done_ + 1) rest
+  in
+  go [] 0 ids
+
+(* ------------------------------------------------------ handlers ----- *)
+
+let handle_run ~deadline params =
+  let* ids, scale, jobs = exp_params ~meth:"run" params in
+  let* timed = run_experiments ~deadline ~ids ~scale ~jobs in
+  let outcomes = List.map (fun (_, o, _) -> o) timed in
+  Ok
+    (J.Obj
+       [
+         ("schema", J.String "wfde-run/1");
+         ("ok", J.Bool (failed_of outcomes = []));
+         ( "experiments",
+           J.List
+             (List.map
+                (fun o ->
+                  J.Obj
+                    [
+                      ("id", J.String o.Wfde.Experiments.id);
+                      ("ok", J.Bool o.Wfde.Experiments.ok);
+                    ])
+                outcomes) );
+         ("output", J.String (run_text outcomes));
+       ])
+
+let handle_sweep ~deadline params =
+  let* ids, scale, jobs = exp_params ~meth:"sweep" params in
+  let* timed = run_experiments ~deadline ~ids ~scale ~jobs in
+  Ok (sweep_json ~jobs ~scale timed)
+
+let handle_stats ~deadline params =
+  let* ids, scale, jobs = exp_params ~meth:"stats" params in
+  Wfde.Metrics.reset ();
+  let* _timed = run_experiments ~deadline ~ids ~scale ~jobs in
+  Ok (Wfde.Metrics.to_json (Wfde.Metrics.snapshot ()))
+
+let handle_check ~deadline params =
+  let* () =
+    check_allowed ~meth:"check"
+      ~allowed:[ "object"; "procs"; "depth"; "horizon"; "jobs"; "mutant" ]
+      params
+  in
+  let* obj_name = get_string_opt ~key:"object" params in
+  let* obj =
+    match Wfde.Scenario.of_string (Option.value ~default:"register" obj_name) with
+    | Ok o -> Ok o
+    | Error msg -> bad "%s" msg
+  in
+  let* procs =
+    match List.assoc_opt "procs" params with
+    | None -> Ok None
+    | Some (J.Int p) when p >= 1 && p <= max_procs -> Ok (Some p)
+    | Some _ -> bad "\"procs\" must be an integer in [1, %d]" max_procs
+  in
+  let* depth = get_int ~key:"depth" ~default:6 ~min:1 ~max:max_depth params in
+  let* horizon =
+    get_int ~key:"horizon" ~default:400 ~min:1 ~max:max_horizon params
+  in
+  let* jobs = get_int ~key:"jobs" ~default:1 ~min:1 ~max:max_jobs params in
+  let* mutant =
+    let* name = get_string_opt ~key:"mutant" params in
+    match name with
+    | None -> Ok None
+    | Some m -> (
+        match Wfde.Mutant.of_string m with
+        | Ok m -> Ok (Some m)
+        | Error msg -> bad "%s" msg)
+  in
+  (* The cancelled flag is an Atomic because with jobs > 1 the probe
+     runs on pool worker domains. *)
+  let cancelled = Atomic.make false in
+  let should_stop () =
+    if deadline () then begin
+      Atomic.set cancelled true;
+      true
+    end
+    else false
+  in
+  let outcome =
+    Wfde.Harness.check_exhaustive ~jobs ?procs ~depth ~horizon ~should_stop
+      ?mutant obj
+  in
+  if Atomic.get cancelled then
+    Error
+      (Proto.err Deadline_exceeded
+         "deadline expired after %d DPOR execution(s) over %d pattern(s)"
+         outcome.Wfde.Harness.executions outcome.Wfde.Harness.patterns_swept)
+  else Ok (Wfde.Harness.check_outcome_json outcome)
+
+let handle_sleep ~deadline params =
+  let* () = check_allowed ~meth:"sleep" ~allowed:[ "ms" ] params in
+  let* ms = get_int ~key:"ms" ~default:0 ~min:0 ~max:max_sleep_ms params in
+  let finish = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+  let rec tick () =
+    if deadline () then
+      Error (Proto.err Deadline_exceeded "deadline expired while sleeping")
+    else if Unix.gettimeofday () >= finish then Ok (J.Obj [ ("slept_ms", J.Int ms) ])
+    else begin
+      Unix.sleepf (min 0.01 (max 0. (finish -. Unix.gettimeofday ())));
+      tick ()
+    end
+  in
+  tick ()
+
+let handle ?(deadline = never) (req : Proto.request) =
+  let dispatch () =
+    match req.meth with
+    | "run" -> handle_run ~deadline req.params
+    | "sweep" -> handle_sweep ~deadline req.params
+    | "stats" -> handle_stats ~deadline req.params
+    | "check" -> handle_check ~deadline req.params
+    | "sleep" -> handle_sleep ~deadline req.params
+    | "health" | "metrics" ->
+        Error
+          (Proto.err Unknown_method
+             "%S is answered by the daemon front-end, not the worker fleet"
+             req.meth)
+    | m -> Error (Proto.err Unknown_method "unknown method %S" m)
+  in
+  try dispatch ()
+  with e ->
+    Error (Proto.err Internal "uncaught exception: %s" (Printexc.to_string e))

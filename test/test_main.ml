@@ -19,4 +19,5 @@ let () =
       ("network", Test_network.suite);
       ("abd", Test_abd.suite);
       ("msg-consensus", Test_msg_consensus.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,512 @@
+(* Tests for the service subsystem: protocol encode/parse, the bounded
+   job queue, engine backpressure and drain, service payload contracts
+   (byte-identical to the CLI renderers), cooperative deadlines with
+   slot reclaim, and the daemon end to end — including the determinism
+   regression (same request serial, concurrent, and direct must yield
+   byte-identical payloads) and graceful drain. *)
+
+module J = Obs.Json
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let temp_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wfde-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+(* Poll until [cond] holds; the daemon tests use this to sequence
+   against worker state instead of sleeping blindly. *)
+let eventually ?(timeout = 5.0) msg cond =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if cond () then ()
+    else if Unix.gettimeofday () -. t0 > timeout then
+      Alcotest.failf "timed out waiting for %s" msg
+    else begin
+      Thread.yield ();
+      Unix.sleepf 0.002;
+      go ()
+    end
+  in
+  go ()
+
+(* -- proto ------------------------------------------------------------- *)
+
+let test_proto_roundtrip () =
+  let req =
+    {
+      Serve.Proto.id = J.String "r1";
+      meth = "check";
+      params = [ ("object", J.String "abd"); ("depth", J.Int 4) ];
+      deadline_ms = Some 250;
+    }
+  in
+  let line = J.to_string (Serve.Proto.request_to_json req) in
+  match Serve.Proto.parse_request ~max_bytes:65536 line with
+  | Error _ -> Alcotest.fail "roundtrip parse failed"
+  | Ok r ->
+      checks "method" "check" r.Serve.Proto.meth;
+      checkb "id" true (r.Serve.Proto.id = J.String "r1");
+      checkb "deadline" true (r.Serve.Proto.deadline_ms = Some 250);
+      checki "params" 2 (List.length r.Serve.Proto.params)
+
+let test_proto_errors () =
+  let parse = Serve.Proto.parse_request ~max_bytes:100 in
+  let code_of = function
+    | Error (e, _) -> Serve.Proto.code_to_string e.Serve.Proto.code
+    | Ok _ -> "ok"
+  in
+  checks "oversized" "oversized" (code_of (parse (String.make 101 'x')));
+  checks "bad json" "bad_request" (code_of (parse "{nope"));
+  checks "non-object" "bad_request" (code_of (parse "[1,2]"));
+  checks "unknown field" "bad_request"
+    (code_of (parse {|{"method":"run","bogus":1}|}));
+  checks "missing method" "bad_request" (code_of (parse {|{"id":"x"}|}));
+  checks "bad deadline" "bad_request"
+    (code_of (parse {|{"method":"run","deadline_ms":-5}|}));
+  (* the id survives into the error so the response can correlate *)
+  (match parse {|{"id":"r9","method":"run","bogus":1}|} with
+  | Error (_, id) -> checkb "salvaged id" true (id = J.String "r9")
+  | Ok _ -> Alcotest.fail "expected error");
+  match parse {|{"method":"run"}|} with
+  | Ok r -> checkb "absent id is Null" true (r.Serve.Proto.id = J.Null)
+  | Error _ -> Alcotest.fail "minimal request must parse"
+
+let test_proto_response_roundtrip () =
+  let ok_line =
+    J.to_string
+      (Serve.Proto.ok_response ~id:(J.Int 7) ~wall_ms:1.5
+         (J.Obj [ ("x", J.Int 1) ]))
+  in
+  (match Serve.Proto.parse_response ok_line with
+  | Ok { Serve.Proto.resp_id; result = Ok payload; _ } ->
+      checkb "id" true (resp_id = J.Int 7);
+      checkb "payload" true (payload = J.Obj [ ("x", J.Int 1) ])
+  | _ -> Alcotest.fail "ok roundtrip failed");
+  let err_line =
+    J.to_string
+      (Serve.Proto.error_response ~id:J.Null ~wall_ms:0.1
+         (Serve.Proto.err Queue_full "full"))
+  in
+  (match Serve.Proto.parse_response err_line with
+  | Ok { Serve.Proto.result = Error e; _ } ->
+      checkb "code" true (e.Serve.Proto.code = Serve.Proto.Queue_full);
+      checks "message" "full" e.Serve.Proto.message
+  | _ -> Alcotest.fail "error roundtrip failed");
+  checkb "garbage rejected" true
+    (Result.is_error (Serve.Proto.parse_response "{}"))
+
+(* -- ivar / jobq ------------------------------------------------------- *)
+
+let test_ivar () =
+  let iv = Serve.Ivar.create () in
+  checkb "unfilled peek" true (Serve.Ivar.peek iv = None);
+  let reader = Thread.create (fun () -> Serve.Ivar.read iv) () in
+  Serve.Ivar.fill iv 42;
+  Thread.join reader;
+  checki "read" 42 (Serve.Ivar.read iv);
+  checkb "double fill raises" true
+    (match Serve.Ivar.fill iv 43 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_jobq_order_and_bounds () =
+  let q = Serve.Jobq.create ~capacity:2 in
+  checki "capacity" 2 (Serve.Jobq.capacity q);
+  checkb "push 1" true (Serve.Jobq.try_push q 1 = `Ok);
+  checkb "push 2" true (Serve.Jobq.try_push q 2 = `Ok);
+  checkb "push 3 full" true (Serve.Jobq.try_push q 3 = `Full);
+  checki "depth" 2 (Serve.Jobq.length q);
+  checkb "pop fifo" true (Serve.Jobq.pop q = Some 1);
+  checkb "room again" true (Serve.Jobq.try_push q 4 = `Ok);
+  Serve.Jobq.close q;
+  Serve.Jobq.close q;
+  checkb "push after close" true (Serve.Jobq.try_push q 5 = `Closed);
+  (* close drains: queued items still come out, then None *)
+  checkb "drain 2" true (Serve.Jobq.pop q = Some 2);
+  checkb "drain 4" true (Serve.Jobq.pop q = Some 4);
+  checkb "closed and empty" true (Serve.Jobq.pop q = None)
+
+(* -- engine ------------------------------------------------------------ *)
+
+let test_engine_runs_jobs () =
+  let e = Serve.Engine.start ~workers:2 ~queue_capacity:8 () in
+  let ivs = List.init 6 (fun _ -> Serve.Ivar.create ()) in
+  List.iteri
+    (fun i iv ->
+      checkb "submitted" true
+        (Serve.Engine.submit e (fun () -> Serve.Ivar.fill iv (i * i)) = `Ok))
+    ivs;
+  List.iteri (fun i iv -> checki "result" (i * i) (Serve.Ivar.read iv)) ivs;
+  Serve.Engine.drain e
+
+let test_engine_backpressure () =
+  (* one worker held on a gate, capacity-1 queue: the third submit must
+     be an immediate [`Queue_full], and releasing the gate lets the
+     queued job complete *)
+  let e = Serve.Engine.start ~workers:1 ~queue_capacity:1 () in
+  let gate = Serve.Ivar.create () in
+  let queued = Serve.Ivar.create () in
+  checkb "blocker accepted" true
+    (Serve.Engine.submit e (fun () -> Serve.Ivar.read gate) = `Ok);
+  eventually "worker picked up the blocker" (fun () ->
+      Serve.Engine.in_flight e = 1);
+  checkb "queued accepted" true
+    (Serve.Engine.submit e (fun () -> Serve.Ivar.fill queued true) = `Ok);
+  checki "queue depth" 1 (Serve.Engine.queue_depth e);
+  checkb "overflow rejected" true
+    (Serve.Engine.submit e (fun () -> ()) = `Queue_full);
+  Serve.Ivar.fill gate ();
+  checkb "queued job ran after release" true (Serve.Ivar.read queued);
+  Serve.Engine.drain e
+
+let test_engine_drain_completes_queued () =
+  let e = Serve.Engine.start ~workers:1 ~queue_capacity:4 () in
+  let gate = Serve.Ivar.create () in
+  let queued = Serve.Ivar.create () in
+  ignore (Serve.Engine.submit e (fun () -> Serve.Ivar.read gate));
+  eventually "worker busy" (fun () -> Serve.Engine.in_flight e = 1);
+  checkb "second accepted" true
+    (Serve.Engine.submit e (fun () -> Serve.Ivar.fill queued true) = `Ok);
+  (* release the gate from a helper while drain blocks in this thread:
+     drain must wait for the queued job, not discard it *)
+  let releaser =
+    Thread.create
+      (fun () ->
+        Unix.sleepf 0.05;
+        Serve.Ivar.fill gate ())
+      ()
+  in
+  Serve.Engine.drain e;
+  Thread.join releaser;
+  checkb "queued job completed during drain" true
+    (Serve.Ivar.peek queued = Some true);
+  checkb "submit after drain" true
+    (Serve.Engine.submit e (fun () -> ()) = `Draining)
+
+(* -- service ----------------------------------------------------------- *)
+
+let req ?(id = J.Null) ?deadline_ms meth params =
+  { Serve.Proto.id; meth; params; deadline_ms }
+
+let err_code = function
+  | Error (e : Serve.Proto.error) -> Serve.Proto.code_to_string e.code
+  | Ok _ -> "ok"
+
+let test_service_validation () =
+  let h = Serve.Service.handle in
+  checks "unknown method" "unknown_method" (err_code (h (req "frob" [])));
+  checks "health is daemon-level" "unknown_method"
+    (err_code (h (req "health" [])));
+  checks "unknown param" "bad_request"
+    (err_code (h (req "run" [ ("scales", J.Int 2) ])));
+  checks "bad scale" "bad_request"
+    (err_code (h (req "run" [ ("scale", J.Int 0) ])));
+  checks "unknown id" "bad_request"
+    (err_code (h (req "run" [ ("experiments", J.List [ J.String "e99" ]) ])));
+  checks "bad object" "bad_request"
+    (err_code (h (req "check" [ ("object", J.String "teapot") ])));
+  checks "bad mutant" "bad_request"
+    (err_code (h (req "check" [ ("mutant", J.String "teapot") ])))
+
+let test_service_payloads_match_direct () =
+  (* run: payload embeds exactly the CLI stdout renderer *)
+  let run_req = req "run" [ ("experiments", J.List [ J.String "e1" ]) ] in
+  (match Serve.Service.handle run_req with
+  | Error _ -> Alcotest.fail "run failed"
+  | Ok payload ->
+      let f = Option.get (Wfde.Experiments.by_id "e1") in
+      let direct = Serve.Service.run_text [ f ~scale:1 ~jobs:1 () ] in
+      (match J.member "output" payload with
+      | Some (J.String s) -> checks "run output = CLI stdout" direct s
+      | _ -> Alcotest.fail "run payload has no output");
+      checkb "run ok flag" true (J.member "ok" payload = Some (J.Bool true)));
+  (* check: payload is exactly the harness JSON document *)
+  let check_req =
+    req "check"
+      [
+        ("object", J.String "register");
+        ("depth", J.Int 3);
+        ("horizon", J.Int 60);
+      ]
+  in
+  match Serve.Service.handle check_req with
+  | Error _ -> Alcotest.fail "check failed"
+  | Ok payload ->
+      let direct =
+        Wfde.Harness.check_outcome_json
+          (Wfde.Harness.check_exhaustive ~depth:3 ~horizon:60
+             Wfde.Scenario.Register)
+      in
+      checks "check payload = harness json" (J.to_string direct)
+        (J.to_string payload)
+
+let test_service_deadline () =
+  let expired () = true in
+  checks "run hits deadline" "deadline_exceeded"
+    (err_code (Serve.Service.handle ~deadline:expired (req "run" [])));
+  checks "sleep hits deadline" "deadline_exceeded"
+    (err_code
+       (Serve.Service.handle ~deadline:expired
+          (req "sleep" [ ("ms", J.Int 50) ])));
+  checks "check hits deadline" "deadline_exceeded"
+    (err_code
+       (Serve.Service.handle ~deadline:expired
+          (req "check" [ ("depth", J.Int 3); ("horizon", J.Int 60) ])));
+  (* an unexpired deadline is invisible *)
+  checks "unexpired is fine" "ok"
+    (err_code
+       (Serve.Service.handle
+          ~deadline:(fun () -> false)
+          (req "sleep" [ ("ms", J.Int 0) ])))
+
+(* -- daemon ------------------------------------------------------------ *)
+
+let with_daemon ?(workers = 1) ?(queue_capacity = 4) f =
+  let socket = temp_socket () in
+  let d = Serve.Daemon.start ~workers ~queue_capacity ~socket () in
+  Fun.protect ~finally:(fun () -> Serve.Daemon.stop d) (fun () -> f d socket)
+
+let rpc_ok socket r =
+  match Serve.Client.rpc ~socket r with
+  | Ok { Serve.Proto.result = Ok payload; _ } -> payload
+  | Ok { Serve.Proto.result = Error e; _ } ->
+      Alcotest.failf "server error: %s: %s"
+        (Serve.Proto.code_to_string e.Serve.Proto.code)
+        e.Serve.Proto.message
+  | Error msg -> Alcotest.failf "transport error: %s" msg
+
+let rpc_err socket r =
+  match Serve.Client.rpc ~socket r with
+  | Ok { Serve.Proto.result = Error e; _ } ->
+      Serve.Proto.code_to_string e.Serve.Proto.code
+  | Ok { Serve.Proto.result = Ok _; _ } -> "ok"
+  | Error msg -> Alcotest.failf "transport error: %s" msg
+
+let test_daemon_health_and_echo () =
+  with_daemon (fun _ socket ->
+      let payload = rpc_ok socket (req "health" []) in
+      checkb "status ok" true
+        (J.member "status" payload = Some (J.String "ok"));
+      checkb "workers" true (J.member "workers" payload = Some (J.Int 1));
+      (* ids echo through the envelope *)
+      match Serve.Client.rpc ~socket (req ~id:(J.String "h7") "health" []) with
+      | Ok resp -> checkb "id echoed" true (resp.Serve.Proto.resp_id = J.String "h7")
+      | Error msg -> Alcotest.failf "transport error: %s" msg)
+
+(* Satellite: the determinism regression. One check and one sweep
+   request, asked (a) directly of the service, (b) through the daemon
+   serially, (c) through the daemon from concurrent clients — after
+   stripping the timing fields, every payload must be byte-identical. *)
+
+let strip_timing =
+  let rec go = function
+    | J.Obj kvs ->
+        J.Obj
+          (List.map
+             (fun (k, v) ->
+               if k = "wall_seconds" || k = "total_wall_seconds" then (k, J.Null)
+               else (k, go v))
+             kvs)
+    | J.List xs -> J.List (List.map go xs)
+    | j -> j
+  in
+  go
+
+let test_daemon_determinism () =
+  let check_req =
+    req "check"
+      [
+        ("object", J.String "register");
+        ("depth", J.Int 3);
+        ("horizon", J.Int 60);
+      ]
+  in
+  let sweep_req = req "sweep" [ ("experiments", J.List [ J.String "e1" ]) ] in
+  let norm p = J.to_string (strip_timing p) in
+  with_daemon ~workers:2 (fun _ socket ->
+      let direct r =
+        match Serve.Service.handle r with
+        | Ok p -> norm p
+        | Error _ -> Alcotest.fail "direct handle failed"
+      in
+      let serial r = norm (rpc_ok socket r) in
+      List.iter
+        (fun (name, r) ->
+          let reference = direct r in
+          checks (name ^ " serial = direct") reference (serial r);
+          checks (name ^ " serial repeat") reference (serial r);
+          (* four concurrent clients, all sending the same request *)
+          let results = Array.make 4 "" in
+          let threads =
+            Array.init 4 (fun i ->
+                Thread.create
+                  (fun i -> results.(i) <- norm (rpc_ok socket r))
+                  i)
+          in
+          Array.iter Thread.join threads;
+          Array.iteri
+            (fun i got ->
+              checks (Printf.sprintf "%s concurrent[%d] = direct" name i)
+                reference got)
+            results)
+        [ ("check", check_req); ("sweep", sweep_req) ])
+
+let test_daemon_queue_full () =
+  with_daemon ~workers:1 ~queue_capacity:1 (fun d socket ->
+      (* occupy the single worker, then the single queue slot, then
+         observe the structured rejection — sequenced by polling the
+         daemon's own gauges, not by sleeping *)
+      let r1 = Thread.create (fun () -> rpc_ok socket (req "sleep" [ ("ms", J.Int 400) ])) () in
+      eventually "worker busy" (fun () -> Serve.Daemon.in_flight d = 1);
+      let r2 = Thread.create (fun () -> rpc_ok socket (req "sleep" [ ("ms", J.Int 0) ])) () in
+      eventually "queue holds one" (fun () -> Serve.Daemon.queue_depth d = 1);
+      checks "third request rejected" "queue_full"
+        (rpc_err socket (req "sleep" [ ("ms", J.Int 0) ]));
+      (* health still answers inline while the fleet is saturated *)
+      checkb "health during saturation" true
+        (J.member "status" (rpc_ok socket (req "health" []))
+        = Some (J.String "ok"));
+      Thread.join r1;
+      Thread.join r2)
+
+let test_daemon_deadline_reclaims_slot () =
+  with_daemon ~workers:1 (fun _ socket ->
+      let t0 = Unix.gettimeofday () in
+      checks "expired mid-work" "deadline_exceeded"
+        (rpc_err socket
+           (req ~deadline_ms:50 "sleep" [ ("ms", J.Int 30_000) ]));
+      checkb "cancelled long before the nominal sleep" true
+        (Unix.gettimeofday () -. t0 < 5.);
+      (* the worker slot is immediately reusable *)
+      let p = rpc_ok socket (req "sleep" [ ("ms", J.Int 0) ]) in
+      checkb "slot reclaimed" true (J.member "slept_ms" p = Some (J.Int 0)))
+
+let test_daemon_queued_past_deadline () =
+  with_daemon ~workers:1 (fun d socket ->
+      let blocker =
+        Thread.create
+          (fun () -> rpc_ok socket (req "sleep" [ ("ms", J.Int 300) ]))
+          ()
+      in
+      eventually "worker busy" (fun () -> Serve.Daemon.in_flight d = 1);
+      (* 50ms deadline, stuck behind a 300ms job: expires in the queue *)
+      checks "queued past deadline" "deadline_exceeded"
+        (rpc_err socket (req ~deadline_ms:50 "sleep" [ ("ms", J.Int 0) ]));
+      Thread.join blocker)
+
+let read_response_line fd pending =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match String.index_opt !pending '\n' with
+    | Some i ->
+        let line = String.sub !pending 0 i in
+        pending := String.sub !pending (i + 1) (String.length !pending - i - 1);
+        line
+    | None -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Alcotest.fail "connection closed mid-response"
+        | n ->
+            pending := !pending ^ Bytes.sub_string chunk 0 n;
+            go ())
+  in
+  go ()
+
+let test_daemon_graceful_drain () =
+  let socket = temp_socket () in
+  let d = Serve.Daemon.start ~workers:1 ~queue_capacity:4 ~socket () in
+  (* one in-flight and one pipelined request on the same connection,
+     written together so both lines are buffered daemon-side before the
+     drain begins *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let line r = J.to_string (Serve.Proto.request_to_json r) ^ "\n" in
+  let both =
+    line (req ~id:(J.String "a") "sleep" [ ("ms", J.Int 300) ])
+    ^ line (req ~id:(J.String "b") "sleep" [ ("ms", J.Int 0) ])
+  in
+  let b = Bytes.of_string both in
+  ignore (Unix.write fd b 0 (Bytes.length b));
+  eventually "first request in flight" (fun () -> Serve.Daemon.in_flight d = 1);
+  let stopper = Thread.create (fun () -> Serve.Daemon.stop d) () in
+  eventually "drain began" (fun () -> Serve.Daemon.draining d);
+  let pending = ref "" in
+  (* request (a) was in flight when the drain began: it completes *)
+  (match Serve.Proto.parse_response (read_response_line fd pending) with
+  | Ok { Serve.Proto.resp_id; result = Ok _; _ } ->
+      checkb "in-flight completed during drain" true (resp_id = J.String "a")
+  | _ -> Alcotest.fail "first drain response malformed");
+  (* request (b) was behind it: refused with a structured error *)
+  (match Serve.Proto.parse_response (read_response_line fd pending) with
+  | Ok { Serve.Proto.resp_id; result = Error e; _ } ->
+      checkb "id b" true (resp_id = J.String "b");
+      checkb "shutting_down" true
+        (e.Serve.Proto.code = Serve.Proto.Shutting_down)
+  | _ -> Alcotest.fail "second drain response malformed");
+  Unix.close fd;
+  Thread.join stopper;
+  (* fully drained: socket is gone, new connections are refused *)
+  checkb "socket unlinked" true (not (Sys.file_exists socket));
+  checkb "connect refused after drain" true
+    (Result.is_error (Serve.Client.connect ~socket));
+  (* stop is idempotent *)
+  Serve.Daemon.stop d
+
+(* -- loadgen ----------------------------------------------------------- *)
+
+let test_loadgen_deterministic () =
+  with_daemon ~workers:2 ~queue_capacity:16 (fun _ socket ->
+      let serial = Serve.Loadgen.run ~socket ~total:9 ~clients:1 in
+      let concurrent = Serve.Loadgen.run ~socket ~total:9 ~clients:3 in
+      checki "serial all ok" 9 serial.Serve.Loadgen.ok;
+      checki "concurrent all ok" 9 concurrent.Serve.Loadgen.ok;
+      checki "no errors" 0
+        (serial.Serve.Loadgen.errors + concurrent.Serve.Loadgen.errors
+        + serial.Serve.Loadgen.transport_errors
+        + concurrent.Serve.Loadgen.transport_errors);
+      checki "payload bytes agree" serial.Serve.Loadgen.payload_bytes
+        concurrent.Serve.Loadgen.payload_bytes;
+      checki "no mismatches" 0
+        (Serve.Loadgen.mismatches ~reference:serial concurrent))
+
+let suite =
+  [
+    Alcotest.test_case "proto: request roundtrip" `Quick test_proto_roundtrip;
+    Alcotest.test_case "proto: malformed requests" `Quick test_proto_errors;
+    Alcotest.test_case "proto: response roundtrip" `Quick
+      test_proto_response_roundtrip;
+    Alcotest.test_case "ivar: fill/read/peek" `Quick test_ivar;
+    Alcotest.test_case "jobq: fifo, bounds, close drains" `Quick
+      test_jobq_order_and_bounds;
+    Alcotest.test_case "engine: jobs run and return" `Quick
+      test_engine_runs_jobs;
+    Alcotest.test_case "engine: queue-full backpressure" `Quick
+      test_engine_backpressure;
+    Alcotest.test_case "engine: drain completes queued work" `Quick
+      test_engine_drain_completes_queued;
+    Alcotest.test_case "service: validation errors" `Quick
+      test_service_validation;
+    Alcotest.test_case "service: payloads match direct calls" `Quick
+      test_service_payloads_match_direct;
+    Alcotest.test_case "service: cooperative deadlines" `Quick
+      test_service_deadline;
+    Alcotest.test_case "daemon: health and id echo" `Quick
+      test_daemon_health_and_echo;
+    Alcotest.test_case "daemon: serial/concurrent/direct determinism" `Quick
+      test_daemon_determinism;
+    Alcotest.test_case "daemon: queue-full under a filled queue" `Quick
+      test_daemon_queue_full;
+    Alcotest.test_case "daemon: deadline expiry reclaims the slot" `Quick
+      test_daemon_deadline_reclaims_slot;
+    Alcotest.test_case "daemon: deadline expires while queued" `Quick
+      test_daemon_queued_past_deadline;
+    Alcotest.test_case "daemon: graceful drain" `Quick
+      test_daemon_graceful_drain;
+    Alcotest.test_case "loadgen: serial vs concurrent identical" `Quick
+      test_loadgen_deterministic;
+  ]
