@@ -5,8 +5,10 @@
    Both files are wfde-bench/1 documents (bench/main.exe --json; the
    quick CI path produces one with --macro-only). The gated sections
    are the ones built from deterministic work counters — "macro"
-   (DPOR/Lin) and "serve" (daemon load generator) — compared entry by
-   entry under the same rules:
+   (DPOR/Lin), "serve" (daemon load generator), and "serve_tracing"
+   (the same load generator against a tracing daemon, whose span
+   counts and payload-vs-untraced mismatches are deterministic) —
+   compared entry by entry under the same rules:
 
    - every counter of an entry present in both files must not INCREASE
      (executions, races, backtrack points, scheduler steps, service
@@ -30,7 +32,7 @@
    error. *)
 
 let minor_words_tolerance = 1.10
-let gated_sections = [ "macro"; "serve" ]
+let gated_sections = [ "macro"; "serve"; "serve_tracing" ]
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 

@@ -304,42 +304,12 @@ let serve_entry_of ~name ~(leg : Serve.Loadgen.leg) ~extra_counters =
       @ extra_counters;
   }
 
-let serve_entries () =
-  Format.printf "==================================================@.";
-  Format.printf "Part 4: service daemon (deterministic load generator)@.";
-  Format.printf "==================================================@.@.";
-  let socket =
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "wfde-bench-%d.sock" (Unix.getpid ()))
-  in
-  let daemon =
-    Serve.Daemon.start ~workers:serve_clients ~queue_capacity:64 ~socket ()
-  in
-  let entries =
-    Fun.protect
-      ~finally:(fun () -> Serve.Daemon.stop daemon)
-      (fun () ->
-        let serial =
-          Serve.Loadgen.run ~socket ~total:serve_requests ~clients:1
-        in
-        let concurrent =
-          Serve.Loadgen.run ~socket ~total:serve_requests
-            ~clients:serve_clients
-        in
-        let mismatches = Serve.Loadgen.mismatches ~reference:serial concurrent in
-        [
-          serve_entry_of
-            ~name:(Printf.sprintf "serve/serial %d reqs x1 client" serve_requests)
-            ~leg:serial ~extra_counters:[];
-          serve_entry_of
-            ~name:
-              (Printf.sprintf "serve/concurrent %d reqs x%d clients"
-                 serve_requests serve_clients)
-            ~leg:concurrent
-            ~extra_counters:[ ("payload_mismatches", mismatches) ];
-        ])
-  in
+let bench_socket tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "wfde-bench-%s-%d.sock" tag (Unix.getpid ()))
+
+let print_serve_entries entries =
   List.iter
     (fun e ->
       Format.printf
@@ -351,7 +321,129 @@ let serve_entries () =
               (fun (k, v) -> Printf.sprintf "%s=%d" k v)
               e.serve_counters)))
     entries;
-  Format.printf "@.";
+  Format.printf "@."
+
+(* Returns the entries plus the untraced serial leg, which part 5 uses
+   as the payload reference for the tracing-is-invisible gate. *)
+let serve_entries () =
+  Format.printf "==================================================@.";
+  Format.printf "Part 4: service daemon (deterministic load generator)@.";
+  Format.printf "==================================================@.@.";
+  let socket = bench_socket "plain" in
+  let daemon =
+    Serve.Daemon.start ~workers:serve_clients ~queue_capacity:64 ~socket ()
+  in
+  let entries, serial =
+    Fun.protect
+      ~finally:(fun () -> Serve.Daemon.stop daemon)
+      (fun () ->
+        let serial =
+          Serve.Loadgen.run ~socket ~total:serve_requests ~clients:1 ()
+        in
+        let concurrent =
+          Serve.Loadgen.run ~socket ~total:serve_requests
+            ~clients:serve_clients ()
+        in
+        let mismatches = Serve.Loadgen.mismatches ~reference:serial concurrent in
+        ( [
+            serve_entry_of
+              ~name:
+                (Printf.sprintf "serve/serial %d reqs x1 client" serve_requests)
+              ~leg:serial ~extra_counters:[];
+            serve_entry_of
+              ~name:
+                (Printf.sprintf "serve/concurrent %d reqs x%d clients"
+                   serve_requests serve_clients)
+              ~leg:concurrent
+              ~extra_counters:[ ("payload_mismatches", mismatches) ];
+          ],
+          serial ))
+  in
+  print_serve_entries entries;
+  (entries, serial)
+
+(* ------------------------------------------------------------- part 5 *)
+
+(* Tracing overhead: the same workload against a daemon with a span
+   sink, every request carrying a trace id. The deterministic gates:
+   payloads must be byte-identical to the untraced part-4 reference
+   (tracing must be invisible in response bytes), no request may fail,
+   and the exported span count is an exact function of the workload —
+   identical for the serial and the concurrent leg. Wall time and
+   throughput (the actual overhead) are reported but never gate. *)
+
+let tracing_entries ~reference ~spans_out =
+  Format.printf "==================================================@.";
+  Format.printf "Part 5: tracing overhead (spans on, payloads gated)@.";
+  Format.printf "==================================================@.@.";
+  let socket = bench_socket "traced" in
+  let chan = Option.map open_out spans_out in
+  let sink =
+    match chan with
+    | Some oc -> Wfde.Obs.Span.sink ~out:oc ()
+    | None -> Wfde.Obs.Span.sink ()
+  in
+  let daemon =
+    Serve.Daemon.start ~workers:serve_clients ~queue_capacity:64 ~trace:sink
+      ~socket ()
+  in
+  let entries =
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.Daemon.stop daemon;
+        Option.iter close_out chan)
+      (fun () ->
+        let leg ~trace_prefix ~clients =
+          let before = Wfde.Obs.Span.absorbed sink in
+          let l =
+            Serve.Loadgen.run ~trace_prefix ~socket ~total:serve_requests
+              ~clients ()
+          in
+          (l, Wfde.Obs.Span.absorbed sink - before)
+        in
+        let serial, serial_spans = leg ~trace_prefix:"s" ~clients:1 in
+        let concurrent, concurrent_spans =
+          leg ~trace_prefix:"c" ~clients:serve_clients
+        in
+        let entry ~name ~l ~spans =
+          serve_entry_of ~name ~leg:l
+            ~extra_counters:
+              [
+                ("spans", spans);
+                ( "payload_mismatches_vs_untraced",
+                  Serve.Loadgen.mismatches ~reference l );
+              ]
+        in
+        [
+          entry
+            ~name:
+              (Printf.sprintf "serve+trace/serial %d reqs x1 client"
+                 serve_requests)
+            ~l:serial ~spans:serial_spans;
+          entry
+            ~name:
+              (Printf.sprintf "serve+trace/concurrent %d reqs x%d clients"
+                 serve_requests serve_clients)
+            ~l:concurrent ~spans:concurrent_spans;
+        ])
+  in
+  print_serve_entries entries;
+  (match entries with
+  | { serve_rps = traced_rps; _ } :: _ when reference.Serve.Loadgen.wall_seconds > 0. ->
+      let untraced_rps =
+        float_of_int reference.Serve.Loadgen.ok
+        /. reference.Serve.Loadgen.wall_seconds
+      in
+      if untraced_rps > 0. then
+        Format.printf
+          "tracing overhead (serial, wall-clock, not gated): %.1f%% \
+           throughput drop (%.1f req/s untraced -> %.1f traced)@.@."
+          ((untraced_rps -. traced_rps) /. untraced_rps *. 100.)
+          untraced_rps traced_rps
+  | _ -> ());
+  (match spans_out with
+  | Some path -> Format.printf "wrote wfde-span/1 JSONL to %s@.@." path
+  | None -> ());
   entries
 
 (* ------------------------------------------------------------- part 2 *)
@@ -648,7 +740,30 @@ let run_benchmarks () =
 
 (* --------------------------------------------------------- json output *)
 
-let json_document ~outcomes ~sweep ~benchmarks ~macro ~serve =
+let serve_section_json entries =
+  let module J = Wfde.Json in
+  J.List
+    (List.map
+       (fun e ->
+         J.Obj
+           [
+             ("name", J.String e.serve_name);
+             ("wall_seconds", J.Float e.serve_wall);
+             ("throughput_rps", J.Float e.serve_rps);
+             ( "latency_ms",
+               J.Obj
+                 [
+                   ("p50", J.Float e.serve_p50);
+                   ("p95", J.Float e.serve_p95);
+                   ("p99", J.Float e.serve_p99);
+                 ] );
+             ( "counters",
+               J.Obj (List.map (fun (k, v) -> (k, J.Int v)) e.serve_counters)
+             );
+           ])
+       entries)
+
+let json_document ~outcomes ~sweep ~benchmarks ~macro ~serve ~serve_tracing =
   let module J = Wfde.Json in
   J.Obj
     [
@@ -700,40 +815,26 @@ let json_document ~outcomes ~sweep ~benchmarks ~macro ~serve =
                           e.macro_counters) );
                  ])
              macro) );
-      ( "serve",
-        J.List
-          (List.map
-             (fun e ->
-               J.Obj
-                 [
-                   ("name", J.String e.serve_name);
-                   ("wall_seconds", J.Float e.serve_wall);
-                   ("throughput_rps", J.Float e.serve_rps);
-                   ( "latency_ms",
-                     J.Obj
-                       [
-                         ("p50", J.Float e.serve_p50);
-                         ("p95", J.Float e.serve_p95);
-                         ("p99", J.Float e.serve_p99);
-                       ] );
-                   ( "counters",
-                     J.Obj
-                       (List.map
-                          (fun (k, v) -> (k, J.Int v))
-                          e.serve_counters) );
-                 ])
-             serve) );
+      ("serve", serve_section_json serve);
+      ("serve_tracing", serve_section_json serve_tracing);
       ("metrics", Wfde.Metrics.to_json (Wfde.Metrics.snapshot ()));
     ]
 
 let parse_args () =
-  let json = ref None and macro_only = ref false and serve_only = ref false in
+  let json = ref None
+  and spans_out = ref None
+  and macro_only = ref false
+  and serve_only = ref false in
   let rec walk = function
     | [] -> ()
     | "--json" :: path :: rest ->
         json := Some path;
         walk rest
     | "--json" :: [] -> failwith "--json requires a PATH argument"
+    | "--spans-out" :: path :: rest ->
+        spans_out := Some path;
+        walk rest
+    | "--spans-out" :: [] -> failwith "--spans-out requires a PATH argument"
     | "--macro-only" :: rest ->
         macro_only := true;
         walk rest
@@ -743,18 +844,19 @@ let parse_args () =
     | arg :: _ -> failwith (Printf.sprintf "unknown argument %S" arg)
   in
   walk (List.tl (Array.to_list Sys.argv));
-  (!json, !macro_only, !serve_only)
+  (!json, !spans_out, !macro_only, !serve_only)
 
 let () =
-  let json_path, macro_only, serve_only = parse_args () in
+  let json_path, spans_out, macro_only, serve_only = parse_args () in
   let quick = macro_only || serve_only in
   let outcomes = if quick then [] else print_experiment_tables () in
   let sweep = if quick then [] else parallel_sweep_entries () in
   let benchmarks = if quick then [] else run_benchmarks () in
   let macro = if serve_only then [] else macro_entries () in
-  (* part 4 runs in every mode: it is cheap, and keeping it in the
-     --macro-only document is what lets CI gate its counters *)
-  let serve = serve_entries () in
+  (* parts 4 and 5 run in every mode: they are cheap, and keeping them
+     in the --macro-only document is what lets CI gate their counters *)
+  let serve, untraced_serial = serve_entries () in
+  let serve_tracing = tracing_entries ~reference:untraced_serial ~spans_out in
   match json_path with
   | None -> ()
   | Some path ->
@@ -764,6 +866,7 @@ let () =
         (fun () ->
           output_string oc
             (Wfde.Json.to_string
-               (json_document ~outcomes ~sweep ~benchmarks ~macro ~serve));
+               (json_document ~outcomes ~sweep ~benchmarks ~macro ~serve
+                  ~serve_tracing));
           output_char oc '\n');
       Format.printf "wrote machine-readable results to %s@." path

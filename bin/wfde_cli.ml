@@ -238,20 +238,24 @@ let trace_cmd =
 
 (* ------------------------------------------------------------ stats --- *)
 
-let stats_body ids scale jobs json_path =
+let stats_body ids scale jobs json_path format =
   Wfde.Metrics.reset ();
   let outcomes =
     List.map (fun (_, o, _) -> o) (timed_outcomes ids ~scale ~jobs)
   in
   let failed = List.filter (fun o -> not o.Wfde.Experiments.ok) outcomes in
   let snap = Wfde.Metrics.snapshot () in
-  let title =
-    Printf.sprintf "telemetry after %d experiment(s): %s"
-      (List.length outcomes)
-      (String.concat " "
-         (List.map (fun o -> o.Wfde.Experiments.id) outcomes))
-  in
-  Format.printf "%s@." (Wfde.Report.to_string (Wfde.Report.of_metrics ~title snap));
+  (match format with
+  | `Prom -> print_string (Wfde.Obs.Prom.render snap)
+  | `Table ->
+      let title =
+        Printf.sprintf "telemetry after %d experiment(s): %s"
+          (List.length outcomes)
+          (String.concat " "
+             (List.map (fun o -> o.Wfde.Experiments.id) outcomes))
+      in
+      Format.printf "%s@."
+        (Wfde.Report.to_string (Wfde.Report.of_metrics ~title snap)));
   let json_failed =
     match json_path with
     | None -> false
@@ -278,9 +282,9 @@ let stats_body ids scale jobs json_path =
     1
   end
 
-let run_stats ids scale jobs json_path =
+let run_stats ids scale jobs json_path format =
   if not (reject_unknown_ids ids) then 2
-  else stats_body ids scale jobs json_path
+  else stats_body ids scale jobs json_path format
 
 let stats_cmd =
   let json_arg =
@@ -290,11 +294,24 @@ let stats_cmd =
       & info [ "json" ] ~docv:"PATH"
           ~doc:"Also write the metrics snapshot as a JSON document to $(docv).")
   in
+  let format_arg =
+    let doc =
+      "Output format: $(b,table) (the human report) or $(b,prom) \
+       (Prometheus text exposition 0.0.4, the same body the daemon's \
+       metrics method returns with format=prom)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("prom", `Prom) ]) `Table
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
   let doc =
     "run experiments and dump the telemetry-registry counters they populated"
   in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const run_stats $ ids_arg $ scale_arg $ jobs_arg $ json_arg)
+    Term.(
+      const run_stats $ ids_arg $ scale_arg $ jobs_arg $ json_arg
+      $ format_arg)
 
 (* ------------------------------------------------------------ check --- *)
 
@@ -506,21 +523,44 @@ let socket_arg =
     & opt string "/tmp/wfde.sock"
     & info [ "socket" ] ~docv:"PATH" ~doc)
 
-let run_serve socket workers queue_capacity =
+let run_serve socket workers queue_capacity trace_out slow_ms =
   match
-    Serve.Daemon.start ~workers ~queue_capacity ~socket ()
+    Option.map
+      (fun path ->
+        match open_out path with
+        | oc -> oc
+        | exception Sys_error msg -> failwith msg)
+      trace_out
   with
-  | t ->
-      (* the readiness line CI and scripts wait for *)
-      Format.printf "wfde serve: listening on %s (workers=%d queue=%d)@."
-        socket workers queue_capacity;
-      Serve.Daemon.run_forever t;
-      Format.printf "wfde serve: drained, bye@.";
-      0
-  | exception Unix.Unix_error (e, _, arg) ->
-      Format.eprintf "cannot listen on %s: %s %s@." socket
-        (Unix.error_message e) arg;
+  | exception Failure msg ->
+      Format.eprintf "cannot open --trace-out: %s@." msg;
       1
+  | trace_chan -> (
+      let trace =
+        Option.map (fun oc -> Wfde.Obs.Span.sink ~out:oc ()) trace_chan
+      in
+      let close_trace () = Option.iter close_out trace_chan in
+      match
+        Serve.Daemon.start ?trace
+          ?slow_ms:(Option.map float_of_int slow_ms)
+          ~workers ~queue_capacity ~socket ()
+      with
+      | t ->
+          (* the readiness line CI and scripts wait for *)
+          Format.printf "wfde serve: listening on %s (workers=%d queue=%d%s)@."
+            socket workers queue_capacity
+            (match trace_out with
+            | None -> ""
+            | Some p -> Printf.sprintf " trace-out=%s" p);
+          Serve.Daemon.run_forever t;
+          close_trace ();
+          Format.printf "wfde serve: drained, bye@.";
+          0
+      | exception Unix.Unix_error (e, _, arg) ->
+          close_trace ();
+          Format.eprintf "cannot listen on %s: %s %s@." socket
+            (Unix.error_message e) arg;
+          1)
 
 let serve_cmd =
   let workers_arg =
@@ -537,6 +577,27 @@ let serve_cmd =
       & opt (bounded_int ~what:"--queue" ~min:1 ~max:4096) 64
       & info [ "queue" ] ~docv:"Q" ~doc)
   in
+  let trace_out_arg =
+    let doc =
+      "Enable request tracing and append wfde-span/1 JSONL (one span per \
+       line) to $(docv). Only requests that carry a trace id are traced; \
+       render the file with $(b,wfde spans)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let slow_ms_arg =
+    let doc =
+      "Log one structured slow_request JSON line to stderr for every \
+       request that takes at least $(docv) milliseconds."
+    in
+    Arg.(
+      value
+      & opt (some (bounded_int ~what:"--slow-ms" ~min:0 ~max:86_400_000)) None
+      & info [ "slow-ms" ] ~docv:"MS" ~doc)
+  in
   let doc = "run the wfde-rpc/1 daemon on a Unix-domain socket" in
   let man =
     [
@@ -549,14 +610,22 @@ let serve_cmd =
          cooperatively, and SIGTERM/SIGINT drain gracefully (in-flight \
          and queued requests complete; new ones are refused). Payloads \
          are byte-identical to the matching CLI output.";
+      `P
+        "With $(b,--trace-out), requests carrying a trace id export a \
+         span tree (accept/parse/queue/dispatch/execute/render plus \
+         method-specific children) as wfde-span/1 JSONL; with \
+         $(b,--slow-ms), requests at least that slow log one structured \
+         JSON line to stderr. Neither changes response payload bytes.";
     ]
   in
   Cmd.v (Cmd.info "serve" ~doc ~man)
-    Term.(const run_serve $ socket_arg $ workers_arg $ queue_arg)
+    Term.(
+      const run_serve $ socket_arg $ workers_arg $ queue_arg $ trace_out_arg
+      $ slow_ms_arg)
 
 (* ----------------------------------------------------------- client --- *)
 
-let run_client meth socket params_json id deadline_ms envelope =
+let run_client meth socket params_json id deadline_ms trace envelope =
   let params =
     match params_json with
     | None -> Ok []
@@ -578,6 +647,7 @@ let run_client meth socket params_json id deadline_ms envelope =
           meth;
           params;
           deadline_ms;
+          trace;
         }
       in
       match Serve.Client.rpc ~socket req with
@@ -610,7 +680,9 @@ let run_client meth socket params_json id deadline_ms envelope =
                 Format.eprintf "%s: %s@."
                   (Serve.Proto.code_to_string e.Serve.Proto.code)
                   e.Serve.Proto.message;
-              1))
+              (* distinguishable failures for scripts: 124 deadline,
+                 75 queue_full/backpressure, 1 everything else *)
+              Serve.Proto.exit_code e.Serve.Proto.code))
 
 let client_cmd =
   let meth_arg =
@@ -635,6 +707,13 @@ let client_cmd =
       & opt (some (bounded_int ~what:"--deadline-ms" ~min:1 ~max:86_400_000)) None
       & info [ "deadline-ms" ] ~docv:"MS" ~doc)
   in
+  let trace_arg =
+    let doc =
+      "Trace id attached to the request; a daemon started with \
+       $(b,--trace-out) exports the request's span tree under this id."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"ID" ~doc)
+  in
   let envelope_arg =
     let doc =
       "Print the full wfde-rpc/1 envelope instead of just the payload."
@@ -648,24 +727,74 @@ let client_cmd =
       `P
         "Connects to the daemon's Unix socket, sends one request, prints \
          the payload JSON on stdout (exit 0), a structured server error \
-         on stderr (exit 1), or a transport error (exit 3). With \
-         $(b,--envelope) the whole response envelope prints instead. \
-         Because daemon payloads are byte-identical to CLI output, \
-         'wfde client sweep --params ...' and 'wfde sweep --json -' \
-         style pipelines can be diffed directly.";
+         on stderr, or a transport error (exit 3). With $(b,--envelope) \
+         the whole response envelope prints instead. Because daemon \
+         payloads are byte-identical to CLI output, 'wfde client sweep \
+         --params ...' and 'wfde sweep --json -' style pipelines can be \
+         diffed directly.";
+      `P
+        "Server errors exit with distinguishable codes: 124 for \
+         deadline_exceeded (the timeout(1) convention), 75 for \
+         queue_full (EX_TEMPFAIL: retry later), 1 for everything else.";
       `S Manpage.s_examples;
       `Pre
         "  wfde client health --socket /tmp/wfde.sock\n\
         \  wfde client run --params '{\"experiments\":[\"e1\"]}'\n\
         \  wfde client check --params '{\"object\":\"abd\",\"procs\":3}' \
          --deadline-ms 30000\n\
-        \  wfde client metrics --envelope";
+        \  wfde client run --trace t1 --params '{\"experiments\":[\"e1\"]}'\n\
+        \  wfde client metrics --params '{\"format\":\"prom\"}'";
     ]
   in
   Cmd.v (Cmd.info "client" ~doc ~man)
     Term.(
       const run_client $ meth_arg $ socket_arg $ params_arg $ id_arg
-      $ deadline_arg $ envelope_arg)
+      $ deadline_arg $ trace_arg $ envelope_arg)
+
+(* ------------------------------------------------------------ spans --- *)
+
+let run_spans file normalize =
+  match Wfde.Obs.Span.load_file file with
+  | Error msg ->
+      Format.eprintf "cannot load %s: %s@." file msg;
+      2
+  | Ok spans ->
+      print_string (Wfde.Obs.Span.render ~normalize spans);
+      0
+
+let spans_cmd =
+  let file_arg =
+    let doc = "A wfde-span/1 JSONL file (see 'wfde serve --trace-out')." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let normalize_arg =
+    let doc =
+      "Omit timestamps: print only the span structure (names, nesting, \
+       truncation), which is deterministic — two exports of the same \
+       request mix diff clean."
+    in
+    Arg.(value & flag & info [ "normalize" ] ~doc)
+  in
+  let doc = "render an exported span file as per-trace profile trees" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads wfde-span/1 JSONL and prints one flame-style tree per \
+         trace: spans nested under their parents in creation order, \
+         each with its total wall time and self time (total minus \
+         children). Truncated spans — cut by a deadline, a drain, or a \
+         request error — are marked.";
+      `S Manpage.s_examples;
+      `Pre
+        "  wfde serve --socket /tmp/wfde.sock --trace-out /tmp/spans.jsonl &\n\
+        \  wfde client run --trace t1 --params '{\"experiments\":[\"e1\"]}'\n\
+        \  kill -TERM %1 && wait\n\
+        \  wfde spans /tmp/spans.jsonl";
+    ]
+  in
+  Cmd.v (Cmd.info "spans" ~doc ~man)
+    Term.(const run_spans $ file_arg $ normalize_arg)
 
 (* ------------------------------------------------------------ group --- *)
 
@@ -710,6 +839,7 @@ let group =
       sweep_cmd;
       serve_cmd;
       client_cmd;
+      spans_cmd;
     ]
 
 let () = exit (Cmd.eval' group)

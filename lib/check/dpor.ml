@@ -479,18 +479,27 @@ let rec take n = function
   | _ when n <= 0 -> []
   | x :: tl -> x :: take (n - 1) tl
 
-let explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~stack
-    ~len ~floor =
+let explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~on_phase
+    ~stack ~len ~floor =
   let executions = ref 0 and blocked_runs = ref 0 in
   let races_total = ref 0 and added_total = ref 0 in
   let scratch = make_scratch ~n:(Failure_pattern.n_plus_1 pattern) in
   let pend = Eset.create () in
+  (* Phase profiling is aggregated per call and reported once at the
+     end — the span structure (two phases, always both) is independent
+     of how many executions the search needed, which keeps the exported
+     span tree byte-identical across -j1/-jN unit orders. *)
+  let timed = on_phase <> None in
+  let exec_us = ref 0 and analyze_us = ref 0 in
+  let clock () = if timed then Obs.Span.now_us () else 0 in
   let rec loop () =
     if !executions >= budget || should_stop () then None
     else begin
+      let t0 = clock () in
       let verdict, trace, builder, grown, blocked =
         run_once ~pattern ~horizon ~depth ~stack ~len:!len ~make ~pend
       in
+      if timed then exec_us := !exec_us + (clock () - t0);
       incr executions;
       Obs.Metrics.incr m_executions;
       if blocked then begin
@@ -501,7 +510,9 @@ let explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~stack
       | Error report -> Some (take depth (Trace.schedule trace), report)
       | Ok () ->
           if not blocked then begin
+            let t1 = clock () in
             let races, added = analyze ~scratch ~stack ~grown ~builder in
+            if timed then analyze_us := !analyze_us + (clock () - t1);
             races_total := !races_total + races;
             added_total := !added_total + added;
             Obs.Metrics.incr ~by:races m_races;
@@ -512,6 +523,11 @@ let explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~stack
     end
   in
   let counterexample = loop () in
+  (match on_phase with
+  | Some f ->
+      f "dpor.executions" !exec_us;
+      f "dpor.race_analysis" !analyze_us
+  | None -> ());
   {
     stats =
       {
@@ -527,13 +543,13 @@ let check_budget ~who budget =
   if budget < 0 then invalid_arg (who ^ ": negative budget")
 
 let explore ~pattern ~depth ~horizon ?(budget = unbounded)
-    ?(should_stop = fun () -> false) ~make () =
+    ?(should_stop = fun () -> false) ?on_phase ~make () =
   if depth < 0 then invalid_arg "Dpor.explore: negative depth";
   check_budget ~who:"Dpor.explore" budget;
   let stack = Array.make (max depth 1) None in
   let len = ref 0 in
-  explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~stack ~len
-    ~floor:0
+  explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~on_phase
+    ~stack ~len ~floor:0
 
 let root_branches ~pattern ~make () =
   let procs, _checkf = make () in
@@ -552,7 +568,7 @@ let root_branches ~pattern ~make () =
   match !seen with None -> [] | Some pend -> pend
 
 let explore_branch ~pattern ~depth ~horizon ?(budget = unbounded)
-    ?(should_stop = fun () -> false) ~branches ~index ~make () =
+    ?(should_stop = fun () -> false) ?on_phase ~branches ~index ~make () =
   if depth < 1 then invalid_arg "Dpor.explore_branch: depth must be >= 1";
   check_budget ~who:"Dpor.explore_branch" budget;
   if index < 0 || index >= List.length branches then
@@ -578,5 +594,5 @@ let explore_branch ~pattern ~depth ~horizon ?(budget = unbounded)
         sleep = Pid.Set.empty;
       };
   let len = ref 1 in
-  explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~stack ~len
-    ~floor:1
+  explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~on_phase
+    ~stack ~len ~floor:1

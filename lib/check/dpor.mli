@@ -89,6 +89,7 @@ val explore :
   horizon:int ->
   ?budget:int ->
   ?should_stop:(unit -> bool) ->
+  ?on_phase:(string -> int -> unit) ->
   make:
     (unit ->
     (Pid.t -> (unit -> unit) list) * (Trace.t -> (unit, 'a) result)) ->
@@ -111,6 +112,16 @@ val explore :
     cooperative-cancellation hook request deadlines are wired into; the
     callback must be cheap and, when the caller shards branches over
     {!Exec.Pool} domains, safe to call from any worker domain.
+
+    [on_phase] (default absent) is the span-profiling hook, wired the
+    same way as [should_stop]: when present, the exploration measures
+    wall time spent in its two phases and calls
+    [on_phase "dpor.executions" us] then
+    [on_phase "dpor.race_analysis" us] exactly once each, just before
+    returning — aggregated microseconds, not per-execution events, so
+    the reported span {e structure} does not depend on how many
+    schedules the search visited. No clock is read when the hook is
+    absent. The callback runs on whichever domain runs the exploration.
 
     Also updates the [check.dpor.*] metrics: [executions],
     [sleep_blocked], [races], [backtrack_points] counters and the
@@ -148,6 +159,7 @@ val explore_branch :
   horizon:int ->
   ?budget:int ->
   ?should_stop:(unit -> bool) ->
+  ?on_phase:(string -> int -> unit) ->
   branches:(Pid.t * Sim.kind) list ->
   index:int ->
   make:
@@ -157,5 +169,5 @@ val explore_branch :
   'a outcome
 (** Explore only the subtree whose first step is [List.nth branches
     index]. [branches] must be the {!root_branches} of the same world;
-    [depth] must be >= 1. Same metrics, budget, [should_stop], and
-    counterexample semantics as {!explore}. *)
+    [depth] must be >= 1. Same metrics, budget, [should_stop],
+    [on_phase], and counterexample semantics as {!explore}. *)

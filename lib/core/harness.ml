@@ -190,7 +190,7 @@ let m_check_runs = Obs.Metrics.counter "harness.check.runs"
 let m_check_violations = Obs.Metrics.counter "harness.check.violations"
 
 let check_exhaustive ?(jobs = 1) ?procs ?(depth = 6) ?(horizon = 400) ?patterns
-    ?(should_stop = fun () -> false) ?mutant obj =
+    ?(should_stop = fun () -> false) ?(spans = Obs.Span.null) ?mutant obj =
   let procs =
     let floor = Check.Scenario.min_procs obj in
     match procs with Some p -> max p floor | None -> max 2 floor
@@ -221,6 +221,7 @@ let check_exhaustive ?(jobs = 1) ?procs ?(depth = 6) ?(horizon = 400) ?patterns
          whole-tree unit when there is nothing to shard — same unit
          list at every [jobs], which is what makes -j N byte-identical
          to -j 1. *)
+      let probe = Obs.Span.start spans "check.probe" in
       let units =
         patterns
         |> List.mapi (fun pi pattern ->
@@ -233,24 +234,61 @@ let check_exhaustive ?(jobs = 1) ?procs ?(depth = 6) ?(horizon = 400) ?patterns
                | bs -> List.mapi (fun bi _ -> (pi, pattern, Some (bs, bi))) bs)
         |> List.concat |> Array.of_list
       in
+      Obs.Span.finish spans probe;
       Obs.Metrics.incr m_check_runs;
+      (* Units measure their own wall window and phase aggregates (as
+         plain data — a scope is single-writer, so worker domains never
+         touch it) and the coordinator converts them to spans after the
+         merge, in unit order: the exported structure is identical at
+         every [jobs]. *)
+      let traced = Obs.Span.enabled spans in
       let results =
         Exec.Pool.map_until pool
-          ~stop:(fun (_, _, o) -> o.Check.Dpor.counterexample <> None)
+          ~stop:(fun (_, _, o, _) -> o.Check.Dpor.counterexample <> None)
           ~f:(fun i ->
             let pi, pattern, branch = units.(i) in
+            let phases = ref [] in
+            let on_phase =
+              if traced then
+                Some (fun name us -> phases := (name, us) :: !phases)
+              else None
+            in
+            let t0 = if traced then Obs.Span.now_us () else 0 in
             let o =
               match branch with
               | None ->
                   Check.Dpor.explore ~pattern ~depth ~horizon ~should_stop
-                    ~make ()
+                    ?on_phase ~make ()
               | Some (branches, index) ->
                   Check.Dpor.explore_branch ~pattern ~depth ~horizon
-                    ~should_stop ~branches ~index ~make ()
+                    ~should_stop ?on_phase ~branches ~index ~make ()
             in
-            (pi, pattern, o))
+            let t1 = if traced then Obs.Span.now_us () else 0 in
+            (pi, pattern, o, (t0, t1, List.rev !phases)))
           (Array.length units)
       in
+      if traced then
+        List.iteri
+          (fun i (_, _, _, (t0, t1, phases)) ->
+            let pi, _, branch = units.(i) in
+            let name =
+              match branch with
+              | None -> Printf.sprintf "dpor.p%d" pi
+              | Some (_, bi) -> Printf.sprintf "dpor.p%d.b%d" pi bi
+            in
+            let uid = Obs.Span.emit spans ~name ~start_us:t0 ~stop_us:t1 () in
+            (* phase spans carry durations, not positions: lay them out
+               back-to-back from the unit start so the tree still reads
+               as a flame graph *)
+            let cursor = ref t0 in
+            List.iter
+              (fun (pname, us) ->
+                ignore
+                  (Obs.Span.emit spans ~parent:uid ~name:pname ~start_us:!cursor
+                     ~stop_us:(!cursor + us) ());
+                cursor := !cursor + us)
+              phases)
+          results;
       let zero =
         {
           Check.Dpor.executions = 0;
@@ -261,30 +299,34 @@ let check_exhaustive ?(jobs = 1) ?procs ?(depth = 6) ?(horizon = 400) ?patterns
       in
       let stats =
         List.fold_left
-          (fun acc (_, _, o) -> Check.Dpor.merge_stats acc o.Check.Dpor.stats)
+          (fun acc (_, _, o, _) -> Check.Dpor.merge_stats acc o.Check.Dpor.stats)
           zero results
       in
       let swept =
-        match List.rev results with [] -> 0 | (pi, _, _) :: _ -> pi + 1
+        match List.rev results with [] -> 0 | (pi, _, _, _) :: _ -> pi + 1
       in
       let violation =
         match List.rev results with
-        | (_, pattern, { Check.Dpor.counterexample = Some (prefix, report); _ })
+        | ( _,
+            pattern,
+            { Check.Dpor.counterexample = Some (prefix, report); _ },
+            _ )
           :: _ ->
             Obs.Metrics.incr m_check_violations;
             Some
-              (match Check.Shrink.minimize ~replay ~pattern ~prefix with
-              | Some (cex_pattern, cex_prefix, cex_report) ->
-                  { cex_pattern; cex_prefix; cex_report; shrunk = true }
-              | None ->
-                  (* replay did not reproduce — report the raw
-                     counterexample and flag the failed shrink *)
-                  {
-                    cex_pattern = pattern;
-                    cex_prefix = prefix;
-                    cex_report = report;
-                    shrunk = false;
-                  })
+              (Obs.Span.with_ spans "check.shrink" (fun () ->
+                   match Check.Shrink.minimize ~replay ~pattern ~prefix with
+                   | Some (cex_pattern, cex_prefix, cex_report) ->
+                       { cex_pattern; cex_prefix; cex_report; shrunk = true }
+                   | None ->
+                       (* replay did not reproduce — report the raw
+                          counterexample and flag the failed shrink *)
+                       {
+                         cex_pattern = pattern;
+                         cex_prefix = prefix;
+                         cex_report = report;
+                         shrunk = false;
+                       }))
         | _ -> None
       in
       {

@@ -102,6 +102,7 @@ val check_exhaustive :
   ?horizon:int ->
   ?patterns:Failure_pattern.t list ->
   ?should_stop:(unit -> bool) ->
+  ?spans:Obs.Span.scope ->
   ?mutant:Check.Mutant.t ->
   Check.Scenario.obj ->
   check_outcome
@@ -128,7 +129,18 @@ val check_exhaustive :
     callback is invoked from pool worker domains and must be
     domain-safe (e.g. read a wall-clock deadline or an [Atomic.t]). A
     cancelled outcome is {e not} a verification and is timing-dependent
-    — callers must not feed it into determinism-sensitive output. *)
+    — callers must not feed it into determinism-sensitive output.
+
+    [spans] (default {!Obs.Span.null}) records the sweep's profile:
+    a [check.probe] span around the serial root-branch probes, one
+    [dpor.p<pattern>] / [dpor.p<pattern>.b<branch>] span per work unit
+    with [dpor.executions] and [dpor.race_analysis] phase children
+    (via {!Check.Dpor}'s [on_phase] hook), and [check.shrink] around
+    counterexample minimization. Worker domains only return timings as
+    data; the coordinator emits every span in unit order, so span
+    structure is byte-identical across [-j] values. Phase children are
+    laid out back-to-back from the unit start (durations are real,
+    positions synthesized). *)
 
 val check_outcome_json : check_outcome -> Obs.Json.t
 (** Stable machine-readable rendering (the [wfde check --json]

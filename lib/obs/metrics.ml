@@ -37,6 +37,28 @@ let clash name =
 let default_buckets =
   [| 1.; 2.; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 5000. |]
 
+(* HDR-style 1-2-5 bounds: every decade from the one containing [lo] up
+   to [hi] contributes 1x, 2x, 5x, clipped to [lo, hi]. Constant
+   relative resolution, so one histogram stays meaningful from
+   microseconds to minutes. *)
+let log_buckets ?(lo = 0.001) ?(hi = 60_000.) () =
+  if not (lo > 0. && hi > lo) then
+    invalid_arg "Metrics.log_buckets: need 0 < lo < hi";
+  let decade = 10. ** Float.of_int (int_of_float (Float.floor (Float.log10 lo))) in
+  let rec go acc d =
+    if d > hi then List.rev acc
+    else
+      let acc =
+        List.fold_left
+          (fun acc m ->
+            let bound = m *. d in
+            if bound >= lo && bound <= hi then bound :: acc else acc)
+          acc [ 1.; 2.; 5. ]
+      in
+      go acc (d *. 10.)
+  in
+  Array.of_list (go [] decade)
+
 let self_id () = (Domain.self () :> int)
 
 let ccell name =
@@ -303,6 +325,28 @@ let find_histogram snap name = List.assoc_opt name snap.histograms
 
 let hist_mean hv =
   if hv.events = 0 then 0.0 else hv.sum /. float_of_int hv.events
+
+let hist_quantile hv q =
+  if hv.events = 0 then None
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target =
+      max 1
+        (min hv.events (int_of_float (Float.ceil (q *. float_of_int hv.events))))
+    in
+    let rec go lower cum = function
+      | [] ->
+          (* target falls in the overflow bucket: the best bounded
+             answer is the largest finite bound *)
+          Some lower
+      | (ub, c) :: rest ->
+          if c > 0 && cum + c >= target then
+            let frac = float_of_int (target - cum) /. float_of_int c in
+            Some (lower +. ((ub -. lower) *. frac))
+          else go ub (cum + c) rest
+    in
+    go 0. 0 hv.buckets
+  end
 
 let rows snap =
   List.concat

@@ -57,6 +57,13 @@ val default_buckets : float array
 (** [1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 5000] — suits
     step/round/latency counts in simulator time units. *)
 
+val log_buckets : ?lo:float -> ?hi:float -> unit -> float array
+(** HDR-style log-spaced bounds: the 1-2-5 series of every decade from
+    [lo] (default 0.001) through [hi] (default 60000), clipped to
+    [lo, hi]. Constant relative resolution keeps p50/p95/p99 readable
+    from microseconds to minutes in a single histogram. Raises
+    [Invalid_argument] unless [0 < lo < hi]. *)
+
 (** {1 Fast path}
 
     Raw cells for per-step hot loops (the scheduler, DPOR replay).  A
@@ -127,6 +134,13 @@ val find_histogram : snapshot -> string -> hist_view option
 
 val hist_mean : hist_view -> float
 (** 0 when empty. *)
+
+val hist_quantile : hist_view -> float -> float option
+(** [hist_quantile hv q] estimates the [q]-quantile ([0 <= q <= 1],
+    clamped) by linear interpolation within the bucket holding the
+    target rank. [None] when empty; observations in the overflow bucket
+    resolve to the largest finite bound (the histogram cannot say
+    more). *)
 
 val rows : snapshot -> string list list
 (** [[name; type; value]] rows sorted by name, ready to embed in a

@@ -1,0 +1,124 @@
+let content_type = "text/plain; version=0.0.4"
+
+(* [serve.latency_ms{method=run}] -> base [wfde_serve_latency_ms],
+   labels [("method", "run")]. Labels never nest and values never
+   contain '}' or ',' under the Metrics naming convention, so a split
+   scan is enough. *)
+let split_name raw =
+  let base, labels =
+    match String.index_opt raw '{' with
+    | Some i when String.length raw > 0 && raw.[String.length raw - 1] = '}' ->
+        let inside = String.sub raw (i + 1) (String.length raw - i - 2) in
+        let pairs =
+          String.split_on_char ',' inside
+          |> List.filter_map (fun kv ->
+                 match String.index_opt kv '=' with
+                 | Some j ->
+                     Some
+                       ( String.sub kv 0 j,
+                         String.sub kv (j + 1) (String.length kv - j - 1) )
+                 | None -> None)
+        in
+        (String.sub raw 0 i, pairs)
+    | _ -> (raw, [])
+  in
+  let mangle s =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      s
+  in
+  ("wfde_" ^ mangle base, List.map (fun (k, v) -> (mangle k, v)) labels)
+
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let label_str labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+             labels)
+      ^ "}"
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+(* One sample family: every labeled variant of one base name, rendered
+   under a single [# TYPE] header. *)
+let families kind items render_one =
+  List.map
+    (fun (raw, v) ->
+      let base, labels = split_name raw in
+      (base, kind, (labels, fun b -> render_one b base labels v)))
+    items
+
+let render (snap : Metrics.snapshot) =
+  let all =
+    List.concat
+      [
+        families "counter" snap.Metrics.counters (fun b base labels v ->
+            Buffer.add_string b
+              (Printf.sprintf "%s%s %d\n" base (label_str labels) v));
+        families "gauge" snap.Metrics.gauges (fun b base labels v ->
+            Buffer.add_string b
+              (Printf.sprintf "%s%s %s\n" base (label_str labels) (float_str v)));
+        families "histogram" snap.Metrics.histograms (fun b base labels hv ->
+            let cum = ref 0 in
+            List.iter
+              (fun (ub, c) ->
+                cum := !cum + c;
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket%s %d\n" base
+                     (label_str (labels @ [ ("le", float_str ub) ]))
+                     !cum))
+              hv.Metrics.buckets;
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" base
+                 (label_str (labels @ [ ("le", "+Inf") ]))
+                 (!cum + hv.Metrics.overflow));
+            Buffer.add_string b
+              (Printf.sprintf "%s_sum%s %s\n" base (label_str labels)
+                 (float_str hv.Metrics.sum));
+            Buffer.add_string b
+              (Printf.sprintf "%s_count%s %d\n" base (label_str labels)
+                 hv.Metrics.events));
+      ]
+  in
+  (* group label variants under one TYPE header per (base, kind) *)
+  let sorted =
+    List.sort
+      (fun (b1, k1, (l1, _)) (b2, k2, (l2, _)) ->
+        match String.compare b1 b2 with
+        | 0 -> ( match String.compare k1 k2 with 0 -> compare l1 l2 | c -> c)
+        | c -> c)
+      all
+  in
+  let b = Buffer.create 4096 in
+  let last = ref "" in
+  List.iter
+    (fun (base, kind, (_, emit)) ->
+      let header = base ^ "/" ^ kind in
+      if !last <> header then begin
+        Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" base kind);
+        last := header
+      end;
+      emit b)
+    sorted;
+  Buffer.contents b

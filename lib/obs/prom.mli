@@ -1,0 +1,15 @@
+(** Prometheus text exposition (format version 0.0.4) for
+    {!Metrics.snapshot}s.
+
+    Metric names are mangled to the prometheus charset and prefixed
+    with [wfde_]: [serve.latency_ms{method=run}] becomes
+    [wfde_serve_latency_ms{method="run"}]. Histograms render as
+    cumulative [_bucket{le="..."}] series plus [_sum]/[_count], the
+    standard prometheus histogram shape. *)
+
+val content_type : string
+(** ["text/plain; version=0.0.4"]. *)
+
+val render : Metrics.snapshot -> string
+(** The whole snapshot as an exposition document: one [# TYPE] line per
+    metric family, samples sorted by name then label set. *)

@@ -1,0 +1,322 @@
+module J = Json
+
+type t = {
+  trace : string;
+  span_id : int;
+  parent : int;
+  name : string;
+  start_us : int;
+  stop_us : int;
+  truncated : bool;
+}
+
+let schema = "wfde-span/1"
+let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+(* --------------------------------------------------------------- scope --- *)
+
+(* Parallel arrays written by index: opening a span is two stores and a
+   clock read. [sc_stops.(i) < 0] marks an open span. *)
+type scope = {
+  sc_trace : string;
+  sc_names : string array;
+  sc_parents : int array;
+  sc_starts : int array;
+  sc_stops : int array;
+  sc_trunc : bool array;
+  mutable sc_len : int;
+  mutable sc_cur : int;
+  mutable sc_dropped : int;
+  sc_on : bool;
+}
+
+let null =
+  {
+    sc_trace = "";
+    sc_names = [||];
+    sc_parents = [||];
+    sc_starts = [||];
+    sc_stops = [||];
+    sc_trunc = [||];
+    sc_len = 0;
+    sc_cur = 0;
+    sc_dropped = 0;
+    sc_on = false;
+  }
+
+let make ?(capacity = 256) ~trace () =
+  let capacity = max 1 capacity in
+  {
+    sc_trace = trace;
+    sc_names = Array.make capacity "";
+    sc_parents = Array.make capacity 0;
+    sc_starts = Array.make capacity 0;
+    sc_stops = Array.make capacity (-1);
+    sc_trunc = Array.make capacity false;
+    sc_len = 0;
+    sc_cur = 0;
+    sc_dropped = 0;
+    sc_on = true;
+  }
+
+let enabled sc = sc.sc_on
+let trace_id sc = sc.sc_trace
+let dropped sc = sc.sc_dropped
+
+let start ?parent ?at sc name =
+  if not sc.sc_on then 0
+  else if sc.sc_len >= Array.length sc.sc_names then begin
+    sc.sc_dropped <- sc.sc_dropped + 1;
+    0
+  end
+  else begin
+    let i = sc.sc_len in
+    sc.sc_names.(i) <- name;
+    sc.sc_parents.(i) <- (match parent with Some p -> p | None -> sc.sc_cur);
+    sc.sc_starts.(i) <- (match at with Some u -> u | None -> now_us ());
+    sc.sc_stops.(i) <- -1;
+    sc.sc_trunc.(i) <- false;
+    sc.sc_len <- i + 1;
+    i + 1
+  end
+
+let finish ?(truncated = false) ?at sc id =
+  if sc.sc_on && id >= 1 && id <= sc.sc_len && sc.sc_stops.(id - 1) < 0 then begin
+    sc.sc_stops.(id - 1) <- (match at with Some u -> u | None -> now_us ());
+    if truncated then sc.sc_trunc.(id - 1) <- true
+  end
+
+let emit ?parent sc ~name ~start_us ~stop_us () =
+  if not sc.sc_on then 0
+  else begin
+    let id = start ?parent ~at:start_us sc name in
+    finish ~at:stop_us sc id;
+    id
+  end
+
+let set_parent sc id = if sc.sc_on then sc.sc_cur <- id
+let current_parent sc = sc.sc_cur
+
+let with_ sc name f =
+  if not sc.sc_on then f ()
+  else begin
+    let saved = sc.sc_cur in
+    let id = start sc name in
+    if id > 0 then sc.sc_cur <- id;
+    Fun.protect
+      ~finally:(fun () ->
+        finish sc id;
+        sc.sc_cur <- saved)
+      f
+  end
+
+let finish_open sc =
+  if sc.sc_on then begin
+    let now = now_us () in
+    for i = 0 to sc.sc_len - 1 do
+      if sc.sc_stops.(i) < 0 then begin
+        sc.sc_stops.(i) <- now;
+        sc.sc_trunc.(i) <- true
+      end
+    done
+  end
+
+let spans sc =
+  List.init sc.sc_len (fun i ->
+      let open_ = sc.sc_stops.(i) < 0 in
+      {
+        trace = sc.sc_trace;
+        span_id = i + 1;
+        parent = sc.sc_parents.(i);
+        name = sc.sc_names.(i);
+        start_us = sc.sc_starts.(i);
+        stop_us = (if open_ then sc.sc_starts.(i) else sc.sc_stops.(i));
+        truncated = sc.sc_trunc.(i) || open_;
+      })
+
+(* ---------------------------------------------------------------- sink --- *)
+
+type sink = {
+  sk_mu : Mutex.t;
+  sk_out : out_channel option;
+  sk_cap : int;
+  sk_buf : t Queue.t;
+  mutable sk_absorbed : int;
+}
+
+let sink ?(capacity = 65536) ?out () =
+  {
+    sk_mu = Mutex.create ();
+    sk_out = out;
+    sk_cap = max 1 capacity;
+    sk_buf = Queue.create ();
+    sk_absorbed = 0;
+  }
+
+let with_sink sk f =
+  Mutex.lock sk.sk_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sk.sk_mu) f
+
+let to_json s =
+  J.Obj
+    (List.concat
+       [
+         [
+           ("schema", J.String schema);
+           ("trace", J.String s.trace);
+           ("span", J.Int s.span_id);
+           ("parent", J.Int s.parent);
+           ("name", J.String s.name);
+           ("start_us", J.Int s.start_us);
+           ("stop_us", J.Int s.stop_us);
+         ];
+         (if s.truncated then [ ("truncated", J.Bool true) ] else []);
+       ])
+
+let to_line s = J.to_string (to_json s)
+
+let absorb sk sc =
+  if sc.sc_on && sc.sc_len > 0 then begin
+    let items = spans sc in
+    with_sink sk (fun () ->
+        sk.sk_absorbed <- sk.sk_absorbed + List.length items;
+        match sk.sk_out with
+        | Some ch ->
+            List.iter
+              (fun s ->
+                output_string ch (to_line s);
+                output_char ch '\n')
+              items;
+            flush ch
+        | None ->
+            List.iter
+              (fun s ->
+                Queue.push s sk.sk_buf;
+                if Queue.length sk.sk_buf > sk.sk_cap then
+                  ignore (Queue.pop sk.sk_buf))
+              items)
+  end
+
+let absorbed sk = with_sink sk (fun () -> sk.sk_absorbed)
+
+let take sk =
+  with_sink sk (fun () ->
+      let items = List.of_seq (Queue.to_seq sk.sk_buf) in
+      Queue.clear sk.sk_buf;
+      items)
+
+let flush sk =
+  with_sink sk (fun () -> match sk.sk_out with Some ch -> flush ch | None -> ())
+
+(* --------------------------------------------------------------- codec --- *)
+
+let of_json doc =
+  let str key =
+    match J.member key doc with
+    | Some (J.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "span: missing or non-string %S" key)
+  in
+  let int key =
+    match J.member key doc with
+    | Some (J.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "span: missing or non-integer %S" key)
+  in
+  let ( let* ) = Result.bind in
+  let* sch = str "schema" in
+  if sch <> schema then Error (Printf.sprintf "span: schema %S is not %S" sch schema)
+  else
+    let* trace = str "trace" in
+    let* span_id = int "span" in
+    let* parent = int "parent" in
+    let* name = str "name" in
+    let* start_us = int "start_us" in
+    let* stop_us = int "stop_us" in
+    let* truncated =
+      match J.member "truncated" doc with
+      | None -> Ok false
+      | Some (J.Bool b) -> Ok b
+      | Some _ -> Error "span: \"truncated\" must be a boolean"
+    in
+    if span_id < 1 then Error "span: \"span\" must be >= 1"
+    else if parent < 0 then Error "span: \"parent\" must be >= 0"
+    else Ok { trace; span_id; parent; name; start_us; stop_us; truncated }
+
+let of_line line =
+  match J.of_string line with
+  | Error e -> Error (Printf.sprintf "span: not valid JSON: %s" e)
+  | Ok doc -> of_json doc
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | exception Sys_error e -> Error e
+  | lines ->
+      let rec go acc lineno = function
+        | [] -> Ok (List.rev acc)
+        | "" :: rest -> go acc (lineno + 1) rest
+        | line :: rest -> (
+            match of_line line with
+            | Ok s -> go (s :: acc) (lineno + 1) rest
+            | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+      in
+      go [] 1 lines
+
+(* -------------------------------------------------------------- render --- *)
+
+let render ?(normalize = false) all =
+  (* group by trace, keeping trace order stable by sorting on the id *)
+  let traces = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt traces s.trace with
+      | Some l -> l := s :: !l
+      | None ->
+          Hashtbl.replace traces s.trace (ref [ s ]);
+          order := s.trace :: !order)
+    all;
+  let order = List.sort String.compare !order in
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun tr ->
+      let spans =
+        List.sort
+          (fun a b -> compare a.span_id b.span_id)
+          (List.rev !(Hashtbl.find traces tr))
+      in
+      let ids = Hashtbl.create 16 in
+      List.iter (fun s -> Hashtbl.replace ids s.span_id s) spans;
+      let children = Hashtbl.create 16 in
+      List.iter
+        (fun s ->
+          if s.parent > 0 && Hashtbl.mem ids s.parent then
+            Hashtbl.replace children s.parent
+              (s :: (Option.value ~default:[] (Hashtbl.find_opt children s.parent))))
+        spans;
+      let kids id =
+        List.sort
+          (fun a b -> compare a.span_id b.span_id)
+          (Option.value ~default:[] (Hashtbl.find_opt children id))
+      in
+      let roots =
+        List.filter (fun s -> s.parent = 0 || not (Hashtbl.mem ids s.parent)) spans
+      in
+      let total s = float_of_int (max 0 (s.stop_us - s.start_us)) /. 1000. in
+      let rec dfs depth s =
+        let indent = String.make (2 * (depth + 1)) ' ' in
+        let mark = if s.truncated then " [truncated]" else "" in
+        if normalize then Buffer.add_string b (Printf.sprintf "%s%s%s\n" indent s.name mark)
+        else begin
+          let self =
+            List.fold_left (fun acc c -> acc -. total c) (total s) (kids s.span_id)
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%s%-28s total %9.3fms  self %9.3fms%s\n" indent
+               s.name (total s) (max 0. self) mark)
+        end;
+        List.iter (dfs (depth + 1)) (kids s.span_id)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "trace %s: %d span(s)\n" tr (List.length spans));
+      List.iter (dfs 0) roots)
+    order;
+  Buffer.contents b

@@ -1,0 +1,139 @@
+(** Request-scoped tracing spans, exported as [wfde-span/1] JSONL.
+
+    A {!scope} records the spans of one trace (one daemon request, one
+    harness invocation): a preallocated array of (name, parent, start,
+    stop, truncated) slots written by index, so the hot path is two
+    array stores and a [Unix.gettimeofday] — no per-span allocation.
+    Span ids are 1-based creation order within the scope and double as
+    parent references ([parent = 0] marks a root), which makes span
+    {e structure} — names, ids, parents, truncation flags — a pure
+    function of the code path taken: two runs of the same request
+    produce byte-identical structure after timestamp normalization,
+    whatever the interleaving.
+
+    The {!null} scope is permanently disabled: every operation on it is
+    a no-op returning id 0, so tracing-off code paths pay one branch.
+
+    A scope is written from one thread at a time; the daemon hands it
+    conn-thread → worker → conn-thread through an {!Ivar}, whose mutex
+    provides the happens-before edge. Scopes are NOT safe for
+    concurrent writers. The {!sink} that scopes are {!absorb}ed into is
+    mutex-protected and safe to share across connection threads. *)
+
+type t = {
+  trace : string;  (** trace id, chosen by the client *)
+  span_id : int;  (** 1-based creation order within the trace *)
+  parent : int;  (** parent span id; 0 = root *)
+  name : string;
+  start_us : int;  (** microseconds since the Unix epoch *)
+  stop_us : int;
+  truncated : bool;
+      (** the span was cut short (deadline, drain) or never finished *)
+}
+
+val schema : string
+(** ["wfde-span/1"]. *)
+
+val now_us : unit -> int
+(** Wall clock in integer microseconds. *)
+
+(** {1 Scopes} *)
+
+type scope
+
+val null : scope
+(** The disabled scope: {!enabled} is false, every operation is a
+    no-op, {!start} returns 0. *)
+
+val make : ?capacity:int -> trace:string -> unit -> scope
+(** A fresh enabled scope for [trace]. [capacity] (default 256) bounds
+    the span count; further spans are dropped (and counted in
+    {!dropped}) rather than grown — drop behaviour depends only on the
+    span sequence, so it is as deterministic as the structure itself. *)
+
+val enabled : scope -> bool
+val trace_id : scope -> string
+
+val start : ?parent:int -> ?at:int -> scope -> string -> int
+(** Open a span and return its id (0 when disabled or dropped).
+    [parent] defaults to the scope's current parent (see {!set_parent}
+    / {!with_}); [at] defaults to {!now_us}. *)
+
+val finish : ?truncated:bool -> ?at:int -> scope -> int -> unit
+(** Close an open span. Closing id 0, an unknown id, or an
+    already-closed span is a no-op. *)
+
+val emit :
+  ?parent:int -> scope -> name:string -> start_us:int -> stop_us:int ->
+  unit -> int
+(** Record an already-measured span (e.g. timings returned from a
+    worker domain) in one call. *)
+
+val set_parent : scope -> int -> unit
+(** Set the default parent for subsequent {!start}/{!emit} calls. *)
+
+val current_parent : scope -> int
+
+val with_ : scope -> string -> (unit -> 'a) -> 'a
+(** [with_ scope name f] runs [f] inside a span: the span becomes the
+    current parent for the duration, and is finished (and the previous
+    parent restored) when [f] returns or raises. On the {!null} scope
+    this is exactly [f ()]. *)
+
+val finish_open : scope -> unit
+(** Close every still-open span with [truncated = true] at the current
+    time — the drain/cancellation safety net: nothing is silently
+    dropped. *)
+
+val dropped : scope -> int
+(** Spans rejected because the scope was at capacity. *)
+
+val spans : scope -> t list
+(** The recorded spans in id order. Still-open spans are reported with
+    [stop_us = start_us] and [truncated = true]. *)
+
+(** {1 Sinks} *)
+
+type sink
+(** Where finished scopes go: either an in-memory ring (newest
+    [capacity] spans kept) or, when [out] is given, straight to a
+    channel as JSONL — one {!t} per line. Mutex-protected; shared by
+    all daemon connection threads. *)
+
+val sink : ?capacity:int -> ?out:out_channel -> unit -> sink
+(** [capacity] (default 65536) bounds the in-memory ring; ignored when
+    [out] is given (spans are written through, not stored). *)
+
+val absorb : sink -> scope -> unit
+(** Append the scope's spans to the sink. The {!null} scope absorbs to
+    nothing. *)
+
+val absorbed : sink -> int
+(** Total spans ever absorbed (monotonic, survives {!take}). *)
+
+val take : sink -> t list
+(** Drain and return the stored spans, oldest first. Always [[]] for a
+    write-through sink. *)
+
+val flush : sink -> unit
+(** Flush the underlying channel, if any. *)
+
+(** {1 wfde-span/1 JSONL} *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+val to_line : t -> string
+(** One JSONL line {e without} the trailing newline. *)
+
+val of_line : string -> (t, string) result
+val load_file : string -> (t list, string) result
+(** Parse a [wfde-span/1] JSONL file; blank lines are skipped and the
+    first malformed line is an error. *)
+
+(** {1 Rendering} *)
+
+val render : ?normalize:bool -> t list -> string
+(** A per-trace flame-style tree: traces sorted by id, spans nested by
+    parent in span-id order, each line showing total and self time.
+    With [normalize], timestamps are omitted entirely so two runs of
+    the same request mix compare byte-for-byte. *)

@@ -18,6 +18,14 @@ type t = {
      connection thread; Metrics is domain-local but not thread-safe, so
      all daemon-side metric traffic goes through this mutex. *)
   reg_mu : Mutex.t;
+  (* Observability: spans flow into [trace_sink] (None = tracing off —
+     the request path touches no clock or scope beyond one branch);
+     requests slower than [slow_ms] log one structured JSON line to
+     [slow_out] under [slow_mu]. *)
+  trace_sink : Obs.Span.sink option;
+  slow_ms : float option;
+  slow_out : out_channel;
+  slow_mu : Mutex.t;
 }
 
 (* ------------------------------------------------------- metrics ----- *)
@@ -30,8 +38,10 @@ let with_registry t f =
   Mutex.lock t.reg_mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.reg_mu) f
 
-let latency_buckets =
-  [| 0.5; 1.; 2.; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 5000.; 30000. |]
+(* Log-spaced (HDR-style) bounds: 0.1ms .. 60s at 1-2-5 resolution, so
+   one histogram keeps p50/p95/p99 readable for both a 200µs health
+   check and a multi-second sweep. *)
+let latency_buckets = M.log_buckets ~lo:0.1 ~hi:60_000. ()
 
 let record_request t ~meth ~code ~wall_ms =
   with_registry t (fun () ->
@@ -43,6 +53,30 @@ let record_request t ~meth ~code ~wall_ms =
         wall_ms;
       M.set (M.gauge "serve.queue.depth") (float_of_int (Engine.queue_depth t.engine));
       M.set (M.gauge "serve.in_flight") (float_of_int (Engine.in_flight t.engine)))
+
+(* Sampled when a job is accepted into the queue — every dispatch, from
+   the conn thread (worker domains have their own DLS registry, so
+   sampling there would be invisible to the daemon's snapshot). *)
+let record_dispatch t =
+  with_registry t (fun () ->
+      let depth = Engine.queue_depth t.engine in
+      let workers = Engine.workers t.engine in
+      M.observe
+        (M.histogram
+           ~buckets:[| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. |]
+           "serve.queue.depth_at_dispatch")
+        (float_of_int depth);
+      M.set (M.gauge "serve.dispatched")
+        (float_of_int (Engine.dispatched t.engine));
+      M.set
+        (M.gauge "serve.worker.utilization")
+        (float_of_int (Engine.in_flight t.engine) /. float_of_int workers))
+
+let record_spans t ~exported ~dropped =
+  if exported > 0 || dropped > 0 then
+    with_registry t (fun () ->
+        M.incr ~by:exported (M.counter "serve.spans.exported");
+        if dropped > 0 then M.incr ~by:dropped (M.counter "serve.spans.dropped"))
 
 let set_connections t n =
   with_registry t (fun () -> M.set (M.gauge "serve.connections") (float_of_int n))
@@ -57,11 +91,60 @@ let health_json t =
       ("queue_depth", J.Int (Engine.queue_depth t.engine));
       ("queue_capacity", J.Int (Engine.queue_capacity t.engine));
       ("in_flight", J.Int (Engine.in_flight t.engine));
+      ("dispatched", J.Int (Engine.dispatched t.engine));
       ("connections", J.Int t.conn_count);
       ("uptime_ms", J.Float ((Unix.gettimeofday () -. t.started_at) *. 1000.));
     ]
 
 let metrics_json t = with_registry t (fun () -> M.to_json (M.snapshot ()))
+
+(* [metrics] accepts an optional {"format": "json" | "prom"} param;
+   prom wraps the exposition text so the envelope stays JSON. *)
+let metrics_payload t params =
+  match List.filter (fun (k, _) -> k <> "format") params with
+  | (k, _) :: _ ->
+      Error (Proto.err Bad_request "unknown \"metrics\" parameter %S" k)
+  | [] -> (
+      match List.assoc_opt "format" params with
+      | None | Some (J.String "json") -> Ok (metrics_json t)
+      | Some (J.String "prom") ->
+          let text =
+            with_registry t (fun () -> Obs.Prom.render (M.snapshot ()))
+          in
+          Ok
+            (J.Obj
+               [
+                 ("content_type", J.String Obs.Prom.content_type);
+                 ("body", J.String text);
+               ])
+      | Some _ ->
+          Error
+            (Proto.err Bad_request "\"format\" must be \"json\" or \"prom\""))
+
+let slow_log t ~trace ~id ~meth ~code ~wall_ms =
+  match t.slow_ms with
+  | Some threshold when wall_ms >= threshold ->
+      let line =
+        J.to_string
+          (J.Obj
+             [
+               ("event", J.String "slow_request");
+               ("ts", J.Float (Unix.gettimeofday ()));
+               ("method", J.String meth);
+               ("id", id);
+               ( "trace",
+                 match trace with Some tr -> J.String tr | None -> J.Null );
+               ("code", J.String code);
+               ("wall_ms", J.Float wall_ms);
+               ("queue_depth", J.Int (Engine.queue_depth t.engine));
+               ("in_flight", J.Int (Engine.in_flight t.engine));
+             ])
+      in
+      Mutex.lock t.slow_mu;
+      output_string t.slow_out (line ^ "\n");
+      (try flush t.slow_out with Sys_error _ -> ());
+      Mutex.unlock t.slow_mu
+  | _ -> ()
 
 (* ---------------------------------------------------- connection ----- *)
 
@@ -76,12 +159,21 @@ let write_all fd s =
   go 0
 
 (* One request line -> one response line. Returns [false] when the
-   peer is gone and the connection should close. *)
+   peer is gone and the connection should close.
+
+   Tracing: a request is traced when it carries a [trace] id AND the
+   daemon has a sink — both off means the only cost is the [scope]
+   branch below, and the response bytes are identical either way. The
+   scope travels conn-thread -> worker -> conn-thread; the Ivar's
+   mutex orders the handoffs, so it never has two concurrent writers. *)
 let serve_line t fd line =
   let t0 = Unix.gettimeofday () in
+  let t0_us = if t.trace_sink <> None then Obs.Span.now_us () else 0 in
   let wall_ms () = (Unix.gettimeofday () -. t0) *. 1000. in
   let meth_of = function Ok (r : Proto.request) -> r.meth | Error _ -> "invalid" in
   let parsed = Proto.parse_request ~max_bytes:t.max_request_bytes line in
+  let parse_us = if t.trace_sink <> None then Obs.Span.now_us () else 0 in
+  let scope = ref Obs.Span.null in
   let id, result =
     match parsed with
     | Error (e, id) -> (id, Error e)
@@ -89,54 +181,116 @@ let serve_line t fd line =
         ( req.id,
           match req.meth with
           | "health" -> Ok (health_json t)
-          | "metrics" -> Ok (metrics_json t)
+          | "metrics" -> metrics_payload t req.params
           | _ when Atomic.get t.stopping ->
               Error (Proto.err Shutting_down "daemon is draining; retry elsewhere")
           | _ -> (
+              (match (t.trace_sink, req.trace) with
+              | Some _, Some trace -> scope := Obs.Span.make ~trace ()
+              | _ -> ());
+              let sc = !scope in
+              let root = Obs.Span.start ~parent:0 ~at:t0_us sc "request" in
+              ignore
+                (Obs.Span.emit ~parent:root sc ~name:"parse" ~start_us:t0_us
+                   ~stop_us:parse_us ());
               let deadline =
                 match req.deadline_ms with
                 | None -> fun () -> false
                 | Some ms ->
+                    (* a draining daemon cannot honor latency promises:
+                       deadline-bearing requests are cancelled at the
+                       next poll once drain begins, instead of holding
+                       the drain for work the client has budgeted *)
                     let at = t0 +. (float_of_int ms /. 1000.) in
-                    fun () -> Unix.gettimeofday () > at
+                    fun () ->
+                      Unix.gettimeofday () > at || Atomic.get t.stopping
               in
+              let qid = Obs.Span.start ~parent:root sc "queue_wait" in
               let iv = Ivar.create () in
               let job () =
+                Obs.Span.finish sc qid;
+                let did = Obs.Span.start ~parent:root sc "dispatch" in
                 let r =
                   (* a request can spend its whole deadline queued *)
-                  if deadline () then
+                  if deadline () then begin
+                    Obs.Span.finish ~truncated:true sc did;
                     Error
                       (Proto.err Deadline_exceeded
                          "deadline expired while queued")
-                  else
-                    try Service.handle ~deadline req
-                    with e ->
-                      Error
-                        (Proto.err Internal "uncaught exception: %s"
-                           (Printexc.to_string e))
+                  end
+                  else begin
+                    Obs.Span.finish sc did;
+                    let eid = Obs.Span.start ~parent:root sc "execute" in
+                    Obs.Span.set_parent sc eid;
+                    let r =
+                      try Service.handle ~deadline ~spans:sc req
+                      with e ->
+                        Error
+                          (Proto.err Internal "uncaught exception: %s"
+                             (Printexc.to_string e))
+                    in
+                    let cut =
+                      match r with
+                      | Error { Proto.code = Proto.Deadline_exceeded; _ } -> true
+                      | _ -> false
+                    in
+                    Obs.Span.finish ~truncated:cut sc eid;
+                    Obs.Span.set_parent sc root;
+                    r
+                  end
                 in
                 Ivar.fill iv r
               in
               match Engine.submit t.engine job with
-              | `Ok -> Ivar.read iv
+              | `Ok ->
+                  record_dispatch t;
+                  Ivar.read iv
               | `Queue_full ->
+                  Obs.Span.finish ~truncated:true sc qid;
                   Error
                     (Proto.err Queue_full
                        "job queue is at capacity (%d); retry later"
                        (Engine.queue_capacity t.engine))
               | `Draining ->
+                  Obs.Span.finish ~truncated:true sc qid;
                   Error (Proto.err Shutting_down "daemon is draining") ) ))
   in
+  let scope = !scope in
+  (* span 1 is always the root "request" span of an enabled scope *)
+  let rid = Obs.Span.start ~parent:1 scope "render" in
   let wall_ms = wall_ms () in
   let code =
     match result with Ok _ -> "ok" | Error e -> Proto.code_to_string e.Proto.code
   in
   record_request t ~meth:(meth_of parsed) ~code ~wall_ms;
+  slow_log t
+    ~trace:(match parsed with Ok r -> r.Proto.trace | Error _ -> None)
+    ~id ~meth:(meth_of parsed) ~code ~wall_ms;
   let doc =
     match result with
     | Ok payload -> Proto.ok_response ~id ~wall_ms payload
     | Error e -> Proto.error_response ~id ~wall_ms e
   in
+  (* Spans are absorbed into the sink BEFORE the response bytes go out:
+     a client that has received its reply may rely on the trace being
+     exported already (the CI smoke job and tests do exactly that). *)
+  if Obs.Span.enabled scope then begin
+    Obs.Span.finish scope rid;
+    let cut =
+      match result with
+      | Error { Proto.code = Proto.Deadline_exceeded; _ } -> true
+      | _ -> false
+    in
+    (* span 1 is the root "request" span; close stragglers truncated *)
+    Obs.Span.finish ~truncated:cut scope 1;
+    Obs.Span.finish_open scope;
+    (match t.trace_sink with
+    | Some sink -> Obs.Span.absorb sink scope
+    | None -> ());
+    record_spans t
+      ~exported:(List.length (Obs.Span.spans scope))
+      ~dropped:(Obs.Span.dropped scope)
+  end;
   match write_all fd (J.to_string doc ^ "\n") with
   | () -> true
   | exception Unix.Unix_error _ -> false
@@ -218,7 +372,8 @@ let accept_loop t =
 
 (* ----------------------------------------------------- lifecycle ----- *)
 
-let start ?workers ?queue_capacity ?(max_request_bytes = 1 lsl 20) ~socket () =
+let start ?workers ?queue_capacity ?(max_request_bytes = 1 lsl 20) ?trace
+    ?slow_ms ?slow_out ~socket () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -243,6 +398,10 @@ let start ?workers ?queue_capacity ?(max_request_bytes = 1 lsl 20) ~socket () =
       stop_mu = Mutex.create ();
       stopped = false;
       reg_mu = Mutex.create ();
+      trace_sink = trace;
+      slow_ms;
+      slow_out = Option.value ~default:stderr slow_out;
+      slow_mu = Mutex.create ();
     }
   in
   t.accept_thread <- Some (Thread.create accept_loop t);
@@ -282,6 +441,9 @@ let stop t =
         done;
         Mutex.unlock t.conn_mu;
         Engine.drain t.engine;
+        (match t.trace_sink with
+        | Some sink -> Obs.Span.flush sink
+        | None -> ());
         t.stopped <- true
       end)
 

@@ -31,6 +31,9 @@ val start :
   ?workers:int ->
   ?queue_capacity:int ->
   ?max_request_bytes:int ->
+  ?trace:Obs.Span.sink ->
+  ?slow_ms:float ->
+  ?slow_out:out_channel ->
   socket:string ->
   unit ->
   t
@@ -38,7 +41,27 @@ val start :
     worker fleet and the accept thread, and return. [max_request_bytes]
     (default 1 MiB) bounds one request line; longer lines get an
     [oversized] error and the connection is closed. Raises
-    [Unix.Unix_error] when the socket cannot be bound. *)
+    [Unix.Unix_error] when the socket cannot be bound.
+
+    [trace] (default absent: tracing off) is where request span scopes
+    are absorbed. A request is traced only when the sink is present
+    {e and} the request carries a [trace] id; each traced request
+    exports a [request] root with [parse] / [queue_wait] / [dispatch] /
+    [execute] / [render] children plus {!Service.handle}'s
+    method-specific subtree, and any span still open when the request
+    errors or is cancelled is flushed with [truncated = true]. Response
+    payload bytes are identical with tracing on or off.
+
+    Tracing changes one drain-ordering detail: a {e deadline-bearing}
+    request that is already executing when {!stop} begins is cancelled
+    at its next deadline poll (structured [deadline_exceeded], spans
+    truncated) — a draining daemon cannot honor latency promises.
+    Requests without a deadline still run to completion, as before.
+
+    [slow_ms] (default absent: disabled) logs one structured JSON line
+    — [{"event":"slow_request","method":...,"trace":...,"wall_ms":...,
+    "queue_depth":...,"in_flight":...}] — to [slow_out] (default
+    [stderr]) for every request at least that slow. *)
 
 val socket_path : t -> string
 

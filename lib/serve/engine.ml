@@ -2,16 +2,18 @@ type t = {
   q : (unit -> unit) Jobq.t;
   fleet : unit Domain.t array;
   inflight : int Atomic.t;
+  dispatched : int Atomic.t;
   draining : bool Atomic.t;
   drain_mu : Mutex.t;
   mutable drained : bool;
 }
 
-let worker_loop q inflight =
+let worker_loop q inflight dispatched =
   let rec go () =
     match Jobq.pop q with
     | None -> ()
     | Some job ->
+        Atomic.incr dispatched;
         Atomic.incr inflight;
         (try job () with _ -> ());
         Atomic.decr inflight;
@@ -23,12 +25,14 @@ let start ?(workers = 2) ?(queue_capacity = 64) () =
   let workers = max 1 (min 64 workers) in
   let q = Jobq.create ~capacity:queue_capacity in
   let inflight = Atomic.make 0 in
+  let dispatched = Atomic.make 0 in
   {
     q;
     fleet =
       Array.init workers (fun _ ->
-          Domain.spawn (fun () -> worker_loop q inflight));
+          Domain.spawn (fun () -> worker_loop q inflight dispatched));
     inflight;
+    dispatched;
     draining = Atomic.make false;
     drain_mu = Mutex.create ();
     drained = false;
@@ -38,6 +42,7 @@ let workers t = Array.length t.fleet
 let queue_capacity t = Jobq.capacity t.q
 let queue_depth t = Jobq.length t.q
 let in_flight t = Atomic.get t.inflight
+let dispatched t = Atomic.get t.dispatched
 
 let submit t job =
   if Atomic.get t.draining then `Draining

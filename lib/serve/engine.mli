@@ -30,6 +30,10 @@ val queue_depth : t -> int
 val in_flight : t -> int
 (** Jobs currently executing on a worker. *)
 
+val dispatched : t -> int
+(** Total jobs ever picked up by a worker (monotonic) — [queue_depth]'s
+    cumulative counterpart, for utilization accounting. *)
+
 val submit : t -> (unit -> unit) -> [ `Ok | `Queue_full | `Draining ]
 
 val drain : t -> unit

@@ -11,8 +11,9 @@ type leg = {
   payloads : string array;
 }
 
-let request_for i =
+let request_for ?trace_prefix i =
   let id = J.String (Printf.sprintf "i%d" i) in
+  let trace = Option.map (fun p -> Printf.sprintf "%s%d" p i) trace_prefix in
   match i mod 3 with
   | 0 ->
       {
@@ -25,6 +26,7 @@ let request_for i =
             ("horizon", J.Int 60);
           ];
         deadline_ms = None;
+        trace;
       }
   | 1 ->
       {
@@ -32,10 +34,18 @@ let request_for i =
         meth = "run";
         params = [ ("experiments", J.List [ J.String "e1" ]) ];
         deadline_ms = None;
+        trace;
       }
-  | _ -> { Proto.id; meth = "sleep"; params = [ ("ms", J.Int 0) ]; deadline_ms = None }
+  | _ ->
+      {
+        Proto.id;
+        meth = "sleep";
+        params = [ ("ms", J.Int 0) ];
+        deadline_ms = None;
+        trace;
+      }
 
-let run ~socket ~total ~clients =
+let run ?trace_prefix ~socket ~total ~clients () =
   let clients = max 1 (min clients (max 1 total)) in
   let latencies_ms = Array.make total 0. in
   let payloads = Array.make total "" in
@@ -55,7 +65,7 @@ let run ~socket ~total ~clients =
             let i = ref c in
             while !i < total do
               let t0 = Unix.gettimeofday () in
-              (match Client.call conn (request_for !i) with
+              (match Client.call conn (request_for ?trace_prefix !i) with
               | Ok { Proto.result = Ok payload; _ } ->
                   latencies_ms.(!i) <- (Unix.gettimeofday () -. t0) *. 1000.;
                   payloads.(!i) <- J.to_string payload;

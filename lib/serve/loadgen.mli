@@ -23,12 +23,18 @@ type leg = {
       (** rendered payload per global index; [""] on any error *)
 }
 
-val request_for : int -> Proto.request
+val request_for : ?trace_prefix:string -> int -> Proto.request
 (** The deterministic request for global index [i]: a cycle of a small
     [check], a one-experiment [run], and a [sleep 0] (pure spine
-    overhead). Ids are ["i<N>"] so responses correlate. *)
+    overhead). Ids are ["i<N>"] so responses correlate. With
+    [trace_prefix], the request carries trace id ["<prefix><N>"] so a
+    traced daemon exports one span tree per index — still a pure
+    function of the index, so serial and concurrent legs export
+    structurally identical spans. *)
 
-val run : socket:string -> total:int -> clients:int -> leg
+val run :
+  ?trace_prefix:string -> socket:string -> total:int -> clients:int -> unit ->
+  leg
 (** Execute one leg. [clients] is clamped to [1, total]. *)
 
 val mismatches : reference:leg -> leg -> int

@@ -34,6 +34,13 @@ let all_codes =
 let code_of_string s =
   List.find_opt (fun c -> code_to_string c = s) all_codes
 
+(* CLI exit codes, sysexits-flavored: 124 matches timeout(1)'s
+   convention for deadline kills, 75 is EX_TEMPFAIL (retry later). *)
+let exit_code = function
+  | Deadline_exceeded -> 124
+  | Queue_full -> 75
+  | Bad_request | Unknown_method | Oversized | Shutting_down | Internal -> 1
+
 type error = { code : error_code; message : string }
 
 let err code fmt = Printf.ksprintf (fun message -> { code; message }) fmt
@@ -43,9 +50,10 @@ type request = {
   meth : string;
   params : (string * J.t) list;
   deadline_ms : int option;
+  trace : string option;
 }
 
-let known_request_fields = [ "id"; "method"; "params"; "deadline_ms" ]
+let known_request_fields = [ "id"; "method"; "params"; "deadline_ms"; "trace" ]
 
 let parse_request ~max_bytes line =
   let fail ?(id = J.Null) e = Error (e, id) in
@@ -84,13 +92,23 @@ let parse_request ~max_bytes line =
                           Error
                             (err Bad_request "\"params\" must be an object")
                     in
-                    match params_r with
-                    | Error e -> fail e
-                    | Ok params -> (
+                    let trace_r =
+                      match List.assoc_opt "trace" fields with
+                      | None -> Ok None
+                      | Some (J.String s) when s <> "" -> Ok (Some s)
+                      | Some _ ->
+                          Error
+                            (err Bad_request
+                               "\"trace\" must be a non-empty string")
+                    in
+                    match (params_r, trace_r) with
+                    | Error e, _ | _, Error e -> fail e
+                    | Ok params, Ok trace -> (
                         match List.assoc_opt "deadline_ms" fields with
-                        | None -> Ok { id; meth; params; deadline_ms = None }
+                        | None ->
+                            Ok { id; meth; params; deadline_ms = None; trace }
                         | Some (J.Int ms) when ms > 0 ->
-                            Ok { id; meth; params; deadline_ms = Some ms }
+                            Ok { id; meth; params; deadline_ms = Some ms; trace }
                         | Some _ ->
                             fail
                               (err Bad_request
@@ -110,6 +128,9 @@ let request_to_json r =
       (match r.deadline_ms with
       | None -> []
       | Some ms -> [ ("deadline_ms", J.Int ms) ]);
+      (match r.trace with
+      | None -> []
+      | Some tr -> [ ("trace", J.String tr) ]);
     ]
   |> fun fields -> J.Obj fields
 

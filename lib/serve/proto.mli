@@ -9,7 +9,9 @@
                                    //   stats | sleep | health | metrics
      "id": "r1",                   // optional string/int, echoed back
      "params": {"object": "abd"},  // optional object, method-specific
-     "deadline_ms": 2000}          // optional per-request deadline
+     "deadline_ms": 2000,          // optional per-request deadline
+     "trace": "t42"}               // optional trace id — opts the
+                                   //   request into span tracing
     v}
 
     and every response is an envelope around either a payload or a
@@ -40,6 +42,13 @@ type error_code =
 val code_to_string : error_code -> string
 val code_of_string : string -> error_code option
 
+val exit_code : error_code -> int
+(** The CLI exit status for a structured error: [Deadline_exceeded] is
+    124 (as [timeout(1)] would report), [Queue_full] is 75
+    (EX_TEMPFAIL — retry later), everything else is 1. Transport
+    errors and usage errors are the caller's concern (the CLI uses 3
+    and 2 respectively). *)
+
 type error = { code : error_code; message : string }
 
 val err : error_code -> ('a, unit, string, error) format4 -> 'a
@@ -50,6 +59,9 @@ type request = {
   meth : string;
   params : (string * Obs.Json.t) list;  (** empty when absent *)
   deadline_ms : int option;
+  trace : string option;
+      (** non-empty trace id; a request carrying one is traced when the
+          daemon has a span sink (absent = never traced) *)
 }
 
 val schema : string

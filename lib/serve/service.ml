@@ -124,8 +124,9 @@ let exp_params ~meth params =
 
 (* Run experiments left to right, polling the deadline before each so a
    timed-out request stops between drivers (the per-driver work is the
-   cancellation granularity here). *)
-let run_experiments ~deadline ~ids ~scale ~jobs =
+   cancellation granularity here). Each driver gets an [exp.<id>] child
+   span. *)
+let run_experiments ~deadline ~spans ~ids ~scale ~jobs =
   let ids =
     match ids with
     | [] -> List.map fst Wfde.Experiments.catalog
@@ -142,7 +143,7 @@ let run_experiments ~deadline ~ids ~scale ~jobs =
         else
           let f = Option.get (Wfde.Experiments.by_id id) in
           let t0 = Unix.gettimeofday () in
-          let o = f ~scale ~jobs () in
+          let o = Obs.Span.with_ spans ("exp." ^ id) (fun () -> f ~scale ~jobs ()) in
           let wall = Unix.gettimeofday () -. t0 in
           go ((id, o, wall) :: acc) (done_ + 1) rest
   in
@@ -150,9 +151,9 @@ let run_experiments ~deadline ~ids ~scale ~jobs =
 
 (* ------------------------------------------------------ handlers ----- *)
 
-let handle_run ~deadline params =
+let handle_run ~deadline ~spans params =
   let* ids, scale, jobs = exp_params ~meth:"run" params in
-  let* timed = run_experiments ~deadline ~ids ~scale ~jobs in
+  let* timed = run_experiments ~deadline ~spans ~ids ~scale ~jobs in
   let outcomes = List.map (fun (_, o, _) -> o) timed in
   Ok
     (J.Obj
@@ -172,18 +173,18 @@ let handle_run ~deadline params =
          ("output", J.String (run_text outcomes));
        ])
 
-let handle_sweep ~deadline params =
+let handle_sweep ~deadline ~spans params =
   let* ids, scale, jobs = exp_params ~meth:"sweep" params in
-  let* timed = run_experiments ~deadline ~ids ~scale ~jobs in
+  let* timed = run_experiments ~deadline ~spans ~ids ~scale ~jobs in
   Ok (sweep_json ~jobs ~scale timed)
 
-let handle_stats ~deadline params =
+let handle_stats ~deadline ~spans params =
   let* ids, scale, jobs = exp_params ~meth:"stats" params in
   Wfde.Metrics.reset ();
-  let* _timed = run_experiments ~deadline ~ids ~scale ~jobs in
+  let* _timed = run_experiments ~deadline ~spans ~ids ~scale ~jobs in
   Ok (Wfde.Metrics.to_json (Wfde.Metrics.snapshot ()))
 
-let handle_check ~deadline params =
+let handle_check ~deadline ~spans params =
   let* () =
     check_allowed ~meth:"check"
       ~allowed:[ "object"; "procs"; "depth"; "horizon"; "jobs"; "mutant" ]
@@ -227,7 +228,7 @@ let handle_check ~deadline params =
   in
   let outcome =
     Wfde.Harness.check_exhaustive ~jobs ?procs ~depth ~horizon ~should_stop
-      ?mutant obj
+      ~spans ?mutant obj
   in
   if Atomic.get cancelled then
     Error
@@ -236,10 +237,11 @@ let handle_check ~deadline params =
          outcome.Wfde.Harness.executions outcome.Wfde.Harness.patterns_swept)
   else Ok (Wfde.Harness.check_outcome_json outcome)
 
-let handle_sleep ~deadline params =
+let handle_sleep ~deadline ~spans params =
   let* () = check_allowed ~meth:"sleep" ~allowed:[ "ms" ] params in
   let* ms = get_int ~key:"ms" ~default:0 ~min:0 ~max:max_sleep_ms params in
   let finish = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+  let sid = Obs.Span.start spans "sleep.wait" in
   let rec tick () =
     if deadline () then
       Error (Proto.err Deadline_exceeded "deadline expired while sleeping")
@@ -249,16 +251,18 @@ let handle_sleep ~deadline params =
       tick ()
     end
   in
-  tick ()
+  let r = tick () in
+  Obs.Span.finish ~truncated:(Result.is_error r) spans sid;
+  r
 
-let handle ?(deadline = never) (req : Proto.request) =
+let handle ?(deadline = never) ?(spans = Obs.Span.null) (req : Proto.request) =
   let dispatch () =
     match req.meth with
-    | "run" -> handle_run ~deadline req.params
-    | "sweep" -> handle_sweep ~deadline req.params
-    | "stats" -> handle_stats ~deadline req.params
-    | "check" -> handle_check ~deadline req.params
-    | "sleep" -> handle_sleep ~deadline req.params
+    | "run" -> handle_run ~deadline ~spans req.params
+    | "sweep" -> handle_sweep ~deadline ~spans req.params
+    | "stats" -> handle_stats ~deadline ~spans req.params
+    | "check" -> handle_check ~deadline ~spans req.params
+    | "sleep" -> handle_sleep ~deadline ~spans req.params
     | "health" | "metrics" ->
         Error
           (Proto.err Unknown_method

@@ -32,13 +32,24 @@
 
 val handle :
   ?deadline:(unit -> bool) ->
+  ?spans:Obs.Span.scope ->
   Proto.request ->
   (Obs.Json.t, Proto.error) result
 (** Execute one request. [deadline] returns [true] once the request's
     deadline has expired (default: never). Must be cheap and
     domain-safe (it is polled from {!Exec.Pool} workers when the
     request asks for [jobs > 1]). Never raises: internal exceptions
-    come back as [{code = Internal; _}]. *)
+    come back as [{code = Internal; _}].
+
+    [spans] (default {!Obs.Span.null}) records method-specific child
+    spans under the caller's current parent: one [exp.<id>] per
+    experiment driver for [run]/[sweep]/[stats], the
+    {!Wfde.Harness.check_exhaustive} span tree for [check]
+    ([check.probe], per-unit [dpor.*] spans with phase children), and
+    [sleep.wait] for [sleep] (truncated when the deadline cancels the
+    sleep). Span structure depends only on the request, never on
+    timing — the payload bytes are unchanged whether or not a scope is
+    supplied. *)
 
 (** {1 Shared renderers}
 

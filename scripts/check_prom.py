@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (version 0.0.4) document.
+
+Usage:
+    check_prom.py [FILE] [--require METRIC ...]
+
+Reads FILE (or stdin when omitted or "-"). Two input shapes are
+accepted:
+
+  * raw exposition text, e.g. the output of `wfde stats --format prom`;
+  * the daemon's JSON envelope `{"content_type": ..., "body": ...}`, as
+    returned by `wfde client metrics --params '{"format":"prom"}'` —
+    the body is unwrapped before validation.
+
+Checks performed:
+
+  * every sample line parses as `name[{labels}] value`;
+  * every sample's base family has exactly one `# TYPE` line, which
+    appears before its first sample;
+  * TYPE kinds are counter/gauge/histogram; counter and histogram
+    bucket/count samples are non-negative integers;
+  * histogram `_bucket` series are cumulative (monotone in `le`,
+    within one label set), end in `le="+Inf"`, and the +Inf bucket
+    equals the matching `_count` sample;
+  * every histogram has `_sum` and `_count`;
+  * with --require, each named metric family must be present.
+
+Exit status: 0 when valid, 1 with a diagnostic on the first failure.
+"""
+
+import json
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def fail(msg):
+    print(f"check_prom: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def read_input(path):
+    if path in (None, "-"):
+        text = sys.stdin.read()
+    else:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            doc = json.loads(stripped)
+        except json.JSONDecodeError as e:
+            fail(f"input looks like JSON but does not parse: {e}")
+        if not isinstance(doc, dict) or "body" not in doc:
+            fail('JSON input has no "body" field to unwrap')
+        body = doc["body"]
+        if not isinstance(body, str):
+            fail('"body" is not a string')
+        return body
+    return text
+
+
+def base_family(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_labels(raw):
+    if not raw:
+        return ()
+    out, pos = [], 0
+    while pos < len(raw):
+        m = LABEL_RE.match(raw, pos)
+        if not m:
+            fail(f"malformed label pair at ...{raw[pos:pos+30]!r}")
+        out.append((m.group(1), m.group(2)))
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                fail(f"expected ',' between labels in {raw!r}")
+            pos += 1
+    return tuple(out)
+
+
+def main(argv):
+    path, required = None, []
+    args = argv[1:]
+    while args:
+        a = args.pop(0)
+        if a == "--require":
+            if not args:
+                fail("--require needs a metric name")
+            required.append(args.pop(0))
+        elif a in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        elif path is None:
+            path = a
+        else:
+            fail(f"unexpected argument {a!r}")
+
+    text = read_input(path)
+    types = {}          # family -> kind
+    seen_samples = []   # (lineno, name, labels tuple, value string)
+    families_seen = set()
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                fail(f"line {lineno}: malformed TYPE line: {line!r}")
+            _, _, fam, kind = parts
+            if not NAME_RE.match(fam):
+                fail(f"line {lineno}: bad family name {fam!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                fail(f"line {lineno}: unknown kind {kind!r}")
+            if fam in types:
+                fail(f"line {lineno}: duplicate TYPE for {fam}")
+            types[fam] = kind
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal and ignored
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"line {lineno}: unparseable sample: {line!r}")
+        name, labels, value = m.group("name"), m.group("labels"), m.group("value")
+        fam = base_family(name)
+        if fam not in types:
+            fail(f"line {lineno}: sample {name} has no preceding TYPE for {fam}")
+        families_seen.add(fam)
+        try:
+            float(value)
+        except ValueError:
+            if value not in ("+Inf", "-Inf", "NaN"):
+                fail(f"line {lineno}: bad sample value {value!r}")
+        seen_samples.append((lineno, name, parse_labels(labels or ""), value))
+
+    # integer-valued families
+    for lineno, name, _labels, value in seen_samples:
+        fam = base_family(name)
+        kind = types[fam]
+        if kind == "counter" or (
+            kind == "histogram" and (name.endswith("_bucket") or name.endswith("_count"))
+        ):
+            try:
+                v = float(value)
+            except ValueError:
+                fail(f"line {lineno}: {name} value {value!r} is not numeric")
+            if v < 0 or v != int(v):
+                fail(f"line {lineno}: {name} must be a non-negative integer, got {value}")
+
+    # histogram structure: bucket monotonicity, +Inf terminal, sum/count
+    hist_fams = [f for f, k in types.items() if k == "histogram" and f in families_seen]
+    for fam in hist_fams:
+        # group bucket samples by their non-le label set
+        buckets = {}
+        sums, counts = {}, {}
+        for _lineno, name, labels, value in seen_samples:
+            if base_family(name) != fam:
+                continue
+            if name == fam + "_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    fail(f"{fam}_bucket sample missing le label")
+                rest = tuple(kv for kv in labels if kv[0] != "le")
+                buckets.setdefault(rest, []).append((le, float(value)))
+            elif name == fam + "_sum":
+                sums[labels] = float(value)
+            elif name == fam + "_count":
+                counts[labels] = float(value)
+        if not buckets:
+            fail(f"histogram {fam} has no _bucket samples")
+        for rest, series in buckets.items():
+            if series[-1][0] != "+Inf":
+                fail(f"histogram {fam}{dict(rest)} does not end at le=\"+Inf\"")
+            prev_le, prev_c = None, -1.0
+            for le, c in series:
+                if c < prev_c:
+                    fail(
+                        f"histogram {fam}{dict(rest)} bucket counts not "
+                        f"cumulative at le={le} ({c} < {prev_c})"
+                    )
+                if le != "+Inf":
+                    f_le = float(le)
+                    if prev_le is not None and f_le <= prev_le:
+                        fail(f"histogram {fam}{dict(rest)} le bounds not increasing")
+                    prev_le = f_le
+                prev_c = c
+            if rest not in counts:
+                fail(f"histogram {fam}{dict(rest)} missing _count")
+            if rest not in sums:
+                fail(f"histogram {fam}{dict(rest)} missing _sum")
+            if series[-1][1] != counts[rest]:
+                fail(
+                    f"histogram {fam}{dict(rest)}: +Inf bucket {series[-1][1]} "
+                    f"!= _count {counts[rest]}"
+                )
+
+    for fam in required:
+        if fam not in families_seen:
+            fail(f"required metric family {fam!r} not present")
+
+    n_hist = len(hist_fams)
+    print(
+        f"check_prom: OK: {len(seen_samples)} samples, "
+        f"{len(families_seen)} families ({n_hist} histograms)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,6 +8,7 @@ let () =
       ("agreement", Test_agreement.suite);
       ("reduction", Test_reduction.suite);
       ("obs", Test_obs.suite);
+      ("span", Test_span.suite);
       ("exec", Test_exec.suite);
       ("wfde", Test_wfde.suite);
       ("faults", Test_faults.suite);

@@ -260,6 +260,119 @@ let test_exported_schedule_replays () =
       = Trace.outputs ~label:"decide" original.Run.trace)
   done
 
+(* -- log buckets / quantiles ------------------------------------------ *)
+
+let test_log_buckets () =
+  checkb "1-2-5 series over the decades" true
+    (M.log_buckets ~lo:1. ~hi:1000. ()
+    = [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000. |]);
+  let default = M.log_buckets () in
+  checkb "defaults span 1ms..60s style ranges" true
+    (Array.length default > 10
+    && default.(0) = 0.001
+    && default.(Array.length default - 1) <= 60_000.);
+  let clipped = M.log_buckets ~lo:3. ~hi:40. () in
+  checkb "clipping keeps only in-range bounds" true
+    (clipped = [| 5.; 10.; 20. |]);
+  checkb "monotone" true
+    (let ok = ref true in
+     Array.iteri
+       (fun i b -> if i > 0 then ok := !ok && b > default.(i - 1))
+       default;
+     !ok);
+  checkb "bad range rejected" true
+    (try
+       ignore (M.log_buckets ~lo:5. ~hi:1. ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_hist_quantile () =
+  let hv =
+    { M.buckets = [ (1., 2); (10., 6); (100., 2) ]; overflow = 0; sum = 0.; events = 10 }
+  in
+  checkb "median interpolates inside its bucket" true
+    (M.hist_quantile hv 0.5 = Some 5.5);
+  checkb "q0 clamps to rank 1" true (M.hist_quantile hv 0. = Some 0.5);
+  checkb "q1 is the top of the last bucket" true
+    (M.hist_quantile hv 1. = Some 100.);
+  checkb "out-of-range q clamps" true
+    (M.hist_quantile hv 2. = M.hist_quantile hv 1.);
+  let empty = { M.buckets = [ (1., 0) ]; overflow = 0; sum = 0.; events = 0 } in
+  checkb "empty is None" true (M.hist_quantile empty 0.5 = None);
+  let over = { M.buckets = [ (1., 1) ]; overflow = 3; sum = 0.; events = 4 } in
+  checkb "overflow resolves to the largest finite bound" true
+    (M.hist_quantile over 0.99 = Some 1.)
+
+(* -- prometheus exposition --------------------------------------------- *)
+
+let test_prom_render () =
+  let snap =
+    {
+      M.counters =
+        [
+          ("serve.requests{method=run}", 3);
+          ("serve.requests{method=sweep}", 1);
+          ("simple.count", 2);
+        ];
+      gauges = [ ("serve.in_flight", 2.) ];
+      histograms =
+        [
+          ( "serve.latency_ms{method=run}",
+            { M.buckets = [ (1., 1); (5., 2) ]; overflow = 1; sum = 12.5; events = 4 }
+          );
+        ];
+    }
+  in
+  checks "exposition text"
+    ("# TYPE wfde_serve_in_flight gauge\n\
+      wfde_serve_in_flight 2\n\
+      # TYPE wfde_serve_latency_ms histogram\n\
+      wfde_serve_latency_ms_bucket{method=\"run\",le=\"1\"} 1\n\
+      wfde_serve_latency_ms_bucket{method=\"run\",le=\"5\"} 3\n\
+      wfde_serve_latency_ms_bucket{method=\"run\",le=\"+Inf\"} 4\n\
+      wfde_serve_latency_ms_sum{method=\"run\"} 12.5\n\
+      wfde_serve_latency_ms_count{method=\"run\"} 4\n\
+      # TYPE wfde_serve_requests counter\n\
+      wfde_serve_requests{method=\"run\"} 3\n\
+      wfde_serve_requests{method=\"sweep\"} 1\n\
+      # TYPE wfde_simple_count counter\n\
+      wfde_simple_count 2\n")
+    (Obs.Prom.render snap);
+  checks "content type" "text/plain; version=0.0.4" Obs.Prom.content_type
+
+let test_prom_live_registry () =
+  (* render a real snapshot: a histogram built on log buckets must come
+     out with cumulative monotone bucket counts and +Inf = _count *)
+  M.reset ();
+  let h =
+    M.histogram ~buckets:(M.log_buckets ~lo:1. ~hi:100. ()) "test.prom.lat"
+  in
+  List.iter (M.observe h) [ 0.5; 3.; 42.; 800. ];
+  let text = Obs.Prom.render (M.snapshot ()) in
+  let lines = String.split_on_char '\n' text in
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        if String.length l > 24 && String.sub l 0 24 = "wfde_test_prom_lat_bucke" then
+          String.rindex_opt l ' '
+          |> Option.map (fun i ->
+                 int_of_string
+                   (String.sub l (i + 1) (String.length l - i - 1)))
+        else None)
+      lines
+  in
+  checkb "has buckets" true (bucket_counts <> []);
+  checkb "cumulative monotone" true
+    (let ok = ref true and prev = ref 0 in
+     List.iter
+       (fun c ->
+         if c < !prev then ok := false;
+         prev := c)
+       bucket_counts;
+     !ok);
+  checki "+Inf equals event count" 4
+    (List.nth bucket_counts (List.length bucket_counts - 1))
+
 (* -- fast-path cells --------------------------------------------------- *)
 
 let test_fast_absorb_idempotent () =
@@ -354,6 +467,11 @@ let suite =
     Alcotest.test_case "save/load file" `Quick test_save_load_file;
     Alcotest.test_case "exported schedule replays" `Quick
       test_exported_schedule_replays;
+    Alcotest.test_case "log buckets (1-2-5 series)" `Quick test_log_buckets;
+    Alcotest.test_case "histogram quantiles" `Quick test_hist_quantile;
+    Alcotest.test_case "prometheus exposition" `Quick test_prom_render;
+    Alcotest.test_case "prometheus from a live registry" `Quick
+      test_prom_live_registry;
     Alcotest.test_case "fast-path absorb idempotent" `Quick
       test_fast_absorb_idempotent;
     Alcotest.test_case "fast path matches slow path under pool" `Quick

@@ -11,6 +11,11 @@ let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 let checks = Alcotest.check Alcotest.string
 
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
 let temp_socket =
   let n = ref 0 in
   fun () ->
@@ -44,6 +49,7 @@ let test_proto_roundtrip () =
       meth = "check";
       params = [ ("object", J.String "abd"); ("depth", J.Int 4) ];
       deadline_ms = Some 250;
+      trace = Some "trace-9";
     }
   in
   let line = J.to_string (Serve.Proto.request_to_json req) in
@@ -53,7 +59,16 @@ let test_proto_roundtrip () =
       checks "method" "check" r.Serve.Proto.meth;
       checkb "id" true (r.Serve.Proto.id = J.String "r1");
       checkb "deadline" true (r.Serve.Proto.deadline_ms = Some 250);
-      checki "params" 2 (List.length r.Serve.Proto.params)
+      checkb "trace" true (r.Serve.Proto.trace = Some "trace-9");
+      checki "params" 2 (List.length r.Serve.Proto.params);
+      (* a trace-less request stays trace-less: the field is optional
+         and absent from the wire when None *)
+      let bare = { req with Serve.Proto.trace = None } in
+      let line = J.to_string (Serve.Proto.request_to_json bare) in
+      checkb "no trace key when None" true (not (contains line "trace"));
+      match Serve.Proto.parse_request ~max_bytes:65536 line with
+      | Ok r -> checkb "absent trace is None" true (r.Serve.Proto.trace = None)
+      | Error _ -> Alcotest.fail "trace-less request must parse"
 
 let test_proto_errors () =
   let parse = Serve.Proto.parse_request ~max_bytes:100 in
@@ -69,6 +84,10 @@ let test_proto_errors () =
   checks "missing method" "bad_request" (code_of (parse {|{"id":"x"}|}));
   checks "bad deadline" "bad_request"
     (code_of (parse {|{"method":"run","deadline_ms":-5}|}));
+  checks "empty trace" "bad_request"
+    (code_of (parse {|{"method":"run","trace":""}|}));
+  checks "non-string trace" "bad_request"
+    (code_of (parse {|{"method":"run","trace":7}|}));
   (* the id survives into the error so the response can correlate *)
   (match parse {|{"id":"r9","method":"run","bogus":1}|} with
   | Error (_, id) -> checkb "salvaged id" true (id = J.String "r9")
@@ -100,6 +119,16 @@ let test_proto_response_roundtrip () =
   | _ -> Alcotest.fail "error roundtrip failed");
   checkb "garbage rejected" true
     (Result.is_error (Serve.Proto.parse_response "{}"))
+
+let test_proto_exit_codes () =
+  let code = Serve.Proto.exit_code in
+  checki "deadline_exceeded is timeout(1)" 124 (code Serve.Proto.Deadline_exceeded);
+  checki "queue_full is EX_TEMPFAIL" 75 (code Serve.Proto.Queue_full);
+  checki "bad_request" 1 (code Serve.Proto.Bad_request);
+  checki "unknown_method" 1 (code Serve.Proto.Unknown_method);
+  checki "oversized" 1 (code Serve.Proto.Oversized);
+  checki "shutting_down" 1 (code Serve.Proto.Shutting_down);
+  checki "internal" 1 (code Serve.Proto.Internal)
 
 (* -- ivar / jobq ------------------------------------------------------- *)
 
@@ -191,8 +220,8 @@ let test_engine_drain_completes_queued () =
 
 (* -- service ----------------------------------------------------------- *)
 
-let req ?(id = J.Null) ?deadline_ms meth params =
-  { Serve.Proto.id; meth; params; deadline_ms }
+let req ?(id = J.Null) ?deadline_ms ?trace meth params =
+  { Serve.Proto.id; meth; params; deadline_ms; trace }
 
 let err_code = function
   | Error (e : Serve.Proto.error) -> Serve.Proto.code_to_string e.code
@@ -267,9 +296,13 @@ let test_service_deadline () =
 
 (* -- daemon ------------------------------------------------------------ *)
 
-let with_daemon ?(workers = 1) ?(queue_capacity = 4) f =
+let with_daemon ?(workers = 1) ?(queue_capacity = 4) ?trace ?slow_ms ?slow_out
+    f =
   let socket = temp_socket () in
-  let d = Serve.Daemon.start ~workers ~queue_capacity ~socket () in
+  let d =
+    Serve.Daemon.start ?trace ?slow_ms ?slow_out ~workers ~queue_capacity
+      ~socket ()
+  in
   Fun.protect ~finally:(fun () -> Serve.Daemon.stop d) (fun () -> f d socket)
 
 let rpc_ok socket r =
@@ -457,12 +490,189 @@ let test_daemon_graceful_drain () =
   (* stop is idempotent *)
   Serve.Daemon.stop d
 
+(* -- tracing ----------------------------------------------------------- *)
+
+module Span = Obs.Span
+
+(* Satellite: end-to-end span export. A request with a trace id against
+   a daemon with a sink exports the full spine
+   (request/parse/queue_wait/dispatch/execute/render) plus the
+   method-specific children; a request without a trace id exports
+   nothing; payload bytes are unchanged either way. *)
+
+let test_daemon_traced_request () =
+  let sink = Span.sink () in
+  with_daemon ~trace:sink (fun _ socket ->
+      let untraced = rpc_ok socket (req "sleep" [ ("ms", J.Int 0) ]) in
+      checki "untraced request exports nothing" 0 (Span.absorbed sink);
+      let traced = rpc_ok socket (req ~trace:"t1" "sleep" [ ("ms", J.Int 0) ]) in
+      checks "tracing is invisible in the payload" (J.to_string untraced)
+        (J.to_string traced);
+      let spans = Span.take sink in
+      checkb "spans exported" true (spans <> []);
+      List.iter
+        (fun s -> checks "trace id tags every span" "t1" s.Span.trace)
+        spans;
+      let names = List.map (fun s -> s.Span.name) spans in
+      List.iter
+        (fun n ->
+          checkb (Printf.sprintf "span %s present" n) true (List.mem n names))
+        [ "request"; "parse"; "queue_wait"; "dispatch"; "execute";
+          "sleep.wait"; "render" ];
+      checkb "nothing truncated on the happy path" true
+        (List.for_all (fun s -> not s.Span.truncated) spans);
+      (* structural sanity: exactly one root, parents precede children *)
+      checki "one root" 1
+        (List.length (List.filter (fun s -> s.Span.parent = 0) spans));
+      List.iter
+        (fun s -> checkb "parent precedes span" true (s.Span.parent < s.Span.span_id))
+        spans;
+      (* a check request carries the harness's subtree through the wire *)
+      ignore
+        (rpc_ok socket
+           (req ~trace:"t2" "check"
+              [
+                ("object", J.String "register");
+                ("depth", J.Int 3);
+                ("horizon", J.Int 60);
+              ]));
+      let names2 = List.map (fun s -> s.Span.name) (Span.take sink) in
+      checkb "check.probe exported" true (List.mem "check.probe" names2);
+      checkb "per-unit dpor spans exported" true
+        (List.exists
+           (fun n -> String.length n > 6 && String.sub n 0 6 = "dpor.p")
+           names2);
+      checkb "dpor phase spans exported" true
+        (List.mem "dpor.executions" names2 && List.mem "dpor.race_analysis" names2))
+
+(* Satellite: a drain cancels a deadline-bearing in-flight request and
+   the unfinished spans are flushed with truncated=true, not lost. *)
+
+let test_daemon_drain_truncates_spans () =
+  let sink = Span.sink () in
+  let socket = temp_socket () in
+  let d =
+    Serve.Daemon.start ~workers:1 ~queue_capacity:4 ~trace:sink ~socket ()
+  in
+  let result = ref "" in
+  let runner =
+    Thread.create
+      (fun () ->
+        result :=
+          rpc_err socket
+            (req ~trace:"cut" ~deadline_ms:60_000 "sleep"
+               [ ("ms", J.Int 30_000) ]))
+      ()
+  in
+  eventually "sleep in flight" (fun () -> Serve.Daemon.in_flight d = 1);
+  Serve.Daemon.stop d;
+  Thread.join runner;
+  checks "drain cancelled the deadline-bearing sleep" "deadline_exceeded"
+    !result;
+  let spans = Span.take sink in
+  checkb "spans exported on the cancelled path" true (spans <> []);
+  let find name = List.find_opt (fun s -> s.Span.name = name) spans in
+  (match find "sleep.wait" with
+  | Some s -> checkb "sleep.wait truncated" true s.Span.truncated
+  | None -> Alcotest.fail "sleep.wait span missing");
+  (match find "request" with
+  | Some s -> checkb "root truncated" true s.Span.truncated
+  | None -> Alcotest.fail "request span missing");
+  (match find "render" with
+  | Some s -> checkb "render itself completes" true (not s.Span.truncated)
+  | None -> Alcotest.fail "render span missing");
+  Serve.Daemon.stop d
+
+(* Satellite: serial vs concurrent traced load is structurally
+   identical — same span trees per trace id after timestamp
+   normalization — and tracing never changes payload bytes. *)
+
+let test_daemon_traced_loadgen_deterministic () =
+  let sink = Span.sink ~capacity:100_000 () in
+  with_daemon ~workers:2 ~queue_capacity:16 ~trace:sink (fun _ socket ->
+      let untraced = Serve.Loadgen.run ~socket ~total:9 ~clients:1 () in
+      checki "warm-up leg exports nothing" 0 (Span.absorbed sink);
+      let serial =
+        Serve.Loadgen.run ~trace_prefix:"t" ~socket ~total:9 ~clients:1 ()
+      in
+      let serial_spans = Span.take sink in
+      let concurrent =
+        Serve.Loadgen.run ~trace_prefix:"t" ~socket ~total:9 ~clients:3 ()
+      in
+      let concurrent_spans = Span.take sink in
+      checki "all requests ok" 18 (serial.Serve.Loadgen.ok + concurrent.Serve.Loadgen.ok);
+      checki "tracing does not change payloads" 0
+        (Serve.Loadgen.mismatches ~reference:untraced serial);
+      checki "serial vs concurrent payloads agree" 0
+        (Serve.Loadgen.mismatches ~reference:serial concurrent);
+      checki "span count is workload-determined"
+        (List.length serial_spans) (List.length concurrent_spans);
+      checks "span structure identical serial vs concurrent"
+        (Span.render ~normalize:true serial_spans)
+        (Span.render ~normalize:true concurrent_spans))
+
+(* -- live metrics ------------------------------------------------------ *)
+
+let test_daemon_metrics_formats () =
+  with_daemon (fun _ socket ->
+      ignore (rpc_ok socket (req "sleep" [ ("ms", J.Int 0) ]));
+      let prom = rpc_ok socket (req "metrics" [ ("format", J.String "prom") ]) in
+      (match J.member "content_type" prom with
+      | Some (J.String ct) -> checks "content type" Obs.Prom.content_type ct
+      | _ -> Alcotest.fail "prom payload has no content_type");
+      (match J.member "body" prom with
+      | Some (J.String body) ->
+          checkb "exposition names the request counter" true
+            (contains body "wfde_serve_requests{method=\"sleep\"}");
+          checkb "latency histogram exported" true
+            (contains body "wfde_serve_latency_ms_bucket");
+          checkb "+Inf bucket present" true (contains body "le=\"+Inf\"");
+          checkb "dispatch gauges exported" true
+            (contains body "wfde_serve_worker_utilization")
+      | _ -> Alcotest.fail "prom payload has no body");
+      (* explicit and default json formats return the raw document *)
+      let dflt = rpc_ok socket (req "metrics" []) in
+      checkb "default json has counters" true (J.member "counters" dflt <> None);
+      let explicit = rpc_ok socket (req "metrics" [ ("format", J.String "json") ]) in
+      checkb "explicit json has counters" true
+        (J.member "counters" explicit <> None);
+      checks "unknown format rejected" "bad_request"
+        (rpc_err socket (req "metrics" [ ("format", J.String "xml") ]));
+      checks "unknown metrics param rejected" "bad_request"
+        (rpc_err socket (req "metrics" [ ("fmt", J.String "prom") ])))
+
+let test_daemon_slow_log () =
+  let path = Filename.temp_file "wfde_slow" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      with_daemon ~slow_ms:0. ~slow_out:oc (fun _ socket ->
+          ignore
+            (rpc_ok socket (req ~id:(J.String "s1") "sleep" [ ("ms", J.Int 5) ])));
+      close_out oc;
+      let ic = open_in path in
+      let line = input_line ic in
+      let extra = try Some (input_line ic) with End_of_file -> None in
+      close_in ic;
+      checkb "exactly one slow line" true (extra = None);
+      match J.of_string line with
+      | Error e -> Alcotest.failf "slow log line is not JSON: %s" e
+      | Ok doc ->
+          checkb "event tag" true
+            (J.member "event" doc = Some (J.String "slow_request"));
+          checkb "method" true (J.member "method" doc = Some (J.String "sleep"));
+          checkb "id" true (J.member "id" doc = Some (J.String "s1"));
+          checkb "wall_ms present" true (J.member "wall_ms" doc <> None);
+          checkb "queue depth present" true
+            (J.member "queue_depth" doc <> None))
+
 (* -- loadgen ----------------------------------------------------------- *)
 
 let test_loadgen_deterministic () =
   with_daemon ~workers:2 ~queue_capacity:16 (fun _ socket ->
-      let serial = Serve.Loadgen.run ~socket ~total:9 ~clients:1 in
-      let concurrent = Serve.Loadgen.run ~socket ~total:9 ~clients:3 in
+      let serial = Serve.Loadgen.run ~socket ~total:9 ~clients:1 () in
+      let concurrent = Serve.Loadgen.run ~socket ~total:9 ~clients:3 () in
       checki "serial all ok" 9 serial.Serve.Loadgen.ok;
       checki "concurrent all ok" 9 concurrent.Serve.Loadgen.ok;
       checki "no errors" 0
@@ -480,6 +690,7 @@ let suite =
     Alcotest.test_case "proto: malformed requests" `Quick test_proto_errors;
     Alcotest.test_case "proto: response roundtrip" `Quick
       test_proto_response_roundtrip;
+    Alcotest.test_case "proto: error exit codes" `Quick test_proto_exit_codes;
     Alcotest.test_case "ivar: fill/read/peek" `Quick test_ivar;
     Alcotest.test_case "jobq: fifo, bounds, close drains" `Quick
       test_jobq_order_and_bounds;
@@ -507,6 +718,15 @@ let suite =
       test_daemon_queued_past_deadline;
     Alcotest.test_case "daemon: graceful drain" `Quick
       test_daemon_graceful_drain;
+    Alcotest.test_case "daemon: traced request exports spans" `Quick
+      test_daemon_traced_request;
+    Alcotest.test_case "daemon: drain truncates open spans" `Quick
+      test_daemon_drain_truncates_spans;
+    Alcotest.test_case "daemon: traced loadgen deterministic" `Quick
+      test_daemon_traced_loadgen_deterministic;
+    Alcotest.test_case "daemon: metrics formats (json/prom)" `Quick
+      test_daemon_metrics_formats;
+    Alcotest.test_case "daemon: slow-request log" `Quick test_daemon_slow_log;
     Alcotest.test_case "loadgen: serial vs concurrent identical" `Quick
       test_loadgen_deterministic;
   ]

@@ -1,0 +1,307 @@
+(* Tests for the span-tracing layer: scope recording semantics (ids,
+   parents, with_, truncation, capacity drops), sink ring/accounting,
+   the wfde-span/1 JSONL codec — including a QCheck round-trip over
+   hostile strings (quotes, backslashes, control characters, UTF-8) —
+   and the determinism contract: the span structure of a
+   check_exhaustive run is byte-identical at -j1 and -j4 after
+   timestamp normalization. *)
+
+module Span = Obs.Span
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* -- scopes ------------------------------------------------------------ *)
+
+let test_null_scope () =
+  checkb "disabled" true (not (Span.enabled Span.null));
+  checki "start returns 0" 0 (Span.start Span.null "x");
+  Span.finish Span.null 0;
+  Span.finish_open Span.null;
+  checki "with_ still runs f" 3 (Span.with_ Span.null "x" (fun () -> 3));
+  checkb "no spans" true (Span.spans Span.null = []);
+  let sink = Span.sink () in
+  Span.absorb sink Span.null;
+  checki "null absorbs nothing" 0 (Span.absorbed sink)
+
+let test_scope_structure () =
+  let sc = Span.make ~trace:"t1" () in
+  checkb "enabled" true (Span.enabled sc);
+  checks "trace id" "t1" (Span.trace_id sc);
+  let root = Span.start ~parent:0 ~at:100 sc "request" in
+  checki "root id is 1" 1 root;
+  Span.set_parent sc root;
+  let child = Span.start ~at:110 sc "child" in
+  checki "ids are creation order" 2 child;
+  Span.finish ~at:150 sc child;
+  (* inside with_, the new span is the current parent *)
+  let inside = Span.with_ sc "leaf" (fun () -> Span.current_parent sc) in
+  checki "with_ sets parent" 3 inside;
+  checki "with_ restores parent" root (Span.current_parent sc);
+  Span.finish ~at:200 sc root;
+  match Span.spans sc with
+  | [ r; c; l ] ->
+      checks "root name" "request" r.Span.name;
+      checki "root parent" 0 r.Span.parent;
+      checki "child parent" root c.Span.parent;
+      checki "leaf parent" root l.Span.parent;
+      checkb "explicit timestamps kept" true
+        (r.Span.start_us = 100 && r.Span.stop_us = 200);
+      checkb "nothing truncated" true
+        (not (r.Span.truncated || c.Span.truncated || l.Span.truncated))
+  | other -> Alcotest.failf "expected 3 spans, got %d" (List.length other)
+
+let test_finish_open_truncates () =
+  let sc = Span.make ~trace:"t2" () in
+  let a = Span.start sc "a" in
+  let b = Span.start sc "b" in
+  Span.finish sc b;
+  (* double finish and bogus ids are no-ops *)
+  Span.finish sc b;
+  Span.finish sc 0;
+  Span.finish sc 99;
+  Span.finish_open sc;
+  ignore a;
+  match Span.spans sc with
+  | [ sa; sb ] ->
+      checkb "open span flushed truncated" true sa.Span.truncated;
+      checkb "closed span untouched" true (not sb.Span.truncated)
+  | _ -> Alcotest.fail "expected 2 spans"
+
+let test_capacity_drops () =
+  let sc = Span.make ~capacity:2 ~trace:"t3" () in
+  ignore (Span.start sc "a");
+  ignore (Span.start sc "b");
+  checki "overflow start returns 0" 0 (Span.start sc "c");
+  checki "dropped counted" 1 (Span.dropped sc);
+  checki "recorded spans capped" 2 (List.length (Span.spans sc))
+
+let test_emit () =
+  let sc = Span.make ~trace:"t4" () in
+  let root = Span.start ~at:10 sc "root" in
+  let id = Span.emit ~parent:root sc ~name:"measured" ~start_us:20 ~stop_us:30 () in
+  checki "emit allocates the next id" 2 id;
+  Span.finish ~at:40 sc root;
+  match Span.spans sc with
+  | [ _; m ] ->
+      checkb "emit records the given window" true
+        (m.Span.start_us = 20 && m.Span.stop_us = 30 && m.Span.parent = root)
+  | _ -> Alcotest.fail "expected 2 spans"
+
+(* -- sinks ------------------------------------------------------------- *)
+
+let test_sink_ring () =
+  let sink = Span.sink ~capacity:3 () in
+  let sc = Span.make ~trace:"r" () in
+  for _ = 1 to 5 do
+    ignore (Span.start sc "s")
+  done;
+  Span.finish_open sc;
+  Span.absorb sink sc;
+  checki "absorbed counts everything" 5 (Span.absorbed sink);
+  let kept = Span.take sink in
+  checki "ring keeps the newest capacity" 3 (List.length kept);
+  (match kept with
+  | oldest :: _ -> checki "oldest kept is span 3" 3 oldest.Span.span_id
+  | [] -> Alcotest.fail "ring empty");
+  checkb "take drains" true (Span.take sink = []);
+  checki "absorbed survives take" 5 (Span.absorbed sink)
+
+let test_sink_write_through () =
+  let path = Filename.temp_file "wfde_sink" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let sink = Span.sink ~out:oc () in
+      let sc = Span.make ~trace:"wt" () in
+      let a = Span.start ~at:1 sc "a" in
+      Span.finish ~at:2 sc a;
+      Span.absorb sink sc;
+      Span.flush sink;
+      close_out oc;
+      match Span.load_file path with
+      | Ok [ s ] ->
+          checks "span written through" "a" s.Span.name;
+          checkb "ring empty for write-through" true (Span.take sink = [])
+      | Ok l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+      | Error e -> Alcotest.failf "reload failed: %s" e)
+
+(* -- codec ------------------------------------------------------------- *)
+
+let tricky_string =
+  QCheck.Gen.(
+    oneof
+      [
+        small_string ~gen:printable;
+        oneofl
+          [
+            "";
+            "a\"b";
+            "back\\slash";
+            "new\nline";
+            "tab\there";
+            "ctrl\x01\x02\x1f";
+            "caf\xc3\xa9";
+            "exp.e1";
+            "dpor.p3.b1";
+          ];
+      ])
+
+let span_gen =
+  QCheck.Gen.(
+    tricky_string >>= fun trace ->
+    tricky_string >>= fun name ->
+    int_range 1 10_000 >>= fun span_id ->
+    int_range 0 9_999 >>= fun parent ->
+    int_bound 1_000_000 >>= fun start_us ->
+    int_bound 1_000_000 >>= fun dur ->
+    bool >>= fun truncated ->
+    return
+      {
+        Span.trace;
+        span_id;
+        parent;
+        name;
+        start_us;
+        stop_us = start_us + dur;
+        truncated;
+      })
+
+let span_arb = QCheck.make ~print:Span.to_line span_gen
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~count:300 ~name:"wfde-span/1 line round-trips" span_arb
+      (fun s -> Span.of_line (Span.to_line s) = Ok s);
+  ]
+
+let test_codec_rejections () =
+  checkb "wrong schema" true
+    (Result.is_error
+       (Span.of_line
+          {|{"schema":"nope/1","trace":"t","span":1,"parent":0,"name":"n","start_us":0,"stop_us":1}|}));
+  checkb "span id 0" true
+    (Result.is_error
+       (Span.of_line
+          {|{"schema":"wfde-span/1","trace":"t","span":0,"parent":0,"name":"n","start_us":0,"stop_us":1}|}));
+  checkb "not json" true (Result.is_error (Span.of_line "{nope"));
+  checkb "absent truncated defaults false" true
+    (match
+       Span.of_line
+         {|{"schema":"wfde-span/1","trace":"t","span":1,"parent":0,"name":"n","start_us":0,"stop_us":1}|}
+     with
+    | Ok s -> not s.Span.truncated
+    | Error _ -> false)
+
+let test_load_file_round_trip () =
+  let sc = Span.make ~trace:"file" () in
+  let a = Span.start ~at:10 sc "a" in
+  Span.set_parent sc a;
+  let b = Span.start ~at:20 sc "b\"quote" in
+  Span.finish ~at:30 sc b;
+  Span.finish ~at:40 sc a;
+  let spans = Span.spans sc in
+  let path = Filename.temp_file "wfde_span" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      List.iter
+        (fun s ->
+          output_string oc (Span.to_line s);
+          output_char oc '\n')
+        spans;
+      (* blank lines are tolerated *)
+      output_char oc '\n';
+      close_out oc;
+      checkb "file round-trips" true (Span.load_file path = Ok spans);
+      (* the first malformed line is a positioned error *)
+      let oc = open_out path in
+      output_string oc "{oops\n";
+      close_out oc;
+      match Span.load_file path with
+      | Error msg ->
+          checkb "error names the line" true
+            (String.length msg >= 7 && String.sub msg 0 7 = "line 1:")
+      | Ok _ -> Alcotest.fail "malformed line accepted")
+
+(* -- render ------------------------------------------------------------ *)
+
+let test_render_normalized () =
+  let sc = Span.make ~trace:"r1" () in
+  let root = Span.start ~parent:0 ~at:0 sc "request" in
+  Span.set_parent sc root;
+  let c = Span.start ~at:5 sc "child" in
+  Span.finish ~at:7 sc c;
+  let d = Span.start ~at:8 sc "cut" in
+  Span.finish ~truncated:true ~at:9 sc d;
+  Span.finish ~at:9 sc root;
+  checks "normalized tree"
+    "trace r1: 3 span(s)\n  request\n    child\n    cut [truncated]\n"
+    (Span.render ~normalize:true (Span.spans sc));
+  (* the timed render carries the same structure plus timings *)
+  let timed = Span.render (Span.spans sc) in
+  checkb "timed render mentions totals" true
+    (String.length timed > 0
+    && List.exists
+         (fun line ->
+           String.length line > 0
+           &&
+           let re = "total" in
+           let rec find i =
+             i + String.length re <= String.length line
+             && (String.sub line i (String.length re) = re || find (i + 1))
+           in
+           find 0)
+         (String.split_on_char '\n' timed))
+
+(* -- determinism across worker counts ---------------------------------- *)
+
+let structure sc = Span.render ~normalize:true (Span.spans sc)
+
+let test_check_spans_deterministic () =
+  let run jobs =
+    let sc = Span.make ~capacity:4096 ~trace:"chk" () in
+    ignore
+      (Wfde.Harness.check_exhaustive ~jobs ~depth:3 ~horizon:60 ~spans:sc
+         Wfde.Scenario.Register);
+    sc
+  in
+  let s1 = run 1 and s4 = run 4 in
+  let spans1 = Span.spans s1 in
+  checkb "spans recorded" true (spans1 <> []);
+  (* nesting invariants: ids are creation order, a parent always
+     precedes its children and exists (or is the root marker 0) *)
+  List.iter
+    (fun s ->
+      checkb "parent precedes span" true (s.Span.parent < s.Span.span_id);
+      checkb "parent exists" true
+        (s.Span.parent = 0
+        || List.exists (fun p -> p.Span.span_id = s.Span.parent) spans1))
+    spans1;
+  checki "no drops" 0 (Span.dropped s1 + Span.dropped s4);
+  checks "structure identical at -j1/-j4" (structure s1) (structure s4)
+
+let suite =
+  [
+    Alcotest.test_case "null scope is inert" `Quick test_null_scope;
+    Alcotest.test_case "scope ids, parents, with_" `Quick test_scope_structure;
+    Alcotest.test_case "finish_open truncates" `Quick test_finish_open_truncates;
+    Alcotest.test_case "capacity drops counted" `Quick test_capacity_drops;
+    Alcotest.test_case "emit records measured windows" `Quick test_emit;
+    Alcotest.test_case "sink ring keeps newest" `Quick test_sink_ring;
+    Alcotest.test_case "sink write-through JSONL" `Quick
+      test_sink_write_through;
+    Alcotest.test_case "codec rejects malformed spans" `Quick
+      test_codec_rejections;
+    Alcotest.test_case "load_file round-trip and errors" `Quick
+      test_load_file_round_trip;
+    Alcotest.test_case "render: normalized tree shape" `Quick
+      test_render_normalized;
+    Alcotest.test_case "check spans deterministic at -j1/-j4" `Quick
+      test_check_spans_deterministic;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_cases
