@@ -330,8 +330,11 @@ let serve_entries () =
   Format.printf "Part 4: service daemon (deterministic load generator)@.";
   Format.printf "==================================================@.@.";
   let socket = bench_socket "plain" in
+  (* cache off: part 4 measures the engine fleet; part 6 measures the
+     cache *)
   let daemon =
-    Serve.Daemon.start ~workers:serve_clients ~queue_capacity:64 ~socket ()
+    Serve.Daemon.start ~workers:serve_clients ~queue_capacity:64
+      ~cache:Serve.Cache.disabled ~socket ()
   in
   let entries, serial =
     Fun.protect
@@ -383,9 +386,12 @@ let tracing_entries ~reference ~spans_out =
     | Some oc -> Wfde.Obs.Span.sink ~out:oc ()
     | None -> Wfde.Obs.Span.sink ()
   in
+  (* cache off: with caching, first-occurrence misses and later hits
+     would export different span trees per index and the gated span
+     count would stop being a pure function of the workload *)
   let daemon =
-    Serve.Daemon.start ~workers:serve_clients ~queue_capacity:64 ~trace:sink
-      ~socket ()
+    Serve.Daemon.start ~workers:serve_clients ~queue_capacity:64
+      ~cache:Serve.Cache.disabled ~trace:sink ~socket ()
   in
   let entries =
     Fun.protect
@@ -444,6 +450,126 @@ let tracing_entries ~reference ~spans_out =
   (match spans_out with
   | Some path -> Format.printf "wrote wfde-span/1 JSONL to %s@.@." path
   | None -> ());
+  entries
+
+(* ------------------------------------------------------------- part 6 *)
+
+(* Result cache under the Zipf-skewed repeated-request scenario: one
+   uncached reference leg, then — against a caching daemon, over the
+   SAME global request indices — a cold-to-warm serial leg, a fully
+   warm "hot" leg (every request a hit), and a concurrent leg.
+   Deterministic gates: errors / requests_missing stay 0,
+   payload_mismatches against the uncached reference stays 0 (cached
+   bytes == computed bytes), class_mismatches stays 0 (-j1/-j2 twins
+   byte-identical), cache_misses is exactly the number of distinct
+   classes the seed samples, and the hot leg computes nothing
+   (cache_misses_during_leg=0). Throughput — where the
+   order-of-magnitude win shows up, measured on the hot leg — is
+   reported but never gates. *)
+
+let zipf_total = 150
+let zipf_seed = 11
+
+let cache_bench_entries () =
+  Format.printf "==================================================@.";
+  Format.printf "Part 6: result cache (Zipf-skewed repeated requests)@.";
+  Format.printf "==================================================@.@.";
+  let skew = Serve.Loadgen.default_skew in
+  let universe = Serve.Loadgen.default_universe in
+  let classes =
+    Serve.Loadgen.zipf_distinct_classes ~seed:zipf_seed ~skew ~universe
+      ~total:zipf_total
+  in
+  let run_leg ~socket ~clients =
+    Serve.Loadgen.run_zipf ~seed:zipf_seed ~socket ~total:zipf_total ~clients ()
+  in
+  let uncached =
+    let socket = bench_socket "uncached" in
+    let daemon =
+      Serve.Daemon.start ~workers:serve_clients ~queue_capacity:64
+        ~cache:Serve.Cache.disabled ~socket ()
+    in
+    Fun.protect
+      ~finally:(fun () -> Serve.Daemon.stop daemon)
+      (fun () -> run_leg ~socket ~clients:1)
+  in
+  let socket = bench_socket "cached" in
+  let daemon =
+    Serve.Daemon.start ~workers:serve_clients ~queue_capacity:64 ~socket ()
+  in
+  let serial, serial_stats, hot, hot_stats, concurrent =
+    Fun.protect
+      ~finally:(fun () -> Serve.Daemon.stop daemon)
+      (fun () ->
+        let serial = run_leg ~socket ~clients:1 in
+        let stats = Serve.Daemon.cache_stats daemon in
+        (* the same leg again, now fully warm: every request is a hit,
+           which is where the throughput multiple is measured *)
+        let hot = run_leg ~socket ~clients:1 in
+        let hot_stats = Serve.Daemon.cache_stats daemon in
+        let concurrent = run_leg ~socket ~clients:serve_clients in
+        (serial, stats, hot, hot_stats, concurrent))
+  in
+  let class_mismatches l =
+    Serve.Loadgen.zipf_class_mismatches ~seed:zipf_seed l
+  in
+  let entries =
+    [
+      serve_entry_of
+        ~name:(Printf.sprintf "cache/zipf uncached %d reqs x1 client" zipf_total)
+        ~leg:uncached
+        ~extra_counters:[ ("class_mismatches", class_mismatches uncached) ];
+      serve_entry_of
+        ~name:(Printf.sprintf "cache/zipf cached %d reqs x1 client" zipf_total)
+        ~leg:serial
+        ~extra_counters:
+          [
+            ( "payload_mismatches",
+              Serve.Loadgen.mismatches ~reference:uncached serial );
+            ("class_mismatches", class_mismatches serial);
+            ("cache_misses", serial_stats.Serve.Cache.misses);
+            ("cache_hits", serial_stats.Serve.Cache.hits);
+            ("expected_misses", classes);
+          ];
+      serve_entry_of
+        ~name:
+          (Printf.sprintf "cache/zipf cached hot %d reqs x1 client" zipf_total)
+        ~leg:hot
+        ~extra_counters:
+          [
+            ( "payload_mismatches",
+              Serve.Loadgen.mismatches ~reference:uncached hot );
+            ("class_mismatches", class_mismatches hot);
+            ( "cache_misses_during_leg",
+              hot_stats.Serve.Cache.misses - serial_stats.Serve.Cache.misses );
+            ( "cache_hits_during_leg",
+              hot_stats.Serve.Cache.hits - serial_stats.Serve.Cache.hits );
+          ];
+      serve_entry_of
+        ~name:
+          (Printf.sprintf "cache/zipf cached %d reqs x%d clients" zipf_total
+             serve_clients)
+        ~leg:concurrent
+        ~extra_counters:
+          [
+            ( "payload_mismatches",
+              Serve.Loadgen.mismatches ~reference:uncached concurrent );
+            ("class_mismatches", class_mismatches concurrent);
+          ];
+    ]
+  in
+  print_serve_entries entries;
+  let rps (l : Serve.Loadgen.leg) =
+    if l.wall_seconds > 0. then float_of_int l.ok /. l.wall_seconds else 0.
+  in
+  if rps uncached > 0. then
+    Format.printf
+      "cache speedup (hot hit-only leg, wall-clock, not gated): %.1fx \
+       (%.1f req/s uncached -> %.1f hot; warm leg %.1f req/s with %d hits / \
+       %d misses over %d classes)@.@."
+      (rps hot /. rps uncached)
+      (rps uncached) (rps hot) (rps serial) serial_stats.Serve.Cache.hits
+      serial_stats.Serve.Cache.misses classes;
   entries
 
 (* ------------------------------------------------------------- part 2 *)
@@ -763,7 +889,8 @@ let serve_section_json entries =
            ])
        entries)
 
-let json_document ~outcomes ~sweep ~benchmarks ~macro ~serve ~serve_tracing =
+let json_document ~outcomes ~sweep ~benchmarks ~macro ~serve ~serve_tracing
+    ~serve_cache =
   let module J = Wfde.Json in
   J.Obj
     [
@@ -817,6 +944,7 @@ let json_document ~outcomes ~sweep ~benchmarks ~macro ~serve ~serve_tracing =
              macro) );
       ("serve", serve_section_json serve);
       ("serve_tracing", serve_section_json serve_tracing);
+      ("serve_cache", serve_section_json serve_cache);
       ("metrics", Wfde.Metrics.to_json (Wfde.Metrics.snapshot ()));
     ]
 
@@ -853,10 +981,11 @@ let () =
   let sweep = if quick then [] else parallel_sweep_entries () in
   let benchmarks = if quick then [] else run_benchmarks () in
   let macro = if serve_only then [] else macro_entries () in
-  (* parts 4 and 5 run in every mode: they are cheap, and keeping them
+  (* parts 4-6 run in every mode: they are cheap, and keeping them
      in the --macro-only document is what lets CI gate their counters *)
   let serve, untraced_serial = serve_entries () in
   let serve_tracing = tracing_entries ~reference:untraced_serial ~spans_out in
+  let serve_cache = cache_bench_entries () in
   match json_path with
   | None -> ()
   | Some path ->
@@ -867,6 +996,6 @@ let () =
           output_string oc
             (Wfde.Json.to_string
                (json_document ~outcomes ~sweep ~benchmarks ~macro ~serve
-                  ~serve_tracing));
+                  ~serve_tracing ~serve_cache));
           output_char oc '\n');
       Format.printf "wrote machine-readable results to %s@." path

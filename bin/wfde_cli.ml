@@ -523,7 +523,8 @@ let socket_arg =
     & opt string "/tmp/wfde.sock"
     & info [ "socket" ] ~docv:"PATH" ~doc)
 
-let run_serve socket workers queue_capacity trace_out slow_ms =
+let run_serve socket workers queue_capacity cache_capacity cache_dir trace_out
+    slow_ms =
   match
     Option.map
       (fun path ->
@@ -543,12 +544,17 @@ let run_serve socket workers queue_capacity trace_out slow_ms =
       match
         Serve.Daemon.start ?trace
           ?slow_ms:(Option.map float_of_int slow_ms)
+          ~cache:{ Serve.Cache.capacity = cache_capacity; dir = cache_dir }
           ~workers ~queue_capacity ~socket ()
       with
       | t ->
           (* the readiness line CI and scripts wait for *)
-          Format.printf "wfde serve: listening on %s (workers=%d queue=%d%s)@."
-            socket workers queue_capacity
+          Format.printf
+            "wfde serve: listening on %s (workers=%d queue=%d cache=%d%s%s)@."
+            socket workers queue_capacity cache_capacity
+            (match cache_dir with
+            | None -> ""
+            | Some d -> Printf.sprintf " cache-dir=%s" d)
             (match trace_out with
             | None -> ""
             | Some p -> Printf.sprintf " trace-out=%s" p);
@@ -598,6 +604,26 @@ let serve_cmd =
       & opt (some (bounded_int ~what:"--slow-ms" ~min:0 ~max:86_400_000)) None
       & info [ "slow-ms" ] ~docv:"MS" ~doc)
   in
+  let cache_arg =
+    let doc =
+      "In-memory result-cache capacity (entries) for run/check/sweep \
+       responses; 0 disables caching."
+    in
+    Arg.(
+      value
+      & opt (bounded_int ~what:"--cache" ~min:0 ~max:1_000_000) 256
+      & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let cache_dir_arg =
+    let doc =
+      "Back the result cache with a content-addressed store under \
+       $(docv) (created if missing; entries survive daemon restarts)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
   let doc = "run the wfde-rpc/1 daemon on a Unix-domain socket" in
   let man =
     [
@@ -616,12 +642,18 @@ let serve_cmd =
          method-specific children) as wfde-span/1 JSONL; with \
          $(b,--slow-ms), requests at least that slow log one structured \
          JSON line to stderr. Neither changes response payload bytes.";
+      `P
+        "run/check/sweep responses are served through a content-addressed \
+         result cache ($(b,--cache) entries in memory, optionally \
+         persisted under $(b,--cache-dir)); hits replay the stored bytes \
+         from the connection thread, bypassing the worker fleet. Inspect \
+         or clear it with $(b,wfde cache).";
     ]
   in
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
-      const run_serve $ socket_arg $ workers_arg $ queue_arg $ trace_out_arg
-      $ slow_ms_arg)
+      const run_serve $ socket_arg $ workers_arg $ queue_arg $ cache_arg
+      $ cache_dir_arg $ trace_out_arg $ slow_ms_arg)
 
 (* ----------------------------------------------------------- client --- *)
 
@@ -687,7 +719,8 @@ let run_client meth socket params_json id deadline_ms trace envelope =
 let client_cmd =
   let meth_arg =
     let doc =
-      "Method to call: run, check, sweep, stats, sleep, health, or metrics."
+      "Method to call: run, check, sweep, stats, sleep, health, metrics, \
+       or cache."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"METHOD" ~doc)
   in
@@ -750,6 +783,61 @@ let client_cmd =
     Term.(
       const run_client $ meth_arg $ socket_arg $ params_arg $ id_arg
       $ deadline_arg $ trace_arg $ envelope_arg)
+
+(* ------------------------------------------------------------ cache --- *)
+
+let run_cache op socket =
+  let req =
+    {
+      Serve.Proto.id = Wfde.Json.Null;
+      meth = "cache";
+      params = [ ("op", Wfde.Json.String op) ];
+      deadline_ms = None;
+      trace = None;
+    }
+  in
+  match Serve.Client.rpc ~socket req with
+  | Error msg ->
+      Format.eprintf "transport error: %s@." msg;
+      3
+  | Ok resp -> (
+      match resp.Serve.Proto.result with
+      | Ok payload ->
+          print_string (Wfde.Json.to_string payload);
+          print_newline ();
+          0
+      | Error e ->
+          Format.eprintf "%s: %s@."
+            (Serve.Proto.code_to_string e.Serve.Proto.code)
+            e.Serve.Proto.message;
+          Serve.Proto.exit_code e.Serve.Proto.code)
+
+let cache_cmd =
+  let op_arg =
+    let doc = "Operation: $(b,stats) (default) or $(b,clear)." in
+    Arg.(
+      value
+      & pos 0 (Arg.enum [ ("stats", "stats"); ("clear", "clear") ]) "stats"
+      & info [] ~docv:"OP" ~doc)
+  in
+  let doc = "inspect or clear a running daemon's result cache" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Sends the daemon a cache RPC and prints the stats payload \
+         (entries, bytes, hits, misses, coalesced, evictions, disk_hits, \
+         ...) as JSON. $(b,clear) drops every in-memory entry and deletes \
+         every on-disk entry before reporting. The RPC is answered inline \
+         by the connection thread, so it works while the worker fleet is \
+         busy or draining.";
+      `S Manpage.s_examples;
+      `Pre
+        "  wfde cache --socket /tmp/wfde.sock\n\
+        \  wfde cache clear --socket /tmp/wfde.sock";
+    ]
+  in
+  Cmd.v (Cmd.info "cache" ~doc ~man) Term.(const run_cache $ op_arg $ socket_arg)
 
 (* ------------------------------------------------------------ spans --- *)
 
@@ -839,6 +927,7 @@ let group =
       sweep_cmd;
       serve_cmd;
       client_cmd;
+      cache_cmd;
       spans_cmd;
     ]
 

@@ -1,0 +1,121 @@
+(** A content-addressed cache of rendered response payloads.
+
+    Every [run] / [check] / [sweep] the daemon serves is a pure
+    function of its canonical request, so the rendered payload can be
+    stored once and replayed byte-for-byte. The cache key is the MD5
+    digest of a {e canonical request text} — method name plus the
+    params object with keys recursively sorted, duplicate keys reduced
+    to their first binding (the one {!Obs.Json.member} reads), and
+    params that provably cannot change the payload dropped ([jobs] for
+    [run] and [check], whose payloads are [-j1]/[-jN] byte-identical by
+    the determinism contract; [sweep] keeps [jobs] because the
+    [wfde-sweep/1] document embeds it) — prefixed by a build/schema
+    {!fingerprint} so a new wire schema, payload schema, or cache
+    format invalidates every old entry automatically.
+
+    Storage is an in-memory LRU of rendered payload {e strings} (never
+    re-rendered JSON — bytes in are bytes out), optionally backed by an
+    on-disk content-addressed store: one file per key under [dir],
+    written atomically (temp file + [rename]) as a header line plus the
+    raw payload bytes. A corrupt, truncated, or wrong-key file is
+    treated as a miss and unlinked; a disk hit is promoted into the
+    LRU. Entries evicted from memory stay on disk.
+
+    Lookups are {e single-flight}: the first thread to miss on a key
+    gets a {!ticket} obliging it to compute and {!resolve}; concurrent
+    lookups for the same key get the leader's {!Ivar} and block for the
+    same bytes instead of recomputing. Errors are never cached — a
+    failed ticket just wakes the waiters with the error and clears the
+    slot.
+
+    All operations are thread-safe. *)
+
+type t
+
+type config = {
+  capacity : int;
+      (** max in-memory entries; [0] disables the cache entirely *)
+  dir : string option;  (** on-disk store root; [None] = memory only *)
+}
+
+val default_config : config
+(** 256 in-memory entries, no disk store. *)
+
+val disabled : config
+(** [{ capacity = 0; dir = None }] — every lookup is a non-coalescing
+    miss and {!resolve} stores nothing. *)
+
+val create : ?config:config -> unit -> t
+(** [dir], when given, is created (with parents) if missing. *)
+
+val enabled : t -> bool
+val config : t -> config
+
+(** {1 Keys} *)
+
+val fingerprint : string
+(** The build/schema fingerprint folded into every key: cache format
+    version, wire and payload schema ids, and the compiler version.
+    Bump {e cache_generation} in the implementation whenever a payload
+    renderer changes bytes without a schema bump. *)
+
+val cacheable : string -> bool
+(** Methods whose payloads are pure functions of the canonical request:
+    [run], [check], [sweep]. *)
+
+val canonical : meth:string -> params:(string * Obs.Json.t) list -> string
+(** The canonical request text hashed into the key (exposed for
+    tests). *)
+
+val key : meth:string -> params:(string * Obs.Json.t) list -> string
+(** 32 lowercase hex characters:
+    [md5 (fingerprint ^ "\n" ^ canonical)]. *)
+
+(** {1 Single-flight lookup} *)
+
+type ticket
+(** The obligation to compute a missed key and {!resolve} it exactly
+    once — every exit path of the leader must resolve, or coalesced
+    waiters block forever. *)
+
+type outcome =
+  | Hit of string  (** rendered payload, from memory *)
+  | Disk_hit of string  (** rendered payload, loaded and promoted *)
+  | Wait of (string, Proto.error) result Ivar.t
+      (** another thread is computing this key; read the ivar *)
+  | Compute of ticket  (** a miss this caller must compute *)
+
+val lookup : t -> key:string -> outcome
+(** On a disabled cache every lookup returns [Compute] (no coalescing,
+    nothing stored) so callers need no special case. *)
+
+val resolve : t -> ticket -> (string, Proto.error) result -> unit
+(** Publish the leader's result: [Ok payload] is stored (memory, and
+    disk when configured) and all waiters wake with it; [Error] wakes
+    the waiters and clears the in-flight slot without caching. A ticket
+    orphaned by {!clear} still wakes its waiters. *)
+
+(** {1 Introspection and control} *)
+
+type stats = {
+  entries : int;  (** in-memory entries *)
+  bytes : int;  (** summed payload bytes in memory *)
+  capacity : int;
+  hits : int;
+  misses : int;
+  coalesced : int;  (** lookups that joined an in-flight compute *)
+  evictions : int;  (** LRU evictions (not clears) *)
+  disk_hits : int;
+  disk_errors : int;  (** corrupt/truncated/unwritable disk entries *)
+  stores : int;  (** successful resolves with [Ok] *)
+  clears : int;
+}
+
+val stats : t -> stats
+val stats_json : t -> Obs.Json.t
+(** The [cache] RPC payload: stats plus [enabled] and [dir]. *)
+
+val clear : t -> unit
+(** Drop every in-memory entry and delete every entry file (and stray
+    temp file) under [dir]. In-flight computes are left to resolve;
+    their results are stored as fresh entries. *)

@@ -5,6 +5,7 @@ type t = {
   sock_path : string;
   listen_fd : Unix.file_descr;
   engine : Engine.t;
+  cache : Cache.t;
   max_request_bytes : int;
   started_at : float;
   stopping : bool Atomic.t;
@@ -30,7 +31,8 @@ type t = {
 
 (* ------------------------------------------------------- metrics ----- *)
 
-let known_methods = [ "run"; "check"; "sweep"; "stats"; "sleep"; "health"; "metrics" ]
+let known_methods =
+  [ "run"; "check"; "sweep"; "stats"; "sleep"; "health"; "metrics"; "cache" ]
 
 let method_label m = if List.mem m known_methods then m else "other"
 
@@ -71,6 +73,24 @@ let record_dispatch t =
       M.set
         (M.gauge "serve.worker.utilization")
         (float_of_int (Engine.in_flight t.engine) /. float_of_int workers))
+
+(* Cache gauges (and the eviction counter, which the cache tracks
+   internally) are synced from a stats snapshot; event counters are
+   bumped one per lookup outcome. All under [reg_mu] like every other
+   daemon-side metric. *)
+let sync_cache_gauges_locked t =
+  let s = Cache.stats t.cache in
+  M.set (M.gauge "serve.cache.entries") (float_of_int s.Cache.entries);
+  M.set (M.gauge "serve.cache.bytes") (float_of_int s.Cache.bytes);
+  let ev = M.counter "serve.cache.evictions" in
+  M.incr ~by:(max 0 (s.Cache.evictions - M.counter_value ev)) ev
+
+let sync_cache_gauges t = with_registry t (fun () -> sync_cache_gauges_locked t)
+
+let record_cache t ~event =
+  with_registry t (fun () ->
+      M.incr (M.counter (Printf.sprintf "serve.cache.%s" event));
+      sync_cache_gauges_locked t)
 
 let record_spans t ~exported ~dropped =
   if exported > 0 || dropped > 0 then
@@ -121,6 +141,23 @@ let metrics_payload t params =
           Error
             (Proto.err Bad_request "\"format\" must be \"json\" or \"prom\""))
 
+(* [cache] accepts an optional {"op": "stats" | "clear"} param and
+   answers with the stats snapshot (post-clear when clearing). Answered
+   inline by the connection thread, like [health] and [metrics], so it
+   works while the fleet is busy or draining. *)
+let cache_payload t params =
+  match List.filter (fun (k, _) -> k <> "op") params with
+  | (k, _) :: _ -> Error (Proto.err Bad_request "unknown \"cache\" parameter %S" k)
+  | [] -> (
+      match List.assoc_opt "op" params with
+      | None | Some (J.String "stats") -> Ok (Cache.stats_json t.cache)
+      | Some (J.String "clear") ->
+          Cache.clear t.cache;
+          sync_cache_gauges t;
+          Ok (Cache.stats_json t.cache)
+      | Some _ ->
+          Error (Proto.err Bad_request "\"op\" must be \"stats\" or \"clear\""))
+
 let slow_log t ~trace ~id ~meth ~code ~wall_ms =
   match t.slow_ms with
   | Some threshold when wall_ms >= threshold ->
@@ -166,6 +203,123 @@ let write_all fd s =
    branch below, and the response bytes are identical either way. The
    scope travels conn-thread -> worker -> conn-thread; the Ivar's
    mutex orders the handoffs, so it never has two concurrent writers. *)
+(* The payload of a successful response: a cache hit (or the miss that
+   populated it) carries already-rendered bytes; everything else is a
+   JSON document rendered at response time. Splicing stored bytes via
+   [Proto.ok_response_rendered] makes a replayed hit byte-identical to
+   the response that populated it by construction. *)
+type payload = Doc of J.t | Rendered of string
+
+let deadline_of t ~t0 (req : Proto.request) =
+  match req.deadline_ms with
+  | None -> fun () -> false
+  | Some ms ->
+      (* a draining daemon cannot honor latency promises:
+         deadline-bearing requests are cancelled at the next poll once
+         drain begins, instead of holding the drain for work the
+         client has budgeted *)
+      let at = t0 +. (float_of_int ms /. 1000.) in
+      fun () -> Unix.gettimeofday () > at || Atomic.get t.stopping
+
+(* Submit one work request to the engine fleet and park on its Ivar. *)
+let execute t ~(req : Proto.request) ~sc ~root ~t0 =
+  let deadline = deadline_of t ~t0 req in
+  let qid = Obs.Span.start ~parent:root sc "queue_wait" in
+  let iv = Ivar.create () in
+  let job () =
+    Obs.Span.finish sc qid;
+    let did = Obs.Span.start ~parent:root sc "dispatch" in
+    let r =
+      (* a request can spend its whole deadline queued *)
+      if deadline () then begin
+        Obs.Span.finish ~truncated:true sc did;
+        Error (Proto.err Deadline_exceeded "deadline expired while queued")
+      end
+      else begin
+        Obs.Span.finish sc did;
+        let eid = Obs.Span.start ~parent:root sc "execute" in
+        Obs.Span.set_parent sc eid;
+        let r =
+          try Service.handle ~deadline ~spans:sc req
+          with e ->
+            Error
+              (Proto.err Internal "uncaught exception: %s"
+                 (Printexc.to_string e))
+        in
+        let cut =
+          match r with
+          | Error { Proto.code = Proto.Deadline_exceeded; _ } -> true
+          | _ -> false
+        in
+        Obs.Span.finish ~truncated:cut sc eid;
+        Obs.Span.set_parent sc root;
+        r
+      end
+    in
+    Ivar.fill iv r
+  in
+  match Engine.submit t.engine job with
+  | `Ok ->
+      record_dispatch t;
+      Ivar.read iv
+  | `Queue_full ->
+      Obs.Span.finish ~truncated:true sc qid;
+      Error
+        (Proto.err Queue_full "job queue is at capacity (%d); retry later"
+           (Engine.queue_capacity t.engine))
+  | `Draining ->
+      Obs.Span.finish ~truncated:true sc qid;
+      Error (Proto.err Shutting_down "daemon is draining")
+
+(* Cache-first dispatch for run/check/sweep. The lookup happens before
+   the [stopping] and queue checks, so hits are served from the
+   connection thread even while the fleet is saturated or draining —
+   only a miss pays the engine queue. Misses are single-flight: the
+   leader computes via [execute], publishes the rendered bytes, and
+   coalesced waiters reuse them verbatim. Errors are never cached. *)
+let serve_cacheable t ~(req : Proto.request) ~sc ~root ~t0 =
+  let lk0 = if Obs.Span.enabled sc then Obs.Span.now_us () else 0 in
+  let cache_span name =
+    if Obs.Span.enabled sc then
+      ignore
+        (Obs.Span.emit ~parent:root sc ~name ~start_us:lk0
+           ~stop_us:(Obs.Span.now_us ()) ())
+  in
+  let key = Cache.key ~meth:req.meth ~params:req.params in
+  match Cache.lookup t.cache ~key with
+  | Cache.Hit payload ->
+      cache_span "cache.hit";
+      record_cache t ~event:"hits";
+      Ok (Rendered payload)
+  | Cache.Disk_hit payload ->
+      cache_span "cache.disk_hit";
+      record_cache t ~event:"disk_hits";
+      Ok (Rendered payload)
+  | Cache.Wait iv ->
+      record_cache t ~event:"coalesced";
+      let wid = Obs.Span.start ~parent:root sc "cache.coalesced" in
+      let r = Ivar.read iv in
+      Obs.Span.finish ~truncated:(Result.is_error r) sc wid;
+      Result.map (fun p -> Rendered p) r
+  | Cache.Compute ticket ->
+      cache_span "cache.miss";
+      record_cache t ~event:"misses";
+      let computed =
+        (* every exit path must resolve the ticket, or waiters hang *)
+        if Atomic.get t.stopping then
+          Error (Proto.err Shutting_down "daemon is draining; retry elsewhere")
+        else
+          match execute t ~req ~sc ~root ~t0 with
+          | r -> Result.map J.to_string r
+          | exception e ->
+              Error
+                (Proto.err Internal "uncaught exception: %s"
+                   (Printexc.to_string e))
+      in
+      Cache.resolve t.cache ticket computed;
+      sync_cache_gauges t;
+      Result.map (fun p -> Rendered p) computed
+
 let serve_line t fd line =
   let t0 = Unix.gettimeofday () in
   let t0_us = if t.trace_sink <> None then Obs.Span.now_us () else 0 in
@@ -174,86 +328,35 @@ let serve_line t fd line =
   let parsed = Proto.parse_request ~max_bytes:t.max_request_bytes line in
   let parse_us = if t.trace_sink <> None then Obs.Span.now_us () else 0 in
   let scope = ref Obs.Span.null in
+  let open_trace (req : Proto.request) =
+    (match (t.trace_sink, req.trace) with
+    | Some _, Some trace -> scope := Obs.Span.make ~trace ()
+    | _ -> ());
+    let sc = !scope in
+    let root = Obs.Span.start ~parent:0 ~at:t0_us sc "request" in
+    ignore
+      (Obs.Span.emit ~parent:root sc ~name:"parse" ~start_us:t0_us
+         ~stop_us:parse_us ());
+    (sc, root)
+  in
   let id, result =
     match parsed with
     | Error (e, id) -> (id, Error e)
     | Ok req -> (
         ( req.id,
           match req.meth with
-          | "health" -> Ok (health_json t)
-          | "metrics" -> metrics_payload t req.params
+          | "health" -> Ok (Doc (health_json t))
+          | "metrics" ->
+              Result.map (fun p -> Doc p) (metrics_payload t req.params)
+          | "cache" -> Result.map (fun p -> Doc p) (cache_payload t req.params)
+          | m when Cache.enabled t.cache && Cache.cacheable m ->
+              let sc, root = open_trace req in
+              serve_cacheable t ~req ~sc ~root ~t0
           | _ when Atomic.get t.stopping ->
               Error (Proto.err Shutting_down "daemon is draining; retry elsewhere")
-          | _ -> (
-              (match (t.trace_sink, req.trace) with
-              | Some _, Some trace -> scope := Obs.Span.make ~trace ()
-              | _ -> ());
-              let sc = !scope in
-              let root = Obs.Span.start ~parent:0 ~at:t0_us sc "request" in
-              ignore
-                (Obs.Span.emit ~parent:root sc ~name:"parse" ~start_us:t0_us
-                   ~stop_us:parse_us ());
-              let deadline =
-                match req.deadline_ms with
-                | None -> fun () -> false
-                | Some ms ->
-                    (* a draining daemon cannot honor latency promises:
-                       deadline-bearing requests are cancelled at the
-                       next poll once drain begins, instead of holding
-                       the drain for work the client has budgeted *)
-                    let at = t0 +. (float_of_int ms /. 1000.) in
-                    fun () ->
-                      Unix.gettimeofday () > at || Atomic.get t.stopping
-              in
-              let qid = Obs.Span.start ~parent:root sc "queue_wait" in
-              let iv = Ivar.create () in
-              let job () =
-                Obs.Span.finish sc qid;
-                let did = Obs.Span.start ~parent:root sc "dispatch" in
-                let r =
-                  (* a request can spend its whole deadline queued *)
-                  if deadline () then begin
-                    Obs.Span.finish ~truncated:true sc did;
-                    Error
-                      (Proto.err Deadline_exceeded
-                         "deadline expired while queued")
-                  end
-                  else begin
-                    Obs.Span.finish sc did;
-                    let eid = Obs.Span.start ~parent:root sc "execute" in
-                    Obs.Span.set_parent sc eid;
-                    let r =
-                      try Service.handle ~deadline ~spans:sc req
-                      with e ->
-                        Error
-                          (Proto.err Internal "uncaught exception: %s"
-                             (Printexc.to_string e))
-                    in
-                    let cut =
-                      match r with
-                      | Error { Proto.code = Proto.Deadline_exceeded; _ } -> true
-                      | _ -> false
-                    in
-                    Obs.Span.finish ~truncated:cut sc eid;
-                    Obs.Span.set_parent sc root;
-                    r
-                  end
-                in
-                Ivar.fill iv r
-              in
-              match Engine.submit t.engine job with
-              | `Ok ->
-                  record_dispatch t;
-                  Ivar.read iv
-              | `Queue_full ->
-                  Obs.Span.finish ~truncated:true sc qid;
-                  Error
-                    (Proto.err Queue_full
-                       "job queue is at capacity (%d); retry later"
-                       (Engine.queue_capacity t.engine))
-              | `Draining ->
-                  Obs.Span.finish ~truncated:true sc qid;
-                  Error (Proto.err Shutting_down "daemon is draining") ) ))
+          | _ ->
+              let sc, root = open_trace req in
+              Result.map (fun p -> Doc p) (execute t ~req ~sc ~root ~t0) ))
   in
   let scope = !scope in
   (* span 1 is always the root "request" span of an enabled scope *)
@@ -266,10 +369,11 @@ let serve_line t fd line =
   slow_log t
     ~trace:(match parsed with Ok r -> r.Proto.trace | Error _ -> None)
     ~id ~meth:(meth_of parsed) ~code ~wall_ms;
-  let doc =
+  let body =
     match result with
-    | Ok payload -> Proto.ok_response ~id ~wall_ms payload
-    | Error e -> Proto.error_response ~id ~wall_ms e
+    | Ok (Doc payload) -> J.to_string (Proto.ok_response ~id ~wall_ms payload)
+    | Ok (Rendered payload) -> Proto.ok_response_rendered ~id ~wall_ms payload
+    | Error e -> J.to_string (Proto.error_response ~id ~wall_ms e)
   in
   (* Spans are absorbed into the sink BEFORE the response bytes go out:
      a client that has received its reply may rely on the trace being
@@ -291,7 +395,7 @@ let serve_line t fd line =
       ~exported:(List.length (Obs.Span.spans scope))
       ~dropped:(Obs.Span.dropped scope)
   end;
-  match write_all fd (J.to_string doc ^ "\n") with
+  match write_all fd (body ^ "\n") with
   | () -> true
   | exception Unix.Unix_error _ -> false
 
@@ -372,8 +476,8 @@ let accept_loop t =
 
 (* ----------------------------------------------------- lifecycle ----- *)
 
-let start ?workers ?queue_capacity ?(max_request_bytes = 1 lsl 20) ?trace
-    ?slow_ms ?slow_out ~socket () =
+let start ?workers ?queue_capacity ?(cache = Cache.default_config)
+    ?(max_request_bytes = 1 lsl 20) ?trace ?slow_ms ?slow_out ~socket () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -388,6 +492,7 @@ let start ?workers ?queue_capacity ?(max_request_bytes = 1 lsl 20) ?trace
       sock_path = socket;
       listen_fd;
       engine = Engine.start ?workers ?queue_capacity ();
+      cache = Cache.create ~config:cache ();
       max_request_bytes;
       started_at = Unix.gettimeofday ();
       stopping = Atomic.make false;
@@ -404,13 +509,25 @@ let start ?workers ?queue_capacity ?(max_request_bytes = 1 lsl 20) ?trace
       slow_mu = Mutex.create ();
     }
   in
+  (* Pre-register the cache metric family so the exposition carries
+     every series from the first scrape, zeros included — a dashboard
+     should not need a cache hit to learn the counter's name. *)
+  if Cache.enabled t.cache then
+    with_registry t (fun () ->
+        List.iter
+          (fun event ->
+            ignore (M.counter (Printf.sprintf "serve.cache.%s" event)))
+          [ "hits"; "misses"; "disk_hits"; "coalesced" ];
+        sync_cache_gauges_locked t);
   t.accept_thread <- Some (Thread.create accept_loop t);
   t
 
 let socket_path t = t.sock_path
 let queue_depth t = Engine.queue_depth t.engine
 let in_flight t = Engine.in_flight t.engine
+let dispatched t = Engine.dispatched t.engine
 let draining t = Atomic.get t.stopping
+let cache_stats t = Cache.stats t.cache
 
 let connections t =
   Mutex.lock t.conn_mu;

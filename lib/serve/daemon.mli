@@ -6,9 +6,17 @@
     order (pipelined lines queue behind each other — concurrency comes
     from concurrent {e connections}). Work methods are submitted to the
     bounded engine queue and rejected immediately with [queue_full]
-    when it is at capacity; [health] and [metrics] are answered inline
-    by the connection thread so they keep working while the fleet is
-    busy or draining.
+    when it is at capacity; [health], [metrics], and [cache] are
+    answered inline by the connection thread so they keep working while
+    the fleet is busy or draining.
+
+    [run], [check], and [sweep] are dispatched through a
+    content-addressed result {!Cache} {e before} the engine queue:
+    a hit replays the stored rendered bytes from the connection thread
+    — byte-identical to the response that populated it, served even
+    when the fleet is saturated or draining — and concurrent identical
+    misses are coalesced into one compute (single-flight). A miss
+    arriving after drain began still gets [shutting_down].
 
     Shutdown ({!stop}, or SIGTERM/SIGINT under {!run_forever}) is a
     graceful drain: the listening socket closes first (new connections
@@ -30,6 +38,7 @@ type t
 val start :
   ?workers:int ->
   ?queue_capacity:int ->
+  ?cache:Cache.config ->
   ?max_request_bytes:int ->
   ?trace:Obs.Span.sink ->
   ?slow_ms:float ->
@@ -42,6 +51,16 @@ val start :
     (default 1 MiB) bounds one request line; longer lines get an
     [oversized] error and the connection is closed. Raises
     [Unix.Unix_error] when the socket cannot be bound.
+
+    [cache] (default {!Cache.default_config}: 256 in-memory entries,
+    no disk store) configures the result cache; {!Cache.disabled}
+    turns it off entirely. With a [dir], entries survive daemon
+    restarts. Cache traffic surfaces as [serve.cache.*] counters
+    ([hits] / [misses] / [coalesced] / [disk_hits] / [evictions]) and
+    gauges ([entries] / [bytes]) in the daemon registry, as
+    [cache.hit] / [cache.miss] / [cache.disk_hit] / [cache.coalesced]
+    spans in traced requests, and through the [cache] RPC
+    ([{"method":"cache","params":{"op":"stats"|"clear"}}]).
 
     [trace] (default absent: tracing off) is where request span scopes
     are absorbed. A request is traced only when the sink is present
@@ -80,3 +99,10 @@ val queue_depth : t -> int
 val in_flight : t -> int
 val connections : t -> int
 val draining : t -> bool
+
+val dispatched : t -> int
+(** Jobs accepted into the engine queue since start — cache hits never
+    increment it, which is what the coalescing tests assert. *)
+
+val cache_stats : t -> Cache.stats
+(** Live result-cache counters (all zero when the cache is disabled). *)

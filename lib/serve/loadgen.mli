@@ -41,3 +41,51 @@ val mismatches : reference:leg -> leg -> int
 (** Indices whose payloads differ between two legs (only indices where
     both sides got an ok payload are compared — errors are already
     counted separately). *)
+
+(** {1 Zipf-skewed repeated-request scenario} (bench part 6)
+
+    A hit-heavy workload for the result cache: request [i] is a
+    [check] whose {e shape} is drawn from a Zipf([skew]) distribution
+    over [universe] shapes, sampled by a splitmix64 stream seeded from
+    [(seed, i)] — still a pure function of the global index, so legs
+    over the same parameters are comparable index-by-index whatever
+    the client count. Shapes pair up: shape [2k+1] is the [-j2] twin
+    of shape [2k] (identical params except [jobs]), so each pair forms
+    one {e class} that must produce one payload byte pattern — and, on
+    a caching daemon, collapses onto one cache key. *)
+
+val default_skew : float
+(** 1.2 *)
+
+val default_universe : int
+(** 8 shapes = 4 classes. [universe] should stay even so every shape
+    has its jobs twin. *)
+
+val zipf_shape : seed:int -> skew:float -> universe:int -> int -> int
+(** The sampled shape index in [\[0, universe)] for global index [i]. *)
+
+val zipf_class : seed:int -> skew:float -> universe:int -> int -> int
+(** [zipf_shape ... i / 2] — the jobs-normalized shape class. *)
+
+val zipf_request :
+  ?trace_prefix:string ->
+  seed:int -> skew:float -> universe:int -> int -> Proto.request
+(** The request for global index [i]; ids are ["z<N>"]. *)
+
+val run_zipf :
+  ?trace_prefix:string ->
+  ?skew:float ->
+  ?universe:int ->
+  seed:int -> socket:string -> total:int -> clients:int -> unit -> leg
+(** Execute one Zipf leg (same driver and clamping as {!run}). *)
+
+val zipf_distinct_classes :
+  seed:int -> skew:float -> universe:int -> total:int -> int
+(** How many distinct classes a leg of [total] requests samples — on a
+    cold caching daemon, exactly the expected serial-leg miss count. *)
+
+val zipf_class_mismatches : ?skew:float -> ?universe:int -> seed:int -> leg -> int
+(** Indices whose ok payload differs from the first ok payload of the
+    same class within the leg. Any nonzero count is a determinism bug:
+    it means [-j1]/[-j2] twins, or cached vs computed responses for
+    one class, disagreed byte-for-byte. *)

@@ -145,6 +145,16 @@ let envelope ~id ~wall_ms ~ok rest =
 let ok_response ~id ~wall_ms payload =
   envelope ~id ~wall_ms ~ok:true [ ("payload", payload) ]
 
+(* Splices already-rendered payload bytes into the envelope, producing
+   exactly the bytes of [J.to_string (ok_response ...)] — the cache
+   stores rendered payload strings, and this keeps a replayed hit
+   byte-identical to the miss that populated it without re-parsing. *)
+let ok_response_rendered ~id ~wall_ms payload =
+  Printf.sprintf {|{"schema":%s,"id":%s,"ok":true,"payload":%s,"wall_ms":%s}|}
+    (J.to_string (J.String schema))
+    (J.to_string id) payload
+    (J.to_string (J.Float wall_ms))
+
 let error_response ~id ~wall_ms e =
   envelope ~id ~wall_ms ~ok:false
     [

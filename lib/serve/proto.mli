@@ -6,7 +6,8 @@
 
     {v
     {"method": "check",            // required: run | check | sweep |
-                                   //   stats | sleep | health | metrics
+                                   //   stats | sleep | health |
+                                   //   metrics | cache
      "id": "r1",                   // optional string/int, echoed back
      "params": {"object": "abd"},  // optional object, method-specific
      "deadline_ms": 2000,          // optional per-request deadline
@@ -79,6 +80,15 @@ val request_to_json : request -> Obs.Json.t
 
 val ok_response : id:Obs.Json.t -> wall_ms:float -> Obs.Json.t -> Obs.Json.t
 val error_response : id:Obs.Json.t -> wall_ms:float -> error -> Obs.Json.t
+
+val ok_response_rendered :
+  id:Obs.Json.t -> wall_ms:float -> string -> string
+(** [ok_response_rendered ~id ~wall_ms payload] splices
+    already-rendered payload bytes into the envelope. For any [p],
+    [ok_response_rendered ~id ~wall_ms (Obs.Json.to_string p)] is
+    byte-identical to
+    [Obs.Json.to_string (ok_response ~id ~wall_ms p)] — the cache
+    replay path depends on this. *)
 
 type response = {
   resp_id : Obs.Json.t;

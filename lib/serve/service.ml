@@ -263,7 +263,7 @@ let handle ?(deadline = never) ?(spans = Obs.Span.null) (req : Proto.request) =
     | "stats" -> handle_stats ~deadline ~spans req.params
     | "check" -> handle_check ~deadline ~spans req.params
     | "sleep" -> handle_sleep ~deadline ~spans req.params
-    | "health" | "metrics" ->
+    | "health" | "metrics" | "cache" ->
         Error
           (Proto.err Unknown_method
              "%S is answered by the daemon front-end, not the worker fleet"

@@ -19,8 +19,8 @@
     - [sleep]: [{"slept_ms":N}] — a diagnostic method for exercising
       queueing, deadlines, and drain without burning CPU.
 
-    [health] and [metrics] are answered by the daemon front-end (they
-    read live daemon state) and are rejected here with
+    [health], [metrics], and [cache] are answered by the daemon
+    front-end (they read live daemon state) and are rejected here with
     [unknown_method].
 
     Deadlines are cooperative: the probe is polled between experiments

@@ -21,4 +21,5 @@ let () =
       ("abd", Test_abd.suite);
       ("msg-consensus", Test_msg_consensus.suite);
       ("serve", Test_serve.suite);
+      ("cache", Test_cache.suite);
     ]

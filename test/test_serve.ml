@@ -3,7 +3,9 @@
    (byte-identical to the CLI renderers), cooperative deadlines with
    slot reclaim, and the daemon end to end — including the determinism
    regression (same request serial, concurrent, and direct must yield
-   byte-identical payloads) and graceful drain. *)
+   byte-identical payloads), graceful drain, and the result cache
+   (cold/warm/disk byte-identity, single-flight coalescing, hits under
+   saturation and drain, the cache RPC, metrics, and spans). *)
 
 module J = Obs.Json
 
@@ -16,13 +18,30 @@ let contains haystack needle =
   let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
   n = 0 || go 0
 
-let temp_socket =
-  let n = ref 0 in
-  fun () ->
-    incr n;
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "wfde-test-%d-%d.sock" (Unix.getpid ()) !n)
+(* A per-test socket path backed by [Filename.temp_file]'s unique-name
+   guarantee, so concurrent test runners (parallel [dune runtest],
+   several checkouts sharing one TMPDIR) can never collide — a
+   pid+counter scheme would reuse paths across runners that happen to
+   share a pid namespace. The file itself is removed at once: binding a
+   Unix socket needs the path free. *)
+let temp_socket () =
+  let path = Filename.temp_file "wfde-test" ".sock" in
+  Sys.remove path;
+  path
+
+let temp_dir () =
+  let path = Filename.temp_file "wfde-test-cache" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
 
 (* Poll until [cond] holds; the daemon tests use this to sequence
    against worker state instead of sleeping blindly. *)
@@ -119,6 +138,27 @@ let test_proto_response_roundtrip () =
   | _ -> Alcotest.fail "error roundtrip failed");
   checkb "garbage rejected" true
     (Result.is_error (Serve.Proto.parse_response "{}"))
+
+(* Satellite: the cache serves pre-rendered payload strings, spliced
+   into the envelope by [ok_response_rendered] — its bytes must equal
+   rendering the equivalent document, or hits and misses would differ. *)
+let test_proto_rendered_response () =
+  List.iter
+    (fun (id, wall_ms, payload) ->
+      let expected =
+        J.to_string (Serve.Proto.ok_response ~id ~wall_ms payload)
+      in
+      checks "rendered splice = document render" expected
+        (Serve.Proto.ok_response_rendered ~id ~wall_ms (J.to_string payload)))
+    [
+      (J.Int 7, 1.5, J.Obj [ ("x", J.Int 1) ]);
+      ( J.String "r1",
+        0.0,
+        J.Obj [ ("nested", J.Obj [ ("a", J.List [ J.Int 1; J.Null ]) ]) ] );
+      (J.Null, 3.0, J.List []);
+      (J.String "quoted \"id\"\n", 0.125, J.String "payload\twith\tescapes");
+      (J.Int (-2), 0.0625, J.Bool false);
+    ]
 
 let test_proto_exit_codes () =
   let code = Serve.Proto.exit_code in
@@ -296,12 +336,12 @@ let test_service_deadline () =
 
 (* -- daemon ------------------------------------------------------------ *)
 
-let with_daemon ?(workers = 1) ?(queue_capacity = 4) ?trace ?slow_ms ?slow_out
-    f =
+let with_daemon ?(workers = 1) ?(queue_capacity = 4) ?cache ?trace ?slow_ms
+    ?slow_out f =
   let socket = temp_socket () in
   let d =
-    Serve.Daemon.start ?trace ?slow_ms ?slow_out ~workers ~queue_capacity
-      ~socket ()
+    Serve.Daemon.start ?cache ?trace ?slow_ms ?slow_out ~workers
+      ~queue_capacity ~socket ()
   in
   Fun.protect ~finally:(fun () -> Serve.Daemon.stop d) (fun () -> f d socket)
 
@@ -684,12 +724,285 @@ let test_loadgen_deterministic () =
       checki "no mismatches" 0
         (Serve.Loadgen.mismatches ~reference:serial concurrent))
 
+(* -- result cache ------------------------------------------------------ *)
+
+let check_params = [
+    ("object", J.String "register");
+    ("depth", J.Int 3);
+    ("horizon", J.Int 60);
+  ]
+
+(* Satellite: byte-identity regression for the result cache. For each
+   cacheable method, cold miss vs warm hit must be byte-for-byte
+   identical; a daemon restarted over the same cache dir serves the
+   same bytes from disk; and damaged disk entries silently fall back
+   to an identical recompute (modulo embedded wall times for sweep,
+   whose document carries timing by design). *)
+let test_daemon_cache_byte_identity () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let cache = { Serve.Cache.capacity = 64; dir = Some dir } in
+  let reqs =
+    [
+      ("run", req "run" [ ("experiments", J.List [ J.String "e1" ]) ]);
+      ("check", req "check" check_params);
+      ("sweep", req "sweep" [ ("experiments", J.List [ J.String "e1" ]) ]);
+    ]
+  in
+  let with_cached_daemon f =
+    let socket = temp_socket () in
+    let d = Serve.Daemon.start ~workers:1 ~queue_capacity:4 ~cache ~socket () in
+    Fun.protect ~finally:(fun () -> Serve.Daemon.stop d) (fun () -> f d socket)
+  in
+  let fetch socket = List.map (fun (n, r) -> (n, rpc_ok socket r)) reqs in
+  let raw p = J.to_string p in
+  let cold =
+    with_cached_daemon (fun d socket ->
+        let cold = fetch socket in
+        let warm = fetch socket in
+        List.iter2
+          (fun (n, c) (_, w) ->
+            checks (n ^ ": warm hit byte-identical to cold miss") (raw c)
+              (raw w))
+          cold warm;
+        let s = Serve.Daemon.cache_stats d in
+        checki "three cold misses" 3 s.Serve.Cache.misses;
+        checki "three warm hits" 3 s.Serve.Cache.hits;
+        checki "three entries" 3 s.Serve.Cache.entries;
+        cold)
+  in
+  (* restart over the same directory: every payload comes off disk *)
+  with_cached_daemon (fun d socket ->
+      let disk = fetch socket in
+      List.iter2
+        (fun (n, c) (_, w) ->
+          checks (n ^ ": disk hit after restart byte-identical") (raw c)
+            (raw w))
+        cold disk;
+      checki "all served from disk" 3
+        (Serve.Daemon.cache_stats d).Serve.Cache.disk_hits);
+  (* damage every entry file: restart must fall back to recompute *)
+  Array.iter
+    (fun f ->
+      let oc = open_out_bin (Filename.concat dir f) in
+      output_string oc "garbage, not a cache entry";
+      close_out oc)
+    (Sys.readdir dir);
+  with_cached_daemon (fun d socket ->
+      let recomputed = fetch socket in
+      List.iter2
+        (fun (n, c) (_, w) ->
+          if n = "sweep" then
+            checks (n ^ ": recompute after corruption matches, sans timing")
+              (J.to_string (strip_timing c))
+              (J.to_string (strip_timing w))
+          else
+            checks (n ^ ": recompute after corruption byte-identical") (raw c)
+              (raw w))
+        cold recomputed;
+      let s = Serve.Daemon.cache_stats d in
+      checki "corrupt entries detected" 3 s.Serve.Cache.disk_errors;
+      checki "all three recomputed" 3 s.Serve.Cache.misses)
+
+(* Satellite: N identical concurrent misses produce ONE engine
+   dispatch — the followers coalesce onto the leader's in-flight
+   compute and everyone gets the same bytes. *)
+let test_daemon_cache_coalescing () =
+  with_daemon ~workers:1 ~queue_capacity:4 (fun d socket ->
+      (* hold the single worker so the identical requests pile up
+         behind one queued compute instead of resolving one by one *)
+      let blocker =
+        Thread.create
+          (fun () -> rpc_ok socket (req "sleep" [ ("ms", J.Int 300) ]))
+          ()
+      in
+      eventually "worker busy" (fun () -> Serve.Daemon.in_flight d = 1);
+      let r = req "check" check_params in
+      let payloads = Array.make 3 "" in
+      let threads =
+        Array.init 3 (fun i ->
+            Thread.create
+              (fun i -> payloads.(i) <- J.to_string (rpc_ok socket r))
+              i)
+      in
+      Array.iter Thread.join threads;
+      Thread.join blocker;
+      checkb "payloads nonempty" true (payloads.(0) <> "");
+      Array.iter
+        (fun p -> checks "coalesced payloads identical" payloads.(0) p)
+        payloads;
+      (* the blocker plus exactly ONE compute for three identical
+         misses; cache hits never reach the engine *)
+      checki "engine dispatched blocker + one compute" 2
+        (Serve.Daemon.dispatched d);
+      let s = Serve.Daemon.cache_stats d in
+      checki "one miss" 1 s.Serve.Cache.misses;
+      checki "two followers hit or coalesced" 2
+        (s.Serve.Cache.hits + s.Serve.Cache.coalesced))
+
+(* Satellite: hits bypass the worker fleet — a saturated queue still
+   serves cached payloads while uncached misses get [queue_full]. *)
+let test_daemon_cache_hit_under_saturation () =
+  with_daemon ~workers:1 ~queue_capacity:1 (fun d socket ->
+      let cached = req "check" check_params in
+      let warm = J.to_string (rpc_ok socket cached) in
+      let blocker =
+        Thread.create
+          (fun () -> rpc_ok socket (req "sleep" [ ("ms", J.Int 300) ]))
+          ()
+      in
+      (* the warm check was dispatch #1 and its in-flight reading can
+         linger; only dispatch #2 proves the worker holds the blocker,
+         so the next sleep really lands in the queue *)
+      eventually "blocker holds the worker" (fun () ->
+          Serve.Daemon.dispatched d = 2);
+      let queued =
+        Thread.create
+          (fun () -> rpc_ok socket (req "sleep" [ ("ms", J.Int 0) ]))
+          ()
+      in
+      eventually "queue full" (fun () -> Serve.Daemon.queue_depth d = 1);
+      checks "cached payload served while saturated" warm
+        (J.to_string (rpc_ok socket cached));
+      checks "uncached miss still rejected" "queue_full"
+        (rpc_err socket
+           (req "check"
+              [
+                ("object", J.String "register");
+                ("depth", J.Int 4);
+                ("horizon", J.Int 60);
+              ]));
+      Thread.join blocker;
+      Thread.join queued)
+
+(* Satellite: during a graceful drain, buffered pipelined requests are
+   still served from the cache (byte-identical to the warm payload)
+   while uncached misses are refused with [shutting_down]. *)
+let test_daemon_cache_hit_during_drain () =
+  let socket = temp_socket () in
+  let d = Serve.Daemon.start ~workers:1 ~queue_capacity:4 ~socket () in
+  let check_req id = req ~id:(J.String id) "check" check_params in
+  let warm = rpc_ok socket (check_req "w") in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let line r = J.to_string (Serve.Proto.request_to_json r) ^ "\n" in
+  let miss_req =
+    req ~id:(J.String "m") "check"
+      [
+        ("object", J.String "register");
+        ("depth", J.Int 4);
+        ("horizon", J.Int 60);
+      ]
+  in
+  (* one in-flight sleep, one cached check, one uncached check — all
+     buffered daemon-side before the drain begins *)
+  let all =
+    line (req ~id:(J.String "a") "sleep" [ ("ms", J.Int 300) ])
+    ^ line (check_req "b") ^ line miss_req
+  in
+  let b = Bytes.of_string all in
+  ignore (Unix.write fd b 0 (Bytes.length b));
+  (* the warm-up check was engine dispatch #1 and can leave a stale
+     in-flight reading, so gate on the SLEEP being dispatch #2 — only
+     then has the conn thread consumed line (a) and buffered (b)/(m) *)
+  eventually "sleep is the second dispatch" (fun () ->
+      Serve.Daemon.dispatched d = 2);
+  let stopper = Thread.create (fun () -> Serve.Daemon.stop d) () in
+  eventually "drain began" (fun () -> Serve.Daemon.draining d);
+  let pending = ref "" in
+  (match Serve.Proto.parse_response (read_response_line fd pending) with
+  | Ok { Serve.Proto.resp_id; result = Ok _; _ } ->
+      checkb "in-flight sleep completed" true (resp_id = J.String "a")
+  | _ -> Alcotest.fail "first drain response malformed");
+  (match Serve.Proto.parse_response (read_response_line fd pending) with
+  | Ok { Serve.Proto.resp_id; result = Ok p; _ } ->
+      checkb "id b" true (resp_id = J.String "b");
+      checks "cache hit served during drain, byte-identical"
+        (J.to_string warm) (J.to_string p)
+  | _ -> Alcotest.fail "cached request refused during drain");
+  (match Serve.Proto.parse_response (read_response_line fd pending) with
+  | Ok { Serve.Proto.resp_id; result = Error e; _ } ->
+      checkb "id m" true (resp_id = J.String "m");
+      checkb "uncached miss refused" true
+        (e.Serve.Proto.code = Serve.Proto.Shutting_down)
+  | _ -> Alcotest.fail "uncached drain response malformed");
+  Unix.close fd;
+  Thread.join stopper;
+  Serve.Daemon.stop d
+
+let test_daemon_cache_rpc () =
+  with_daemon (fun _ socket ->
+      let stats () = rpc_ok socket (req "cache" []) in
+      checkb "enabled by default" true
+        (J.member "enabled" (stats ()) = Some (J.Bool true));
+      ignore (rpc_ok socket (req "check" check_params));
+      ignore (rpc_ok socket (req "check" check_params));
+      let s = stats () in
+      checkb "one miss" true (J.member "misses" s = Some (J.Int 1));
+      checkb "one hit" true (J.member "hits" s = Some (J.Int 1));
+      checkb "one entry" true (J.member "entries" s = Some (J.Int 1));
+      (* explicit op=stats is the same payload shape *)
+      checkb "op=stats accepted" true
+        (J.member "entries" (rpc_ok socket (req "cache" [ ("op", J.String "stats") ]))
+        <> None);
+      let cleared = rpc_ok socket (req "cache" [ ("op", J.String "clear") ]) in
+      checkb "clear empties the cache" true
+        (J.member "entries" cleared = Some (J.Int 0));
+      checkb "clear counted" true (J.member "clears" cleared = Some (J.Int 1));
+      checks "unknown op rejected" "bad_request"
+        (rpc_err socket (req "cache" [ ("op", J.String "flush") ]));
+      checks "unknown param rejected" "bad_request"
+        (rpc_err socket (req "cache" [ ("ops", J.String "stats") ])))
+
+(* Cache traffic shows up in the exported metrics, both formats. *)
+let test_daemon_cache_metrics () =
+  with_daemon (fun _ socket ->
+      ignore (rpc_ok socket (req "check" check_params));
+      ignore (rpc_ok socket (req "check" check_params));
+      let prom = rpc_ok socket (req "metrics" [ ("format", J.String "prom") ]) in
+      (match J.member "body" prom with
+      | Some (J.String body) ->
+          checkb "hit counter exported" true
+            (contains body "wfde_serve_cache_hits");
+          checkb "miss counter exported" true
+            (contains body "wfde_serve_cache_misses");
+          checkb "entries gauge exported" true
+            (contains body "wfde_serve_cache_entries")
+      | _ -> Alcotest.fail "prom payload has no body");
+      let doc = rpc_ok socket (req "metrics" []) in
+      match J.member "counters" doc with
+      | Some counters -> (
+          (* the registry is process-wide, so other tests' cache
+             traffic accumulates — assert presence, not an exact count *)
+          match J.member "serve.cache.hits" counters with
+          | Some (J.Int n) -> checkb "json hit counter positive" true (n >= 1)
+          | _ -> Alcotest.fail "serve.cache.hits missing from metrics json")
+      | None -> Alcotest.fail "metrics json has no counters")
+
+(* Cache outcomes are visible in the trace tree: a first traced check
+   carries cache.miss plus the engine spine, a second carries
+   cache.hit and never reaches the engine. *)
+let test_daemon_cache_spans () =
+  let sink = Span.sink () in
+  with_daemon ~trace:sink (fun _ socket ->
+      let r t = req ~trace:t "check" check_params in
+      ignore (rpc_ok socket (r "c1"));
+      let names1 = List.map (fun s -> s.Span.name) (Span.take sink) in
+      checkb "miss span exported" true (List.mem "cache.miss" names1);
+      checkb "miss still executes" true (List.mem "execute" names1);
+      ignore (rpc_ok socket (r "c2"));
+      let names2 = List.map (fun s -> s.Span.name) (Span.take sink) in
+      checkb "hit span exported" true (List.mem "cache.hit" names2);
+      checkb "hit bypasses the engine" true (not (List.mem "execute" names2)))
+
 let suite =
   [
     Alcotest.test_case "proto: request roundtrip" `Quick test_proto_roundtrip;
     Alcotest.test_case "proto: malformed requests" `Quick test_proto_errors;
     Alcotest.test_case "proto: response roundtrip" `Quick
       test_proto_response_roundtrip;
+    Alcotest.test_case "proto: rendered splice matches document render" `Quick
+      test_proto_rendered_response;
     Alcotest.test_case "proto: error exit codes" `Quick test_proto_exit_codes;
     Alcotest.test_case "ivar: fill/read/peek" `Quick test_ivar;
     Alcotest.test_case "jobq: fifo, bounds, close drains" `Quick
@@ -729,4 +1042,18 @@ let suite =
     Alcotest.test_case "daemon: slow-request log" `Quick test_daemon_slow_log;
     Alcotest.test_case "loadgen: serial vs concurrent identical" `Quick
       test_loadgen_deterministic;
+    Alcotest.test_case "cache: cold/warm/disk byte-identity per method" `Quick
+      test_daemon_cache_byte_identity;
+    Alcotest.test_case "cache: identical misses coalesce to one compute"
+      `Quick test_daemon_cache_coalescing;
+    Alcotest.test_case "cache: hits served while the fleet is saturated"
+      `Quick test_daemon_cache_hit_under_saturation;
+    Alcotest.test_case "cache: hits served during graceful drain" `Quick
+      test_daemon_cache_hit_during_drain;
+    Alcotest.test_case "cache: RPC stats and clear" `Quick
+      test_daemon_cache_rpc;
+    Alcotest.test_case "cache: counters exported via metrics" `Quick
+      test_daemon_cache_metrics;
+    Alcotest.test_case "cache: hit/miss spans in the trace tree" `Quick
+      test_daemon_cache_spans;
   ]
