@@ -32,7 +32,7 @@
    error. *)
 
 let minor_words_tolerance = 1.10
-let gated_sections = [ "macro"; "serve"; "serve_tracing"; "serve_cache" ]
+let gated_sections = [ "macro"; "serve"; "serve_tracing"; "serve_cache"; "fabric" ]
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 

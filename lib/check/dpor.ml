@@ -23,6 +23,125 @@ let merge_stats a b =
     backtrack_points = sat_add a.backtrack_points b.backtrack_points;
   }
 
+let zero_stats =
+  { executions = 0; sleep_blocked = 0; races = 0; backtrack_points = 0 }
+
+(* ---------------------------------------------------- frontiers ------- *)
+
+(* A serialized stack node. Only the search state is kept: [enabled] and
+   [kind] are recomputed by the prescribed replay of the next execution
+   (deterministic worlds make that refresh authoritative), so they never
+   need to cross a process boundary. *)
+type fnode = {
+  fn_chosen : int;
+  fn_backtrack : int list;
+  fn_explored : int list;
+  fn_sleep : int list;
+}
+
+type frontier = {
+  f_depth : int;
+  f_floor : int;
+  f_stats : stats; (* cumulative over every slice up to the capture *)
+  f_nodes : fnode list;
+}
+
+let frontier_stats f = f.f_stats
+let frontier_depth f = f.f_depth
+
+let set_to_ints s = Pid.Set.elements s |> List.map Pid.to_int
+
+module J = Obs.Json
+
+let frontier_schema = "wfde-frontier/1"
+
+let frontier_to_json f =
+  let ints xs = J.List (List.map (fun i -> J.Int i) xs) in
+  J.Obj
+    [
+      ("schema", J.String frontier_schema);
+      ("depth", J.Int f.f_depth);
+      ("floor", J.Int f.f_floor);
+      ( "stats",
+        J.Obj
+          [
+            ("executions", J.Int f.f_stats.executions);
+            ("sleep_blocked", J.Int f.f_stats.sleep_blocked);
+            ("races", J.Int f.f_stats.races);
+            ("backtrack_points", J.Int f.f_stats.backtrack_points);
+          ] );
+      ( "nodes",
+        J.List
+          (List.map
+             (fun fn ->
+               J.Obj
+                 [
+                   ("chosen", J.Int fn.fn_chosen);
+                   ("backtrack", ints fn.fn_backtrack);
+                   ("explored", ints fn.fn_explored);
+                   ("sleep", ints fn.fn_sleep);
+                 ])
+             f.f_nodes) );
+    ]
+
+exception Bad_frontier of string
+
+let frontier_of_json j =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad_frontier m)) fmt in
+  let int key o =
+    match J.member key o with
+    | Some (J.Int v) when v >= 0 -> v
+    | _ -> fail "frontier: %S must be a non-negative integer" key
+  in
+  let ints key o =
+    match J.member key o with
+    | Some (J.List xs) ->
+        List.map
+          (function
+            | J.Int v when v >= 0 -> v
+            | _ -> fail "frontier: %S must list non-negative integers" key)
+          xs
+    | _ -> fail "frontier: missing list %S" key
+  in
+  try
+    (match J.member "schema" j with
+    | Some (J.String s) when String.equal s frontier_schema -> ()
+    | _ -> fail "frontier: expected schema %S" frontier_schema);
+    let depth = int "depth" j in
+    let floor = int "floor" j in
+    let stats_j =
+      match J.member "stats" j with
+      | Some o -> o
+      | None -> fail "frontier: missing \"stats\""
+    in
+    let f_stats =
+      {
+        executions = int "executions" stats_j;
+        sleep_blocked = int "sleep_blocked" stats_j;
+        races = int "races" stats_j;
+        backtrack_points = int "backtrack_points" stats_j;
+      }
+    in
+    let nodes =
+      match J.member "nodes" j with
+      | Some (J.List xs) ->
+          List.map
+            (fun o ->
+              {
+                fn_chosen = int "chosen" o;
+                fn_backtrack = ints "backtrack" o;
+                fn_explored = ints "explored" o;
+                fn_sleep = ints "sleep" o;
+              })
+            xs
+      | _ -> fail "frontier: missing \"nodes\""
+    in
+    let len = List.length nodes in
+    if len > max depth 1 then fail "frontier: %d nodes exceed depth %d" len depth;
+    if floor > len then fail "frontier: floor %d exceeds %d nodes" floor len;
+    Ok { f_depth = depth; f_floor = floor; f_stats; f_nodes = nodes }
+  with Bad_frontier m -> Error m
+
 let m_executions = Obs.Metrics.counter "check.dpor.executions"
 let m_sleep_blocked = Obs.Metrics.counter "check.dpor.sleep_blocked"
 let m_races = Obs.Metrics.counter "check.dpor.races"
@@ -56,6 +175,21 @@ type node = {
   mutable explored : Pid.Set.t;
   sleep : Pid.Set.t;
 }
+
+let capture_frontier ~depth ~floor ~stack ~len ~stats =
+  let nodes =
+    List.init len (fun i ->
+        match stack.(i) with
+        | None -> assert false
+        | Some nd ->
+            {
+              fn_chosen = Pid.to_int nd.chosen;
+              fn_backtrack = set_to_ints nd.backtrack;
+              fn_explored = set_to_ints nd.explored;
+              fn_sleep = set_to_ints nd.sleep;
+            })
+  in
+  { f_depth = depth; f_floor = floor; f_stats = stats; f_nodes = nodes }
 
 (* Fiber names are a pure function of (pid, thread index); intern them
    so re-spawning the world for every execution stops formatting. The
@@ -480,11 +614,20 @@ let rec take n = function
   | x :: tl -> x :: take (n - 1) tl
 
 let explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~on_phase
-    ~stack ~len ~floor =
+    ~base ~frontier_out ~stack ~len ~floor =
   let executions = ref 0 and blocked_runs = ref 0 in
   let races_total = ref 0 and added_total = ref 0 in
   let scratch = make_scratch ~n:(Failure_pattern.n_plus_1 pattern) in
   let pend = Eset.create () in
+  (match frontier_out with Some r -> r := None | None -> ());
+  let snap () =
+    {
+      executions = !executions;
+      sleep_blocked = !blocked_runs;
+      races = !races_total;
+      backtrack_points = !added_total;
+    }
+  in
   (* Phase profiling is aggregated per call and reported once at the
      end — the span structure (two phases, always both) is independent
      of how many executions the search needed, which keeps the exported
@@ -493,7 +636,21 @@ let explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~on_phase
   let exec_us = ref 0 and analyze_us = ref 0 in
   let clock () = if timed then Obs.Span.now_us () else 0 in
   let rec loop () =
-    if !executions >= budget || should_stop () then None
+    if !executions >= budget || should_stop () then begin
+      (* Truncated with work remaining: the stack holds the next
+         prescribed run (retargeted by [next_candidate], or the initial
+         prefix), which is exactly the state a resume must restart
+         from. Exhaustion and counterexamples exit elsewhere, so a
+         capture here never misrepresents a finished search. *)
+      (match frontier_out with
+      | Some r ->
+          r :=
+            Some
+              (capture_frontier ~depth ~floor ~stack ~len:!len
+                 ~stats:(merge_stats base (snap ())))
+      | None -> ());
+      None
+    end
     else begin
       let t0 = clock () in
       let verdict, trace, builder, grown, blocked =
@@ -528,28 +685,19 @@ let explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~on_phase
       f "dpor.executions" !exec_us;
       f "dpor.race_analysis" !analyze_us
   | None -> ());
-  {
-    stats =
-      {
-        executions = !executions;
-        sleep_blocked = !blocked_runs;
-        races = !races_total;
-        backtrack_points = !added_total;
-      };
-    counterexample;
-  }
+  { stats = merge_stats base (snap ()); counterexample }
 
 let check_budget ~who budget =
   if budget < 0 then invalid_arg (who ^ ": negative budget")
 
 let explore ~pattern ~depth ~horizon ?(budget = unbounded)
-    ?(should_stop = fun () -> false) ?on_phase ~make () =
+    ?(should_stop = fun () -> false) ?on_phase ?frontier_out ~make () =
   if depth < 0 then invalid_arg "Dpor.explore: negative depth";
   check_budget ~who:"Dpor.explore" budget;
   let stack = Array.make (max depth 1) None in
   let len = ref 0 in
   explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~on_phase
-    ~stack ~len ~floor:0
+    ~base:zero_stats ~frontier_out ~stack ~len ~floor:0
 
 let root_branches ~pattern ~make () =
   let procs, _checkf = make () in
@@ -568,7 +716,8 @@ let root_branches ~pattern ~make () =
   match !seen with None -> [] | Some pend -> pend
 
 let explore_branch ~pattern ~depth ~horizon ?(budget = unbounded)
-    ?(should_stop = fun () -> false) ?on_phase ~branches ~index ~make () =
+    ?(should_stop = fun () -> false) ?on_phase ?frontier_out ~branches ~index
+    ~make () =
   if depth < 1 then invalid_arg "Dpor.explore_branch: depth must be >= 1";
   check_budget ~who:"Dpor.explore_branch" budget;
   if index < 0 || index >= List.length branches then
@@ -595,4 +744,29 @@ let explore_branch ~pattern ~depth ~horizon ?(budget = unbounded)
       };
   let len = ref 1 in
   explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~on_phase
-    ~stack ~len ~floor:1
+    ~base:zero_stats ~frontier_out ~stack ~len ~floor:1
+
+let resume ~pattern ~horizon ?(budget = unbounded)
+    ?(should_stop = fun () -> false) ?on_phase ?frontier_out ~frontier ~make ()
+    =
+  check_budget ~who:"Dpor.resume" budget;
+  let depth = frontier.f_depth in
+  let stack = Array.make (max depth 1) None in
+  List.iteri
+    (fun i fn ->
+      stack.(i) <-
+        Some
+          {
+            chosen = Pid.of_index fn.fn_chosen;
+            (* placeholders: the prescribed replay of the next execution
+               refreshes [kind]/[enabled] in place before either is read *)
+            kind = Sim.Nop;
+            enabled = Eset.create ();
+            backtrack = Pid.Set.of_indices fn.fn_backtrack;
+            explored = Pid.Set.of_indices fn.fn_explored;
+            sleep = Pid.Set.of_indices fn.fn_sleep;
+          })
+    frontier.f_nodes;
+  let len = ref (List.length frontier.f_nodes) in
+  explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~on_phase
+    ~base:frontier.f_stats ~frontier_out ~stack ~len ~floor:frontier.f_floor

@@ -23,9 +23,37 @@ let flag = function
   | Snapshot_single_collect -> Memory.Snapshot.chaos_single_collect
   | Converge_drop_phase2 -> Converge.chaos_drop_phase2
 
+(* The flags are process-global, but scopes overlap: the serve daemon
+   runs concurrent [check_unit] requests that each wrap their
+   exploration in [with_]. A plain save/restore would let the first
+   scope to finish switch the flags off under a scope still running
+   (the fabric's differential chaos test caught exactly that as a race
+   statistic drifting on the violating pattern). Instead, scopes with
+   the {e same} configuration share one activation via a refcount, and
+   a scope with a different configuration waits its turn. *)
+let mu = Mutex.create ()
+let cv = Condition.create ()
+let holders = ref 0
+let active : t option ref = ref None
+
 let with_ mutant f =
-  let saved = List.map (fun m -> (m, !(flag m))) all in
-  let restore () = List.iter (fun (m, v) -> flag m := v) saved in
-  List.iter (fun m -> flag m := false) all;
-  (match mutant with Some m -> flag m := true | None -> ());
-  Fun.protect ~finally:restore f
+  Mutex.lock mu;
+  while !holders > 0 && !active <> mutant do
+    Condition.wait cv mu
+  done;
+  if !holders = 0 then begin
+    List.iter (fun m -> flag m := false) all;
+    (match mutant with Some m -> flag m := true | None -> ());
+    active := mutant
+  end;
+  incr holders;
+  Mutex.unlock mu;
+  Fun.protect f ~finally:(fun () ->
+      Mutex.lock mu;
+      decr holders;
+      if !holders = 0 then begin
+        List.iter (fun m -> flag m := false) all;
+        active := None
+      end;
+      Condition.broadcast cv;
+      Mutex.unlock mu)

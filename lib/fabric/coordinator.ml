@@ -1,0 +1,553 @@
+module J = Obs.Json
+
+type config = {
+  workers : string list;
+  window : int;
+  checkpoint : string option;
+  resume : bool;
+  unit_budget : int option;
+  retries : int;
+  backoff_ms : float;
+  spans : Obs.Span.scope;
+  crash_after : int option;
+  on_unit_done : (int -> unit) option;
+}
+
+let default ~workers =
+  {
+    workers;
+    window = 2;
+    checkpoint = None;
+    resume = false;
+    unit_budget = None;
+    retries = 3;
+    backoff_ms = 50.;
+    spans = Obs.Span.null;
+    crash_after = None;
+    on_unit_done = None;
+  }
+
+type progress = {
+  units_total : int;
+  units_from_journal : int;
+  units_completed : int;
+  units_lost_to_crash : int;
+  units_recomputed : int;
+  units_requeued : int;
+  frontier_slices : int;
+  rpc_retries : int;
+  workers_dead : int;
+  payload_mismatches : int;
+  journal_dropped : int;
+}
+
+type outcome = {
+  text : string;
+  json : J.t;
+  ok : bool;
+  progress : progress;
+}
+
+exception Crashed of int
+
+let m_units_total = Obs.Metrics.counter "fabric.units.total"
+let m_units_completed = Obs.Metrics.counter "fabric.units.completed"
+let m_units_from_journal = Obs.Metrics.counter "fabric.units.from_journal"
+let m_units_lost = Obs.Metrics.counter "fabric.units.lost_to_crash"
+let m_units_recomputed = Obs.Metrics.counter "fabric.units.recomputed"
+let m_units_requeued = Obs.Metrics.counter "fabric.units.requeued"
+let m_frontier_slices = Obs.Metrics.counter "fabric.frontier.slices"
+let m_rpc_retries = Obs.Metrics.counter "fabric.rpc.retries"
+let m_workers_dead = Obs.Metrics.counter "fabric.workers.dead"
+let m_payload_mismatches = Obs.Metrics.counter "fabric.payload.mismatches"
+let g_workers_alive = Obs.Metrics.gauge "fabric.workers.alive"
+
+type ustate = Pending | Inflight | Done of J.t
+
+(* All mutable dispatch state lives behind one mutex; lane threads
+   broadcast [cv] after every state change so waiting lanes re-examine
+   the queue. Obs.Metrics is not thread-safe, so metric updates happen
+   under the same lock. *)
+type state = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  st : ustate array;
+  lost : bool array;
+  frontiers : J.t option array;
+  times : (int * int) array;
+  mutable cut : int;
+  mutable fatal : string option;
+  mutable crashed : bool;
+  mutable completed : int;
+  mutable from_journal : int;
+  mutable lost_n : int;
+  mutable recomputed : int;
+  mutable requeued : int;
+  mutable slices : int;
+  mutable retries_n : int;
+  mutable dead_n : int;
+  mutable mismatches : int;
+  mutable alive : int;
+  mutable journal_dropped : int;
+}
+
+let has_cex payload =
+  match J.member "counterexample" payload with
+  | None | Some J.Null -> false
+  | Some _ -> true
+
+let zero_stats =
+  { Wfde.Dpor.executions = 0; sleep_blocked = 0; races = 0; backtrack_points = 0 }
+
+let stats_of_payload p =
+  match J.member "stats" p with
+  | Some so ->
+      let g f = match J.member f so with Some (J.Int v) -> v | _ -> 0 in
+      {
+        Wfde.Dpor.executions = g "executions";
+        sleep_blocked = g "sleep_blocked";
+        races = g "races";
+        backtrack_points = g "backtrack_points";
+      }
+  | None -> zero_stats
+
+let progress_of s n =
+  {
+    units_total = n;
+    units_from_journal = s.from_journal;
+    units_completed = s.completed;
+    units_lost_to_crash = s.lost_n;
+    units_recomputed = s.recomputed;
+    units_requeued = s.requeued;
+    frontier_slices = s.slices;
+    rpc_retries = s.retries_n;
+    workers_dead = s.dead_n;
+    payload_mismatches = s.mismatches;
+    journal_dropped = s.journal_dropped;
+  }
+
+let merge cfg (plan : Plan.t) s payload =
+  match plan.Plan.spec with
+  | Plan.Sweep { ids; scale; jobs } ->
+      let rows =
+        List.mapi
+          (fun i id ->
+            let p = payload i in
+            let ok =
+              match J.member "ok" p with Some (J.Bool b) -> b | _ -> false
+            in
+            let wall =
+              match J.member "wall_seconds" p with
+              | Some v -> Option.value (J.to_float v) ~default:0.
+              | None -> 0.
+            in
+            let table =
+              match J.member "table" p with Some (J.String t) -> t | _ -> ""
+            in
+            (id, ok, wall, table))
+          ids
+      in
+      let failed =
+        List.filter_map (fun (id, ok, _, _) -> if ok then None else Some id) rows
+      in
+      let text =
+        String.concat "" (List.map (fun (_, _, _, t) -> t) rows)
+        ^ Serve.Service.failed_claims_line failed
+      in
+      let json =
+        Serve.Service.sweep_json_rows ~jobs ~scale
+          (List.map (fun (id, ok, w, _) -> (id, ok, w)) rows)
+      in
+      (text, json, failed = [])
+  | Plan.Check { obj; procs; depth; horizon; mutant } ->
+      let n = Array.length plan.Plan.units in
+      let limit = if s.cut = max_int then n - 1 else s.cut in
+      let stats = ref zero_stats in
+      for i = 0 to limit do
+        stats := Wfde.Dpor.merge_stats !stats (stats_of_payload (payload i))
+      done;
+      let cu = plan.Plan.check_units.(limit) in
+      let swept = cu.Plan.cu_pattern_index + 1 in
+      let violation =
+        match J.member "counterexample" (payload limit) with
+        | None | Some J.Null -> None
+        | Some c ->
+            let prefix =
+              match J.member "prefix" c with
+              | Some (J.List l) ->
+                  List.filter_map
+                    (function
+                      | J.Int v -> Some (Wfde.Pid.of_index v) | _ -> None)
+                    l
+              | _ -> []
+            in
+            let report =
+              match J.member "report" c with
+              | Some (J.String r) -> r
+              | _ -> ""
+            in
+            let pattern = cu.Plan.cu_pattern in
+            (* shrink locally, under the plan's mutant, with exactly the
+               replay check_exhaustive uses — so the minimized violation
+               matches the serial CLI's byte for byte *)
+            Some
+              (Wfde.Mutant.with_ mutant (fun () ->
+                   let make = Wfde.Scenario.make obj ~procs in
+                   let replay ~pattern ~prefix =
+                     let fibers, check = make () in
+                     let policy =
+                       Wfde.Policy.script prefix
+                         ~then_:(Wfde.Policy.round_robin ())
+                     in
+                     let result =
+                       Wfde.Run.exec ~pattern ~policy ~horizon ~procs:fibers ()
+                     in
+                     match check result.Wfde.Run.trace with
+                     | Ok () -> None
+                     | Error r -> Some r
+                   in
+                   Obs.Span.with_ cfg.spans "fabric.shrink" (fun () ->
+                       match Wfde.Shrink.minimize ~replay ~pattern ~prefix with
+                       | Some (cex_pattern, cex_prefix, cex_report) ->
+                           {
+                             Wfde.Harness.cex_pattern;
+                             cex_prefix;
+                             cex_report;
+                             shrunk = true;
+                           }
+                       | None ->
+                           {
+                             Wfde.Harness.cex_pattern = pattern;
+                             cex_prefix = prefix;
+                             cex_report = report;
+                             shrunk = false;
+                           })))
+      in
+      let outcome =
+        {
+          Wfde.Harness.check_obj = obj;
+          check_procs = procs;
+          check_depth = depth;
+          check_horizon = horizon;
+          check_mutant = mutant;
+          patterns_swept = swept;
+          executions = !stats.Wfde.Dpor.executions;
+          sleep_blocked = !stats.Wfde.Dpor.sleep_blocked;
+          races = !stats.Wfde.Dpor.races;
+          backtrack_points = !stats.Wfde.Dpor.backtrack_points;
+          naive_bound = Wfde.Check.Explore.count_schedules ~n_plus_1:procs ~depth;
+          violation;
+        }
+      in
+      ( Serve.Service.check_text outcome,
+        Wfde.Harness.check_outcome_json outcome,
+        violation = None )
+
+let run cfg (plan : Plan.t) =
+  let n = Array.length plan.Plan.units in
+  if cfg.workers = [] then Error "no workers given"
+  else begin
+    (* a worker SIGKILLed mid-call turns our next write into EPIPE; the
+       default disposition would kill the whole coordinator process
+       instead of letting {!Worker.call} requeue the unit *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
+    let traced = Obs.Span.enabled cfg.spans in
+    let s =
+      {
+        mu = Mutex.create ();
+        cv = Condition.create ();
+        st = Array.make (max n 1) Pending;
+        lost = Array.make (max n 1) false;
+        frontiers = Array.make (max n 1) None;
+        times = Array.make (max n 1) (0, 0);
+        cut = max_int;
+        fatal = None;
+        crashed = false;
+        completed = 0;
+        from_journal = 0;
+        lost_n = 0;
+        recomputed = 0;
+        requeued = 0;
+        slices = 0;
+        retries_n = 0;
+        dead_n = 0;
+        mismatches = 0;
+        alive = List.length cfg.workers;
+        journal_dropped = 0;
+      }
+    in
+    Obs.Metrics.incr ~by:n m_units_total;
+    Obs.Metrics.set g_workers_alive (float_of_int s.alive);
+    let journal =
+      match cfg.checkpoint with
+      | None -> None
+      | Some dir ->
+          let fresh () = Journal.create ~dir ~key:plan.Plan.key ~units:n in
+          if not cfg.resume then Some (fresh ())
+          else begin
+            match Journal.load ~dir ~key:plan.Plan.key ~units:n with
+            | None -> Some (fresh ())
+            | Some (j, loaded) ->
+                s.journal_dropped <- loaded.Journal.dropped;
+                List.iter
+                  (fun (i, p) ->
+                    if s.st.(i) = Pending then begin
+                      s.st.(i) <- Done p;
+                      s.from_journal <- s.from_journal + 1;
+                      Obs.Metrics.incr m_units_from_journal;
+                      if has_cex p then s.cut <- min s.cut i
+                    end)
+                  loaded.Journal.results;
+                List.iter
+                  (fun (i, f) -> s.frontiers.(i) <- Some f)
+                  loaded.Journal.frontiers;
+                Some j
+          end
+    in
+    let is_check =
+      match plan.Plan.spec with Plan.Check _ -> true | Plan.Sweep _ -> false
+    in
+    let request_for i =
+      let u = plan.Plan.units.(i) in
+      let params = u.Plan.params in
+      let params =
+        match cfg.unit_budget with
+        | Some b when u.Plan.meth = "check_unit" ->
+            params @ [ ("budget", J.Int b) ]
+        | _ -> params
+      in
+      let params =
+        match s.frontiers.(i) with
+        | Some f when u.Plan.meth = "check_unit" ->
+            params @ [ ("frontier", f) ]
+        | _ -> params
+      in
+      {
+        Serve.Proto.id = J.String (Printf.sprintf "u%d" i);
+        meth = u.Plan.meth;
+        params;
+        deadline_ms = None;
+        trace = None;
+      }
+    in
+    let hi () = min s.cut (n - 1) in
+    let mark_dead (ep : Worker.endpoint) =
+      if not (Atomic.get ep.Worker.dead) then begin
+        Atomic.set ep.Worker.dead true;
+        s.dead_n <- s.dead_n + 1;
+        s.alive <- s.alive - 1;
+        Obs.Metrics.incr m_workers_dead;
+        Obs.Metrics.set g_workers_alive (float_of_int s.alive)
+      end
+    in
+    let lane_loop (ep : Worker.endpoint) =
+      let lane = Worker.lane ep in
+      let on_retry () =
+        Mutex.lock s.mu;
+        s.retries_n <- s.retries_n + 1;
+        Obs.Metrics.incr m_rpc_retries;
+        Mutex.unlock s.mu
+      in
+      let rec next () =
+        Mutex.lock s.mu;
+        if s.fatal <> None || s.crashed || Atomic.get ep.Worker.dead then
+          Mutex.unlock s.mu
+        else begin
+          let rec find i =
+            if i > hi () then None
+            else match s.st.(i) with Pending -> Some i | _ -> find (i + 1)
+          in
+          match find 0 with
+          | Some i ->
+              s.st.(i) <- Inflight;
+              if traced && fst s.times.(i) = 0 then
+                s.times.(i) <- (Obs.Span.now_us (), 0);
+              let req = request_for i in
+              Mutex.unlock s.mu;
+              process i req
+          | None ->
+              let rec inflight i =
+                i <= hi ()
+                && (s.st.(i) = Inflight || inflight (i + 1))
+              in
+              if inflight 0 then begin
+                (* an in-flight unit may yet be requeued (worker loss,
+                   drain, frontier slice) — wait for a state change *)
+                Condition.wait s.cv s.mu;
+                Mutex.unlock s.mu;
+                next ()
+              end
+              else Mutex.unlock s.mu
+        end
+      and process i req =
+        match Worker.call ~on_retry lane req with
+        | Ok { Serve.Proto.result = Ok payload; _ } -> handle_ok i payload
+        | Ok { Serve.Proto.result = Error e; _ } -> handle_err i e
+        | Error msg -> handle_transport i msg
+      and handle_ok i payload =
+        let u = plan.Plan.units.(i) in
+        let truncated, frontier =
+          if u.Plan.meth <> "check_unit" then (false, None)
+          else
+            match J.member "done" payload with
+            | Some (J.Bool false) -> (true, J.member "frontier" payload)
+            | _ -> (false, None)
+        in
+        Mutex.lock s.mu;
+        if truncated then begin
+          (match frontier with
+          | Some (J.Obj _ as f) ->
+              s.frontiers.(i) <- Some f;
+              s.slices <- s.slices + 1;
+              Obs.Metrics.incr m_frontier_slices;
+              (match journal with
+              | Some j -> Journal.record_frontier j ~index:i f
+              | None -> ());
+              if s.st.(i) = Inflight then s.st.(i) <- Pending
+          | _ ->
+              s.fatal <-
+                Some (Printf.sprintf "unit %d: truncated without frontier" i));
+          Condition.broadcast s.cv;
+          Mutex.unlock s.mu;
+          next ()
+        end
+        else begin
+          let crash = ref false in
+          let completed_now = ref 0 in
+          (match s.st.(i) with
+          | Done prev ->
+              (* a unit computed twice must answer identical bytes:
+                 anything else is a non-deterministic worker *)
+              if J.to_string prev <> J.to_string payload then begin
+                s.mismatches <- s.mismatches + 1;
+                Obs.Metrics.incr m_payload_mismatches
+              end
+          | _ ->
+              s.st.(i) <- Done payload;
+              if traced then s.times.(i) <- (fst s.times.(i), Obs.Span.now_us ());
+              s.completed <- s.completed + 1;
+              Obs.Metrics.incr m_units_completed;
+              if s.lost.(i) then begin
+                s.recomputed <- s.recomputed + 1;
+                Obs.Metrics.incr m_units_recomputed
+              end;
+              (match journal with
+              | Some j -> Journal.record_result j ~index:i payload
+              | None -> ());
+              if is_check && has_cex payload then s.cut <- min s.cut i;
+              completed_now := s.completed;
+              (match cfg.crash_after with
+              | Some k when s.completed >= k && not s.crashed ->
+                  s.crashed <- true;
+                  crash := true
+              | _ -> ()));
+          Condition.broadcast s.cv;
+          Mutex.unlock s.mu;
+          if !completed_now > 0 then
+            (match cfg.on_unit_done with
+            | Some f -> f !completed_now
+            | None -> ());
+          if !crash then () else next ()
+        end
+      and handle_err i (e : Serve.Proto.error) =
+        Mutex.lock s.mu;
+        (match e.Serve.Proto.code with
+        | Serve.Proto.Shutting_down ->
+            if s.st.(i) = Inflight then s.st.(i) <- Pending;
+            s.requeued <- s.requeued + 1;
+            Obs.Metrics.incr m_units_requeued;
+            mark_dead ep
+        | Serve.Proto.Queue_full ->
+            if s.st.(i) = Inflight then s.st.(i) <- Pending;
+            s.requeued <- s.requeued + 1;
+            Obs.Metrics.incr m_units_requeued
+        | code ->
+            s.fatal <-
+              Some
+                (Printf.sprintf "unit %d: %s: %s" i
+                   (Serve.Proto.code_to_string code)
+                   e.Serve.Proto.message));
+        Condition.broadcast s.cv;
+        Mutex.unlock s.mu;
+        (match e.Serve.Proto.code with
+        | Serve.Proto.Queue_full -> Unix.sleepf (cfg.backoff_ms /. 1000.)
+        | _ -> ());
+        next ()
+      and handle_transport i _msg =
+        Mutex.lock s.mu;
+        if s.st.(i) = Inflight then s.st.(i) <- Pending;
+        if not s.lost.(i) then begin
+          s.lost.(i) <- true;
+          s.lost_n <- s.lost_n + 1;
+          Obs.Metrics.incr m_units_lost
+        end;
+        mark_dead ep;
+        Condition.broadcast s.cv;
+        Mutex.unlock s.mu;
+        next ()
+      in
+      (try next ()
+       with exn ->
+         Mutex.lock s.mu;
+         if s.fatal = None then s.fatal <- Some (Printexc.to_string exn);
+         Condition.broadcast s.cv;
+         Mutex.unlock s.mu);
+      Worker.close lane
+    in
+    let endpoints =
+      List.mapi
+        (fun wi sock ->
+          Worker.endpoint ~retries:cfg.retries ~backoff_ms:cfg.backoff_ms
+            ~index:wi sock)
+        cfg.workers
+    in
+    let t0 = if traced then Obs.Span.now_us () else 0 in
+    let threads =
+      List.concat_map
+        (fun ep ->
+          List.init (max cfg.window 1) (fun _ ->
+              Thread.create lane_loop ep))
+        endpoints
+    in
+    List.iter Thread.join threads;
+    let t1 = if traced then Obs.Span.now_us () else 0 in
+    if traced then begin
+      let did =
+        Obs.Span.emit cfg.spans ~name:"fabric.dispatch" ~start_us:t0
+          ~stop_us:t1 ()
+      in
+      Array.iteri
+        (fun i (u0, u1) ->
+          if u1 > 0 then
+            ignore
+              (Obs.Span.emit cfg.spans ~parent:did
+                 ~name:(Printf.sprintf "fabric.u%d" i)
+                 ~start_us:u0 ~stop_us:u1 ()))
+        s.times
+    end;
+    if s.crashed then raise (Crashed s.completed);
+    match s.fatal with
+    | Some msg -> Error msg
+    | None ->
+        let limit = hi () in
+        let missing = ref 0 in
+        for i = 0 to limit do
+          match s.st.(i) with Done _ -> () | _ -> incr missing
+        done;
+        if !missing > 0 then
+          Error
+            (Printf.sprintf
+               "%d unit(s) unfinished: all workers lost; rerun with --resume"
+               !missing)
+        else begin
+          let payload i =
+            match s.st.(i) with Done p -> p | _ -> assert false
+          in
+          let text, json, ok =
+            Obs.Span.with_ cfg.spans "fabric.merge" (fun () ->
+                merge cfg plan s payload)
+          in
+          Ok { text; json; ok; progress = progress_of s n }
+        end
+  end

@@ -1,0 +1,99 @@
+(** The fabric coordinator: dispatch a {!Plan.t} over a set of
+    [wfde serve] workers, survive worker loss and its own death, and
+    merge the unit payloads into output byte-identical to the serial
+    CLI command.
+
+    Dispatch is [window] lanes per worker, each lane claiming the
+    lowest pending unit index (within the first-violation cut for
+    checks). Failure handling per lane:
+
+    - transport loss (connect refused, connection died mid-call) after
+      the lane's retry budget: the worker is marked dead, its in-flight
+      unit is requeued and counted [units_lost_to_crash]; when the unit
+      later completes elsewhere it counts [units_recomputed] — a
+      successful run always ends with the two equal;
+    - [shutting_down] (worker draining): unit requeued, worker marked
+      dead — a drain completes its in-flight work, so nothing is lost;
+    - [queue_full]: unit requeued, lane backs off and lives on;
+    - any other structured error is fatal (the request itself is bad —
+      retrying elsewhere cannot help).
+
+    With a checkpoint directory, every completed unit payload (and
+    every paused [check_unit] frontier) is journaled through
+    {!Journal} before it is acknowledged, so a coordinator killed at
+    any instant resumes from its journal recomputing only
+    unacknowledged units; [resume = true] loads the journal when its
+    meta matches the plan's content key. Unit payloads are
+    deterministic, so re-running a journaled unit is merely wasted
+    work, never a conflict — a duplicate completion with different
+    bytes would mean a non-deterministic worker and is counted in
+    [payload_mismatches].
+
+    Observability: [fabric.*] metrics (units, retries, dead workers,
+    frontier slices — exported by the daemon as [wfde_fabric_*]), and
+    when [spans] is enabled a [fabric.dispatch] span with one
+    [fabric.u<i>] child per unit computed this run (emitted in unit
+    order after the join; lane threads only record timestamps) plus
+    [fabric.merge] / [fabric.shrink] around the merge. *)
+
+type config = {
+  workers : string list;  (** daemon socket paths *)
+  window : int;  (** in-flight requests per worker *)
+  checkpoint : string option;  (** journal directory *)
+  resume : bool;  (** load a matching journal instead of truncating *)
+  unit_budget : int option;
+      (** DPOR executions per [check_unit] slice; truncated slices
+          checkpoint a frontier and requeue ({!Wfde.Dpor.resume} on the
+          worker makes slicing exact) *)
+  retries : int;  (** per-call reconnect attempts (see {!Worker.call}) *)
+  backoff_ms : float;
+  spans : Obs.Span.scope;
+  crash_after : int option;
+      (** chaos hook: raise {!Crashed} once this many units completed
+          this run — after journaling them, simulating a coordinator
+          killed mid-sweep *)
+  on_unit_done : (int -> unit) option;
+      (** chaos hook: called with the completed-this-run count after
+          each unit (outside the state lock) — tests use it to kill or
+          drain workers at a deterministic point *)
+}
+
+val default : workers:string list -> config
+(** [window = 2], no checkpoint, no resume, no budget, [retries = 3],
+    [backoff_ms = 50.], null spans, no chaos hooks. *)
+
+type progress = {
+  units_total : int;
+  units_from_journal : int;  (** satisfied by the loaded journal *)
+  units_completed : int;  (** computed this run (includes recomputed) *)
+  units_lost_to_crash : int;
+  units_recomputed : int;
+  units_requeued : int;  (** drain/queue-full requeues (not losses) *)
+  frontier_slices : int;  (** budget/deadline-truncated check_unit slices *)
+  rpc_retries : int;
+  workers_dead : int;
+  payload_mismatches : int;
+  journal_dropped : int;  (** damaged trailing journal lines discarded *)
+}
+
+type outcome = {
+  text : string;
+      (** byte-identical to the serial [wfde sweep] / [wfde check]
+          stdout *)
+  json : Obs.Json.t;
+      (** byte-identical to the serial [--json] document modulo
+          [*wall_seconds] fields (sweeps; check documents are fully
+          identical) *)
+  ok : bool;  (** sweep: no failed claims; check: no violation found *)
+  progress : progress;
+}
+
+exception Crashed of int
+(** Raised by {!run} when [crash_after] fired; the journal holds
+    everything completed so far. The payload is the completed count. *)
+
+val run : config -> Plan.t -> (outcome, string) result
+(** Execute the plan. [Error] on no workers, a fatal structured error,
+    or when every worker died with units still pending — in the last
+    case the journal (if any) holds all completed units, so rerunning
+    with [resume] continues rather than restarts. *)

@@ -1,0 +1,145 @@
+module J = Obs.Json
+
+let schema = "wfde-fabric-journal/1"
+
+type t = {
+  path : string;
+  mutable lines : string list;  (** newest first; last element = meta *)
+}
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let file ~dir ~key = Filename.concat dir (key ^ ".jsonl")
+
+(* whole-file tmp+rename: the journal is small (one line per unit plus
+   frontier slices) and an atomic replace beats append-and-pray — a
+   reader never sees a half-written line from this process *)
+let flush t =
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        (List.rev t.lines));
+  Sys.rename tmp t.path
+
+let meta_line ~key ~units =
+  J.to_string
+    (J.Obj
+       [
+         ("schema", J.String schema);
+         ("key", J.String key);
+         ("units", J.Int units);
+       ])
+
+let create ~dir ~key ~units =
+  mkdir_p dir;
+  let t = { path = file ~dir ~key; lines = [ meta_line ~key ~units ] } in
+  flush t;
+  t
+
+let record_result t ~index payload =
+  t.lines <-
+    J.to_string (J.Obj [ ("unit", J.Int index); ("payload", payload) ])
+    :: t.lines;
+  flush t
+
+let record_frontier t ~index doc =
+  t.lines <-
+    J.to_string (J.Obj [ ("unit", J.Int index); ("frontier", doc) ])
+    :: t.lines;
+  flush t
+
+type loaded = {
+  results : (int * J.t) list;
+  frontiers : (int * J.t) list;
+  dropped : int;
+}
+
+let parse_record ~units line =
+  match J.of_string line with
+  | Error _ -> None
+  | Ok o -> (
+      match J.member "unit" o with
+      | Some (J.Int i) when i >= 0 && i < units -> (
+          match (J.member "payload" o, J.member "frontier" o) with
+          | Some p, None -> Some (`Result (i, p))
+          | None, Some (J.Obj _ as f) -> Some (`Frontier (i, f))
+          | _ -> None)
+      | _ -> None)
+
+let load ~dir ~key ~units =
+  let path = file ~dir ~key in
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let lines =
+        String.split_on_char '\n' contents
+        |> List.filter (fun l -> l <> "")
+      in
+      (match lines with
+      | [] -> None
+      | meta :: rest ->
+          let meta_ok =
+            match J.of_string meta with
+            | Error _ -> false
+            | Ok m ->
+                J.member "schema" m = Some (J.String schema)
+                && J.member "key" m = Some (J.String key)
+                && J.member "units" m = Some (J.Int units)
+          in
+          if not meta_ok then None
+          else begin
+            (* validate in order, stop at the first bad line: only the
+               tail of a journal can be damaged by a truncated write,
+               so everything before it is trustworthy *)
+            let rec go acc = function
+              | [] -> (List.rev acc, 0)
+              | line :: tl -> (
+                  match parse_record ~units line with
+                  | Some r -> go ((line, r) :: acc) tl
+                  | None -> (List.rev acc, 1 + List.length tl))
+            in
+            let recs, dropped = go [] rest in
+            let results =
+              List.fold_left
+                (fun acc (_, r) ->
+                  match r with
+                  | `Result (i, p) when not (List.mem_assoc i acc) ->
+                      (i, p) :: acc
+                  | _ -> acc)
+                [] recs
+              |> List.rev
+            in
+            let frontiers =
+              List.fold_left
+                (fun acc (_, r) ->
+                  match r with
+                  | `Frontier (i, f) -> (i, f) :: List.remove_assoc i acc
+                  | _ -> acc)
+                [] recs
+            in
+            let frontiers =
+              List.filter (fun (i, _) -> not (List.mem_assoc i results)) frontiers
+            in
+            let t =
+              { path; lines = List.rev (meta :: List.map fst recs) }
+            in
+            (* rewrite immediately so a damaged tail is physically gone
+               before any new record lands after it *)
+            if dropped > 0 then flush t;
+            Some (t, { results; frontiers; dropped })
+          end)

@@ -1,0 +1,55 @@
+(** The coordinator's crash-safe checkpoint: a JSONL journal of
+    completed unit payloads and paused unit frontiers, one file per
+    (checkpoint dir, plan content key).
+
+    Format ([<dir>/<key>.jsonl]):
+
+    {v
+    {"schema":"wfde-fabric-journal/1","key":"<key>","units":N}
+    {"unit":3,"payload":{...}}          // unit 3 finished
+    {"unit":7,"frontier":{...}}         // unit 7 paused (latest wins)
+    v}
+
+    Every append rewrites the whole file to [<path>.tmp] and renames it
+    over the journal — an atomic replace, so a reader never observes a
+    torn file produced by {e this} process. What the format defends
+    against is the journal being cut short by the environment (crash
+    before rename landed, copied mid-write): {!load} validates records
+    in order and stops at the first malformed line, dropping it and
+    everything after — a truncated tail costs recomputing the units it
+    covered, never a wrong resume and never a fatal error.
+
+    A meta line that does not match the expected key and unit count
+    means the journal belongs to a {e different} request; {!load}
+    returns [None] and the caller starts fresh. *)
+
+type t
+
+val file : dir:string -> key:string -> string
+(** The journal path for a plan key (no filesystem access). *)
+
+val create : dir:string -> key:string -> units:int -> t
+(** Start a fresh journal (creating [dir] as needed), truncating any
+    previous journal for the same key. *)
+
+val record_result : t -> index:int -> Obs.Json.t -> unit
+(** Append a completed unit's payload and flush atomically. *)
+
+val record_frontier : t -> index:int -> Obs.Json.t -> unit
+(** Append a paused unit's [wfde-frontier/1] document. A later record
+    for the same unit (another frontier, or the final payload)
+    supersedes it. *)
+
+type loaded = {
+  results : (int * Obs.Json.t) list;
+      (** completed units in journal order, first record per index wins *)
+  frontiers : (int * Obs.Json.t) list;
+      (** latest frontier per index, for units with no result *)
+  dropped : int;  (** trailing lines discarded as malformed/truncated *)
+}
+
+val load : dir:string -> key:string -> units:int -> (t * loaded) option
+(** Reopen an existing journal for resuming. [None] when there is no
+    journal for the key or its meta line does not match — the caller
+    should {!create} instead. The returned [t] retains every valid
+    line, so subsequent appends preserve the loaded history. *)

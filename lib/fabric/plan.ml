@@ -1,0 +1,131 @@
+module J = Obs.Json
+
+type sweep = { ids : string list; scale : int; jobs : int }
+
+type check = {
+  obj : Wfde.Scenario.obj;
+  procs : int;
+  depth : int;
+  horizon : int;
+  mutant : Wfde.Mutant.t option;
+}
+
+type spec = Sweep of sweep | Check of check
+type unit_spec = { meth : string; params : (string * J.t) list }
+
+type check_unit = {
+  cu_pattern_index : int;
+  cu_pattern : Wfde.Failure_pattern.t;
+  cu_branch : int option;
+}
+
+type t = {
+  spec : spec;
+  key : string;
+  units : unit_spec array;
+  check_units : check_unit array;
+}
+
+let sweep ?(scale = 1) ?(jobs = 1) ids =
+  let ids =
+    match ids with
+    | [] -> List.map fst Wfde.Experiments.catalog
+    | ids -> ids
+  in
+  match Serve.Service.unknown_ids ids with
+  | _ :: _ as unknown ->
+      Error
+        (Printf.sprintf "unknown experiment id(s): %s"
+           (String.concat ", " unknown))
+  | [] ->
+      (* the key is the daemon cache's key for the equivalent [sweep]
+         request, so a journal written for this plan can never be
+         replayed against a different id list, scale, or jobs *)
+      let key =
+        Serve.Cache.key ~meth:"sweep"
+          ~params:
+            [
+              ("experiments", J.List (List.map (fun id -> J.String id) ids));
+              ("scale", J.Int scale);
+              ("jobs", J.Int jobs);
+            ]
+      in
+      let units =
+        ids
+        |> List.map (fun id ->
+               {
+                 meth = "exp";
+                 params =
+                   [
+                     ("experiment", J.String id);
+                     ("scale", J.Int scale);
+                     ("jobs", J.Int jobs);
+                   ];
+               })
+        |> Array.of_list
+      in
+      Ok { spec = Sweep { ids; scale; jobs }; key; units; check_units = [||] }
+
+let check ?procs ?(depth = 6) ?(horizon = 400) ?mutant obj =
+  if depth < 1 then invalid_arg "Plan.check: depth must be >= 1";
+  let procs =
+    let floor = Wfde.Scenario.min_procs obj in
+    match procs with Some p -> max p floor | None -> max 2 floor
+  in
+  let make = Wfde.Scenario.make obj ~procs in
+  let base =
+    [
+      ("object", J.String (Wfde.Scenario.to_string obj));
+      ("procs", J.Int procs);
+      ("depth", J.Int depth);
+      ("horizon", J.Int horizon);
+    ]
+    @
+    match mutant with
+    | None -> []
+    | Some m -> [ ("mutant", J.String (Wfde.Mutant.to_string m)) ]
+  in
+  let key = Serve.Cache.key ~meth:"check" ~params:base in
+  (* probe under the mutant: root branches of a mutated world can
+     differ from the healthy one's, and the decomposition must match
+     what each check_unit RPC will see *)
+  let cunits =
+    Wfde.Mutant.with_ mutant (fun () ->
+        Wfde.Scenario.patterns obj ~procs
+        |> List.mapi (fun pi pattern ->
+               match Wfde.Dpor.root_branches ~pattern ~make () with
+               | [] ->
+                   [
+                     {
+                       cu_pattern_index = pi;
+                       cu_pattern = pattern;
+                       cu_branch = None;
+                     };
+                   ]
+               | bs ->
+                   List.mapi
+                     (fun bi _ ->
+                       {
+                         cu_pattern_index = pi;
+                         cu_pattern = pattern;
+                         cu_branch = Some bi;
+                       })
+                     bs)
+        |> List.concat)
+  in
+  let check_units = Array.of_list cunits in
+  let units =
+    Array.map
+      (fun cu ->
+        {
+          meth = "check_unit";
+          params =
+            (base @ [ ("pattern", J.Int cu.cu_pattern_index) ])
+            @
+            (match cu.cu_branch with
+            | None -> []
+            | Some bi -> [ ("branch", J.Int bi) ]);
+        })
+      check_units
+  in
+  { spec = Check { obj; procs; depth; horizon; mutant }; key; units; check_units }

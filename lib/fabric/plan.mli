@@ -1,0 +1,64 @@
+(** Sharding a sweep or exhaustive check into fabric work units.
+
+    A plan is the coordinator's static view of one request: the unit
+    list (each unit one [exp] or [check_unit] RPC), the request's
+    content key (the same {!Serve.Cache.key} digest the daemon cache
+    uses, so a checkpoint journal is bound to exactly one request), and
+    — for checks — the per-unit (pattern, root branch) coordinates the
+    merge needs.
+
+    The unit decomposition for checks replicates
+    {!Wfde.Harness.check_exhaustive} exactly: one unit per (pattern,
+    DPOR root branch), probed serially under the plan's mutant, with a
+    single whole-tree unit as the fallback when a pattern has no
+    branches. Identical decomposition is what makes the fabric's merged
+    outcome byte-identical to the serial CLI's. *)
+
+type sweep = { ids : string list; scale : int; jobs : int }
+(** [jobs] is the per-worker intra-unit parallelism forwarded to the
+    daemon, not the fabric's own concurrency. *)
+
+type check = {
+  obj : Wfde.Scenario.obj;
+  procs : int;  (** already clamped to the scenario's [min_procs] *)
+  depth : int;
+  horizon : int;
+  mutant : Wfde.Mutant.t option;
+}
+
+type spec = Sweep of sweep | Check of check
+
+type unit_spec = {
+  meth : string;  (** ["exp"] or ["check_unit"] *)
+  params : (string * Obs.Json.t) list;
+}
+
+type check_unit = {
+  cu_pattern_index : int;
+  cu_pattern : Wfde.Failure_pattern.t;
+  cu_branch : int option;
+}
+
+type t = {
+  spec : spec;
+  key : string;  (** content key naming the checkpoint journal *)
+  units : unit_spec array;
+  check_units : check_unit array;  (** parallel to [units]; [||] for sweeps *)
+}
+
+val sweep : ?scale:int -> ?jobs:int -> string list -> (t, string) result
+(** One [exp] unit per experiment id, in id order ([[]] = the full
+    catalog). [Error] names unknown ids. *)
+
+val check :
+  ?procs:int ->
+  ?depth:int ->
+  ?horizon:int ->
+  ?mutant:Wfde.Mutant.t ->
+  Wfde.Scenario.obj ->
+  t
+(** One [check_unit] per (pattern, root branch), same defaults and
+    procs clamp as {!Wfde.Harness.check_exhaustive} ([depth = 6],
+    [horizon = 400], [procs >= max 2 min_procs]). Raises
+    [Invalid_argument] when [depth < 1] (the RPC unit language has no
+    depth-0 form; the serial CLI enforces the same floor). *)

@@ -1,0 +1,50 @@
+type endpoint = {
+  socket : string;
+  windex : int;
+  dead : bool Atomic.t;
+  retries : int;
+  backoff_ms : float;
+}
+
+let endpoint ?(retries = 3) ?(backoff_ms = 50.) ~index socket =
+  { socket; windex = index; dead = Atomic.make false; retries; backoff_ms }
+
+type lane = { ep : endpoint; mutable conn : Serve.Client.t option }
+
+let lane ep = { ep; conn = None }
+
+let close lane =
+  (match lane.conn with
+  | Some c -> ( try Serve.Client.close c with _ -> ())
+  | None -> ());
+  lane.conn <- None
+
+let call ?(on_retry = fun () -> ()) lane req =
+  let rec attempt k =
+    let conn_r =
+      match lane.conn with
+      | Some c -> Ok c
+      | None -> (
+          match Serve.Client.connect ~socket:lane.ep.socket with
+          | Ok c ->
+              lane.conn <- Some c;
+              Ok c
+          | Error e -> Error e)
+    in
+    match conn_r with
+    | Error e -> retry k e
+    | Ok conn -> (
+        match Serve.Client.call conn req with
+        | Ok resp -> Ok resp
+        | Error e ->
+            close lane;
+            retry k e)
+  and retry k e =
+    if k >= lane.ep.retries then Error e
+    else begin
+      on_retry ();
+      Unix.sleepf (lane.ep.backoff_ms *. (2. ** float_of_int k) /. 1000.);
+      attempt (k + 1)
+    end
+  in
+  attempt 0

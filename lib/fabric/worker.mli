@@ -1,0 +1,42 @@
+(** One coordinator-side lane to one [wfde serve] worker.
+
+    A lane owns at most one connection and runs one request at a time
+    (the wire protocol is lock-step per connection); the coordinator
+    opens [window] lanes per worker for pipelining. Lanes of the same
+    worker share its {!endpoint}, whose [dead] flag is the one-way
+    switch the coordinator flips when the worker is lost (connection
+    refused, reset, or drained) — every lane of a dead worker winds
+    down at its next claim. *)
+
+type endpoint = {
+  socket : string;
+  windex : int;  (** worker index, for reporting *)
+  dead : bool Atomic.t;
+  retries : int;  (** reconnect attempts per call before giving up *)
+  backoff_ms : float;  (** base backoff, doubled per attempt *)
+}
+
+val endpoint :
+  ?retries:int -> ?backoff_ms:float -> index:int -> string -> endpoint
+(** Defaults: [retries = 3], [backoff_ms = 50.]. *)
+
+type lane
+
+val lane : endpoint -> lane
+(** A fresh lane; the connection is opened lazily on first {!call}. *)
+
+val close : lane -> unit
+
+val call :
+  ?on_retry:(unit -> unit) ->
+  lane ->
+  Serve.Proto.request ->
+  (Serve.Proto.response, string) result
+(** One round trip with reconnect-and-retry: a transport failure
+    (connect or mid-call) drops the connection, backs off
+    [backoff_ms * 2^k], reconnects, and resends — the unit methods are
+    idempotent, so a resend is safe. [on_retry] fires before each
+    retry sleep (the coordinator counts these). [Error] after the
+    retry budget is the worker-is-gone signal; a structured server
+    error is an [Ok] response with [result = Error _], never retried
+    here. *)

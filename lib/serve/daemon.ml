@@ -32,7 +32,18 @@ type t = {
 (* ------------------------------------------------------- metrics ----- *)
 
 let known_methods =
-  [ "run"; "check"; "sweep"; "stats"; "sleep"; "health"; "metrics"; "cache" ]
+  [
+    "run";
+    "check";
+    "sweep";
+    "stats";
+    "sleep";
+    "exp";
+    "check_unit";
+    "health";
+    "metrics";
+    "cache";
+  ]
 
 let method_label m = if List.mem m known_methods then m else "other"
 

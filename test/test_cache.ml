@@ -11,35 +11,9 @@ let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 let checks = Alcotest.check Alcotest.string
 
-let eventually ?(timeout = 5.0) msg cond =
-  let t0 = Unix.gettimeofday () in
-  let rec go () =
-    if cond () then ()
-    else if Unix.gettimeofday () -. t0 > timeout then
-      Alcotest.failf "timed out waiting for %s" msg
-    else begin
-      Thread.yield ();
-      Unix.sleepf 0.002;
-      go ()
-    end
-  in
-  go ()
-
-(* A throwaway directory rooted at a [Filename.temp_file]-unique path,
-   so parallel test runners never collide. *)
-let temp_dir () =
-  let path = Filename.temp_file "wfde_cache_test" "" in
-  Sys.remove path;
-  Unix.mkdir path 0o700;
-  path
-
-let rec rm_rf path =
-  if Sys.file_exists path then
-    if Sys.is_directory path then begin
-      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
-      Unix.rmdir path
-    end
-    else Sys.remove path
+let eventually = Testutil.eventually
+let temp_dir () = Testutil.temp_dir ~prefix:"wfde_cache_test" ()
+let rm_rf = Testutil.rm_rf
 
 (* Lead a key through the miss path and publish a payload for it. *)
 let store t key payload =

@@ -1,0 +1,429 @@
+(* Tests for the scale-out fabric: the checkpoint journal (QCheck
+   battery over arbitrary write interleavings and crash damage), the
+   coordinator's differential contract (merged sweep/check output
+   byte-identical to the serial path), and the chaos legs — SIGKILL a
+   worker mid-run, drain another, kill and resume the coordinator —
+   after which the merged bytes must STILL be identical and the
+   deterministic invariants must hold: units_recomputed equals
+   units_lost_to_crash and payload_mismatches is zero. Workers are real
+   child processes of the built CLI, so a kill is a real crash. *)
+
+module J = Obs.Json
+module Proc = Serve.Loadgen.Proc
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* ---------------------------------------------------------- journal --- *)
+
+(* A journal history as data: results and frontiers in write order,
+   then optional damage to the file's tail. *)
+type jop = Result of int | Frontier of int
+
+let payload_for op =
+  match op with
+  | Result i -> J.Obj [ ("unit", J.Int i); ("body", J.String (string_of_int i)) ]
+  | Frontier i -> J.Obj [ ("slice", J.Int i) ]
+
+(* what a correct load must reconstruct: first result per index wins;
+   latest frontier per index, and only for units without a result *)
+let expected_of ops =
+  let results =
+    List.fold_left
+      (fun acc op ->
+        match op with
+        | Result i when not (List.mem_assoc i acc) ->
+            (i, payload_for (Result i)) :: acc
+        | _ -> acc)
+      [] ops
+    |> List.rev
+  in
+  let frontiers =
+    List.fold_left
+      (fun acc op ->
+        match op with
+        | Frontier i -> (i, payload_for (Frontier i)) :: List.remove_assoc i acc
+        | _ -> acc)
+      [] ops
+    |> List.filter (fun (i, _) -> not (List.mem_assoc i results))
+  in
+  (results, frontiers)
+
+let write_journal ~dir ~key ~units ops =
+  let j = Fabric.Journal.create ~dir ~key ~units in
+  List.iter
+    (fun op ->
+      match op with
+      | Result i -> Fabric.Journal.record_result j ~index:i (payload_for op)
+      | Frontier i -> Fabric.Journal.record_frontier j ~index:i (payload_for op))
+    ops;
+  Fabric.Journal.file ~dir ~key
+
+type damage = Intact | Truncated | Garbage
+
+let jops_gen =
+  QCheck.Gen.(
+    let* units = int_range 2 6 in
+    let* ops =
+      list_size (int_bound 12)
+        (pair bool (int_bound (units - 1)) >|= fun (r, i) ->
+         if r then Result i else Frontier i)
+    in
+    let* damage = oneofl [ Intact; Truncated; Garbage ] in
+    return (units, ops, damage))
+
+let qcheck_journal_roundtrip =
+  QCheck.Test.make ~count:200
+    ~name:"journal: load inverts writes, damage costs only the tail"
+    (QCheck.make jops_gen)
+    (fun (units, ops, damage) ->
+      let dir = Testutil.temp_dir ~prefix:"wfde_fabric_journal" () in
+      Fun.protect
+        ~finally:(fun () -> Testutil.rm_rf dir)
+        (fun () ->
+          let key = "k0123456789abcdef" in
+          let path = write_journal ~dir ~key ~units ops in
+          let damage = if ops = [] then Intact else damage in
+          (match damage with
+          | Intact -> ()
+          | Truncated ->
+              (* chop bytes out of the final line: a crash mid-write *)
+              let ic = open_in_bin path in
+              let len = in_channel_length ic in
+              let all = really_input_string ic len in
+              close_in ic;
+              let cut = 1 + (String.length (J.to_string (payload_for (List.hd (List.rev ops)))) / 2) in
+              let oc = open_out_bin path in
+              output_string oc (String.sub all 0 (len - cut));
+              close_out oc
+          | Garbage ->
+              let oc =
+                open_out_gen [ Open_append; Open_binary ] 0o644 path
+              in
+              output_string oc "{\"unit\": not json\n";
+              close_out oc);
+          (* a mismatched key or unit count must refuse to resume *)
+          assert (Fabric.Journal.load ~dir ~key:"other" ~units = None);
+          assert (Fabric.Journal.load ~dir ~key ~units:(units + 1) = None);
+          match Fabric.Journal.load ~dir ~key ~units with
+          | None -> false
+          | Some (j, loaded) ->
+              let ops_kept =
+                match damage with
+                | Truncated -> List.rev (List.tl (List.rev ops))
+                | Intact | Garbage -> ops
+              in
+              let want_results, want_frontiers = expected_of ops_kept in
+              let eq_assoc a b =
+                List.length a = List.length b
+                && List.for_all2
+                     (fun (i, p) (i', p') ->
+                       i = i' && J.to_string p = J.to_string p')
+                     a b
+              in
+              let sort l =
+                List.sort (fun (a, _) (b, _) -> Int.compare a b) l
+              in
+              eq_assoc want_results loaded.Fabric.Journal.results
+              && eq_assoc (sort want_frontiers)
+                   (sort loaded.Fabric.Journal.frontiers)
+              && loaded.Fabric.Journal.dropped
+                 = (match damage with Intact -> 0 | _ -> 1)
+              &&
+              (* appending after a load preserves the loaded history *)
+              let extra = units - 1 in
+              Fabric.Journal.record_result j ~index:extra
+                (payload_for (Result extra));
+              (match Fabric.Journal.load ~dir ~key ~units with
+              | None -> false
+              | Some (_, re) ->
+                  let want, _ =
+                    expected_of (ops_kept @ [ Result extra ])
+                  in
+                  eq_assoc want re.Fabric.Journal.results
+                  && re.Fabric.Journal.dropped = 0)))
+
+(* ----------------------------------------------- workers and helpers --- *)
+
+let with_workers n f =
+  let binary = Testutil.wfde_binary () in
+  let procs =
+    List.init n (fun _ ->
+        Proc.start ~binary ~socket:(Testutil.temp_socket ()) ())
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter Proc.destroy procs)
+    (fun () ->
+      List.iter
+        (fun p ->
+          if not (Proc.wait_ready p) then
+            Alcotest.failf "daemon on %s not ready" p.Proc.socket)
+        procs;
+      f (Array.of_list procs))
+
+let cfg_of procs =
+  {
+    (Fabric.Coordinator.default
+       ~workers:(Array.to_list (Array.map (fun p -> p.Proc.socket) procs)))
+    with
+    retries = 2;
+    backoff_ms = 5.;
+  }
+
+(* timing fields are the one sanctioned difference between fabric and
+   serial sweep JSON *)
+let rec strip_walls = function
+  | J.Obj kvs ->
+      J.Obj
+        (List.map
+           (fun (k, v) ->
+             if k = "wall_seconds" || k = "total_wall_seconds" then
+               (k, J.Float 0.)
+             else (k, strip_walls v))
+           kvs)
+  | J.List l -> J.List (List.map strip_walls l)
+  | other -> other
+
+let reference_sweep ids =
+  let timed =
+    List.map
+      (fun id ->
+        let f = Option.get (Wfde.Experiments.by_id id) in
+        (id, f ~scale:1 ~jobs:1 (), 0.0))
+      ids
+  in
+  let outcomes = List.map (fun (_, o, _) -> o) timed in
+  ( Serve.Service.sweep_text outcomes,
+    Serve.Service.sweep_json ~jobs:1 ~scale:1 timed )
+
+let reference_check ?mutant ~procs ~depth obj =
+  let o = Wfde.Harness.check_exhaustive ~jobs:1 ~procs ~depth ?mutant obj in
+  (Serve.Service.check_text o, Wfde.Harness.check_outcome_json o)
+
+let assert_invariants ?(cut = false) label (p : Fabric.Coordinator.progress) =
+  (* [cut]: a violation run merges only up to the first violating unit,
+     so a unit lost beyond the cut is rightly never recomputed *)
+  if cut then
+    checkb
+      (label ^ ": recomputed <= lost")
+      true
+      (p.units_recomputed <= p.units_lost_to_crash)
+  else
+    checki (label ^ ": recomputed = lost") p.units_lost_to_crash
+      p.units_recomputed;
+  checki (label ^ ": no payload mismatches") 0 p.payload_mismatches
+
+let run_ok label cfg plan =
+  match Fabric.Coordinator.run cfg plan with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "%s: fabric failed: %s" label msg
+  | exception Fabric.Coordinator.Crashed k ->
+      Alcotest.failf "%s: unexpected Crashed %d" label k
+
+(* ----------------------------------------------------- differential --- *)
+
+let test_sweep_differential () =
+  let ids = [ "e1"; "e2"; "e6" ] in
+  let want_text, want_json = reference_sweep ids in
+  with_workers 3 (fun procs ->
+      let plan =
+        match Fabric.Plan.sweep ids with Ok p -> p | Error m -> Alcotest.fail m
+      in
+      (* chaos: a worker dies for real once the first unit lands *)
+      let killed = Atomic.make false in
+      let cfg =
+        {
+          (cfg_of procs) with
+          window = 1;
+          on_unit_done =
+            Some
+              (fun k ->
+                if k >= 1 && not (Atomic.exchange killed true) then
+                  Proc.sigkill procs.(0));
+        }
+      in
+      let r = run_ok "sweep" cfg plan in
+      checks "sweep text identical under worker kill" want_text r.text;
+      checks "sweep json identical modulo walls"
+        (J.to_string (strip_walls want_json))
+        (J.to_string (strip_walls r.json));
+      checkb "sweep ok" true r.ok;
+      assert_invariants "sweep" r.progress)
+
+let test_check_differential_sliced () =
+  let want_text, want_json =
+    reference_check ~procs:3 ~depth:8 Wfde.Scenario.Abd
+  in
+  with_workers 2 (fun procs ->
+      let plan = Fabric.Plan.check ~procs:3 ~depth:8 Wfde.Scenario.Abd in
+      checkb "abd d8 shards into many units" true
+        (Array.length plan.Fabric.Plan.units > 10);
+      (* small unit budget: many slices cross worker boundaries through
+         serialized frontiers, and the result must not care *)
+      let cfg = { (cfg_of procs) with unit_budget = Some 5 } in
+      let r = run_ok "check" cfg plan in
+      checks "check text identical with budget slicing" want_text r.text;
+      checks "check json byte-identical" (J.to_string want_json)
+        (J.to_string r.json);
+      checkb "slicing actually happened" true
+        (r.progress.frontier_slices > 0);
+      assert_invariants "check" r.progress)
+
+(* ------------------------------------------------------------ chaos --- *)
+
+let test_check_worker_kill_and_drain () =
+  let want_text, want_json =
+    reference_check ~procs:3 ~depth:8 Wfde.Scenario.Abd
+  in
+  with_workers 3 (fun procs ->
+      let plan = Fabric.Plan.check ~procs:3 ~depth:8 Wfde.Scenario.Abd in
+      let units = Array.length plan.Fabric.Plan.units in
+      let killed = Atomic.make false and drained = Atomic.make false in
+      let cfg =
+        {
+          (cfg_of procs) with
+          unit_budget = Some 10;
+          on_unit_done =
+            Some
+              (fun k ->
+                if k >= 3 && not (Atomic.exchange killed true) then
+                  Proc.sigkill procs.(1);
+                if k >= units / 2 && not (Atomic.exchange drained true) then
+                  Proc.sigterm procs.(2));
+        }
+      in
+      let r = run_ok "chaos" cfg plan in
+      checks "text identical after kill + drain" want_text r.text;
+      checks "json identical after kill + drain" (J.to_string want_json)
+        (J.to_string r.json);
+      assert_invariants "chaos" r.progress;
+      checkb "the kill was observed" true (r.progress.workers_dead >= 1))
+
+let test_coordinator_crash_resume () =
+  let want_text, want_json =
+    reference_check ~procs:3 ~depth:8 Wfde.Scenario.Abd
+  in
+  let dir = Testutil.temp_dir ~prefix:"wfde_fabric_ckpt" () in
+  Fun.protect
+    ~finally:(fun () -> Testutil.rm_rf dir)
+    (fun () ->
+      with_workers 2 (fun procs ->
+          let plan = Fabric.Plan.check ~procs:3 ~depth:8 Wfde.Scenario.Abd in
+          let cfg =
+            { (cfg_of procs) with checkpoint = Some dir; crash_after = Some 10 }
+          in
+          (match Fabric.Coordinator.run cfg plan with
+          | exception Fabric.Coordinator.Crashed k ->
+              checkb "crash point honored" true (k >= 10)
+          | Ok _ -> Alcotest.fail "expected the coordinator to crash"
+          | Error msg -> Alcotest.failf "fabric failed: %s" msg);
+          let cfg =
+            {
+              (cfg_of procs) with
+              checkpoint = Some dir;
+              resume = true;
+              crash_after = None;
+            }
+          in
+          let r = run_ok "resume" cfg plan in
+          checkb "resume skipped journaled units" true
+            (r.progress.units_from_journal >= 10);
+          checkb "resume recomputed only the rest" true
+            (r.progress.units_completed
+             = r.progress.units_total - r.progress.units_from_journal);
+          checks "text identical after crash + resume" want_text r.text;
+          checks "json identical after crash + resume" (J.to_string want_json)
+            (J.to_string r.json);
+          assert_invariants "resume" r.progress))
+
+let test_mutants_identical_under_kill () =
+  (* every planted bug must be caught through the fabric with the
+     byte-identical violation report, a worker crash notwithstanding *)
+  List.iter
+    (fun (obj, procs, depth, mutant) ->
+      let want_text, want_json =
+        reference_check ~procs ~depth ~mutant obj
+      in
+      with_workers 2 (fun procs_arr ->
+          let plan = Fabric.Plan.check ~procs ~depth ~mutant obj in
+          let killed = Atomic.make false in
+          let cfg =
+            {
+              (cfg_of procs_arr) with
+              on_unit_done =
+                Some
+                  (fun k ->
+                    if k >= 1 && not (Atomic.exchange killed true) then
+                      Proc.sigkill procs_arr.(0));
+            }
+          in
+          let label = Wfde.Mutant.to_string mutant in
+          let r = run_ok label cfg plan in
+          checks (label ^ ": violation text identical") want_text r.text;
+          checks (label ^ ": violation json identical")
+            (J.to_string want_json) (J.to_string r.json);
+          checkb (label ^ ": violation found") false r.ok;
+          assert_invariants ~cut:true label r.progress))
+    [
+      (Wfde.Scenario.Abd, 3, 10, Wfde.Mutant.Abd_skip_write_back);
+      (Wfde.Scenario.Snapshot, 3, 12, Wfde.Mutant.Snapshot_single_collect);
+      (Wfde.Scenario.Commit_adopt, 2, 6, Wfde.Mutant.Converge_drop_phase2);
+    ]
+
+let test_all_workers_dead_is_resumable () =
+  let dir = Testutil.temp_dir ~prefix:"wfde_fabric_dead" () in
+  Fun.protect
+    ~finally:(fun () -> Testutil.rm_rf dir)
+    (fun () ->
+      with_workers 1 (fun procs ->
+          let plan = Fabric.Plan.check ~procs:3 ~depth:8 Wfde.Scenario.Abd in
+          let killed = Atomic.make false in
+          let cfg =
+            {
+              (cfg_of procs) with
+              checkpoint = Some dir;
+              on_unit_done =
+                Some
+                  (fun k ->
+                    if k >= 2 && not (Atomic.exchange killed true) then
+                      Proc.sigkill procs.(0));
+            }
+          in
+          (match Fabric.Coordinator.run cfg plan with
+          | Error msg ->
+              checkb "error names resume" true
+                (Testutil.contains msg "--resume")
+          | Ok _ -> Alcotest.fail "expected failure with every worker dead"
+          | exception Fabric.Coordinator.Crashed k ->
+              Alcotest.failf "unexpected Crashed %d" k);
+          (* the journal survived: a fresh worker fleet picks it up *)
+          with_workers 2 (fun procs2 ->
+              let cfg =
+                { (cfg_of procs2) with checkpoint = Some dir; resume = true }
+              in
+              let r = run_ok "afterlife" cfg plan in
+              let want_text, _ =
+                reference_check ~procs:3 ~depth:8 Wfde.Scenario.Abd
+              in
+              checkb "journal units were honored" true
+                (r.progress.units_from_journal >= 2);
+              checks "text identical after total worker loss" want_text
+                r.text)))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_journal_roundtrip;
+    Alcotest.test_case "sweep differential under worker kill" `Slow
+      test_sweep_differential;
+    Alcotest.test_case "check differential with budget slicing" `Slow
+      test_check_differential_sliced;
+    Alcotest.test_case "check survives kill + drain byte-identically" `Slow
+      test_check_worker_kill_and_drain;
+    Alcotest.test_case "coordinator crash + resume is exact" `Slow
+      test_coordinator_crash_resume;
+    Alcotest.test_case "planted mutants identical under worker kill" `Slow
+      test_mutants_identical_under_kill;
+    Alcotest.test_case "total worker loss leaves a resumable journal" `Slow
+      test_all_workers_dead_is_resumable;
+  ]

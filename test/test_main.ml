@@ -22,4 +22,5 @@ let () =
       ("msg-consensus", Test_msg_consensus.suite);
       ("serve", Test_serve.suite);
       ("cache", Test_cache.suite);
+      ("fabric", Test_fabric.suite);
     ]
