@@ -123,8 +123,10 @@ let () =
                     | Some cv when cv > bv ->
                         regress "%s: counter %s regressed %d -> %d" name k bv cv
                     | Some cv when cv < bv ->
-                        Printf.printf "  improved counter %-20s %d -> %d\n" k bv
+                        Printf.printf
+                          "  improved counter %-20s %d -> %d (-%.1f%%)\n" k bv
                           cv
+                          (100. *. float_of_int (bv - cv) /. float_of_int bv)
                     | Some _ -> ())
                   b.counters;
                 (match (b.minor_words, c.minor_words) with

@@ -412,7 +412,8 @@ let check_cmd =
       `S Manpage.s_description;
       `P
         "Explores every Mazurkiewicz class of depth-bounded schedule \
-         prefixes with dynamic partial-order reduction (sleep sets), \
+         prefixes with optimal dynamic partial-order reduction (source \
+         sets and wakeup trees), \
          checking linearizability (Wing-Gong) or agreement on each \
          executed run, sweeping the scenario's failure patterns. A found \
          counterexample is ddmin-shrunk and confirmed by script replay. \

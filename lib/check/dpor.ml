@@ -3,6 +3,7 @@ open Kernel
 type stats = {
   executions : int;
   sleep_blocked : int;
+  deduped : int;
   races : int;
   backtrack_points : int;
 }
@@ -19,24 +20,41 @@ let merge_stats a b =
   {
     executions = sat_add a.executions b.executions;
     sleep_blocked = sat_add a.sleep_blocked b.sleep_blocked;
+    deduped = sat_add a.deduped b.deduped;
     races = sat_add a.races b.races;
     backtrack_points = sat_add a.backtrack_points b.backtrack_points;
   }
 
 let zero_stats =
-  { executions = 0; sleep_blocked = 0; races = 0; backtrack_points = 0 }
+  {
+    executions = 0;
+    sleep_blocked = 0;
+    deduped = 0;
+    races = 0;
+    backtrack_points = 0;
+  }
+
+(* A wakeup sequence: the (pid, pending-step label) steps of one
+   reversed race, scheduled verbatim — sleep sets bypassed — when its
+   head pid is picked from a backtrack set. Slot 0 is the head's own
+   step at the insertion node; the tail becomes the next run's
+   prescription. *)
+type wstep = { w_pid : Pid.t; w_kind : Sim.kind }
 
 (* ---------------------------------------------------- frontiers ------- *)
 
 (* A serialized stack node. Only the search state is kept: [enabled] and
    [kind] are recomputed by the prescribed replay of the next execution
    (deterministic worlds make that refresh authoritative), so they never
-   need to cross a process boundary. *)
+   need to cross a process boundary. Wakeup sequences, the pending
+   prescription, and the fingerprint table DO cross: they are search
+   state a resume cannot reconstruct. *)
 type fnode = {
   fn_chosen : int;
   fn_backtrack : int list;
   fn_explored : int list;
   fn_sleep : int list;
+  fn_wakeups : (int * wstep array) list;
 }
 
 type frontier = {
@@ -44,6 +62,8 @@ type frontier = {
   f_floor : int;
   f_stats : stats; (* cumulative over every slice up to the capture *)
   f_nodes : fnode list;
+  f_presc : wstep array; (* prescription of the pending run *)
+  f_seen : int list; (* fingerprint keys of every executed window prefix *)
 }
 
 let frontier_stats f = f.f_stats
@@ -53,7 +73,36 @@ let set_to_ints s = Pid.Set.elements s |> List.map Pid.to_int
 
 module J = Obs.Json
 
-let frontier_schema = "wfde-frontier/1"
+let frontier_schema = "wfde-frontier/2"
+
+let kind_to_json = function
+  | Sim.Read { obj } -> J.Obj [ ("op", J.String "read"); ("obj", J.String obj) ]
+  | Sim.Write { obj } ->
+      J.Obj [ ("op", J.String "write"); ("obj", J.String obj) ]
+  | Sim.Query { detector } ->
+      J.Obj [ ("op", J.String "query"); ("detector", J.String detector) ]
+  | Sim.Output { label; value } ->
+      J.Obj
+        [
+          ("op", J.String "output");
+          ("label", J.String label);
+          ("value", J.String value);
+        ]
+  | Sim.Input { label; value } ->
+      J.Obj
+        [
+          ("op", J.String "input");
+          ("label", J.String label);
+          ("value", J.String value);
+        ]
+  | Sim.Nop -> J.Obj [ ("op", J.String "nop") ]
+
+let wstep_to_json w =
+  match kind_to_json w.w_kind with
+  | J.Obj fields -> J.Obj (("pid", J.Int (Pid.to_int w.w_pid)) :: fields)
+  | _ -> assert false
+
+let wseq_to_json ws = J.List (Array.to_list ws |> List.map wstep_to_json)
 
 let frontier_to_json f =
   let ints xs = J.List (List.map (fun i -> J.Int i) xs) in
@@ -67,6 +116,7 @@ let frontier_to_json f =
           [
             ("executions", J.Int f.f_stats.executions);
             ("sleep_blocked", J.Int f.f_stats.sleep_blocked);
+            ("deduped", J.Int f.f_stats.deduped);
             ("races", J.Int f.f_stats.races);
             ("backtrack_points", J.Int f.f_stats.backtrack_points);
           ] );
@@ -80,8 +130,19 @@ let frontier_to_json f =
                    ("backtrack", ints fn.fn_backtrack);
                    ("explored", ints fn.fn_explored);
                    ("sleep", ints fn.fn_sleep);
+                   ( "wakeups",
+                     J.List
+                       (List.map
+                          (fun (p, ws) ->
+                            J.Obj
+                              [
+                                ("pid", J.Int p); ("seq", wseq_to_json ws);
+                              ])
+                          fn.fn_wakeups) );
                  ])
              f.f_nodes) );
+      ("presc", wseq_to_json f.f_presc);
+      ("seen", ints f.f_seen);
     ]
 
 exception Bad_frontier of string
@@ -93,6 +154,11 @@ let frontier_of_json j =
     | Some (J.Int v) when v >= 0 -> v
     | _ -> fail "frontier: %S must be a non-negative integer" key
   in
+  let str key o =
+    match J.member key o with
+    | Some (J.String s) -> s
+    | _ -> fail "frontier: %S must be a string" key
+  in
   let ints key o =
     match J.member key o with
     | Some (J.List xs) ->
@@ -101,6 +167,22 @@ let frontier_of_json j =
             | J.Int v when v >= 0 -> v
             | _ -> fail "frontier: %S must list non-negative integers" key)
           xs
+    | _ -> fail "frontier: missing list %S" key
+  in
+  let kind_of o =
+    match str "op" o with
+    | "read" -> Sim.Read { obj = str "obj" o }
+    | "write" -> Sim.Write { obj = str "obj" o }
+    | "query" -> Sim.Query { detector = str "detector" o }
+    | "output" -> Sim.Output { label = str "label" o; value = str "value" o }
+    | "input" -> Sim.Input { label = str "label" o; value = str "value" o }
+    | "nop" -> Sim.Nop
+    | op -> fail "frontier: unknown step op %S" op
+  in
+  let wstep_of o = { w_pid = Pid.of_index (int "pid" o); w_kind = kind_of o } in
+  let wseq key o =
+    match J.member key o with
+    | Some (J.List xs) -> Array.of_list (List.map wstep_of xs)
     | _ -> fail "frontier: missing list %S" key
   in
   try
@@ -118,6 +200,7 @@ let frontier_of_json j =
       {
         executions = int "executions" stats_j;
         sleep_blocked = int "sleep_blocked" stats_j;
+        deduped = int "deduped" stats_j;
         races = int "races" stats_j;
         backtrack_points = int "backtrack_points" stats_j;
       }
@@ -127,11 +210,20 @@ let frontier_of_json j =
       | Some (J.List xs) ->
           List.map
             (fun o ->
+              let wakeups =
+                match J.member "wakeups" o with
+                | Some (J.List ws) ->
+                    List.map
+                      (fun w -> (int "pid" w, wseq "seq" w))
+                      ws
+                | _ -> fail "frontier: missing list \"wakeups\""
+              in
               {
                 fn_chosen = int "chosen" o;
                 fn_backtrack = ints "backtrack" o;
                 fn_explored = ints "explored" o;
                 fn_sleep = ints "sleep" o;
+                fn_wakeups = wakeups;
               })
             xs
       | _ -> fail "frontier: missing \"nodes\""
@@ -139,11 +231,14 @@ let frontier_of_json j =
     let len = List.length nodes in
     if len > max depth 1 then fail "frontier: %d nodes exceed depth %d" len depth;
     if floor > len then fail "frontier: floor %d exceeds %d nodes" floor len;
-    Ok { f_depth = depth; f_floor = floor; f_stats; f_nodes = nodes }
+    let f_presc = wseq "presc" j in
+    let f_seen = ints "seen" j in
+    Ok { f_depth = depth; f_floor = floor; f_stats; f_nodes = nodes; f_presc; f_seen }
   with Bad_frontier m -> Error m
 
 let m_executions = Obs.Metrics.counter "check.dpor.executions"
 let m_sleep_blocked = Obs.Metrics.counter "check.dpor.sleep_blocked"
+let m_deduped = Obs.Metrics.counter "check.dpor.deduped"
 let m_races = Obs.Metrics.counter "check.dpor.races"
 let m_backtrack_points = Obs.Metrics.counter "check.dpor.backtrack_points"
 let m_exec_steps = Obs.Metrics.histogram "check.dpor.execution_steps"
@@ -163,20 +258,23 @@ let independent p1 k1 p2 k2 =
   | _, (Sim.Output _ | Sim.Input _ | Sim.Nop) ->
       true
 
-
 (* One position of the exploration stack. [sleep] is fixed at creation
    (it depends only on the path above, which is stable while the node
-   is on the stack); [backtrack]/[explored] grow across executions. *)
+   is on the stack); [backtrack]/[explored]/[wakeups] grow across
+   executions. [wakeups] maps a backtrack pid to the recorded wakeup
+   sequence of the race that inserted it; pids inserted without a
+   sequence (tail races, fallback insertions) just run free. *)
 type node = {
   mutable chosen : Pid.t;
   mutable kind : Sim.kind; (* pending kind of [chosen] at this position *)
   enabled : Eset.t; (* before the step, pid order; refreshed in place *)
   mutable backtrack : Pid.Set.t;
   mutable explored : Pid.Set.t;
+  mutable wakeups : (Pid.t * wstep array) list;
   sleep : Pid.Set.t;
 }
 
-let capture_frontier ~depth ~floor ~stack ~len ~stats =
+let capture_frontier ~depth ~floor ~stack ~len ~stats ~presc ~seen =
   let nodes =
     List.init len (fun i ->
         match stack.(i) with
@@ -187,9 +285,21 @@ let capture_frontier ~depth ~floor ~stack ~len ~stats =
               fn_backtrack = set_to_ints nd.backtrack;
               fn_explored = set_to_ints nd.explored;
               fn_sleep = set_to_ints nd.sleep;
+              fn_wakeups =
+                List.map
+                  (fun (p, ws) -> (Pid.to_int p, ws))
+                  nd.wakeups;
             })
   in
-  { f_depth = depth; f_floor = floor; f_stats = stats; f_nodes = nodes }
+  let f_seen = Hashtbl.fold (fun k () acc -> k :: acc) seen [] in
+  {
+    f_depth = depth;
+    f_floor = floor;
+    f_stats = stats;
+    f_nodes = nodes;
+    f_presc = presc;
+    f_seen = List.sort compare f_seen;
+  }
 
 (* Fiber names are a pure function of (pid, thread index); intern them
    so re-spawning the world for every execution stops formatting. The
@@ -222,17 +332,23 @@ let refresh_enabled es sched =
   Scheduler.iter_pending sched (fun p k -> Eset.push es p k)
 
 (* Execute one run: follow the prescribed choices in [stack.(0..len-1)],
-   extend with the first non-sleeping enabled process up to [depth]
-   (pushing new nodes), then complete with round-robin. Returns the
-   checker's verdict, the trace, the live trace buffer (for the race
-   analysis), the stack length after extension, and whether extension
-   hit an all-sleeping enabled set (a provably redundant run). *)
-let run_once ~pattern ~horizon ~depth ~stack ~len ~make ~pend =
+   extend by consuming the wakeup prescription [presc] (sleep sets
+   bypassed — a wakeup sequence exists precisely because the sleep set
+   would otherwise suppress a class the reversal must visit), then with
+   the first non-sleeping enabled process up to [depth] (pushing new
+   nodes), then complete with round-robin. A prescription step whose pid
+   is no longer enabled abandons the rest of the prescription and falls
+   back to the free extension. Returns the checker's verdict, the trace,
+   the live trace buffer (for the race analysis), the stack length after
+   extension, and whether the free extension hit an all-sleeping enabled
+   set (a provably redundant run). *)
+let run_once ~pattern ~horizon ~depth ~stack ~len ~presc ~make ~pend =
   let procs, checkf = make () in
   let sched_ref = ref None in
   let pos = ref 0 in
   let grown = ref len in
   let blocked = ref false in
+  let presc_dead = ref false in
   let rr = Policy.round_robin () in
   let policy ~now ~enabled =
     let i = !pos in
@@ -274,30 +390,49 @@ let run_once ~pattern ~horizon ~depth ~stack ~len ~make ~pend =
                 | None -> false)
               (Pid.Set.union parent.sleep parent.explored)
         in
-        let rec first_awake idx =
-          if idx >= Eset.size pend then None
-          else
-            let q = Eset.pid_at pend idx in
-            if Pid.Set.mem q sleep then first_awake (idx + 1)
-            else Some (q, Eset.kind_at pend idx)
+        let push q kq =
+          stack.(i) <-
+            Some
+              {
+                chosen = q;
+                kind = kq;
+                enabled = Eset.copy pend;
+                backtrack = Pid.Set.empty;
+                explored = Pid.Set.empty;
+                wakeups = [];
+                sleep;
+              };
+          grown := i + 1;
+          Some q
         in
-        match first_awake 0 with
-        | None ->
-            blocked := true;
-            rr ~now ~enabled
-        | Some (q, kq) ->
-            stack.(i) <-
-              Some
-                {
-                  chosen = q;
-                  kind = kq;
-                  enabled = Eset.copy pend;
-                  backtrack = Pid.Set.empty;
-                  explored = Pid.Set.empty;
-                  sleep;
-                };
-            grown := i + 1;
-            Some q
+        let prescribed =
+          let pi = i - len in
+          if !presc_dead || pi >= Array.length presc then None
+          else
+            let q = presc.(pi).w_pid in
+            match Eset.find pend q with
+            | Some kq -> Some (q, kq)
+            | None ->
+                (* the reversed world diverged from the recording; run
+                   the rest of the extension free *)
+                presc_dead := true;
+                None
+        in
+        match prescribed with
+        | Some (q, kq) -> push q kq
+        | None -> (
+            let rec first_awake idx =
+              if idx >= Eset.size pend then None
+              else
+                let q = Eset.pid_at pend idx in
+                if Pid.Set.mem q sleep then first_awake (idx + 1)
+                else Some (q, Eset.kind_at pend idx)
+            in
+            match first_awake 0 with
+            | None ->
+                blocked := true;
+                rr ~now ~enabled
+            | Some (q, kq) -> push q kq)
       end
   in
   let fibers = spawn_fibers ~pattern ~procs in
@@ -307,6 +442,145 @@ let run_once ~pattern ~horizon ~depth ~stack ~len ~make ~pend =
   Obs.Metrics.observe_int m_exec_steps (Scheduler.now sched);
   let trace = Scheduler.trace sched in
   (checkf trace, trace, Scheduler.trace_builder sched, !grown, !blocked)
+
+(* ------------------------------------------- schedule fingerprints ----- *)
+
+(* Canonical keys for window prefixes up to Mazurkiewicz equivalence:
+   two prefixes that differ only in the order of independent steps get
+   the same key. Per step the key material is (Foata level, step code):
+   the Foata level is 1 + the max level of any earlier dependent step
+   (a pure function of the trace class), the step code hashes the
+   (pid, label) pair. Items are combined commutatively (sum of mixed
+   items), so no sorting is needed and every prefix length of a window
+   is keyed in one O(len^2) pass. Equivalent prefixes collide by
+   construction; unequal prefixes collide with ~2^-62 probability,
+   which the differential battery cross-checks empirically. *)
+
+let fp_mix x =
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x35CD5A21 in
+  let x = x lxor (x lsr 31) in
+  let x = x * 0x4F6CDD1D in
+  x lxor (x lsr 28)
+
+let fp_item ~level ~code = fp_mix (code + (level * 0x9E3779B9))
+let fp_key ~len ~hash = fp_mix (hash lxor (len * 0x2545F491)) land max_int
+
+(* Per-call fingerprint scratch: levels/items/prefix-hashes of the last
+   executed window, reused to key the next candidate prefix in O(len)
+   (its strict prefix is shared with the last run), plus the
+   access-category tables of the O(steps) full-run pass. *)
+type fp_state = {
+  mutable fp_level : int array; (* per window position: Foata level *)
+  mutable fp_hash : int array; (* fp_hash.(l) keys the l-step prefix *)
+  fr_pid_level : int array; (* per process: level of its last step *)
+  fr_objs : (string, int * int) Hashtbl.t;
+      (* per object: (last-write level, max read level) *)
+  seen : (int, unit) Hashtbl.t;
+}
+
+let make_fp_state ~n ~depth ~seen_keys =
+  let cap = max depth 1 in
+  let seen = Hashtbl.create 1024 in
+  List.iter (fun k -> Hashtbl.replace seen k ()) seen_keys;
+  {
+    fp_level = Array.make cap 0;
+    fp_hash = Array.make (cap + 1) 0;
+    fr_pid_level = Array.make n 0;
+    fr_objs = Hashtbl.create 16;
+    seen;
+  }
+
+let step_code pid kind = Hashtbl.hash (Pid.to_int pid, kind) land max_int
+
+(* Recompute level/item/hash for window position [t] given positions
+   [0..t-1] are current. *)
+let fp_set fp ~stack t =
+  let nd = match stack.(t) with Some nd -> nd | None -> assert false in
+  let level = ref 1 in
+  for u = 0 to t - 1 do
+    let nu = match stack.(u) with Some nd -> nd | None -> assert false in
+    if
+      (not (independent nu.chosen nu.kind nd.chosen nd.kind))
+      && fp.fp_level.(u) >= !level
+    then level := fp.fp_level.(u) + 1
+  done;
+  fp.fp_level.(t) <- !level;
+  fp.fp_hash.(t + 1) <-
+    fp.fp_hash.(t) + fp_item ~level:!level ~code:(step_code nd.chosen nd.kind)
+
+(* Key every prefix of the executed window and record it as seen. *)
+let fp_record fp ~stack ~grown =
+  for t = 0 to grown - 1 do
+    fp_set fp ~stack t;
+    Hashtbl.replace fp.seen (fp_key ~len:(t + 1) ~hash:fp.fp_hash.(t + 1)) ()
+  done
+
+(* Key the WHOLE executed run — window and round-robin tail — and
+   record it as seen. Returns whether the key was already present:
+   this run is then a duplicate of an executed one up to trace
+   equivalence. Two inequivalent windows can still complete into the
+   same run class (the tail reorders the leftover independent steps),
+   which path-local sleep sets cannot see; the caller suppresses the
+   duplicate's race analysis, since every race it contains is
+   equivalent to one in the original run, whose analysis already
+   inserted the reversals.
+
+   Levels come from an O(steps) incremental pass over the label-based
+   dependence relation: a step depends on its process's previous step
+   and the last query (queries conflict with everything, so a query
+   itself tops every level so far); a read also on the last write to
+   its object; a write also on that object's reads. *)
+let fp_full_run fp ~s_pids ~s_kinds ~m =
+  Array.fill fp.fr_pid_level 0 (Array.length fp.fr_pid_level) 0;
+  Hashtbl.reset fp.fr_objs;
+  let last_query = ref 0 and global_max = ref 0 in
+  let hash = ref 0 in
+  for t = 0 to m - 1 do
+    let p = s_pids.(t) and k = s_kinds.(t) in
+    let base = max fp.fr_pid_level.(p) !last_query in
+    let level =
+      1
+      +
+      match k with
+      | Sim.Query _ -> !global_max
+      | Sim.Read { obj } -> (
+          match Hashtbl.find_opt fp.fr_objs obj with
+          | Some (w, _) -> max base w
+          | None -> base)
+      | Sim.Write { obj } -> (
+          match Hashtbl.find_opt fp.fr_objs obj with
+          | Some (w, r) -> max base (max w r)
+          | None -> base)
+      | Sim.Output _ | Sim.Input _ | Sim.Nop -> base
+    in
+    (match k with
+    | Sim.Query _ -> last_query := level
+    | Sim.Read { obj } ->
+        let w, r =
+          match Hashtbl.find_opt fp.fr_objs obj with
+          | Some wr -> wr
+          | None -> (0, 0)
+        in
+        Hashtbl.replace fp.fr_objs obj (w, max r level)
+    | Sim.Write { obj } -> Hashtbl.replace fp.fr_objs obj (level, 0)
+    | Sim.Output _ | Sim.Input _ | Sim.Nop -> ());
+    fp.fr_pid_level.(p) <- level;
+    if level > !global_max then global_max := level;
+    hash := !hash + fp_item ~level ~code:(Hashtbl.hash (p, k) land max_int)
+  done;
+  let key = fp_key ~len:m ~hash:!hash in
+  let dup = Hashtbl.mem fp.seen key in
+  Hashtbl.replace fp.seen key ();
+  dup
+
+(* Has the candidate prefix [stack.(0..len-1)] — the last run's prefix
+   with a retargeted final step — already been executed up to trace
+   equivalence? Only the final position changed, so one fp_set call
+   refreshes the key. *)
+let fp_seen_candidate fp ~stack ~len =
+  fp_set fp ~stack (len - 1);
+  Hashtbl.mem fp.seen (fp_key ~len ~hash:fp.fp_hash.(len))
 
 (* ------------------------------------------------------ race analysis --- *)
 
@@ -336,6 +610,7 @@ type scratch = {
   objs : (string, obj_state) Hashtbl.t;
   mutable pool : int array list; (* free clock buffers, length n *)
   cand : Exec.Dynarray.t; (* race candidate positions for one step *)
+  vseq : Exec.Dynarray.t; (* positions of one race's wakeup sequence *)
 }
 
 let make_scratch ~n =
@@ -350,6 +625,7 @@ let make_scratch ~n =
     objs = Hashtbl.create 16;
     pool = [];
     cand = Exec.Dynarray.create ~capacity:16 ();
+    vseq = Exec.Dynarray.create ~capacity:16 ();
   }
 
 let take_buf s =
@@ -375,13 +651,12 @@ let obj_state s o =
    semantics; real object names never collide with it *)
 let q_obj = "\x00query"
 
-(* Race analysis (Flanagan–Godefroid) over the WHOLE executed run, not
-   just the choice window: a race whose later step sits in the
-   deterministic round-robin tail still needs a backtracking point at
-   its (controllable) earlier step, otherwise a process with a long
-   program can monopolize the window and hide every race from the
-   analysis. Backtracking alternatives can only be inserted at window
-   positions [0 .. grown-1].
+(* Race analysis over the WHOLE executed run, not just the choice
+   window: a race whose later step sits in the deterministic round-robin
+   tail still needs a backtracking point at its (controllable) earlier
+   step, otherwise a process with a long program can monopolize the
+   window and hide every race from the analysis. Backtracking
+   alternatives can only be inserted at window positions [0..grown-1].
 
    Happens-before is tracked with vector clocks over an access model
    derived from step labels: a [Read]/[Write] accesses its named
@@ -390,10 +665,25 @@ let q_obj = "\x00query"
    [Nop]/[Output]/[Input] only read the pseudo-object. For each step j
    the race candidates are the per-object last conflicting accesses;
    (i, j) is an immediate race when no intermediate k has
-   hb(i,k) && hb(k,j). Returns (races, alternatives inserted). *)
-let analyze ~scratch:s ~stack ~grown ~builder =
-  let n = s.n in
-  (* load (pid, kind) per step from the trace buffer *)
+   hb(i,k) && hb(k,j).
+
+   Insertion follows source-set DPOR (Abdulla–Aronis–Jonsson–Sagonas):
+   for a window race (i, j), the reversing sequence is
+   v = notdep(i) . j — the steps of (i, j) not happens-after i, then j
+   itself. If any weak initial of v is already scheduled at node i
+   (in backtrack, explored, or sleep), the reversal's class is covered
+   and NOTHING is inserted — this is where the persistent-set
+   explorer's whole-E insertions went. Otherwise v's first step's pid
+   (an initial of v by construction) is inserted together with v as
+   its wakeup sequence, so the reversal replays the exact witness
+   instead of rediscovering it against the sleep set. Tail races
+   (i >= grown) keep the conservative bounded-window offer of pid_j at
+   the deepest node (Coons–Musuvathi–McKinley). Returns
+   (races, alternatives inserted). *)
+(* Load (pid, kind) per step from the trace buffer into the scratch
+   arrays; returns the step count. Shared by the full-run fingerprint
+   and the race analysis. *)
+let load_steps ~scratch:s ~builder =
   let total = Trace.builder_length builder in
   if Array.length s.s_pids < total then begin
     let cap = max total (2 * Array.length s.s_pids) in
@@ -407,7 +697,11 @@ let analyze ~scratch:s ~stack ~grown ~builder =
         s.s_kinds.(!m) <- kind;
         incr m
     | Trace.Crash _ -> ());
-  let m = !m in
+  !m
+
+
+let analyze ~scratch:s ~stack ~depth ~grown ~m =
+  let n = s.n in
   if m = 0 then (0, 0)
   else begin
     (* reset the reusable buffers for this run *)
@@ -492,20 +786,37 @@ let analyze ~scratch:s ~stack ~grown ~builder =
         if not (mediated (i + 1)) then begin
           incr races;
           if i >= grown then begin
-            (* both race steps sit in the uncontrollable round-robin
-               tail: reversal needs pid_j inside the window first.
-               Conservatively offer it at the deepest window node
-               (bounded-search backtracking, cf. Coons et al.); once
-               it runs there, normal race reversal pulls it further
-               forward on subsequent analyses. *)
-            if grown > 0 then begin
+            (* Both race steps sit in the deterministic round-robin
+               tail. The tail of a run is a function of the window
+               class representative — specifically of its rotation
+               point — so reversing a tail race means finding a window
+               class whose representative rotates the tail
+               differently. Following bounded-search backtracking
+               (Coons–Musuvathi–McKinley) the persistent-set explorer
+               offered pid_j at the deepest window node for {e every}
+               such race; each offer is a full re-execution, and on
+               long tails those rotations dominate the search (they
+               are most of the abd configs' executions). The offer is
+               kept but bounded: only races whose earlier step falls
+               within [tail_reach] scheduler rotations of the window
+               boundary trigger it. A deeper race is reached
+               step-by-step — each accepted offer rotates the tail,
+               moving the race closer to the boundary in the branch
+               that re-runs — so the bound trades eager rotation
+               enumeration for the incremental pull, not for silence.
+               The bound is a heuristic, not a theorem: the
+               differential battery (test_dpor_diff) is the evidence
+               it preserves verdicts, exactly as it is for the
+               persistent-set rule itself. The race is still
+               counted. *)
+            let tail_reach = n in
+            if i < grown + tail_reach && grown > 0 then begin
               let nd =
                 match stack.(grown - 1) with
                 | Some nd -> nd
                 | None -> assert false
               in
-              if
-                Eset.mem nd.enabled pj && not (Pid.Set.mem pj nd.backtrack)
+              if Eset.mem nd.enabled pj && not (Pid.Set.mem pj nd.backtrack)
               then begin
                 nd.backtrack <- Pid.Set.add pj nd.backtrack;
                 incr added
@@ -516,34 +827,107 @@ let analyze ~scratch:s ~stack ~grown ~builder =
             let nd =
               match stack.(i) with Some nd -> nd | None -> assert false
             in
-            (* E-set: processes enabled at i whose scheduling there
-               could reverse the race — pid_j itself, or anyone with a
-               step in (i, j) happening-before j *)
-            let in_e q =
-              Pid.equal q pj
-              ||
+            (* v: the reversing witness — j's happens-before ancestors
+               among the steps after i (none of which happen-after i,
+               or the race would be mediated), then j itself. Steps
+               independent of j are deliberately left out: the reversal
+               class only needs j's causal prefix moved before i, and a
+               bystander-first v would hand the source-set insertion a
+               pid that merely permutes independent steps. *)
+            Exec.Dynarray.clear s.vseq;
+            for k = i + 1 to j - 1 do
+              if (not (hb i k)) && hb k j then Exec.Dynarray.push s.vseq k
+            done;
+            Exec.Dynarray.push s.vseq j;
+            let vlen = Exec.Dynarray.length s.vseq in
+            (* weak initial of v: a pid whose first v-step no earlier
+               v-step happens-before *)
+            let wi_mem q =
               let qi = Pid.to_int q in
-              clock.(qi) >= 1
-              &&
-              let c = clock.(qi) - 1 in
-              c < Exec.Dynarray.length s.positions.(qi)
-              &&
-              let pos = Exec.Dynarray.get s.positions.(qi) c in
-              pos > i && pos < j
+              let rec first t =
+                if t >= vlen then -1
+                else
+                  let pos = Exec.Dynarray.get s.vseq t in
+                  if s.s_pids.(pos) = qi then t else first (t + 1)
+              in
+              match first 0 with
+              | -1 -> false
+              | t ->
+                  let pos_q = Exec.Dynarray.get s.vseq t in
+                  let rec clear u =
+                    u >= t
+                    ||
+                    let pos_u = Exec.Dynarray.get s.vseq u in
+                    (not (hb pos_u pos_q)) && clear (u + 1)
+                  in
+                  clear 0
             in
-            let e_nonempty = ref false in
-            Eset.iter nd.enabled (fun q _ ->
-                if (not !e_nonempty) && in_e q then e_nonempty := true);
-            let e_nonempty = !e_nonempty in
-            (* add E when non-empty, every enabled process otherwise *)
-            Eset.iter nd.enabled (fun q _ ->
-                if
-                  ((not e_nonempty) || in_e q)
-                  && not (Pid.Set.mem q nd.backtrack)
-                then begin
-                  nd.backtrack <- Pid.Set.add q nd.backtrack;
+            let covered =
+              Pid.Set.exists wi_mem nd.backtrack
+              || Pid.Set.exists wi_mem nd.explored
+              || Pid.Set.exists wi_mem nd.sleep
+            in
+            if not covered then begin
+              let q0 : Pid.t = s.s_pids.(Exec.Dynarray.get s.vseq 0) in
+              if Eset.mem nd.enabled q0 then begin
+                (* q0 is a weak initial of v by construction, so the
+                   single source-set insertion covers the reversal —
+                   where the persistent-set explorer scheduled every
+                   member of E. *)
+                if not (Pid.Set.mem q0 nd.backtrack) then begin
+                  nd.backtrack <- Pid.Set.add q0 nd.backtrack;
                   incr added
-                end)
+                end;
+                (* record v as q0's wakeup sequence, window-truncated —
+                   but only for pure-window races: a crossing race's v
+                   prescribes tail steps, and pinning those realizes
+                   boundary alignments as distinct window classes. A
+                   length-1 sequence prescribes nothing beyond the
+                   retargeted node itself, so it is not stored. *)
+                let wlen = min vlen (depth - i) in
+                if j < grown && wlen > 1 then begin
+                  let ws =
+                    Array.init wlen (fun t ->
+                        let pos = Exec.Dynarray.get s.vseq t in
+                        {
+                          w_pid = s.s_pids.(pos);
+                          w_kind = s.s_kinds.(pos);
+                        })
+                  in
+                  nd.wakeups <- (q0, ws) :: List.remove_assoc q0 nd.wakeups
+                end
+              end
+              else begin
+                (* races whose q0 is not enabled at the insertion node
+                   keep the lazy persistent-set rule: offering a member
+                   of E lets the racing step creep into the window over
+                   subsequent analyses *)
+                let in_e q =
+                  Pid.equal q pj
+                  ||
+                  let qi = Pid.to_int q in
+                  clock.(qi) >= 1
+                  &&
+                  let c = clock.(qi) - 1 in
+                  c < Exec.Dynarray.length s.positions.(qi)
+                  &&
+                  let pos = Exec.Dynarray.get s.positions.(qi) c in
+                  pos > i && pos < j
+                in
+                let e_nonempty = ref false in
+                Eset.iter nd.enabled (fun q _ ->
+                    if (not !e_nonempty) && in_e q then e_nonempty := true);
+                let e_nonempty = !e_nonempty in
+                Eset.iter nd.enabled (fun q _ ->
+                    if
+                      ((not e_nonempty) || in_e q)
+                      && not (Pid.Set.mem q nd.backtrack)
+                    then begin
+                      nd.backtrack <- Pid.Set.add q nd.backtrack;
+                      incr added
+                    end)
+              end
+            end
           end
         end
       done;
@@ -614,19 +998,51 @@ let rec take n = function
   | x :: tl -> x :: take (n - 1) tl
 
 let explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~on_phase
-    ~base ~frontier_out ~stack ~len ~floor =
+    ~base ~frontier_out ~stack ~len ~floor ~presc0 ~seen_keys =
   let executions = ref 0 and blocked_runs = ref 0 in
+  let deduped_runs = ref 0 in
   let races_total = ref 0 and added_total = ref 0 in
-  let scratch = make_scratch ~n:(Failure_pattern.n_plus_1 pattern) in
+  let n = Failure_pattern.n_plus_1 pattern in
+  let scratch = make_scratch ~n in
+  let fp = make_fp_state ~n ~depth ~seen_keys in
   let pend = Eset.create () in
+  let presc = ref presc0 in
   (match frontier_out with Some r -> r := None | None -> ());
   let snap () =
     {
       executions = !executions;
       sleep_blocked = !blocked_runs;
+      deduped = !deduped_runs;
       races = !races_total;
       backtrack_points = !added_total;
     }
+  in
+  (* Retarget to the next runnable candidate. A candidate without a
+     wakeup prescription whose retargeted prefix is trace-equivalent to
+     an already-executed one is skipped outright (counted as deduped):
+     the equivalent prefix reaches the same state, and the node that
+     executed it covers every continuation class over its own lifetime.
+     Prescribed candidates are never skipped — their prefix
+     deliberately extends beyond the retargeted node. *)
+  let rec advance () =
+    if next_candidate ~stack ~len ~floor then begin
+      let nd =
+        match stack.(!len - 1) with Some nd -> nd | None -> assert false
+      in
+      (match List.assoc_opt nd.chosen nd.wakeups with
+      | Some ws ->
+          nd.wakeups <- List.remove_assoc nd.chosen nd.wakeups;
+          presc := Array.sub ws 1 (Array.length ws - 1)
+      | None -> presc := [||]);
+      if Array.length !presc = 0 && fp_seen_candidate fp ~stack ~len:!len
+      then begin
+        incr deduped_runs;
+        Obs.Metrics.incr m_deduped;
+        advance ()
+      end
+      else true
+    end
+    else false
   in
   (* Phase profiling is aggregated per call and reported once at the
      end — the span structure (two phases, always both) is independent
@@ -638,7 +1054,7 @@ let explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~on_phase
   let rec loop () =
     if !executions >= budget || should_stop () then begin
       (* Truncated with work remaining: the stack holds the next
-         prescribed run (retargeted by [next_candidate], or the initial
+         prescribed run (retargeted by [advance], or the initial
          prefix), which is exactly the state a resume must restart
          from. Exhaustion and counterexamples exit elsewhere, so a
          capture here never misrepresents a finished search. *)
@@ -647,14 +1063,16 @@ let explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~on_phase
           r :=
             Some
               (capture_frontier ~depth ~floor ~stack ~len:!len
-                 ~stats:(merge_stats base (snap ())))
+                 ~stats:(merge_stats base (snap ()))
+                 ~presc:!presc ~seen:fp.seen)
       | None -> ());
       None
     end
     else begin
       let t0 = clock () in
       let verdict, trace, builder, grown, blocked =
-        run_once ~pattern ~horizon ~depth ~stack ~len:!len ~make ~pend
+        run_once ~pattern ~horizon ~depth ~stack ~len:!len ~presc:!presc
+          ~make ~pend
       in
       if timed then exec_us := !exec_us + (clock () - t0);
       incr executions;
@@ -666,17 +1084,32 @@ let explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~on_phase
       match verdict with
       | Error report -> Some (take depth (Trace.schedule trace), report)
       | Ok () ->
-          if not blocked then begin
-            let t1 = clock () in
-            let races, added = analyze ~scratch ~stack ~grown ~builder in
-            if timed then analyze_us := !analyze_us + (clock () - t1);
+          let t1 = clock () in
+          (* Full-run key first: when the program quiesces inside the
+             window (m = grown) the run's own window key is the same
+             key, and recording it first would flag the run as its own
+             duplicate. *)
+          let m = load_steps ~scratch ~builder in
+          let dup =
+            fp_full_run fp ~s_pids:scratch.s_pids ~s_kinds:scratch.s_kinds ~m
+          in
+          fp_record fp ~stack ~grown;
+          if dup then begin
+            incr deduped_runs;
+            Obs.Metrics.incr m_deduped
+          end;
+          if (not blocked) && not dup then begin
+            let races, added =
+              analyze ~scratch ~stack ~depth ~grown ~m
+            in
             races_total := !races_total + races;
             added_total := !added_total + added;
             Obs.Metrics.incr ~by:races m_races;
             Obs.Metrics.incr ~by:added m_backtrack_points
           end;
+          if timed then analyze_us := !analyze_us + (clock () - t1);
           len := grown;
-          if next_candidate ~stack ~len ~floor then loop () else None
+          if advance () then loop () else None
     end
   in
   let counterexample = loop () in
@@ -697,7 +1130,8 @@ let explore ~pattern ~depth ~horizon ?(budget = unbounded)
   let stack = Array.make (max depth 1) None in
   let len = ref 0 in
   explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~on_phase
-    ~base:zero_stats ~frontier_out ~stack ~len ~floor:0
+    ~base:zero_stats ~frontier_out ~stack ~len ~floor:0 ~presc0:[||]
+    ~seen_keys:[]
 
 let root_branches ~pattern ~make () =
   let procs, _checkf = make () in
@@ -740,11 +1174,13 @@ let explore_branch ~pattern ~depth ~horizon ?(budget = unbounded)
         enabled = Eset.of_list branches;
         backtrack = Pid.Set.empty;
         explored;
+        wakeups = [];
         sleep = Pid.Set.empty;
       };
   let len = ref 1 in
   explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~on_phase
-    ~base:zero_stats ~frontier_out ~stack ~len ~floor:1
+    ~base:zero_stats ~frontier_out ~stack ~len ~floor:1 ~presc0:[||]
+    ~seen_keys:[]
 
 let resume ~pattern ~horizon ?(budget = unbounded)
     ?(should_stop = fun () -> false) ?on_phase ?frontier_out ~frontier ~make ()
@@ -764,9 +1200,14 @@ let resume ~pattern ~horizon ?(budget = unbounded)
             enabled = Eset.create ();
             backtrack = Pid.Set.of_indices fn.fn_backtrack;
             explored = Pid.Set.of_indices fn.fn_explored;
+            wakeups =
+              List.map
+                (fun (p, ws) -> (Pid.of_index p, ws))
+                fn.fn_wakeups;
             sleep = Pid.Set.of_indices fn.fn_sleep;
           })
     frontier.f_nodes;
   let len = ref (List.length frontier.f_nodes) in
   explore_loop ~pattern ~depth ~horizon ~make ~budget ~should_stop ~on_phase
     ~base:frontier.f_stats ~frontier_out ~stack ~len ~floor:frontier.f_floor
+    ~presc0:frontier.f_presc ~seen_keys:frontier.f_seen

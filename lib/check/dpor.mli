@@ -7,18 +7,49 @@
     enumerator it prunes: two prefixes that differ only in the order of
     {e independent} steps lead to equivalent executions (same
     Mazurkiewicz trace), so only one representative per equivalence
-    class needs to run. The algorithm is stateless DPOR with sleep sets
-    (Flanagan–Godefroid, POPL 2005): after each execution the {e whole}
-    run — choice window and round-robin tail — is scanned for racing
-    step pairs (happens-before via vector clocks), backtracking points
-    are added at the earlier step of each race that falls inside the
-    controllable window, and sleep sets stop already-covered
-    interleavings from being re-explored. A race confined entirely to
-    the tail cannot be reversed directly; following bounded
-    partial-order reduction (Coons–Musuvathi–McKinley), the later
-    process is conservatively offered at the deepest window node, which
-    lets subsequent analyses pull the race into the window step by
-    step.
+    class needs to run. The algorithm is stateless DPOR in the
+    source-set style (Abdulla–Aronis–Jonsson–Sagonas, POPL 2014), with
+    three reduction mechanisms layered on the Flanagan–Godefroid
+    vector-clock race analysis:
+
+    - {b source sets}: for each racing pair the analysis computes the
+      reversing sequence [v = notdep(i) . j]; when a weak initial of
+      [v] is already scheduled at the race's node (backtrack, explored,
+      or sleep) nothing is inserted, otherwise exactly one process —
+      the head of [v] — is, instead of the whole E-set the
+      persistent-set rule would add;
+    - {b wakeup sequences}: the inserted process carries [v] as a
+      prescription; when it is later picked, the next run schedules
+      [v]'s steps verbatim with sleep sets bypassed, so the reversal
+      replays its recorded witness instead of rediscovering it (the
+      single-branch form of the wakeup trees of optimal DPOR);
+    - {b schedule fingerprinting}: every executed window prefix is
+      keyed up to Mazurkiewicz equivalence (Foata levels + step codes,
+      combined commutatively into an interned hash); a retargeted
+      candidate prefix whose key was already executed is skipped
+      outright and counted in [stats.deduped]. Only prescription-free
+      candidates are eligible, and only {e executed} prefixes enter the
+      table, so every skip points at work actually performed.
+
+    Sleep sets are retained as the redundancy filter: a process
+    sleeping at a node is never picked there, and a free extension
+    whose enabled set is all-sleeping marks the run [sleep_blocked]. A
+    race confined entirely to the round-robin tail cannot be reversed
+    directly; following bounded partial-order reduction
+    (Coons–Musuvathi–McKinley), the later process is conservatively
+    offered at the deepest window node, which lets subsequent analyses
+    pull the race into the window step by step. The offer is bounded:
+    only tail races whose earlier step falls within one scheduler
+    rotation of the window boundary trigger it — deeper races are
+    reached incrementally as accepted offers rotate the tail. The
+    bound, like the offer itself, is a heuristic of the bounded-window
+    regime, not a completeness theorem: a violation reachable only by
+    reordering steps deep in the deterministic tail can escape both
+    this explorer and the retired persistent-set one (the differential
+    battery in [test_dpor_diff] carries a generated witness of that
+    shared blind spot, and pins the regimes where completeness {e is}
+    a theorem — full-window, crash-free exploration — to exact
+    three-way verdict agreement with the naive enumerator).
 
     Independence is computed from step labels ({!Kernel.Sim.kind}):
 
@@ -55,6 +86,10 @@ type stats = {
       (** runs whose prefix extension hit an all-sleeping enabled set:
           provably redundant, still executed to completion (and
           checked) but not race-analyzed *)
+  deduped : int;
+      (** candidate prefixes skipped without running because an
+          executed prefix with the same Mazurkiewicz-trace fingerprint
+          already covers their class *)
   races : int;  (** racing step pairs found across all prefixes *)
   backtrack_points : int;  (** alternatives inserted by race analysis *)
 }
@@ -79,6 +114,14 @@ val sat_add : int -> int -> int
     {!stats} without wrapping past [max_int]. Arguments must be
     non-negative. *)
 
+val independent : Pid.t -> Sim.kind -> Pid.t -> Sim.kind -> bool
+(** The label-based independence relation the race analysis and the
+    fingerprints are both built on: same-process steps and
+    detector queries commute with nothing, reads commute with reads,
+    and every shared-object conflict is keyed by object name. Exposed
+    so the differential battery can assert it stays in lockstep with
+    {!Dpor_sleep.independent}. *)
+
 val merge_stats : stats -> stats -> stats
 (** Field-wise saturating sum, for aggregating sharded branch
     explorations into one report. *)
@@ -87,13 +130,16 @@ val merge_stats : stats -> stats -> stats
 
     A {!frontier} is the serialized search state of a truncated
     exploration: the prescribed prefix the next execution would have
-    run (per node: chosen pid, backtrack, explored, and sleep sets) plus
-    the cumulative {!stats} of every execution performed so far. Node
-    [enabled] sets and pending-step labels are deliberately {e not}
-    serialized — they are a function of the deterministic world and are
-    refreshed in place by the prescribed replay of the next run — so a
-    frontier is small, stable JSON that can cross process boundaries
-    (the fabric checkpoints it between budget slices).
+    run (per node: chosen pid, backtrack, explored, and sleep sets,
+    plus the recorded wakeup sequences of its pending backtrack pids),
+    the pending run's wakeup prescription, the fingerprint keys of
+    every window prefix executed so far, and the cumulative {!stats}
+    of every execution performed so far. Node [enabled] sets and
+    pending-step labels are deliberately {e not} serialized — they are
+    a function of the deterministic world and are refreshed in place
+    by the prescribed replay of the next run — so a frontier is
+    stable JSON that can cross process boundaries (the fabric
+    checkpoints it between budget slices).
 
     The invariant the golden tests pin down: for any exploration
     truncated at any prefix, {!resume} on its frontier continues the
@@ -109,13 +155,15 @@ val frontier_depth : frontier -> int
 (** The [depth] of the paused exploration ({!resume} reuses it). *)
 
 val frontier_to_json : frontier -> Obs.Json.t
-(** The [wfde-frontier/1] document; [frontier_of_json] inverts it. *)
+(** The [wfde-frontier/2] document; [frontier_of_json] inverts it. *)
 
 val frontier_of_json : Obs.Json.t -> (frontier, string) result
-(** Parse and validate a [wfde-frontier/1] document. [Error] on schema
-    mismatch, missing fields, or out-of-range values; a frontier whose
-    pids do not match the world it is resumed against fails later, at
-    replay, with [Invalid_argument]. *)
+(** Parse and validate a [wfde-frontier/2] document ([wfde-frontier/1]
+    documents, which predate wakeup sequences and fingerprints, are
+    rejected — a pre-rewrite search cannot be continued exactly).
+    [Error] on schema mismatch, missing fields, or out-of-range
+    values; a frontier whose pids do not match the world it is resumed
+    against fails later, at replay, with [Invalid_argument]. *)
 
 val explore :
   pattern:Failure_pattern.t ->
@@ -165,9 +213,9 @@ val explore :
     {!resume} to continue exactly where the truncation happened.
 
     Also updates the [check.dpor.*] metrics: [executions],
-    [sleep_blocked], [races], [backtrack_points] counters and the
-    [check.dpor.execution_steps] histogram, cumulative across calls
-    (use {!Obs.Metrics.reset} between measurements). *)
+    [sleep_blocked], [deduped], [races], [backtrack_points] counters
+    and the [check.dpor.execution_steps] histogram, cumulative across
+    calls (use {!Obs.Metrics.reset} between measurements). *)
 
 (** {1 Branch sharding}
 

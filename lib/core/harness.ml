@@ -180,6 +180,7 @@ type check_outcome = {
   patterns_swept : int;
   executions : int;
   sleep_blocked : int;
+  deduped : int;
   races : int;
   backtrack_points : int;
   naive_bound : int;
@@ -293,6 +294,7 @@ let check_exhaustive ?(jobs = 1) ?procs ?(depth = 6) ?(horizon = 400) ?patterns
         {
           Check.Dpor.executions = 0;
           sleep_blocked = 0;
+          deduped = 0;
           races = 0;
           backtrack_points = 0;
         }
@@ -338,6 +340,7 @@ let check_exhaustive ?(jobs = 1) ?procs ?(depth = 6) ?(horizon = 400) ?patterns
         patterns_swept = swept;
         executions = stats.Check.Dpor.executions;
         sleep_blocked = stats.Check.Dpor.sleep_blocked;
+        deduped = stats.Check.Dpor.deduped;
         races = stats.Check.Dpor.races;
         backtrack_points = stats.Check.Dpor.backtrack_points;
         naive_bound = Check.Explore.count_schedules ~n_plus_1:procs ~depth;
@@ -370,6 +373,7 @@ let check_outcome_json t =
       ("patterns_swept", J.Int t.patterns_swept);
       ("executions", J.Int t.executions);
       ("sleep_blocked", J.Int t.sleep_blocked);
+      ("deduped", J.Int t.deduped);
       ("races", J.Int t.races);
       ("backtrack_points", J.Int t.backtrack_points);
       ("naive_bound", J.Int t.naive_bound);

@@ -87,6 +87,7 @@ type check_outcome = {
           to and including the first with a violation) *)
   executions : int;  (** total DPOR executions across the sweep *)
   sleep_blocked : int;
+  deduped : int;  (** trace-equivalent prefixes skipped without running *)
   races : int;
   backtrack_points : int;
   naive_bound : int;

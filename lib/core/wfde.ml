@@ -14,9 +14,9 @@
       baselines — §5.
     - {!Reduction}: the Fig-3 extraction, the pairwise reductions, and
       the Theorem-1/5 adversary — §4, §6.
-    - {!Check}: the model checker — DPOR schedule exploration with
-      sleep sets, a Wing–Gong linearizability checker, planted mutants,
-      and ddmin counterexample shrinking.
+    - {!Check}: the model checker — optimal DPOR schedule exploration
+      (source sets + wakeup trees), a Wing–Gong linearizability
+      checker, planted mutants, and ddmin counterexample shrinking.
     - {!Harness} / {!Experiments} / {!Report}: run whole worlds and
       regenerate every claim's table (E1–E8, A1–A2 in DESIGN.md).
     - {!Obs} / {!Trace_export}: the telemetry layer — domain-local

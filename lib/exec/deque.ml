@@ -1,0 +1,66 @@
+type t = {
+  mu : Mutex.t;
+  items : int array;  (** [items.(head .. tail-1)] queued, ascending *)
+  mutable head : int;
+  mutable tail : int;
+}
+
+let create ~capacity =
+  {
+    mu = Mutex.create ();
+    items = Array.make (max 1 capacity) 0;
+    head = 0;
+    tail = 0;
+  }
+
+let locked d f =
+  Mutex.lock d.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock d.mu) f
+
+let seed d stripe =
+  locked d (fun () ->
+      Array.blit stripe 0 d.items 0 (Array.length stripe);
+      d.head <- 0;
+      d.tail <- Array.length stripe)
+
+let size d = locked d (fun () -> d.tail - d.head)
+
+let pop d =
+  locked d (fun () ->
+      if d.head >= d.tail then None
+      else begin
+        let i = d.items.(d.head) in
+        d.head <- d.head + 1;
+        Some i
+      end)
+
+let steal_half ~victim ~into =
+  (* Two-phase: extract under the victim's lock, append under the
+     thief's. The extracted units are invisible in between — owned by
+     the thief, same as a popped unit being executed. *)
+  let batch =
+    locked victim (fun () ->
+        let avail = victim.tail - victim.head in
+        if avail <= 0 then [||]
+        else begin
+          let k = (avail + 1) / 2 in
+          let b = Array.sub victim.items (victim.tail - k) k in
+          victim.tail <- victim.tail - k;
+          b
+        end)
+  in
+  let k = Array.length batch in
+  if k > 0 then
+    locked into (fun () ->
+        (* Compact first if the tail has no room: the live region can
+           only have shrunk since seeding, so after sliding it to the
+           front the append always fits (total queued <= capacity). *)
+        if into.tail + k > Array.length into.items then begin
+          let live = into.tail - into.head in
+          Array.blit into.items into.head into.items 0 live;
+          into.head <- 0;
+          into.tail <- live
+        end;
+        Array.blit batch 0 into.items into.tail k;
+        into.tail <- into.tail + k);
+  k

@@ -1,0 +1,47 @@
+(** Per-worker work-stealing deques over unit indices.
+
+    Each pool worker owns one deque, seeded with its static stripe of
+    unit indices before the domains start. The owner drains its deque
+    from the low-index end ([pop]); a worker that runs dry picks a
+    victim and moves the {e high-index half} of the victim's remaining
+    units into its own deque ([steal_half]) — the victim keeps the
+    units it would reach soonest, the thief takes the tail the victim
+    is furthest from.
+
+    No unit is ever added after seeding, so the total work is fixed:
+    when every deque is empty the sweep is over (in-flight units are
+    owned by the worker executing them and never re-enter a deque).
+    Every index is popped exactly once, by exactly one worker — the
+    mutex per deque makes pop/steal mutually atomic.
+
+    This is deliberately a lock-based deque, not a lock-free Chase-Lev:
+    pool units are whole DPOR branch explorations or bench repetitions,
+    coarse enough that one uncontended lock per unit is noise, and the
+    steal-half transfer (bulk move under both locks) has no clean
+    lock-free analogue. *)
+
+type t
+
+val create : capacity:int -> t
+(** An empty deque able to hold up to [capacity] indices. Capacity is
+    fixed: with steal-half over a fixed unit population a deque can
+    never need more than the total unit count. *)
+
+val seed : t -> int array -> unit
+(** Load the initial stripe, in the order the owner should pop it
+    (ascending unit index). Call before the worker domains start. *)
+
+val size : t -> int
+(** Units currently queued (racy snapshot — advisory, for victim
+    selection). *)
+
+val pop : t -> int option
+(** Take the next unit from the owner's end (lowest queued index), or
+    [None] if the deque is empty. *)
+
+val steal_half : victim:t -> into:t -> int
+(** Move the ceiling-half of [victim]'s queued units — the high-index
+    end — into [into], preserving ascending order. Returns the number
+    of units moved (0 if the victim was empty). Locks the victim to
+    extract, then the destination to append — never both at once, so
+    two thieves raiding each other cannot deadlock. *)

@@ -36,38 +36,70 @@ let map_until t ~stop ~f n =
   else begin
     let jobs = min t.jobs n in
     let slots = Array.make n None in
-    let next = Atomic.make 0 in
     (* Highest index the merge will keep: lowered to the first stopping
-       (or raising) unit. Units are claimed in index order from [next],
-       so every unit <= the final cut is guaranteed to have run. *)
+       (or raising) unit. Deque discipline hands each index to exactly
+       one worker; [cut] only ever decreases and an index is executed
+       iff it is <= cut at claim time, so every unit <= the final cut
+       is guaranteed to have run (and skipped units are never merged). *)
     let cut = Atomic.make (n - 1) in
+    (* One deque per worker, seeded with its [index mod jobs] stripe in
+       ascending order. No unit is added after seeding, so the sweep is
+       over exactly when every deque has drained. *)
+    let deques = Array.init jobs (fun _ -> Deque.create ~capacity:n) in
+    for wid = 0 to jobs - 1 do
+      let len = (n - wid + jobs - 1) / jobs in
+      Deque.seed deques.(wid) (Array.init len (fun k -> wid + (k * jobs)))
+    done;
     let worker wid () =
       Domain.DLS.set in_worker true;
       let t0 = Unix.gettimeofday () in
-      let claimed = ref 0 and steals = ref 0 in
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          if i <= Atomic.get cut then begin
-            incr claimed;
-            if i mod jobs <> wid then incr steals;
-            Obs.Metrics.reset ();
-            (match f i with
-            | v ->
-                let snap = Obs.Metrics.snapshot () in
-                slots.(i) <- Some (Done (v, snap));
-                if stop v then atomic_min cut i
-            | exception e ->
-                let bt = Printexc.get_raw_backtrace () in
-                let snap = Obs.Metrics.snapshot () in
-                slots.(i) <- Some (Failed (e, bt, snap));
-                atomic_min cut i)
-          end;
-          loop ()
+      let claimed = ref 0 and steals = ref 0 and steal_batches = ref 0 in
+      (* Own deque first; dry, raid the victims round-robin, moving
+         half a victim's tail into our deque per raid. A full scan with
+         every deque empty means only in-flight units remain — those
+         are owned by their executors and never respawn, so exit. *)
+      let rec obtain () =
+        match Deque.pop deques.(wid) with
+        | Some i -> Some i
+        | None -> raid 1
+      and raid off =
+        if off >= jobs then None
+        else begin
+          let v = (wid + off) mod jobs in
+          if
+            Deque.size deques.(v) > 0
+            && Deque.steal_half ~victim:deques.(v) ~into:deques.(wid) > 0
+          then begin
+            incr steal_batches;
+            obtain ()
+          end
+          else raid (off + 1)
         end
       in
+      let rec loop () =
+        match obtain () with
+        | None -> ()
+        | Some i ->
+            if i <= Atomic.get cut then begin
+              incr claimed;
+              if i mod jobs <> wid then incr steals;
+              Obs.Metrics.reset ();
+              (match f i with
+              | v ->
+                  let snap = Obs.Metrics.snapshot () in
+                  slots.(i) <- Some (Done (v, snap));
+                  if stop v then atomic_min cut i
+              | exception e ->
+                  let bt = Printexc.get_raw_backtrace () in
+                  let snap = Obs.Metrics.snapshot () in
+                  slots.(i) <- Some (Failed (e, bt, snap));
+                  atomic_min cut i)
+            end;
+            loop ()
+      in
       loop ();
-      (!claimed, !steals, (Unix.gettimeofday () -. t0) *. 1000.)
+      (!claimed, !steals, !steal_batches,
+       (Unix.gettimeofday () -. t0) *. 1000.)
     in
     let domains =
       Array.init jobs (fun wid -> Domain.spawn (fun () -> worker wid ()))
@@ -88,7 +120,7 @@ let map_until t ~stop ~f n =
     Obs.Metrics.incr (Lazy.force m_runs);
     Obs.Metrics.incr ~by:(last + 1) (Lazy.force m_units);
     Array.iteri
-      (fun wid (claimed, steals, wall_ms) ->
+      (fun wid (claimed, steals, steal_batches, wall_ms) ->
         let set name v =
           Obs.Metrics.set
             (Obs.Metrics.gauge
@@ -97,6 +129,7 @@ let map_until t ~stop ~f n =
         in
         set "units" (float_of_int claimed);
         set "steals" (float_of_int steals);
+        set "steal_batches" (float_of_int steal_batches);
         set "wall_ms" wall_ms)
       wstats;
     (match !failed with

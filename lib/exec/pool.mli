@@ -2,13 +2,18 @@
 
     A pool shards independent work units — experiment seeds, DPOR root
     branches, bench repetitions — across a fixed number of worker
-    domains. Units are claimed from a shared atomic counter (so fast
-    workers steal the tail of a slow worker's notional stripe), but
-    {e results are merged keyed by unit index, never by completion
-    order}: [map] with [jobs = 1] and [jobs = N] return element-for-element
-    identical lists, and the metrics absorbed into the caller's registry
-    are identical too, so rendered tables, JSONL traces, and
-    [wfde-bench/1] JSON come out byte-identical at any [-j].
+    domains. Each worker owns a {!Deque} seeded with its
+    [index mod jobs] stripe; a worker that drains its deque raids the
+    other workers round-robin, moving half of a victim's remaining tail
+    into its own deque per raid (see {!Deque.steal_half}). Scheduling
+    is therefore dynamic — a worker stuck on one pathological unit
+    loses the rest of its stripe to idle peers instead of serializing
+    the sweep — but {e results are merged keyed by unit index, never by
+    completion order}: [map] with [jobs = 1] and [jobs = N] return
+    element-for-element identical lists, and the metrics absorbed into
+    the caller's registry are identical too, so rendered tables, JSONL
+    traces, and [wfde-bench/1] JSON come out byte-identical at any
+    [-j].
 
     Per-worker isolation is total. Each unit runs with one fresh
     metrics registry window ({!Obs.Metrics.reset} before, snapshot
@@ -58,9 +63,10 @@ val map_until : t -> stop:('a -> bool) -> f:(int -> 'a) -> int -> 'a list
 
     Parallel runs record per-worker gauges in the caller's registry
     after the barrier: [exec.pool.worker.units{worker=K}] (units
-    claimed), [exec.pool.worker.wall_ms{worker=K}], and
-    [exec.pool.worker.steals{worker=K}] (claimed units whose index is
-    outside the worker's notional [index mod jobs] stripe), plus the
-    [exec.pool.runs] and [exec.pool.units] counters. These depend on
-    scheduling and wall time — strip [exec.*] names before comparing
-    snapshots across [-j] values. *)
+    executed), [exec.pool.worker.wall_ms{worker=K}],
+    [exec.pool.worker.steals{worker=K}] (executed units that came from
+    another worker's [index mod jobs] seed stripe), and
+    [exec.pool.worker.steal_batches{worker=K}] (successful steal-half
+    raids), plus the [exec.pool.runs] and [exec.pool.units] counters.
+    These depend on scheduling and wall time — strip [exec.*] names
+    before comparing snapshots across [-j] values. *)

@@ -97,7 +97,13 @@ let has_cex payload =
   | Some _ -> true
 
 let zero_stats =
-  { Wfde.Dpor.executions = 0; sleep_blocked = 0; races = 0; backtrack_points = 0 }
+  {
+    Wfde.Dpor.executions = 0;
+    sleep_blocked = 0;
+    deduped = 0;
+    races = 0;
+    backtrack_points = 0;
+  }
 
 let stats_of_payload p =
   match J.member "stats" p with
@@ -106,6 +112,7 @@ let stats_of_payload p =
       {
         Wfde.Dpor.executions = g "executions";
         sleep_blocked = g "sleep_blocked";
+        deduped = g "deduped";
         races = g "races";
         backtrack_points = g "backtrack_points";
       }
@@ -233,6 +240,7 @@ let merge cfg (plan : Plan.t) s payload =
           patterns_swept = swept;
           executions = !stats.Wfde.Dpor.executions;
           sleep_blocked = !stats.Wfde.Dpor.sleep_blocked;
+          deduped = !stats.Wfde.Dpor.deduped;
           races = !stats.Wfde.Dpor.races;
           backtrack_points = !stats.Wfde.Dpor.backtrack_points;
           naive_bound = Wfde.Check.Explore.count_schedules ~n_plus_1:procs ~depth;

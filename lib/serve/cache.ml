@@ -5,7 +5,7 @@ module J = Obs.Json
 (* Bump when a payload renderer changes its bytes without a schema
    change — the fingerprint is folded into every key, so old entries
    (memory and disk) become unreachable instead of stale. *)
-let cache_generation = 1
+let cache_generation = 2 (* check payloads gained the "deduped" field *)
 let disk_schema = "wfde-cache/1"
 
 let fingerprint =

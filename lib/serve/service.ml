@@ -74,12 +74,12 @@ let check_text (o : Wfde.Harness.check_outcome) =
   with_buffer_formatter (fun ppf ->
       Format.fprintf ppf
         "%s: procs=%d depth=%d patterns=%d executions=%d (naive bound %d) \
-         sleep-blocked=%d races=%d@."
+         sleep-blocked=%d deduped=%d races=%d@."
         (Wfde.Scenario.to_string o.Wfde.Harness.check_obj)
         o.Wfde.Harness.check_procs o.Wfde.Harness.check_depth
         o.Wfde.Harness.patterns_swept o.Wfde.Harness.executions
         o.Wfde.Harness.naive_bound o.Wfde.Harness.sleep_blocked
-        o.Wfde.Harness.races;
+        o.Wfde.Harness.deduped o.Wfde.Harness.races;
       match o.Wfde.Harness.violation with
       | None -> Format.fprintf ppf "no violation found@."
       | Some v ->
@@ -425,6 +425,7 @@ let handle_check_unit ~deadline ~spans params =
              [
                ("executions", J.Int stats.Wfde.Dpor.executions);
                ("sleep_blocked", J.Int stats.Wfde.Dpor.sleep_blocked);
+               ("deduped", J.Int stats.Wfde.Dpor.deduped);
                ("races", J.Int stats.Wfde.Dpor.races);
                ("backtrack_points", J.Int stats.Wfde.Dpor.backtrack_points);
              ] );

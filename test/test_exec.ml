@@ -38,6 +38,56 @@ let test_jobs_clamped () =
   checki "negative clamps to 1" 1 (Pool.jobs (Pool.create ~jobs:(-7) ()));
   checki "huge clamps to 64" 64 (Pool.jobs (Pool.create ~jobs:1000 ()))
 
+(* -- work-stealing deque ----------------------------------------------- *)
+
+let deque_drain d =
+  let rec go acc =
+    match Exec.Deque.pop d with Some i -> go (i :: acc) | None -> List.rev acc
+  in
+  go []
+
+let test_deque_pop_order () =
+  let d = Exec.Deque.create ~capacity:8 in
+  Exec.Deque.seed d [| 1; 4; 7; 10 |];
+  checki "size after seed" 4 (Exec.Deque.size d);
+  Alcotest.check ilist "pops in seeded (ascending) order" [ 1; 4; 7; 10 ]
+    (deque_drain d);
+  checkb "empty pops None" true (Exec.Deque.pop d = None);
+  checki "empty size" 0 (Exec.Deque.size d)
+
+let test_deque_steal_half () =
+  let v = Exec.Deque.create ~capacity:8 and t = Exec.Deque.create ~capacity:8 in
+  Exec.Deque.seed v [| 0; 2; 4; 6; 8 |];
+  (* ceiling half of 5 = 3, taken from the high-index tail *)
+  checki "moves ceil(5/2)=3" 3 (Exec.Deque.steal_half ~victim:v ~into:t);
+  Alcotest.check ilist "victim keeps its low-index head" [ 0; 2 ]
+    (deque_drain v);
+  Alcotest.check ilist "thief got the tail, still ascending" [ 4; 6; 8 ]
+    (deque_drain t);
+  checki "stealing from empty moves nothing" 0
+    (Exec.Deque.steal_half ~victim:v ~into:t)
+
+let test_deque_steal_partition () =
+  (* Repeated raids between two deques never duplicate or drop a unit,
+     and the thief's append always fits (capacity = total population,
+     exercised via the compaction path after interleaved pops). *)
+  let v = Exec.Deque.create ~capacity:12 and t = Exec.Deque.create ~capacity:12 in
+  Exec.Deque.seed v (Array.init 12 (fun i -> i));
+  let got = ref [] in
+  let take d = match Exec.Deque.pop d with
+    | Some i -> got := i :: !got
+    | None -> ()
+  in
+  take v;
+  ignore (Exec.Deque.steal_half ~victim:v ~into:t);
+  take t;
+  take v;
+  ignore (Exec.Deque.steal_half ~victim:t ~into:v);
+  let rest = deque_drain v @ deque_drain t in
+  let all = List.sort Int.compare (!got @ rest) in
+  Alcotest.check ilist "raids partition the population exactly"
+    (List.init 12 Fun.id) all
+
 (* -- map_until prefix semantics ---------------------------------------- *)
 
 let test_map_until_prefix () =
@@ -93,6 +143,48 @@ let test_exception_lowest_index () =
         true
         (raised = Some 3))
     [ 1; 2; 4 ]
+
+let test_starved_stripe_rescued () =
+  (* Pathological distribution: every slow unit lands in worker 0's
+     [i mod jobs] seed stripe. Without stealing the sweep serializes
+     behind worker 0; with steal-half the idle workers drain its deque.
+     Each unit records exactly one execution, results stay the serial
+     merge, and at least one unit must have been executed off its home
+     stripe. *)
+  M.reset ();
+  let n = 16 and jobs = 4 in
+  let ran = Array.init n (fun _ -> Atomic.make 0) in
+  let out =
+    Pool.map
+      (Pool.create ~jobs ())
+      ~f:(fun i ->
+        Atomic.incr ran.(i);
+        if i mod jobs = 0 then Unix.sleepf 0.08;
+        i * 3)
+      n
+  in
+  Alcotest.check ilist "merge is the serial result"
+    (List.init n (fun i -> i * 3))
+    out;
+  Array.iteri
+    (fun i a ->
+      checki (Printf.sprintf "unit %d executed exactly once" i) 1
+        (Atomic.get a))
+    ran;
+  let s = M.snapshot () in
+  let total name =
+    List.fold_left
+      (fun acc w ->
+        acc
+        +. Option.value ~default:0.0
+             (M.find_gauge s
+                (Printf.sprintf "exec.pool.worker.%s{worker=%d}" name w)))
+      0.0
+      (List.init jobs Fun.id)
+  in
+  checki "all units claimed" n (int_of_float (total "units"));
+  checkb "starved stripe was stolen from" true (total "steals" >= 1.0);
+  checkb "steal batches recorded" true (total "steal_batches" >= 1.0)
 
 (* -- metrics determinism ----------------------------------------------- *)
 
@@ -197,7 +289,11 @@ let test_check_json_repeatable () =
   in
   checks "check --json identical across two same-config runs" (payload 1)
     (payload 1);
-  checks "second run at -j4 still matches" (payload 1) (payload 4)
+  checks "second run at -j4 still matches" (payload 1) (payload 4);
+  (* 8 workers on this machine oversubscribes the cores, so the deques
+     drain unevenly and steal-half fires constantly — the merge must
+     still come out byte-identical. *)
+  checks "oversubscribed -j8 still matches" (payload 1) (payload 8)
 
 (* The deterministic part of the wfde sweep --json document: identical
    structure to the CLI payload with the wall-clock fields — the only
@@ -248,9 +344,12 @@ let test_mutant_caught_any_jobs () =
   in
   let c1 = outcome_of 1 in
   let c4 = outcome_of 4 in
+  let c8 = outcome_of 8 in
   checkb "mutant caught at -j1" true (c1.Wfde.Harness.violation <> None);
   checkb "identical violation at -j4" true
-    (c1.Wfde.Harness.violation = c4.Wfde.Harness.violation)
+    (c1.Wfde.Harness.violation = c4.Wfde.Harness.violation);
+  checkb "identical violation at -j8" true
+    (c1.Wfde.Harness.violation = c8.Wfde.Harness.violation)
 
 (* -- exported JSONL determinism ---------------------------------------- *)
 
@@ -290,6 +389,14 @@ let suite =
     Alcotest.test_case "map merges in unit order" `Quick test_map_order;
     Alcotest.test_case "map_list keeps order" `Quick test_map_list;
     Alcotest.test_case "jobs clamped to [1,64]" `Quick test_jobs_clamped;
+    Alcotest.test_case "deque pops its seed in order" `Quick
+      test_deque_pop_order;
+    Alcotest.test_case "steal-half takes the high tail" `Quick
+      test_deque_steal_half;
+    Alcotest.test_case "raids partition, never duplicate" `Quick
+      test_deque_steal_partition;
+    Alcotest.test_case "starved stripe rescued by stealing" `Quick
+      test_starved_stripe_rescued;
     Alcotest.test_case "map_until returns serial prefix" `Quick
       test_map_until_prefix;
     Alcotest.test_case "lowest-index exception wins" `Quick

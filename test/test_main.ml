@@ -15,6 +15,7 @@ let () =
       ("explore", Test_explore.suite);
       ("check", Test_check.suite);
       ("dpor-golden", Test_dpor_golden.suite);
+      ("dpor-diff", Test_dpor_diff.suite);
       ("lin-diff", Test_lin_diff.suite);
       ("oracles", Test_oracles.suite);
       ("network", Test_network.suite);
