@@ -4,11 +4,11 @@
 
    Both files are wfde-bench/1 documents (bench/main.exe --json; the
    quick CI path produces one with --macro-only). The gated sections
-   are the ones built from deterministic work counters — "macro"
-   (DPOR/Lin), "serve" (daemon load generator), and "serve_tracing"
-   (the same load generator against a tracing daemon, whose span
-   counts and payload-vs-untraced mismatches are deterministic) —
-   compared entry by entry under the same rules:
+   ([gated_sections] below) are the ones built from deterministic work
+   counters — "macro" (DPOR/Lin), "serve"/"serve_tracing"/"serve_cache"
+   (daemon load generator), "fabric" (scale-out coordinator), and
+   "detector_impl" (heartbeat detectors over partially synchronous
+   links) — compared entry by entry under the same rules:
 
    - every counter of an entry present in both files must not INCREASE
      (executions, races, backtrack points, scheduler steps, service
@@ -32,7 +32,8 @@
    error. *)
 
 let minor_words_tolerance = 1.10
-let gated_sections = [ "macro"; "serve"; "serve_tracing"; "serve_cache"; "fabric" ]
+let gated_sections =
+  [ "macro"; "serve"; "serve_tracing"; "serve_cache"; "fabric"; "detector_impl" ]
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 

@@ -220,7 +220,7 @@ let macro_counter_names =
     ("shrink_replays", "check.shrink.replays");
   ]
 
-let run_macro_entry (name, f) =
+let run_macro_entry ?(metric_names = macro_counter_names) (name, f) =
   Wfde.Metrics.reset ();
   Gc.full_major ();
   let w0 = Gc.minor_words () in
@@ -236,7 +236,7 @@ let run_macro_entry (name, f) =
           match Wfde.Metrics.find_counter snap metric with
           | Some v when v > 0 -> Some (label, v)
           | Some _ | None -> None)
-        macro_counter_names
+        metric_names
   in
   {
     macro_name = name;
@@ -804,6 +804,150 @@ let fabric_section_json entries =
            ])
        entries)
 
+(* ------------------------------------------------------------- part 8 *)
+
+(* Oracle vs implemented detectors: the heartbeat monitors and the link
+   layer under them, measured with deterministic work counters only —
+   link traffic (sent/delivered/dropped/delayed), detector churn
+   (heartbeats, suspicions, restores, timeout raises), scheduler steps,
+   spec verdicts, stabilization/decision-time totals, and DPOR
+   executions over the partial-synchrony scenarios. All are exact
+   functions of the simulated world, so bench/compare.ml gates this
+   section entry by entry like "macro". *)
+
+let hb_bench_net =
+  { Wfde.Link.gst = 60; delta = 2; pre_delay = 8; loss_pct = 40; link_seed = 6 }
+
+let detector_impl_counter_names =
+  macro_counter_names
+  @ [
+      ("link_sent", "net.link.sent{link=hb_ev_perfect}");
+      ("link_delivered", "net.link.delivered{link=hb_ev_perfect}");
+      ("link_dropped", "net.link.dropped{link=hb_ev_perfect}");
+      ("link_delayed", "net.link.delayed{link=hb_ev_perfect}");
+      ("hb_heartbeats", "hb.heartbeats{family=hb_ev_perfect}");
+      ("hb_suspicions", "hb.suspicions{family=hb_ev_perfect}");
+      ("hb_restores", "hb.restores{family=hb_ev_perfect}");
+      ("hb_timeout_raises", "hb.timeout_raises{family=hb_ev_perfect}");
+    ]
+
+let detector_impl_configs : (string * (unit -> (string * int) list)) list =
+  let sum f l = List.fold_left (fun acc x -> acc + f x) 0 l in
+  let world seed =
+    Wfde.Harness.random_world ~seed ~n_plus_1:3 ~max_faulty:1 ~latest:60 ()
+  in
+  let monitors mode =
+    let runs =
+      List.map
+        (fun seed ->
+          Wfde.Harness.run_hb_detector ~mode ~net:hb_bench_net (world seed))
+        [ 1; 2; 3 ]
+    in
+    [
+      ("spec_ok", sum (fun (v, _) -> if Result.is_ok v then 1 else 0) runs);
+      ("stab_total", sum snd runs);
+    ]
+  in
+  let check ?mutant obj =
+    let o =
+      Wfde.Harness.check_exhaustive ?mutant ~procs:2 ~depth:5 ~horizon:500 obj
+    in
+    [ ("violations", if o.Wfde.Harness.violation = None then 0 else 1) ]
+  in
+  let chaos = Wfde.Scenario.default_chaos in
+  [
+    ("hb/evP monitors gst=60 loss=40 (3 worlds)", fun () -> monitors `Ev_perfect);
+    ("hb/evS monitors gst=60 loss=40 (3 worlds)", fun () -> monitors `Ev_strong);
+    ( "extraction/oracle-vs-hb f=2 (2 worlds)",
+      fun () ->
+        let rs =
+          List.map
+            (fun seed ->
+              let w () =
+                Wfde.Harness.random_world ~seed:(4000 + seed) ~n_plus_1:4
+                  ~max_faulty:2 ~latest:150 ()
+              in
+              let oracle, _ =
+                Wfde.Harness.run_extraction_of ~f:2 ~source:`Ev_perfect (w ())
+              in
+              let implemented, stab =
+                Wfde.Harness.run_extraction_of ~f:2
+                  ~source:(`Hb_ev_perfect hb_bench_net) (w ())
+              in
+              ( (if Result.is_ok oracle && Result.is_ok implemented then 1
+                 else 0),
+                stab ))
+            [ 1; 2 ]
+        in
+        [
+          ("both_ok", sum fst rs);
+          ("hb_stab_total", sum snd rs);
+        ] );
+    ( "consensus/oracle-vs-hb n=3 (2 worlds)",
+      fun () ->
+        let rs =
+          List.map
+            (fun seed ->
+              let w () =
+                Wfde.Harness.random_world ~seed:(300 + seed) ~n_plus_1:3
+                  ~max_faulty:1 ~latest:100 ()
+              in
+              let oracle, mem_o =
+                Wfde.Harness.run_msg_consensus ~horizon:60_000 (w ())
+              in
+              let impl, mem_i =
+                Wfde.Harness.run_msg_consensus ~horizon:60_000
+                  ~omega_impl:hb_bench_net (w ())
+              in
+              let ok =
+                Wfde.Harness.ok oracle && Wfde.Harness.ok impl
+                && mem_o = Ok () && mem_i = Ok ()
+              in
+              ( (if ok then 1 else 0),
+                impl.Wfde.Harness.last_decision_time,
+                impl.Wfde.Harness.query_violations ))
+            [ 1; 2 ]
+        in
+        [
+          ("both_ok", sum (fun (x, _, _) -> x) rs);
+          ("hb_decide_total", sum (fun (_, t, _) -> t) rs);
+          ("query_violations", sum (fun (_, _, q) -> q) rs);
+        ] );
+    ( "check/hb-detector p2 d5",
+      fun () -> check (Wfde.Scenario.Hb_detector chaos) );
+    ( "check/link-chaos p2 d5",
+      fun () -> check (Wfde.Scenario.Link_chaos chaos) );
+    ( "check/hb-mutant timeout-never-increased d5",
+      fun () ->
+        check ~mutant:Wfde.Mutant.Hb_timeout_never_increased
+          (Wfde.Scenario.Hb_detector chaos) );
+  ]
+
+let detector_impl_entries () =
+  Format.printf "==================================================@.";
+  Format.printf "Part 8: oracle vs implemented detectors (counters)@.";
+  Format.printf "==================================================@.@.";
+  let saved = Wfde.Metrics.snapshot () in
+  let entries =
+    List.map
+      (run_macro_entry ~metric_names:detector_impl_counter_names)
+      detector_impl_configs
+  in
+  Wfde.Metrics.reset ();
+  Wfde.Metrics.absorb saved;
+  List.iter (fun e -> Wfde.Metrics.absorb e.macro_snap) entries;
+  List.iter
+    (fun e ->
+      Format.printf "%-42s %8.3fs  %11d minor words  %s@." e.macro_name
+        e.macro_wall e.macro_minor_words
+        (String.concat " "
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+              e.macro_counters)))
+    entries;
+  Format.printf "@.";
+  entries
+
 (* ------------------------------------------------------------- part 2 *)
 
 let fig1_world seed =
@@ -1121,8 +1265,24 @@ let serve_section_json entries =
            ])
        entries)
 
+let macro_section_json entries =
+  let module J = Wfde.Json in
+  J.List
+    (List.map
+       (fun e ->
+         J.Obj
+           [
+             ("name", J.String e.macro_name);
+             ("wall_seconds", J.Float e.macro_wall);
+             ("minor_words", J.Int e.macro_minor_words);
+             ( "counters",
+               J.Obj (List.map (fun (k, v) -> (k, J.Int v)) e.macro_counters)
+             );
+           ])
+       entries)
+
 let json_document ~outcomes ~sweep ~benchmarks ~macro ~serve ~serve_tracing
-    ~serve_cache ~fabric =
+    ~serve_cache ~fabric ~detector_impl =
   let module J = Wfde.Json in
   J.Obj
     [
@@ -1158,26 +1318,12 @@ let json_document ~outcomes ~sweep ~benchmarks ~macro ~serve ~serve_tracing
                J.Obj
                  [ ("name", J.String name); ("ns_per_run", J.Float nanos) ])
              benchmarks) );
-      ( "macro",
-        J.List
-          (List.map
-             (fun e ->
-               J.Obj
-                 [
-                   ("name", J.String e.macro_name);
-                   ("wall_seconds", J.Float e.macro_wall);
-                   ("minor_words", J.Int e.macro_minor_words);
-                   ( "counters",
-                     J.Obj
-                       (List.map
-                          (fun (k, v) -> (k, J.Int v))
-                          e.macro_counters) );
-                 ])
-             macro) );
+      ("macro", macro_section_json macro);
       ("serve", serve_section_json serve);
       ("serve_tracing", serve_section_json serve_tracing);
       ("serve_cache", serve_section_json serve_cache);
       ("fabric", fabric_section_json fabric);
+      ("detector_impl", macro_section_json detector_impl);
       ("metrics", Wfde.Metrics.to_json (Wfde.Metrics.snapshot ()));
     ]
 
@@ -1214,6 +1360,7 @@ let () =
   let sweep = if quick then [] else parallel_sweep_entries () in
   let benchmarks = if quick then [] else run_benchmarks () in
   let macro = if serve_only then [] else macro_entries () in
+  let detector_impl = if serve_only then [] else detector_impl_entries () in
   (* parts 4-6 run in every mode: they are cheap, and keeping them
      in the --macro-only document is what lets CI gate their counters *)
   let serve, untraced_serial = serve_entries () in
@@ -1230,6 +1377,6 @@ let () =
           output_string oc
             (Wfde.Json.to_string
                (json_document ~outcomes ~sweep ~benchmarks ~macro ~serve
-                  ~serve_tracing ~serve_cache ~fabric));
+                  ~serve_tracing ~serve_cache ~fabric ~detector_impl));
           output_char oc '\n');
       Format.printf "wrote machine-readable results to %s@." path

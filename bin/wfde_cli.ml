@@ -45,22 +45,22 @@ let reject_unknown_ids ids =
         (String.concat ", " unknown);
       false
 
-let timed_outcomes ids ~scale ~jobs =
+let timed_outcomes ?impl ids ~scale ~jobs =
   let ids = if ids = [] then List.map fst Wfde.Experiments.catalog else ids in
   List.map
     (fun id ->
       let f = Option.get (Wfde.Experiments.by_id id) in
       let t0 = Unix.gettimeofday () in
-      let outcome = f ~scale ~jobs () in
+      let outcome = f ~scale ~jobs ?impl () in
       let wall = Unix.gettimeofday () -. t0 in
       (id, outcome, wall))
     ids
 
-let run_ids ids scale jobs =
+let run_ids ids scale jobs impl =
   if not (reject_unknown_ids ids) then 2
   else begin
     let outcomes =
-      List.map (fun (_, o, _) -> o) (timed_outcomes ids ~scale ~jobs)
+      List.map (fun (_, o, _) -> o) (timed_outcomes ?impl ids ~scale ~jobs)
     in
     print_string (Serve.Service.run_text outcomes);
     if List.for_all (fun o -> o.Wfde.Experiments.ok) outcomes then 0 else 1
@@ -68,7 +68,8 @@ let run_ids ids scale jobs =
 
 let ids_arg =
   let doc =
-    "Experiments to run: e1..e11, a1..a3. Runs everything when omitted."
+    "Experiments to run: e1..e11, a1..a3, c1, d1..d3. Runs everything \
+     when omitted."
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
@@ -89,10 +90,66 @@ let jobs_arg =
     & opt (bounded_int ~what:"--jobs" ~min:1 ~max:64) 1
     & info [ "jobs"; "j" ] ~docv:"J" ~doc)
 
+(* Implemented-detector selection, shared by run/stats/check/sweep.
+   [--detector-impl hb] swaps the oracle detectors for heartbeat
+   implementations over a partially synchronous link whose config is
+   built from [--gst]/[--loss] (remaining fields fixed so the same
+   flags always name the same link). *)
+
+let detector_impl_arg =
+  let doc =
+    "Detector implementation: $(b,oracle) (histories conjured from the \
+     failure pattern; the default) or $(b,hb) (increasing-timeout \
+     heartbeats over a partially synchronous link). With $(b,hb), \
+     run/sweep/stats add the gated implemented-detector rows to e5/e11, \
+     and check defaults its object to the heartbeat-detector scenario."
+  in
+  Arg.(
+    value
+    & opt (Arg.enum [ ("oracle", `Oracle); ("hb", `Hb) ]) `Oracle
+    & info [ "detector-impl" ] ~docv:"IMPL" ~doc)
+
+let gst_arg =
+  let doc =
+    "Global stabilization time of the simulated link (in scheduler \
+     steps): before it messages may be delayed or dropped, from it on \
+     delivery is reliable and timely. Only meaningful with \
+     $(b,--detector-impl hb)."
+  in
+  Arg.(
+    value
+    & opt (bounded_int ~what:"--gst" ~min:0 ~max:1_000_000) 40
+    & info [ "gst" ] ~docv:"N" ~doc)
+
+let loss_arg =
+  let doc =
+    "Pre-GST message-loss percentage of the simulated link. Only \
+     meaningful with $(b,--detector-impl hb)."
+  in
+  Arg.(
+    value
+    & opt (bounded_int ~what:"--loss" ~min:0 ~max:100) 50
+    & info [ "loss" ] ~docv:"P" ~doc)
+
+let impl_config impl gst loss =
+  match impl with
+  | `Oracle -> None
+  | `Hb ->
+      Some
+        {
+          Wfde.Link.gst;
+          delta = 2;
+          pre_delay = (gst + 3) / 4;
+          loss_pct = loss;
+          link_seed = 7;
+        }
+
+let impl_term = Term.(const impl_config $ detector_impl_arg $ gst_arg $ loss_arg)
+
 let run_cmd =
   let doc = "run experiments (the default command)" in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run_ids $ ids_arg $ scale_arg $ jobs_arg)
+    Term.(const run_ids $ ids_arg $ scale_arg $ jobs_arg $ impl_term)
 
 (* ------------------------------------------------------------- list --- *)
 
@@ -238,10 +295,10 @@ let trace_cmd =
 
 (* ------------------------------------------------------------ stats --- *)
 
-let stats_body ids scale jobs json_path format =
+let stats_body ids scale jobs impl json_path format =
   Wfde.Metrics.reset ();
   let outcomes =
-    List.map (fun (_, o, _) -> o) (timed_outcomes ids ~scale ~jobs)
+    List.map (fun (_, o, _) -> o) (timed_outcomes ?impl ids ~scale ~jobs)
   in
   let failed = List.filter (fun o -> not o.Wfde.Experiments.ok) outcomes in
   let snap = Wfde.Metrics.snapshot () in
@@ -282,9 +339,9 @@ let stats_body ids scale jobs json_path format =
     1
   end
 
-let run_stats ids scale jobs json_path format =
+let run_stats ids scale jobs impl json_path format =
   if not (reject_unknown_ids ids) then 2
-  else stats_body ids scale jobs json_path format
+  else stats_body ids scale jobs impl json_path format
 
 let stats_cmd =
   let json_arg =
@@ -310,17 +367,25 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
-      const run_stats $ ids_arg $ scale_arg $ jobs_arg $ json_arg
+      const run_stats $ ids_arg $ scale_arg $ jobs_arg $ impl_term $ json_arg
       $ format_arg)
 
 (* ------------------------------------------------------------ check --- *)
 
-let run_check obj_name procs depth horizon jobs mutant_name json_path =
+let run_check obj_name procs depth horizon jobs mutant_name impl json_path =
   let fail msg =
     Format.eprintf "%s@." msg;
     2
   in
-  match Wfde.Scenario.of_string obj_name with
+  let obj =
+    (* --detector-impl hb picks the heartbeat-detector scenario over the
+       flag-built link unless --object names something explicitly *)
+    match (obj_name, impl) with
+    | None, Some cfg -> Ok (Wfde.Scenario.Hb_detector cfg)
+    | None, None -> Wfde.Scenario.of_string "register"
+    | Some name, _ -> Wfde.Scenario.of_string name
+  in
+  match obj with
   | Error msg -> fail msg
   | Ok obj -> (
       let mutant =
@@ -365,9 +430,16 @@ let run_check obj_name procs depth horizon jobs mutant_name json_path =
 
 let check_cmd =
   let obj_arg =
-    let doc = "Object to check: register, snapshot, abd, or commit-adopt." in
+    let doc =
+      "Object to check: register, snapshot, abd, commit-adopt, \
+       hb-detector, or link-chaos (default register; the two link-layer \
+       scenarios also accept an inline config, e.g. \
+       $(b,hb-detector(gst=12,delta=2,pre_delay=6,loss=50,seed=3)))."
+    in
     Arg.(
-      value & opt string "register" & info [ "object"; "obj" ] ~docv:"OBJ" ~doc)
+      value
+      & opt (some string) None
+      & info [ "object"; "obj" ] ~docv:"OBJ" ~doc)
   in
   let procs_arg =
     let doc =
@@ -394,8 +466,9 @@ let check_cmd =
   in
   let mutant_arg =
     let doc =
-      "Plant a bug first: abd-skip-write-back, snapshot-single-collect, or \
-       converge-drop-phase2. Exit 0 then means 'caught'."
+      "Plant a bug first: abd-skip-write-back, snapshot-single-collect, \
+       converge-drop-phase2, hb-timeout-never-increased, or \
+       hb-suspected-not-restored. Exit 0 then means 'caught'."
     in
     Arg.(value & opt (some string) None & info [ "mutant" ] ~docv:"M" ~doc)
   in
@@ -424,7 +497,7 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc ~man)
     Term.(
       const run_check $ obj_arg $ procs_arg $ depth_arg $ horizon_arg
-      $ jobs_arg $ mutant_arg $ json_arg)
+      $ jobs_arg $ mutant_arg $ impl_term $ json_arg)
 
 (* ------------------------------------------------------------ sweep --- *)
 
@@ -433,8 +506,8 @@ let check_cmd =
    go to stderr and the optional JSON document, which are the only
    places nondeterminism is allowed to show. *)
 
-let sweep_body ids scale jobs json_path =
-  let timed = timed_outcomes ids ~scale ~jobs in
+let sweep_body ids scale jobs impl json_path =
+  let timed = timed_outcomes ?impl ids ~scale ~jobs in
   let outcomes = List.map (fun (_, o, _) -> o) timed in
   (* tables (and the failed-claims line, when any) come from the same
      renderer the daemon's sweep payload embeds *)
@@ -467,9 +540,9 @@ let sweep_body ids scale jobs json_path =
   in
   if json_failed then 1 else if failed = [] then 0 else 1
 
-let run_sweep ids scale jobs json_path =
+let run_sweep ids scale jobs impl json_path =
   if not (reject_unknown_ids ids) then 2
-  else sweep_body ids scale jobs json_path
+  else sweep_body ids scale jobs impl json_path
 
 let sweep_cmd =
   let json_arg =
@@ -495,7 +568,8 @@ let sweep_cmd =
     ]
   in
   Cmd.v (Cmd.info "sweep" ~doc ~man)
-    Term.(const run_sweep $ ids_arg $ scale_arg $ jobs_arg $ json_arg)
+    Term.(
+      const run_sweep $ ids_arg $ scale_arg $ jobs_arg $ impl_term $ json_arg)
 
 (* ------------------------------------------------------------ serve --- *)
 
@@ -1032,7 +1106,10 @@ let fabric_cmd =
         $ sweep_json_arg)
   in
   let obj_arg =
-    let doc = "Object to check: register, snapshot, abd, or commit-adopt." in
+    let doc =
+      "Object to check: register, snapshot, abd, commit-adopt, \
+       hb-detector, or link-chaos."
+    in
     Arg.(
       value & opt string "register" & info [ "object"; "obj" ] ~docv:"OBJ" ~doc)
   in
@@ -1134,6 +1211,9 @@ let group =
       `S Manpage.s_examples;
       `Pre
         "  wfde run e1 e5\n  wfde run --scale 4\n  wfde list\n\
+        \  wfde run e5 e11 d1 d2 --detector-impl hb --gst 60 --loss 40\n\
+        \  wfde check --detector-impl hb --gst 12 --loss 50 --depth 5 \
+         --procs 2\n\
         \  wfde trace -p fig2 --seed 9 --n 4 --f 2\n\
         \  wfde trace -p fig1 --seed 7 --out /tmp/fig1.jsonl\n\
         \  wfde stats e1 e7 --json /tmp/metrics.json\n\
@@ -1144,7 +1224,9 @@ let group =
         \  wfde sweep e1 e2 -j 4 --json /tmp/sweep.json";
     ]
   in
-  let default = Term.(const run_ids $ ids_arg $ scale_arg $ jobs_arg) in
+  let default =
+    Term.(const run_ids $ ids_arg $ scale_arg $ jobs_arg $ impl_term)
+  in
   Cmd.group ~default
     (Cmd.info "wfde" ~version:"1.0.0" ~doc ~man)
     [

@@ -79,6 +79,8 @@ let kind_to_json = function
   | Sim.Read { obj } -> J.Obj [ ("op", J.String "read"); ("obj", J.String obj) ]
   | Sim.Write { obj } ->
       J.Obj [ ("op", J.String "write"); ("obj", J.String obj) ]
+  | Sim.Send { obj } -> J.Obj [ ("op", J.String "send"); ("obj", J.String obj) ]
+  | Sim.Recv { obj } -> J.Obj [ ("op", J.String "recv"); ("obj", J.String obj) ]
   | Sim.Query { detector } ->
       J.Obj [ ("op", J.String "query"); ("detector", J.String detector) ]
   | Sim.Output { label; value } ->
@@ -173,6 +175,8 @@ let frontier_of_json j =
     match str "op" o with
     | "read" -> Sim.Read { obj = str "obj" o }
     | "write" -> Sim.Write { obj = str "obj" o }
+    | "send" -> Sim.Send { obj = str "obj" o }
+    | "recv" -> Sim.Recv { obj = str "obj" o }
     | "query" -> Sim.Query { detector = str "detector" o }
     | "output" -> Sim.Output { label = str "label" o; value = str "value" o }
     | "input" -> Sim.Input { label = str "label" o; value = str "value" o }
@@ -251,8 +255,10 @@ let independent p1 k1 p2 k2 =
   match (k1, k2) with
   | Sim.Query _, _ | _, Sim.Query _ -> false
   | Sim.Read _, Sim.Read _ -> true
-  | ( (Sim.Read { obj = a } | Sim.Write { obj = a }),
-      (Sim.Read { obj = b } | Sim.Write { obj = b }) ) ->
+  | ( (Sim.Read { obj = a } | Sim.Write { obj = a } | Sim.Send { obj = a }
+      | Sim.Recv { obj = a } ),
+      ( Sim.Read { obj = b } | Sim.Write { obj = b } | Sim.Send { obj = b }
+      | Sim.Recv { obj = b } ) ) ->
       not (String.equal a b)
   | (Sim.Output _ | Sim.Input _ | Sim.Nop), _
   | _, (Sim.Output _ | Sim.Input _ | Sim.Nop) ->
@@ -548,7 +554,7 @@ let fp_full_run fp ~s_pids ~s_kinds ~m =
           match Hashtbl.find_opt fp.fr_objs obj with
           | Some (w, _) -> max base w
           | None -> base)
-      | Sim.Write { obj } -> (
+      | Sim.Write { obj } | Sim.Send { obj } | Sim.Recv { obj } -> (
           match Hashtbl.find_opt fp.fr_objs obj with
           | Some (w, r) -> max base (max w r)
           | None -> base)
@@ -563,7 +569,8 @@ let fp_full_run fp ~s_pids ~s_kinds ~m =
           | None -> (0, 0)
         in
         Hashtbl.replace fp.fr_objs obj (w, max r level)
-    | Sim.Write { obj } -> Hashtbl.replace fp.fr_objs obj (level, 0)
+    | Sim.Write { obj } | Sim.Send { obj } | Sim.Recv { obj } ->
+        Hashtbl.replace fp.fr_objs obj (level, 0)
     | Sim.Output _ | Sim.Input _ | Sim.Nop -> ());
     fp.fr_pid_level.(p) <- level;
     if level > !global_max then global_max := level;
@@ -750,7 +757,8 @@ let analyze ~scratch:s ~stack ~depth ~grown ~m =
       let real_st, real_w =
         match kj with
         | Sim.Read { obj } -> (Some (obj_state s obj), false)
-        | Sim.Write { obj } -> (Some (obj_state s obj), true)
+        | Sim.Write { obj } | Sim.Send { obj } | Sim.Recv { obj } ->
+            (Some (obj_state s obj), true)
         | Sim.Query _ | Sim.Output _ | Sim.Input _ | Sim.Nop -> (None, false)
       in
       let q_w = match kj with Sim.Query _ -> true | _ -> false in

@@ -32,8 +32,10 @@ let independent p1 k1 p2 k2 =
   match (k1, k2) with
   | Sim.Query _, _ | _, Sim.Query _ -> false
   | Sim.Read _, Sim.Read _ -> true
-  | ( (Sim.Read { obj = a } | Sim.Write { obj = a }),
-      (Sim.Read { obj = b } | Sim.Write { obj = b }) ) ->
+  | ( (Sim.Read { obj = a } | Sim.Write { obj = a } | Sim.Send { obj = a }
+      | Sim.Recv { obj = a } ),
+      ( Sim.Read { obj = b } | Sim.Write { obj = b } | Sim.Send { obj = b }
+      | Sim.Recv { obj = b } ) ) ->
       not (String.equal a b)
   | (Sim.Output _ | Sim.Input _ | Sim.Nop), _
   | _, (Sim.Output _ | Sim.Input _ | Sim.Nop) ->
@@ -267,7 +269,8 @@ let analyze ~scratch:s ~stack ~grown ~builder =
       let real_st, real_w =
         match kj with
         | Sim.Read { obj } -> (Some (obj_state s obj), false)
-        | Sim.Write { obj } -> (Some (obj_state s obj), true)
+        | Sim.Write { obj } | Sim.Send { obj } | Sim.Recv { obj } ->
+            (Some (obj_state s obj), true)
         | Sim.Query _ | Sim.Output _ | Sim.Input _ | Sim.Nop -> (None, false)
       in
       let q_w = match kj with Sim.Query _ -> true | _ -> false in

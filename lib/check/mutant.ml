@@ -2,13 +2,24 @@ type t =
   | Abd_skip_write_back
   | Snapshot_single_collect
   | Converge_drop_phase2
+  | Hb_timeout_never_increased
+  | Hb_suspected_not_restored
 
-let all = [ Abd_skip_write_back; Snapshot_single_collect; Converge_drop_phase2 ]
+let all =
+  [
+    Abd_skip_write_back;
+    Snapshot_single_collect;
+    Converge_drop_phase2;
+    Hb_timeout_never_increased;
+    Hb_suspected_not_restored;
+  ]
 
 let to_string = function
   | Abd_skip_write_back -> "abd-skip-write-back"
   | Snapshot_single_collect -> "snapshot-single-collect"
   | Converge_drop_phase2 -> "converge-drop-phase2"
+  | Hb_timeout_never_increased -> "hb-timeout-never-increased"
+  | Hb_suspected_not_restored -> "hb-suspected-not-restored"
 
 let of_string s =
   match List.find_opt (fun m -> String.equal (to_string m) s) all with
@@ -22,6 +33,8 @@ let flag = function
   | Abd_skip_write_back -> Memory.Abd.chaos_skip_write_back
   | Snapshot_single_collect -> Memory.Snapshot.chaos_single_collect
   | Converge_drop_phase2 -> Converge.chaos_drop_phase2
+  | Hb_timeout_never_increased -> Detectors.Heartbeat.chaos_timeout_never_increased
+  | Hb_suspected_not_restored -> Detectors.Heartbeat.chaos_suspected_not_restored
 
 (* The flags are process-global, but scopes overlap: the serve daemon
    runs concurrent [check_unit] requests that each wrap their

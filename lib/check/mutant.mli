@@ -18,12 +18,21 @@ type t =
   | Converge_drop_phase2
       (** {!Converge.run} commits after phase 1 without the phase-2
           visibility check: C-Agreement breaks. *)
+  | Hb_timeout_never_increased
+      (** {!Detectors.Heartbeat} stops raising timeouts on false
+          suspicions: premature timeouts recur forever and eventual
+          accuracy fails. *)
+  | Hb_suspected_not_restored
+      (** {!Detectors.Heartbeat} never un-suspects a process whose
+          heartbeat arrives: one pre-GST false suspicion becomes
+          permanent. *)
 
 val all : t list
 
 val to_string : t -> string
 (** Stable CLI names: [abd-skip-write-back],
-    [snapshot-single-collect], [converge-drop-phase2]. *)
+    [snapshot-single-collect], [converge-drop-phase2],
+    [hb-timeout-never-increased], [hb-suspected-not-restored]. *)
 
 val of_string : string -> (t, string) result
 

@@ -1,24 +1,69 @@
 open Kernel
 
-type obj = Register | Snapshot | Abd | Commit_adopt
+type obj =
+  | Register
+  | Snapshot
+  | Abd
+  | Commit_adopt
+  | Hb_detector of Link.config
+  | Link_chaos of Link.config
 
-let all = [ Register; Snapshot; Abd; Commit_adopt ]
+(* The canonical adversarial link for the parameterized scenarios: GST
+   late enough that a DPOR window of depth <= 12 is entirely pre-GST,
+   with heavy loss and delay before it. *)
+let default_chaos =
+  { Link.gst = 12; delta = 2; pre_delay = 6; loss_pct = 50; link_seed = 3 }
+
+let all =
+  [
+    Register;
+    Snapshot;
+    Abd;
+    Commit_adopt;
+    Hb_detector default_chaos;
+    Link_chaos default_chaos;
+  ]
 
 let to_string = function
   | Register -> "register"
   | Snapshot -> "snapshot"
   | Abd -> "abd"
   | Commit_adopt -> "commit-adopt"
+  | Hb_detector cfg -> Printf.sprintf "hb-detector(%s)" (Link.config_to_string cfg)
+  | Link_chaos cfg -> Printf.sprintf "link-chaos(%s)" (Link.config_to_string cfg)
+
+let parse_configured s ~prefix ~of_cfg =
+  let plen = String.length prefix in
+  if
+    String.length s > plen + 2
+    && String.starts_with ~prefix:(prefix ^ "(") s
+    && s.[String.length s - 1] = ')'
+  then
+    let body = String.sub s (plen + 1) (String.length s - plen - 2) in
+    Some (Result.map of_cfg (Link.config_of_string body))
+  else if String.equal s prefix then Some (Ok (of_cfg default_chaos))
+  else None
 
 let of_string s =
   match List.find_opt (fun o -> String.equal (to_string o) s) all with
   | Some o -> Ok o
-  | None ->
-      Error
-        (Printf.sprintf "unknown object %S (expected one of: %s)" s
-           (String.concat ", " (List.map to_string all)))
+  | None -> (
+      match
+        ( parse_configured s ~prefix:"hb-detector" ~of_cfg:(fun c -> Hb_detector c),
+          parse_configured s ~prefix:"link-chaos" ~of_cfg:(fun c -> Link_chaos c) )
+      with
+      | Some r, _ | _, Some r -> r
+      | None, None ->
+          Error
+            (Printf.sprintf
+               "unknown object %S (expected one of: register, snapshot, abd, \
+                commit-adopt, hb-detector[(gst=..,delta=..,pre_delay=..,\
+                loss=..,seed=..)], link-chaos[(...)])"
+               s))
 
-let min_procs = function Register -> 1 | Snapshot -> 2 | Abd -> 2 | Commit_adopt -> 2
+let min_procs = function
+  | Register -> 1
+  | Snapshot | Abd | Commit_adopt | Hb_detector _ | Link_chaos _ -> 2
 
 let require obj procs =
   if procs < min_procs obj then
@@ -124,6 +169,92 @@ let commit_adopt ~procs () =
   in
   ((fun pid -> [ body pid ]), check)
 
+let pattern_of_trace ~procs trace =
+  let crashes =
+    List.filter_map
+      (function
+        | Trace.Crash { pid; time } -> Some (pid, time) | Trace.Step _ -> None)
+      trace
+  in
+  Failure_pattern.make ~n_plus_1:procs ~crashes
+
+(* Every process runs one heartbeat monitor (implemented ◇P) over an
+   adversarial link; the property is the full subsystem contract — link
+   partial synchrony, crash isolation, and ◇P conformance over the
+   reconstructed history. The failure pattern is recovered from the
+   trace's crash events, so the check closure fits [Dpor.explore]'s
+   trace-only signature. Timeout starts below the heartbeat spacing on
+   purpose: every schedule exercises false suspicion, restore, and
+   timeout growth — exactly the mechanisms the planted heartbeat
+   mutants disable. *)
+let hb_detector cfg ~procs () =
+  let eng =
+    Detectors.Hb_ev_perfect.make
+      ~params:{ Detectors.Heartbeat.period = 4; timeout0 = 2; timeout_inc = 6 }
+      ~n_plus_1:procs ~net:cfg ()
+  in
+  let fibers pid = [ Detectors.Heartbeat.fiber eng ~me:pid ] in
+  let check trace =
+    let pattern = pattern_of_trace ~procs trace in
+    let link = Detectors.Heartbeat.link eng in
+    match Link.check_partial_synchrony link with
+    | Error _ as e -> e
+    | Ok () -> (
+        match Link.check_crash_isolation link ~pattern with
+        | Error _ as e -> e
+        | Ok () ->
+            Detectors.Hb_ev_perfect.check eng ~pattern
+              ~horizon:(Trace.last_time trace))
+  in
+  (fibers, check)
+
+(* The link layer alone under chaos: every process periodically
+   broadcasts and polls forever. Checked: the link honoured its
+   partial-synchrony contract on every message, no crashed process
+   observed one, and — bounded liveness made safety-checkable — every
+   message ready well before the end and addressed to a correct process
+   was delivered. *)
+let link_chaos cfg ~procs () =
+  let link = Link.create ~name:"chaos" ~n_plus_1:procs ~config:cfg () in
+  let tick = Array.init procs (fun _ -> Timer.Periodic.create ~period:3) in
+  let body pid () =
+    let rec loop () =
+      let now, _msgs = Link.poll_now link ~me:pid in
+      if Timer.Periodic.due tick.(Pid.to_int pid) ~now then
+        Link.broadcast link now;
+      loop ()
+    in
+    loop ()
+  in
+  let check trace =
+    let pattern = pattern_of_trace ~procs trace in
+    let horizon = Trace.last_time trace in
+    match Link.check_partial_synchrony link with
+    | Error _ as e -> e
+    | Ok () -> (
+        match Link.check_crash_isolation link ~pattern with
+        | Error _ as e -> e
+        | Ok () -> (
+            (* a correct process polls at least once per round-robin
+               rotation of the tail; this slack covers many rotations *)
+            let slack = 6 * procs * (procs + 1) in
+            let stale =
+              Link.undelivered_ready link ~by:(horizon - slack)
+              |> List.filter (fun r ->
+                     Failure_pattern.is_correct pattern r.Link.sr_to)
+            in
+            match stale with
+            | [] -> Ok ()
+            | r :: _ ->
+                Error
+                  (Printf.sprintf
+                     "liveness: %s->%s sent@%d ready@%d still undelivered at %d"
+                     (Pid.to_string r.Link.sr_from)
+                     (Pid.to_string r.Link.sr_to)
+                     r.Link.sr_sent_at r.Link.sr_ready_at horizon)))
+  in
+  ((fun pid -> [ body pid ]), check)
+
 let make obj ~procs =
   require obj procs;
   match obj with
@@ -131,6 +262,8 @@ let make obj ~procs =
   | Snapshot -> snapshot ~procs
   | Abd -> abd ~procs
   | Commit_adopt -> commit_adopt ~procs
+  | Hb_detector cfg -> hb_detector cfg ~procs
+  | Link_chaos cfg -> link_chaos cfg ~procs
 
 let patterns obj ~procs =
   let none = Failure_pattern.no_failures ~n_plus_1:procs in
@@ -143,4 +276,13 @@ let patterns obj ~procs =
       :: List.map
            (fun t -> Failure_pattern.make ~n_plus_1:procs ~crashes:[ (1, t) ])
            (List.init 24 (fun i -> i + 1))
+  | Hb_detector cfg | Link_chaos cfg ->
+      (* one pre-GST crash and one post-GST crash: the first exercises
+         loss/delay interacting with a silent process, the second makes
+         the detector re-stabilize after GST *)
+      [
+        none;
+        Failure_pattern.make ~n_plus_1:procs ~crashes:[ (1, 3) ];
+        Failure_pattern.make ~n_plus_1:procs ~crashes:[ (1, cfg.Link.gst + 5) ];
+      ]
   | Register | Snapshot | Abd | Commit_adopt -> [ none ]

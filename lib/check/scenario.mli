@@ -21,20 +21,51 @@
     - [Commit_adopt]: every process runs commit–adopt on a distinct
       input; the trace-independent result table is checked for
       C-Validity and the commit–adopt agreement property.
+    - [Hb_detector cfg]: every process runs a heartbeat ◇P monitor
+      ({!Detectors.Hb_ev_perfect}) over a partially synchronous
+      {!Kernel.Link} with config [cfg]; checked are the link's
+      partial-synchrony contract, crash isolation, and ◇P conformance
+      of the reconstructed history — so exploration proves pre-GST
+      delay and loss cannot break the detector's spec, and catches the
+      planted heartbeat mutants ({!Mutant.Hb_timeout_never_increased},
+      {!Mutant.Hb_suspected_not_restored}).
+    - [Link_chaos cfg]: periodic broadcasters over the same link;
+      checked are the link contract, crash isolation, and bounded
+      delivery liveness to correct processes.
 
     Worlds with forever-running server fibers never quiesce; explore
-    them with a horizon a few times the depth. *)
+    them with a horizon a few times the depth. For the parameterized
+    scenarios keep [depth <= cfg.gst] so the explored perturbations are
+    pre-GST (the tail completion is round-robin, which post-GST is
+    exactly the fair scheduling partial synchrony promises). *)
 
 open Kernel
 
-type obj = Register | Snapshot | Abd | Commit_adopt
+type obj =
+  | Register
+  | Snapshot
+  | Abd
+  | Commit_adopt
+  | Hb_detector of Link.config
+  | Link_chaos of Link.config
+
+val default_chaos : Link.config
+(** [gst=12, delta=2, pre_delay=6, loss=50, seed=3] — the canonical
+    adversarial link: a DPOR window of depth <= 12 is entirely pre-GST,
+    with heavy loss and delay before it. *)
 
 val all : obj list
+(** The four shared-object scenarios plus [Hb_detector default_chaos]
+    and [Link_chaos default_chaos]. *)
 
 val to_string : obj -> string
-(** Stable CLI names: [register], [snapshot], [abd], [commit-adopt]. *)
+(** Stable CLI names: [register], [snapshot], [abd], [commit-adopt],
+    [hb-detector(gst=..,delta=..,pre_delay=..,loss=..,seed=..)],
+    [link-chaos(...)]. *)
 
 val of_string : string -> (obj, string) result
+(** Inverse of {!to_string}; bare [hb-detector] / [link-chaos] select
+    {!default_chaos}. *)
 
 val min_procs : obj -> int
 

@@ -179,7 +179,7 @@ let e4_theorem5_adversary ?(jobs = 1) ?(max_phases = 25) () =
 
 (* ------------------------------------------------------------------ E5 *)
 
-let e5_fig3_extraction ?(jobs = 1) ?(seeds = 8) () =
+let e5_fig3_extraction ?(jobs = 1) ?(seeds = 8) ?impl () =
   let n_plus_1 = 4 in
   let f = 2 in
   let sources =
@@ -192,6 +192,12 @@ let e5_fig3_extraction ?(jobs = 1) ?(seeds = 8) () =
       ("vitality(p1)", `Vitality 0);
       ("Omega, w(sigma)=3", `Omega_batched 3);
     ]
+    @
+    (* Gated: the implemented (heartbeat) ◇P as one more stable source —
+       the only row whose detector is computed inside the run. *)
+    match impl with
+    | None -> []
+    | Some net -> [ ("hb ev-perfect (implemented)", `Hb_ev_perfect net) ]
   in
   let all_ok = ref true in
   let rows =
@@ -887,10 +893,52 @@ let e10_abd_emulation ?(jobs = 1) ?(seeds = 10) ?(sizes = [ 3; 5; 7 ]) () =
 
 (* ----------------------------------------------------------------- E11 *)
 
-let e11_msg_consensus ?(jobs = 1) ?(seeds = 6) ?(sizes = [ 3; 5 ]) () =
+let e11_msg_consensus ?(jobs = 1) ?(seeds = 6) ?(sizes = [ 3; 5 ]) ?impl () =
   let open Agreement in
   let open Detectors in
   let all_ok = ref true in
+  (* Gated: rerun each size with Omega implemented as the live
+     min-unsuspected leader of a heartbeat ◇P instead of the oracle. *)
+  let impl_rows =
+    match impl with
+    | None -> []
+    | Some net ->
+        List.map
+          (fun n_plus_1 ->
+            let minority = (n_plus_1 - 1) / 2 in
+            let runs =
+              pseeds ~jobs seeds (fun i ->
+                  let world =
+                    Harness.random_world
+                      ~seed:((n_plus_1 * 907) + i)
+                      ~n_plus_1 ~max_faulty:minority ~latest:300 ()
+                  in
+                  (* tight horizon: the heartbeat fiber keeps the run
+                     alive to the bitter end, and decisions land within
+                     a few thousand steps *)
+                  let m, memory =
+                    Harness.run_msg_consensus ~horizon:120_000 ~omega_impl:net
+                      world
+                  in
+                  ( Harness.ok m,
+                    memory = Ok (),
+                    m.Harness.last_decision_time ))
+            in
+            List.iter
+              (fun (o, a, _) -> if not (o && a) then all_ok := false)
+              runs;
+            [
+              Printf.sprintf "%d (hb Omega)" n_plus_1;
+              Report.cell_int minority;
+              Report.cell_int seeds;
+              Report.cell_pct
+                (mean (List.map (fun (o, _, _) -> if o then 1.0 else 0.0) runs));
+              Report.cell_pct
+                (mean (List.map (fun (_, a, _) -> if a then 1.0 else 0.0) runs));
+              Report.cell_float (mean_int (List.map (fun (_, _, t) -> t) runs));
+            ])
+          sizes
+  in
   let rows =
     List.map
       (fun n_plus_1 ->
@@ -957,7 +1005,7 @@ let e11_msg_consensus ?(jobs = 1) ?(seeds = 6) ?(sizes = [ 3; 5 ]) () =
       {
         Report.title = "E11: message-passing consensus (Omega + commit-adopt over ABD)";
         headers = [ "n+1"; "max crashes"; "runs"; "spec-ok"; "memory atomic"; "mean t(decide)" ];
-        rows;
+        rows = rows @ impl_rows;
       };
     ok = !all_ok;
   }
@@ -1134,6 +1182,225 @@ let c1_model_checking ?(jobs = 1) ?(depth = 6) ?(mutant_depth = 12) () =
     ok = !all_ok;
   }
 
+(* ------------------------------------- d1: implemented-detector grid *)
+
+(* The link families the heartbeat detectors are validated against.
+   Seeds differ per family so no two share message fates. *)
+let hb_config_grid =
+  [
+    ("reliable", { Link.gst = 0; delta = 1; pre_delay = 0; loss_pct = 0; link_seed = 1 });
+    ("lossy", { Link.gst = 40; delta = 2; pre_delay = 0; loss_pct = 60; link_seed = 2 });
+    ("delayed", { Link.gst = 40; delta = 3; pre_delay = 12; loss_pct = 0; link_seed = 3 });
+    ("adversarial", { Link.gst = 80; delta = 4; pre_delay = 10; loss_pct = 80; link_seed = 4 });
+  ]
+
+let d1_hb_conformance ?(jobs = 1) ?(seeds = 5) ?(spans = Obs.Span.null) () =
+  let all_ok = ref true in
+  let rows =
+    List.concat_map
+      (fun (label, net) ->
+        Obs.Span.with_ spans ("net.hb." ^ label) (fun () ->
+            List.map
+              (fun (mode_label, mode) ->
+                let runs =
+                  pseeds ~jobs seeds (fun i ->
+                      let world =
+                        Harness.random_world
+                          ~seed:((Hashtbl.hash label * 53) + (31 * i))
+                          ~n_plus_1:3 ~max_faulty:1 ~latest:60 ()
+                      in
+                      Harness.run_hb_detector ~mode ~net world)
+                in
+                List.iter
+                  (fun (v, _) -> if Result.is_error v then all_ok := false)
+                  runs;
+                [
+                  label;
+                  mode_label;
+                  Report.cell_int net.Link.gst;
+                  Report.cell_int net.Link.loss_pct;
+                  Report.cell_int seeds;
+                  Report.cell_pct
+                    (mean
+                       (List.map
+                          (fun (v, _) -> if Result.is_ok v then 1.0 else 0.0)
+                          runs));
+                  Report.cell_float (mean_int (List.map snd runs));
+                ])
+              [ ("evP", `Ev_perfect); ("evS", `Ev_strong) ]))
+      hb_config_grid
+  in
+  {
+    id = "d1";
+    claim =
+      "Implemented detectors: increasing-timeout heartbeats over partially \
+       synchronous links satisfy the \xE2\x97\x87P / \xE2\x97\x87S specs (validated on the \
+       reconstructed history, plus link contract and crash isolation) on \
+       every sampled GST/delay/loss family";
+    table =
+      {
+        Report.title =
+          "D1: heartbeat \xE2\x97\x87P/\xE2\x97\x87S conformance across link families (n+1=3)";
+        headers =
+          [ "links"; "mode"; "gst"; "loss%"; "runs"; "spec-ok"; "mean t(stabilize)" ];
+        rows;
+      };
+    ok = !all_ok;
+  }
+
+(* ------------------------------- d2: oracle vs implemented detectors *)
+
+let d2_hb_vs_oracle ?(jobs = 1) ?(seeds = 3) ?(spans = Obs.Span.null) () =
+  let net = { Link.gst = 60; delta = 2; pre_delay = 8; loss_pct = 40; link_seed = 6 } in
+  let all_ok = ref true in
+  let agreement_row title runs =
+    (* each run is (oracle_ok, implemented_ok, implemented_stab) *)
+    List.iter
+      (fun (o, i, _) -> if not (o && i && o = i) then all_ok := false)
+      runs;
+    [
+      title;
+      Report.cell_int seeds;
+      Report.cell_pct
+        (mean (List.map (fun (o, _, _) -> if o then 1.0 else 0.0) runs));
+      Report.cell_pct
+        (mean (List.map (fun (_, i, _) -> if i then 1.0 else 0.0) runs));
+      Report.cell_pct
+        (mean (List.map (fun (o, i, _) -> if o = i then 1.0 else 0.0) runs));
+      Report.cell_float (mean_int (List.map (fun (_, _, s) -> s) runs));
+    ]
+  in
+  let extraction =
+    Obs.Span.with_ spans "net.d2.extraction" (fun () ->
+        pseeds ~jobs seeds (fun i ->
+            let world () =
+              Harness.random_world ~seed:(4000 + (17 * i)) ~n_plus_1:4
+                ~max_faulty:2 ~latest:150 ()
+            in
+            let oracle, _ =
+              Harness.run_extraction_of ~f:2 ~source:`Ev_perfect (world ())
+            in
+            let implemented, stab =
+              Harness.run_extraction_of ~f:2 ~source:(`Hb_ev_perfect net)
+                (world ())
+            in
+            (Result.is_ok oracle, Result.is_ok implemented, stab)))
+  in
+  let consensus =
+    Obs.Span.with_ spans "net.d2.consensus" (fun () ->
+        pseeds ~jobs seeds (fun i ->
+            let world () =
+              Harness.random_world ~seed:(6000 + (23 * i)) ~n_plus_1:3
+                ~max_faulty:1 ~latest:100 ()
+            in
+            (* the heartbeat fiber never terminates, so the implemented
+               run always spends the whole horizon: keep it tight
+               (decisions land within ~5k steps, GST is 60) *)
+            let oracle, mem_o =
+              Harness.run_msg_consensus ~horizon:60_000 (world ())
+            in
+            let impl, mem_i =
+              Harness.run_msg_consensus ~horizon:60_000 ~omega_impl:net
+                (world ())
+            in
+            ( Harness.ok oracle && mem_o = Ok (),
+              Harness.ok impl && mem_i = Ok (),
+              impl.Harness.last_decision_time )))
+  in
+  {
+    id = "d2";
+    claim =
+      "Substitutability: the paper experiments reach the same verdicts \
+       when the oracle detector is replaced by its heartbeat \
+       implementation - Fig-3 extraction from implemented \xE2\x97\x87P, and \
+       message-passing consensus from implemented \xCE\xA9 (min unsuspected of \
+       \xE2\x97\x87P), with recorded queries replaying exactly against the \
+       reconstructed history";
+    table =
+      {
+        Report.title =
+          Printf.sprintf "D2: oracle vs implemented detectors (links %s)"
+            (Link.config_to_string net);
+        headers =
+          [
+            "experiment";
+            "runs";
+            "oracle ok";
+            "implemented ok";
+            "verdicts agree";
+            "mean t (impl)";
+          ];
+        rows =
+          [
+            agreement_row "Fig-3 extraction (\xE2\x97\x87P source)" extraction;
+            agreement_row "msg consensus (\xCE\xA9 source)" consensus;
+          ];
+      };
+    ok = !all_ok;
+  }
+
+(* ------------------------- d3: partial-synchrony model checking rows *)
+
+let d3_hb_model_checking ?(jobs = 1) ?(depth = 5) ?(spans = Obs.Span.null) () =
+  let all_ok = ref true in
+  let row ?mutant obj ~expect_violation =
+    let o =
+      Obs.Span.with_ spans
+        (Printf.sprintf "net.d3.%s"
+           (match mutant with
+           | None -> "clean"
+           | Some m -> Check.Mutant.to_string m))
+        (fun () ->
+          Harness.check_exhaustive ~jobs ~procs:2 ~depth ~horizon:500 ?mutant
+            obj)
+    in
+    let found = o.Harness.violation <> None in
+    if found <> expect_violation then all_ok := false;
+    (match o.Harness.violation with
+    | Some v when not v.Harness.shrunk -> all_ok := false
+    | _ -> ());
+    [
+      Check.Scenario.to_string obj;
+      (match mutant with None -> "-" | Some m -> Check.Mutant.to_string m);
+      Report.cell_int o.Harness.check_depth;
+      Report.cell_int o.Harness.patterns_swept;
+      Report.cell_int o.Harness.executions;
+      (match o.Harness.violation with
+      | None -> "none"
+      | Some v ->
+          Printf.sprintf "caught (prefix %d)" (List.length v.Harness.cex_prefix));
+    ]
+  in
+  let hb = Check.Scenario.Hb_detector Check.Scenario.default_chaos in
+  let chaos = Check.Scenario.Link_chaos Check.Scenario.default_chaos in
+  let rows =
+    [
+      row hb ~expect_violation:false;
+      row chaos ~expect_violation:false;
+      row hb ~mutant:Check.Mutant.Hb_timeout_never_increased
+        ~expect_violation:true;
+      row hb ~mutant:Check.Mutant.Hb_suspected_not_restored
+        ~expect_violation:true;
+    ]
+  in
+  {
+    id = "d3";
+    claim =
+      "Partial synchrony under exploration: no pre-GST delay/loss/ordering \
+       within the DPOR window can break the link contract, crash isolation, \
+       or the implemented detectors' specs - while both planted heartbeat \
+       mutants are caught with a shrunk, replayable counterexample";
+    table =
+      {
+        Report.title =
+          "D3: DPOR over partially synchronous links - clean vs heartbeat mutants";
+        headers =
+          [ "object"; "mutant"; "depth"; "patterns"; "execs"; "violation" ];
+        rows;
+      };
+    ok = !all_ok;
+  }
+
 (* --------------------------------------------------------------- index *)
 
 let all ?(jobs = 1) () =
@@ -1153,6 +1420,9 @@ let all ?(jobs = 1) () =
     a2_escape_ablation ~jobs ();
     a3_fig2_snapshot_cost ~jobs ();
     c1_model_checking ~jobs ();
+    d1_hb_conformance ~jobs ();
+    d2_hb_vs_oracle ~jobs ();
+    d3_hb_model_checking ~jobs ();
   ]
 
 let catalog =
@@ -1172,26 +1442,33 @@ let catalog =
     ("a2", "Ablation: Fig 1 escape conditions");
     ("a3", "Ablation: Fig 2 on register-built vs native snapshots");
     ("c1", "Model checking: DPOR + linearizability on clean and mutated objects");
+    ("d1", "Implemented detectors: heartbeat EvP/EvS conformance across link families");
+    ("d2", "Substitutability: oracle vs implemented detectors on paper experiments");
+    ("d3", "Model checking partial synchrony: clean links and heartbeat mutants");
   ]
 
 let by_id id =
   let scaled default scale = match scale with None -> default | Some s -> default * s in
+  let ign scale spans impl = ignore scale; ignore spans; ignore impl in
   match String.lowercase_ascii id with
-  | "e1" -> Some (fun ?scale ?jobs () -> e1_fig1_set_agreement ?jobs ~seeds:(scaled 25 scale) ())
-  | "e2" -> Some (fun ?scale ?jobs () -> e2_fig2_f_resilient ?jobs ~seeds:(scaled 15 scale) ())
-  | "e3" -> Some (fun ?scale ?jobs () -> e3_theorem1_adversary ?jobs ~max_phases:(scaled 25 scale) ())
-  | "e4" -> Some (fun ?scale ?jobs () -> e4_theorem5_adversary ?jobs ~max_phases:(scaled 25 scale) ())
-  | "e5" -> Some (fun ?scale ?jobs () -> e5_fig3_extraction ?jobs ~seeds:(scaled 8 scale) ())
-  | "e6" -> Some (fun ?scale ?jobs () -> e6_pairwise_reductions ?jobs ~seeds:(scaled 20 scale) ())
-  | "e7" -> Some (fun ?scale ?jobs () -> e7_upsilon_vs_omega_n ?jobs ~seeds:(scaled 15 scale) ())
-  | "e8" -> Some (fun ?scale ?jobs () -> ignore scale; e8_impossibility ?jobs ())
-  | "e9" -> Some (fun ?scale ?jobs () -> e9_booster_consensus ?jobs ~seeds:(scaled 20 scale) ())
-  | "e10" -> Some (fun ?scale ?jobs () -> e10_abd_emulation ?jobs ~seeds:(scaled 10 scale) ())
-  | "e11" -> Some (fun ?scale ?jobs () -> e11_msg_consensus ?jobs ~seeds:(scaled 6 scale) ())
-  | "a1" -> Some (fun ?scale ?jobs () -> ignore scale; a1_snapshot_ablation ?jobs ())
-  | "a2" -> Some (fun ?scale ?jobs () -> a2_escape_ablation ?jobs ~seeds:(scaled 12 scale) ())
-  | "a3" -> Some (fun ?scale ?jobs () -> a3_fig2_snapshot_cost ?jobs ~seeds:(scaled 12 scale) ())
-  | "c1" -> Some (fun ?scale ?jobs () -> ignore scale; c1_model_checking ?jobs ())
+  | "e1" -> Some (fun ?scale ?jobs ?spans ?impl () -> ign None spans impl; e1_fig1_set_agreement ?jobs ~seeds:(scaled 25 scale) ())
+  | "e2" -> Some (fun ?scale ?jobs ?spans ?impl () -> ign None spans impl; e2_fig2_f_resilient ?jobs ~seeds:(scaled 15 scale) ())
+  | "e3" -> Some (fun ?scale ?jobs ?spans ?impl () -> ign None spans impl; e3_theorem1_adversary ?jobs ~max_phases:(scaled 25 scale) ())
+  | "e4" -> Some (fun ?scale ?jobs ?spans ?impl () -> ign None spans impl; e4_theorem5_adversary ?jobs ~max_phases:(scaled 25 scale) ())
+  | "e5" -> Some (fun ?scale ?jobs ?spans ?impl () -> ignore spans; e5_fig3_extraction ?jobs ~seeds:(scaled 8 scale) ?impl ())
+  | "e6" -> Some (fun ?scale ?jobs ?spans ?impl () -> ign None spans impl; e6_pairwise_reductions ?jobs ~seeds:(scaled 20 scale) ())
+  | "e7" -> Some (fun ?scale ?jobs ?spans ?impl () -> ign None spans impl; e7_upsilon_vs_omega_n ?jobs ~seeds:(scaled 15 scale) ())
+  | "e8" -> Some (fun ?scale ?jobs ?spans ?impl () -> ign scale spans impl; e8_impossibility ?jobs ())
+  | "e9" -> Some (fun ?scale ?jobs ?spans ?impl () -> ign None spans impl; e9_booster_consensus ?jobs ~seeds:(scaled 20 scale) ())
+  | "e10" -> Some (fun ?scale ?jobs ?spans ?impl () -> ign None spans impl; e10_abd_emulation ?jobs ~seeds:(scaled 10 scale) ())
+  | "e11" -> Some (fun ?scale ?jobs ?spans ?impl () -> ignore spans; e11_msg_consensus ?jobs ~seeds:(scaled 6 scale) ?impl ())
+  | "a1" -> Some (fun ?scale ?jobs ?spans ?impl () -> ign scale spans impl; a1_snapshot_ablation ?jobs ())
+  | "a2" -> Some (fun ?scale ?jobs ?spans ?impl () -> ign None spans impl; a2_escape_ablation ?jobs ~seeds:(scaled 12 scale) ())
+  | "a3" -> Some (fun ?scale ?jobs ?spans ?impl () -> ign None spans impl; a3_fig2_snapshot_cost ?jobs ~seeds:(scaled 12 scale) ())
+  | "c1" -> Some (fun ?scale ?jobs ?spans ?impl () -> ign scale spans impl; c1_model_checking ?jobs ())
+  | "d1" -> Some (fun ?scale ?jobs ?spans ?impl () -> ignore impl; d1_hb_conformance ?jobs ~seeds:(scaled 5 scale) ?spans ())
+  | "d2" -> Some (fun ?scale ?jobs ?spans ?impl () -> ignore impl; d2_hb_vs_oracle ?jobs ~seeds:(scaled 3 scale) ?spans ())
+  | "d3" -> Some (fun ?scale ?jobs ?spans ?impl () -> ignore scale; ignore impl; d3_hb_model_checking ?jobs ?spans ())
   | _ -> None
 
 let pp ppf t =

@@ -30,8 +30,12 @@ val e3_theorem1_adversary : ?jobs:int -> ?max_phases:int -> unit -> outcome
 val e4_theorem5_adversary : ?jobs:int -> ?max_phases:int -> unit -> outcome
 (** Theorem 5: same at 2 ≤ f < n against Ωᶠ. *)
 
-val e5_fig3_extraction : ?jobs:int -> ?seeds:int -> unit -> outcome
-(** Fig 3 / Theorem 10: Υᶠ is extracted from every stable source. *)
+val e5_fig3_extraction :
+  ?jobs:int -> ?seeds:int -> ?impl:Kernel.Link.config -> unit -> outcome
+(** Fig 3 / Theorem 10: Υᶠ is extracted from every stable source. With
+    [impl] an extra gated row extracts from the {e implemented}
+    (heartbeat) ◇P running over a partially synchronous link with that
+    config; without it the table is byte-identical to before. *)
 
 val e6_pairwise_reductions : ?jobs:int -> ?seeds:int -> unit -> outcome
 (** §4 / §5.3: the direct reductions between detectors. *)
@@ -58,9 +62,18 @@ val e10_abd_emulation :
     majority. *)
 
 val e11_msg_consensus :
-  ?jobs:int -> ?seeds:int -> ?sizes:int list -> unit -> outcome
+  ?jobs:int ->
+  ?seeds:int ->
+  ?sizes:int list ->
+  ?impl:Kernel.Link.config ->
+  unit ->
+  outcome
 (** End-to-end lowering: Ω-based consensus over ABD registers in message
-    passing, memory linearizability checked per run. *)
+    passing, memory linearizability checked per run. With [impl] each
+    size gains a gated row where Ω is the live min-unsuspected leader of
+    a heartbeat ◇P over the given link (recorded queries replayed
+    against the reconstructed history); without it the table is
+    byte-identical to before. *)
 
 val a1_snapshot_ablation : ?jobs:int -> ?sizes:int list -> unit -> outcome
 (** Register-built Afek snapshot vs native snapshot: steps per
@@ -80,6 +93,29 @@ val c1_model_checking :
     replayable counterexample. [mutant_depth] sizes the deeper window
     the snapshot single-collect mutant needs (3 processes, ≥ 10). *)
 
+val d1_hb_conformance :
+  ?jobs:int -> ?seeds:int -> ?spans:Obs.Span.scope -> unit -> outcome
+(** Implemented detectors: the increasing-timeout heartbeat ◇P and ◇S
+    satisfy their specs (plus the link contract and crash isolation) on
+    every sampled GST/delay/loss family; mean stabilization time per
+    family. Rows are profiled under [net.hb.<family>] spans. *)
+
+val d2_hb_vs_oracle :
+  ?jobs:int -> ?seeds:int -> ?spans:Obs.Span.scope -> unit -> outcome
+(** Substitutability: the Fig-3 extraction and message-passing consensus
+    reach the same verdicts with the oracle detector replaced by its
+    heartbeat implementation ({!Harness.run_extraction_of} with
+    [`Hb_ev_perfect], {!Harness.run_msg_consensus} with [omega_impl]). *)
+
+val d3_hb_model_checking :
+  ?jobs:int -> ?depth:int -> ?spans:Obs.Span.scope -> unit -> outcome
+(** DPOR over partially synchronous links: the clean heartbeat-detector
+    and link-chaos scenarios survive exhaustive pre-GST
+    delay/loss/ordering exploration, and both planted heartbeat mutants
+    ({!Check.Mutant.Hb_timeout_never_increased},
+    {!Check.Mutant.Hb_suspected_not_restored}) are caught with shrunk,
+    replayable counterexamples. *)
+
 val all : ?jobs:int -> unit -> outcome list
 (** Every experiment with default parameters, in order; [jobs] sets the
     worker count of the {!Exec.Pool} each driver shards its independent
@@ -90,9 +126,20 @@ val catalog : (string * string) list
 (** [(id, one-line description)] for every experiment, without running
     anything. *)
 
-val by_id : string -> (?scale:int -> ?jobs:int -> unit -> outcome) option
-(** Look up an experiment by id ("e1" … "e11", "a1" … "a3", "c1");
-    [scale] multiplies the default seed counts, [jobs] is the pool
-    width as in {!all}. *)
+val by_id :
+  string ->
+  (?scale:int ->
+  ?jobs:int ->
+  ?spans:Obs.Span.scope ->
+  ?impl:Kernel.Link.config ->
+  unit ->
+  outcome)
+  option
+(** Look up an experiment by id ("e1" … "e11", "a1" … "a3", "c1",
+    "d1" … "d3"); [scale] multiplies the default seed counts, [jobs] is
+    the pool width as in {!all}. [spans] profiles the drivers that
+    support it (d1–d3); [impl] switches on the gated
+    implemented-detector rows of e5/e11. Both are ignored by the other
+    experiments. *)
 
 val pp : Format.formatter -> outcome -> unit

@@ -397,16 +397,18 @@ let run_extraction_of ?(horizon = 150_000) ?(tail = 25_000) ~f ~source world =
   let rng = world.world_rng in
   let pattern = world.pattern in
   let stab_time = 120 in
-  (* Existentially package the detector with its phi map and equality. *)
-  let run (type v) (detector : v Detector.t) (equal : v -> v -> bool)
-      (phi : v Phi.map) =
+  (* Existentially package the detector with its phi map and equality.
+     [run_src] is the general form: a live source plus any companion
+     fibers it needs (the heartbeat monitors, for implemented
+     detectors) and the policy to run under. *)
+  let run_src (type v) ~policy ~extra (detector : v Sim.source)
+      (equal : v -> v -> bool) (phi : v Phi.map) =
     let ex =
-      Extract_upsilon.create ~name:"ex" ~n_plus_1 ~f
-        ~detector:(Detector.source detector) ~equal ~phi
+      Extract_upsilon.create ~name:"ex" ~n_plus_1 ~f ~detector ~equal ~phi
     in
     let result =
-      Run.exec ~pattern ~policy:world.policy ~horizon
-        ~procs:(fun pid -> Extract_upsilon.fibers ex ~me:pid)
+      Run.exec ~pattern ~policy ~horizon
+        ~procs:(fun pid -> extra pid @ Extract_upsilon.fibers ex ~me:pid)
         ()
     in
     let last_time = Trace.last_time result.trace in
@@ -424,6 +426,12 @@ let run_extraction_of ?(horizon = 150_000) ?(tail = 25_000) ~f ~source world =
     Obs.Metrics.incr
       (match verdict with Ok () -> m_verdict_ok | Error _ -> m_verdict_fail);
     (verdict, stabilized_at)
+  in
+  let run (type v) (detector : v Detector.t) (equal : v -> v -> bool)
+      (phi : v Phi.map) =
+    run_src ~policy:world.policy
+      ~extra:(fun _ -> [])
+      (Detector.source detector) equal phi
   in
   match source with
   | `Omega ->
@@ -446,3 +454,119 @@ let run_extraction_of ?(horizon = 150_000) ?(tail = 25_000) ~f ~source world =
   | `Omega_batched w ->
       run (Omega.make ~rng ~pattern ~stab_time ()) Pid.equal
         (Phi.with_batches w (Phi.omega ~n_plus_1 ~f))
+  | `Hb_ev_perfect net ->
+      (* An *implemented* ◇P as the stable source: the extraction
+         queries the live heartbeat state while the monitors run
+         alongside it, and the policy turns fair at GST (bounded
+         process speeds are the other half of partial synchrony). *)
+      let eng = Hb_ev_perfect.make ~n_plus_1 ~net () in
+      run_src
+        ~policy:(Policy.fair_after ~gst:net.Link.gst world.policy)
+        ~extra:(fun pid -> [ Heartbeat.fiber eng ~me:pid ])
+        (Heartbeat.source eng) Pid.Set.equal
+        (Phi.suspicion ~n_plus_1 ~f)
+
+(* --------------------------------------------- implemented detectors *)
+
+(* Heartbeat detector alone under a partially synchronous world: run the
+   monitors, then check the mode's spec on the reconstructed history
+   together with the link-layer contract. Returns the verdict and the
+   empirical stabilization time (last suspicion change at any correct
+   process). *)
+let run_hb_detector ?(horizon = 6_000) ?params ~mode ~net world =
+  let n_plus_1 = Failure_pattern.n_plus_1 world.pattern in
+  let pattern = world.pattern in
+  let eng =
+    match mode with
+    | `Ev_perfect -> Hb_ev_perfect.make ?params ~n_plus_1 ~net ()
+    | `Ev_strong -> Hb_ev_strong.make ?params ~n_plus_1 ~net ()
+  in
+  let result =
+    Run.exec ~pattern
+      ~policy:(Policy.fair_after ~gst:net.Link.gst world.policy)
+      ~horizon
+      ~procs:(fun pid -> [ Heartbeat.fiber eng ~me:pid ])
+      ()
+  in
+  let last = Trace.last_time result.trace in
+  let link = Heartbeat.link eng in
+  let verdict =
+    match Link.check_partial_synchrony link with
+    | Error _ as e -> e
+    | Ok () -> (
+        match Link.check_crash_isolation link ~pattern with
+        | Error _ as e -> e
+        | Ok () -> (
+            match mode with
+            | `Ev_perfect -> Hb_ev_perfect.check eng ~pattern ~horizon:last
+            | `Ev_strong -> Hb_ev_strong.check eng ~pattern ~horizon:last))
+  in
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.incr (Obs.Metrics.counter "harness.runs{proto=hb}");
+  Obs.Metrics.incr
+    (match verdict with Ok () -> m_verdict_ok | Error _ -> m_verdict_fail);
+  (verdict, Heartbeat.stabilized_at eng ~only:(Failure_pattern.is_correct pattern))
+
+let run_msg_consensus ?(horizon = 3_000_000) ?omega_impl world =
+  let n_plus_1 = Failure_pattern.n_plus_1 world.pattern in
+  let pattern = world.pattern in
+  let proposals = List.map (fun p -> (p, 800 + p)) (Pid.all ~n_plus_1) in
+  let finish source proto result =
+    let rounds =
+      List.fold_left
+        (fun acc (_, r) -> max acc r)
+        0
+        (Msg_consensus.decision_rounds proto)
+    in
+    let m =
+      count_run ~proto:"msg_consensus"
+        (measure ~source ~k:1 ~pattern ~proposals
+           ~decisions:(Msg_consensus.decisions proto)
+           ~rounds result)
+    in
+    (m, Msg_consensus.check_memory proto)
+  in
+  match omega_impl with
+  | None ->
+      let omega = Omega.make ~rng:world.world_rng ~pattern () in
+      let proto =
+        Msg_consensus.create ~name:"mc" ~n_plus_1
+          ~omega:(Detector.source omega)
+      in
+      let result =
+        Run.exec ~pattern ~policy:world.policy ~horizon
+          ~procs:(fun pid ->
+            Msg_consensus.fibers proto ~me:pid ~input:(800 + pid))
+          ()
+      in
+      finish (Detector.source omega) proto result
+  | Some net ->
+      (* Ω implemented from heartbeats: the protocol queries the live
+         min-unsuspected leader; query replay validates those samples
+         against the post-run reconstructed ◇P history lowered through
+         the same extraction. *)
+      let eng = Hb_ev_perfect.make ~n_plus_1 ~net () in
+      let proto =
+        Msg_consensus.create ~name:"mc" ~n_plus_1
+          ~omega:(Heartbeat.leader_source eng)
+      in
+      (* wind the monitors down once every correct process has decided,
+         so the run quiesces instead of heartbeating to the horizon *)
+      let correct = Pid.Set.elements (Failure_pattern.correct pattern) in
+      let done_ () =
+        let decided = Msg_consensus.decisions proto in
+        List.for_all (fun p -> List.mem_assoc p decided) correct
+      in
+      let result =
+        Run.exec ~pattern
+          ~policy:(Policy.fair_after ~gst:net.Link.gst world.policy)
+          ~horizon
+          ~procs:(fun pid ->
+            Heartbeat.fiber ~until:done_ eng ~me:pid
+            :: Msg_consensus.fibers proto ~me:pid ~input:(800 + pid))
+          ()
+      in
+      let replay =
+        Pairwise.omega_of_ev_perfect ~n_plus_1 (Heartbeat.to_detector eng)
+      in
+      finish (Detector.source replay) proto result

@@ -158,11 +158,47 @@ val run_extraction_of :
     | `Perfect
     | `Upsilon_f
     | `Vitality of Pid.t
-    | `Omega_batched of int ]
+    | `Omega_batched of int
+    | `Hb_ev_perfect of Link.config ]
   ->
   world ->
   (unit, string) result * int
 (** Run the Fig-3 extraction from the given stable source; returns the
     Υᶠ-spec verdict on the extracted variable and the time of the last
     extracted-output change among correct processes (stabilization
-    time). *)
+    time). [`Hb_ev_perfect net] feeds the extraction an {e implemented}
+    ◇P: heartbeat monitors ({!Detectors.Hb_ev_perfect}) run alongside
+    the extraction fibers over a partially synchronous link, and the
+    world's policy turns fair at the link's GST
+    ({!Kernel.Policy.fair_after}). *)
+
+(** {1 Implemented (heartbeat) detectors} *)
+
+val run_hb_detector :
+  ?horizon:int ->
+  ?params:Detectors.Heartbeat.params ->
+  mode:[ `Ev_perfect | `Ev_strong ] ->
+  net:Link.config ->
+  world ->
+  (unit, string) result * int
+(** Run only the heartbeat monitors of the given mode over a fresh
+    partially synchronous link in the given world (policy fair from the
+    link's GST), then check the link's partial-synchrony contract,
+    crash isolation, and the mode's detector spec ({!Detectors.
+    Hb_ev_perfect.check} / {!Detectors.Hb_ev_strong.check}) on the
+    reconstructed history. Returns the verdict and the empirical
+    stabilization time. *)
+
+val run_msg_consensus :
+  ?horizon:int ->
+  ?omega_impl:Link.config ->
+  world ->
+  measurements * (unit, string) result
+(** E11's message-passing consensus (Ω + commit–adopt over ABD) as a
+    one-call driver; the second component is the linearizability
+    verdict on the emulated memory. With [omega_impl] the protocol's Ω
+    is not an oracle but the live min-unsuspected leader of a heartbeat
+    ◇P over the given link; recorded leader queries are then replayed
+    against {!Reduction.Pairwise.omega_of_ev_perfect} of the
+    reconstructed history, so [query_violations] certifies the live
+    view agreed with the reconstruction. *)

@@ -50,6 +50,8 @@ module Failure_pattern = Kernel.Failure_pattern
 module Policy = Kernel.Policy
 module Run = Kernel.Run
 module Sim = Kernel.Sim
+module Link = Kernel.Link
+module Timer = Kernel.Timer
 module Trace = Kernel.Trace
 module Oracle = Kernel.Oracle
 module Detector = Detectors.Detector

@@ -23,8 +23,10 @@ let make ?name ~rng ~pattern ?stab_time () =
 let stable_from ~pattern ~stab_time =
   max stab_time (Failure_pattern.max_crash_time pattern + 1)
 
-let check (d : Pid.Set.t Detector.t) ~pattern ~stab_by ~horizon =
+let check ?(only = fun _ -> true) (d : Pid.Set.t Detector.t) ~pattern ~stab_by
+    ~horizon =
   let all = Pid.all ~n_plus_1:(Failure_pattern.n_plus_1 pattern) in
+  let observers = List.filter only all in
   let bad = ref None in
   for time = stab_by to horizon do
     let want =
@@ -39,6 +41,6 @@ let check (d : Pid.Set.t Detector.t) ~pattern ~stab_by ~horizon =
             Some
               (Format.asprintf "at (%a, %d): got %a, want %a" Pid.pp p time
                  Pid.Set.pp got Pid.Set.pp want))
-      all
+      observers
   done;
   match !bad with Some msg -> Error msg | None -> Ok ()

@@ -19,10 +19,14 @@ val stable_from : pattern:Failure_pattern.t -> stab_time:int -> int
     window and the last crash. *)
 
 val check :
+  ?only:(Pid.t -> bool) ->
   Pid.Set.t Detector.t ->
   pattern:Failure_pattern.t ->
   stab_by:int ->
   horizon:int ->
   (unit, string) result
 (** From [stab_by] on, the output must equal the crashed-so-far set at
-    every process. *)
+    every process passing [only] (default all). The filter exists for
+    implemented detectors ({!Hb_ev_perfect}): the model only constrains
+    what {e correct} processes observe — a crashed heartbeat monitor's
+    history freezes at its crash. *)

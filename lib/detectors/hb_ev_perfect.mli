@@ -1,0 +1,35 @@
+(** Implemented ◇P: the {!Heartbeat} engine in [Common_timeout] mode.
+
+    Unlike {!Ev_perfect.make}, which conjures the history from the
+    failure pattern, this detector is computed {e inside} the run by
+    processes exchanging heartbeats over a partially synchronous
+    {!Kernel.Link} — it never sees the pattern. Drive each process's
+    {!Heartbeat.fiber} alongside the protocol and query the live
+    {!Heartbeat.source}; the same {!Detectors.Detector.t} surface as the
+    oracle comes out of {!Heartbeat.to_detector} after the run. *)
+
+open Kernel
+
+type t = Heartbeat.t
+
+val make :
+  ?name:string ->
+  ?params:Heartbeat.params ->
+  n_plus_1:int ->
+  net:Link.config ->
+  unit ->
+  t
+
+val check :
+  ?min_tail:int ->
+  t ->
+  pattern:Failure_pattern.t ->
+  horizon:int ->
+  (unit, string) result
+(** The run satisfied the ◇P spec: from the empirical stabilization time
+    (last suspicion change at any correct process, and past the last
+    crash) to [horizon], every correct process's suspect set equals the
+    crashed set — checked with {!Ev_perfect.check} over the
+    reconstructed history. Fails loudly if fewer than [min_tail]
+    (default 20) post-stabilization steps remain: a run too short to
+    witness stabilization proves nothing. *)

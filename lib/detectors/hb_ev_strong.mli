@@ -1,0 +1,33 @@
+(** Implemented ◇S: the {!Heartbeat} engine in [Per_target] mode.
+
+    ◇S weakens ◇P's accuracy: it requires strong completeness (crashed
+    processes are eventually suspected by every correct process) but
+    only {e eventual weak accuracy} — {e some} correct process is
+    eventually never suspected by any correct process. That is exactly
+    what consensus needs (◇S ≅ Ω in the weakest-failure-detector
+    hierarchy this repo studies), and {!check} validates precisely that
+    spec, even though over reliable-after-GST links the per-target
+    construction usually converges to ◇P-strength output anyway. *)
+
+open Kernel
+
+type t = Heartbeat.t
+
+val make :
+  ?name:string ->
+  ?params:Heartbeat.params ->
+  n_plus_1:int ->
+  net:Link.config ->
+  unit ->
+  t
+
+val check :
+  ?min_tail:int ->
+  t ->
+  pattern:Failure_pattern.t ->
+  horizon:int ->
+  (unit, string) result
+(** The run satisfied the ◇S spec from the empirical stabilization time
+    to [horizon]: strong completeness plus eventual weak accuracy over
+    the reconstructed history. Fails loudly if fewer than [min_tail]
+    (default 20) post-stabilization steps remain. *)

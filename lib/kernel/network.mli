@@ -6,11 +6,20 @@
     reliable and unordered-across-senders; asynchrony comes entirely from
     scheduling — a message becomes receivable the instant its send step
     executes, but the receiver learns of it only when it takes a poll
-    step, which the scheduler may delay arbitrarily (and forever, for
-    crashed receivers).
+    step, which the scheduler may delay arbitrarily.
+
+    Crashed receivers never observe anything: the scheduler kills a
+    crashed process's fibers before granting any step at or after its
+    crash time, so a crashed process takes no poll step from then on and
+    a message sent at or after the crash can never be delivered to it.
+    That guarantee is checkable, not just documented —
+    {!check_crash_isolation} verifies it from the delivery log after any
+    run, including DPOR-reordered ones.
 
     [send] and [poll] are each one atomic step, so the model's
-    cost/interleaving accounting carries over unchanged. *)
+    cost/interleaving accounting carries over unchanged. Sends and
+    deliveries feed the [net.*] metrics ({!Obs.Metrics}); for lossy /
+    delayed links with a GST see {!Link}. *)
 
 type 'm t
 
@@ -31,3 +40,9 @@ val poll : 'm t -> me:Pid.t -> (Pid.t * 'm) list
 
 val pending : 'm t -> Pid.t -> int
 (** Oracle access: queued messages at a mailbox, no step. *)
+
+val check_crash_isolation : 'm t -> pattern:Failure_pattern.t -> (unit, string) result
+(** No message was delivered to a process at or after its crash time —
+    i.e. a crashed process never observed a send, post-crash or
+    otherwise. Evidence comes from the instance's delivery log; oracle
+    access, no step. *)

@@ -56,6 +56,12 @@ let script pids ~then_ =
     in
     next ()
 
+let fair_after ~gst inner =
+  if gst < 0 then invalid_arg "Policy.fair_after: negative gst";
+  let rr = round_robin () in
+  fun ~now ~enabled ->
+    if now >= gst then rr ~now ~enabled else inner ~now ~enabled
+
 let stop_after limit inner =
   let taken = ref 0 in
   fun ~now ~enabled ->

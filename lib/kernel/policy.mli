@@ -28,6 +28,13 @@ val script : Pid.t list -> then_:t -> t
 (** Follow an explicit pid sequence (skipping entries that are not
     enabled), then fall back to [then_]. *)
 
+val fair_after : gst:int -> t -> t
+(** Partial synchrony for process speeds: the inner (typically chaotic)
+    policy schedules steps taken before [gst]; from [gst] on, scheduling
+    is round-robin, so relative process speeds are bounded — the
+    scheduling half of the GST model that {!Link} provides for message
+    delays. *)
+
 val stop_after : int -> t -> t
 (** Let the inner policy schedule only that many steps, then end the run. *)
 

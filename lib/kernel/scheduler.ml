@@ -18,6 +18,8 @@ let kind_tag = function
   | Sim.Output _ -> 3
   | Sim.Input _ -> 4
   | Sim.Nop -> 5
+  | Sim.Send _ -> 6
+  | Sim.Recv _ -> 7
 
 let kind_counter_names =
   [|
@@ -27,6 +29,8 @@ let kind_counter_names =
     "kernel.scheduler.steps{kind=output}";
     "kernel.scheduler.steps{kind=input}";
     "kernel.scheduler.steps{kind=nop}";
+    "kernel.scheduler.steps{kind=send}";
+    "kernel.scheduler.steps{kind=recv}";
   |]
 
 (* Per-pid counter names are only built when a domain's bundle grows to

@@ -7,6 +7,8 @@ type ctx = {
 type kind =
   | Read of { obj : string }
   | Write of { obj : string }
+  | Send of { obj : string }
+  | Recv of { obj : string }
   | Query of { detector : string }
   | Output of { label : string; value : string }
   | Input of { label : string; value : string }
@@ -37,6 +39,8 @@ let query src =
 let kind_pp ppf = function
   | Read { obj } -> Format.fprintf ppf "read(%s)" obj
   | Write { obj } -> Format.fprintf ppf "write(%s)" obj
+  | Send { obj } -> Format.fprintf ppf "send(%s)" obj
+  | Recv { obj } -> Format.fprintf ppf "recv(%s)" obj
   | Query { detector } -> Format.fprintf ppf "query(%s)" detector
   | Output { label; value } -> Format.fprintf ppf "output(%s=%s)" label value
   | Input { label; value } -> Format.fprintf ppf "input(%s=%s)" label value

@@ -24,10 +24,17 @@ type ctx = {
     record across steps; atomic closures must read the fields during the
     step and not retain the record. *)
 
-(** How a step is labelled in the trace. *)
+(** How a step is labelled in the trace. [Send]/[Recv] are message-layer
+    steps ({!Network}, {!Link}): both mutate the named mailbox object, so
+    schedule exploration treats them exactly like a [Write] on [obj] for
+    independence purposes — the separate constructors exist so traces,
+    step counters and exported JSONL can tell messaging apart from shared
+    memory. *)
 type kind =
   | Read of { obj : string }
   | Write of { obj : string }
+  | Send of { obj : string }
+  | Recv of { obj : string }
   | Query of { detector : string }
   | Output of { label : string; value : string }
   | Input of { label : string; value : string }

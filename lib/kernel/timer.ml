@@ -1,0 +1,40 @@
+(* Deterministic timers driven by simulated time (the global step
+   count). A timer is pure local bookkeeping: arming records a deadline,
+   expiry is a comparison against a [now] the owner obtained from one of
+   its own steps. No wall clock is involved anywhere, so runs stay a
+   pure function of (seed, schedule) and DPOR replays are exact. *)
+
+type t = { mutable deadline : int }
+
+let unset = -1
+
+let create () = { deadline = unset }
+
+let arm t ~now ~delay =
+  if delay < 0 then invalid_arg "Timer.arm: negative delay";
+  t.deadline <- now + delay
+
+let cancel t = t.deadline <- unset
+let armed t = t.deadline <> unset
+let expired t ~now = t.deadline <> unset && now >= t.deadline
+let deadline t = if t.deadline = unset then None else Some t.deadline
+
+module Periodic = struct
+  type nonrec t = { period : int; mutable next : int }
+
+  let create ~period =
+    if period <= 0 then invalid_arg "Timer.Periodic.create: period must be > 0";
+    { period; next = 0 }
+
+  (* Due at most once per call; after firing the next deadline is
+     anchored to [now] (not to the missed slot), so a process starved
+     for many periods emits one event on resume, not a burst. *)
+  let due t ~now =
+    if now >= t.next then begin
+      t.next <- now + t.period;
+      true
+    end
+    else false
+
+  let peek t ~now = now >= t.next
+end

@@ -21,6 +21,10 @@ let json_of_event event =
             [ ("kind", Json.String "read"); ("obj", Json.String obj) ]
         | Sim.Write { obj } ->
             [ ("kind", Json.String "write"); ("obj", Json.String obj) ]
+        | Sim.Send { obj } ->
+            [ ("kind", Json.String "send"); ("obj", Json.String obj) ]
+        | Sim.Recv { obj } ->
+            [ ("kind", Json.String "recv"); ("obj", Json.String obj) ]
         | Sim.Query { detector } ->
             [ ("kind", Json.String "query"); ("detector", Json.String detector) ]
         | Sim.Output { label; value } ->
@@ -67,6 +71,12 @@ let event_of_json json =
           | "write" ->
               let* obj = str "obj" in
               Ok (Sim.Write { obj })
+          | "send" ->
+              let* obj = str "obj" in
+              Ok (Sim.Send { obj })
+          | "recv" ->
+              let* obj = str "obj" in
+              Ok (Sim.Recv { obj })
           | "query" ->
               let* detector = str "detector" in
               Ok (Sim.Query { detector })

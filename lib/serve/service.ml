@@ -176,7 +176,12 @@ let run_experiments ~deadline ~spans ~ids ~scale ~jobs =
         else
           let f = Option.get (Wfde.Experiments.by_id id) in
           let t0 = Unix.gettimeofday () in
-          let o = Obs.Span.with_ spans ("exp." ^ id) (fun () -> f ~scale ~jobs ()) in
+          let o =
+            (* the driver's own profile (d1-d3's [net.*] rows) nests
+               under its [exp.<id>] span *)
+            Obs.Span.with_ spans ("exp." ^ id) (fun () ->
+                f ~scale ~jobs ~spans ())
+          in
           let wall = Unix.gettimeofday () -. t0 in
           go ((id, o, wall) :: acc) (done_ + 1) rest
   in

@@ -19,6 +19,8 @@ let () =
       ("lin-diff", Test_lin_diff.suite);
       ("oracles", Test_oracles.suite);
       ("network", Test_network.suite);
+      ("link", Test_link.suite);
+      ("hb", Test_hb.suite);
       ("abd", Test_abd.suite);
       ("msg-consensus", Test_msg_consensus.suite);
       ("serve", Test_serve.suite);
